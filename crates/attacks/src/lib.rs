@@ -1,0 +1,65 @@
+//! Attacks on logic locking, as analyzed in the paper's Sec. V:
+//!
+//! * [`sat_attack`] — the oracle-guided SAT attack (Subramanyan et al.
+//!   \[11\]): miter over two keyed copies, iterative distinguishing-input
+//!   search. Cracks XOR/MUX locking; reports **UNSAT at the first
+//!   iteration** against GK-locked designs (Sec. V-A/VI).
+//! * [`removal`] — signal-probability-skew removal attacks (Yasin et al.
+//!   \[15\]\[16\]): locate and bypass SARLock/Anti-SAT point functions; strip
+//!   TDK delay buffers and re-synthesize. Includes the structural GK
+//!   locator used by the enhanced attack.
+//! * [`tcf`] — the timed-characteristic-function SAT formulation (Ho et
+//!   al. \[3\], paper Sec. V-B): models stable values plus arrival times. It
+//!   detects delay-locking violations, but a glitch-latched capture is
+//!   *undefined* in the abstraction, so the enhanced SAT attack cannot
+//!   constrain GK behaviour.
+//! * [`appsat`] — the approximate (AppSAT-style \[10\]) attack: settles for
+//!   a low-error key, cracking point-function + XOR compounds quickly; the
+//!   key-independent GK static view leaves it equally blind.
+//! * [`seq_sat`] — the unrolled sequential SAT attack (no scan access):
+//!   distinguishing input *sequences* over k time frames. GK stays UNSAT
+//!   at iteration 1 here too — the defense does not rest on the scan
+//!   assumption.
+//! * [`scan`] — the scan-chain/BIST hypothesis test of Sec. VI's caveat:
+//!   with full scan access a bare GK's buffer/inverter ambiguity is
+//!   testable; the hybrid GK+XOR encryption restores it.
+//! * [`enhanced`] — the enhanced removal attack of Sec. V-D: locate the
+//!   security structure, replace it by a keyed XOR/MUX model, SAT-attack
+//!   the result. Succeeds on bare GKs; defeated by GK + withholding.
+
+//! # Example: the headline result
+//!
+//! ```rust
+//! use glitchlock_attacks::{SatAttack, SatOutcome};
+//! use glitchlock_core::locking::{LockScheme, XorLock};
+//! use glitchlock_netlist::{GateKind, Netlist};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), glitchlock_core::CoreError> {
+//! let mut nl = Netlist::new("toy");
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let y = nl.add_gate(GateKind::Nand, &[a, b])?;
+//! nl.mark_output(y, "y");
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let locked = XorLock::new(2).lock(&nl, &mut rng)?;
+//! let result = SatAttack::new(&locked.netlist, locked.key_inputs.clone(), &nl).run();
+//! assert!(matches!(result.outcome, SatOutcome::KeyRecovered { .. }));
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod appsat;
+pub mod enhanced;
+pub mod oracle;
+pub mod removal;
+pub mod sat_attack;
+pub mod scan;
+pub mod seq_sat;
+pub mod tcf;
+
+pub use enhanced::{enhanced_removal_attack, EnhancedOutcome};
+pub use oracle::ComboOracle;
+pub use sat_attack::{SatAttack, SatAttackResult, SatOutcome};

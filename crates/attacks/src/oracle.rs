@@ -1,0 +1,72 @@
+//! The attack oracle: a functionally correct chip with the right key.
+
+use glitchlock_netlist::{CombView, Logic, Netlist};
+
+/// An activated chip the attacker can query: combinational view of the
+/// original design, scan access assumed (flip-flop Q pins drivable, D pins
+/// observable), as in the paper's Sec. VI transformation.
+#[derive(Debug)]
+pub struct ComboOracle<'a> {
+    netlist: &'a Netlist,
+    view: CombView,
+}
+
+impl<'a> ComboOracle<'a> {
+    /// Wraps the original design.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        ComboOracle {
+            view: CombView::new(netlist),
+            netlist,
+        }
+    }
+
+    /// Input width (primary + pseudo inputs).
+    pub fn num_inputs(&self) -> usize {
+        self.view.num_inputs()
+    }
+
+    /// Output width (primary + pseudo outputs).
+    pub fn num_outputs(&self) -> usize {
+        self.view.num_outputs()
+    }
+
+    /// Queries the chip with a full input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn query(&self, inputs: &[bool]) -> Vec<bool> {
+        let logic: Vec<Logic> = inputs.iter().map(|&b| Logic::from_bool(b)).collect();
+        self.view
+            .eval(self.netlist, &logic)
+            .into_iter()
+            .map(|v| v.to_bool().expect("oracle outputs are definite"))
+            .collect()
+    }
+
+    /// The underlying combinational view.
+    pub fn view(&self) -> &CombView {
+        &self.view
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitchlock_netlist::GateKind;
+
+    #[test]
+    fn oracle_answers_combinationally_unfolded_queries() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let q = nl.add_dff(a).unwrap();
+        let y = nl.add_gate(GateKind::Xor, &[a, q]).unwrap();
+        nl.mark_output(y, "y");
+        let oracle = ComboOracle::new(&nl);
+        assert_eq!(oracle.num_inputs(), 2, "a + pseudo q");
+        assert_eq!(oracle.num_outputs(), 2, "y + pseudo d");
+        // a=1, q=0 -> y=1, next q (= a) = 1.
+        assert_eq!(oracle.query(&[true, false]), vec![true, true]);
+        assert_eq!(oracle.query(&[true, true]), vec![false, true]);
+    }
+}

@@ -1,0 +1,500 @@
+//! The oracle-guided SAT attack (Subramanyan, Ray, Malik — HOST'15).
+//!
+//! Builds a miter of two copies of the locked netlist sharing data inputs
+//! with independent keys, then iteratively: find a distinguishing input
+//! pattern (DIP), query the oracle, and constrain both copies to agree with
+//! the oracle on that pattern. When the miter becomes unsatisfiable every
+//! surviving key is correct.
+//!
+//! Against a GK-locked design (attacker's view: KEYGEN stripped, GK key as
+//! a primary input) the very first miter query is **unsatisfiable** — the
+//! GK's static function is key-independent, so no DIP exists and the attack
+//! is invalid from the start (paper Secs. V-A, VI).
+
+use crate::oracle::ComboOracle;
+use glitchlock_netlist::{CombView, NetId, Netlist};
+use glitchlock_sat::{encode_comb_into, Lit, SatResult, Solver, SolverStats, Var};
+
+/// How the attack ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SatOutcome {
+    /// The DIP loop converged: every remaining key agrees with the oracle
+    /// on all queried patterns.
+    KeyRecovered {
+        /// The recovered key, in `key_inputs` order.
+        key: Vec<bool>,
+    },
+    /// The miter was unsatisfiable before any DIP was found — the paper's
+    /// GK result: the attack cannot even start. `arbitrary_key` is a key
+    /// satisfying the (empty) constraints, demonstrating that all keys are
+    /// equivalent in the attacker's static view.
+    NoDipAtFirstIteration {
+        /// Any key (they are all equivalent to the attacker).
+        arbitrary_key: Vec<bool>,
+    },
+    /// Gave up after the iteration budget.
+    IterationLimit,
+}
+
+/// The attack transcript.
+#[derive(Clone, Debug)]
+pub struct SatAttackResult {
+    /// Final outcome.
+    pub outcome: SatOutcome,
+    /// Number of DIP iterations executed (0 when no DIP ever existed).
+    pub iterations: usize,
+    /// The distinguishing input patterns found, in order.
+    pub dips: Vec<Vec<bool>>,
+    /// Solver statistics at termination.
+    pub stats: SolverStats,
+}
+
+impl SatAttackResult {
+    /// Convenience: the recovered key, if the attack succeeded.
+    pub fn key(&self) -> Option<&[bool]> {
+        match &self.outcome {
+            SatOutcome::KeyRecovered { key } => Some(key),
+            _ => None,
+        }
+    }
+}
+
+/// The attack configuration and inputs.
+#[derive(Debug)]
+pub struct SatAttack<'a> {
+    /// The locked netlist, as the attacker sees it.
+    pub locked: &'a Netlist,
+    /// Which of the locked netlist's primary inputs are key inputs.
+    pub key_inputs: Vec<NetId>,
+    /// Primary inputs to hold at 0 and exclude from DIPs (e.g. stale key
+    /// pins left behind by a structural replacement).
+    pub ignored_inputs: Vec<NetId>,
+    /// The activated chip.
+    pub oracle: &'a Netlist,
+    /// DIP iteration budget.
+    pub max_iterations: usize,
+}
+
+impl<'a> SatAttack<'a> {
+    /// A default-budget attack.
+    pub fn new(locked: &'a Netlist, key_inputs: Vec<NetId>, oracle: &'a Netlist) -> Self {
+        SatAttack {
+            locked,
+            key_inputs,
+            ignored_inputs: Vec::new(),
+            oracle,
+            max_iterations: 4096,
+        }
+    }
+
+    /// Runs the attack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the locked view's non-key inputs do not align with the
+    /// oracle's inputs, or the netlists are cyclic.
+    pub fn run(&self) -> SatAttackResult {
+        let mut session = MiterSession::new(self.locked, &self.key_inputs, &self.ignored_inputs, self.oracle);
+        let mut dips = Vec::new();
+        let mut iterations = 0;
+        while let Some(dip) = session.find_dip() {
+            iterations += 1;
+            if iterations > self.max_iterations {
+                return SatAttackResult {
+                    outcome: SatOutcome::IterationLimit,
+                    iterations: self.max_iterations,
+                    dips,
+                    stats: session.stats(),
+                };
+            }
+            let response = session.query_oracle(&dip);
+            session.add_io_constraint(&dip, &response);
+            dips.push(dip);
+        }
+
+        // Extract a surviving key from the accumulated constraints.
+        let outcome = match session.extract_key() {
+            None => {
+                // The constraints themselves became unsatisfiable: cannot
+                // happen with a consistent oracle; treat as exhausted.
+                SatOutcome::IterationLimit
+            }
+            Some(key) => {
+                if iterations == 0 {
+                    SatOutcome::NoDipAtFirstIteration { arbitrary_key: key }
+                } else {
+                    SatOutcome::KeyRecovered { key }
+                }
+            }
+        };
+        SatAttackResult {
+            outcome,
+            iterations,
+            dips,
+            stats: session.stats(),
+        }
+    }
+}
+
+/// The incremental miter machinery shared by the exact SAT attack and the
+/// approximate (AppSAT-style) variant: two keyed circuit copies over shared
+/// data inputs, a gated output miter, and IO-constraint injection.
+pub struct MiterSession<'a> {
+    locked: &'a Netlist,
+    view: CombView,
+    oracle: ComboOracle<'a>,
+    solver: Solver,
+    role: Vec<Role>,
+    data_ix: Vec<usize>,
+    key_ix: Vec<usize>,
+    ports1: glitchlock_sat::EncodedPorts,
+    ports2: glitchlock_sat::EncodedPorts,
+    miter_gate: Var,
+}
+
+impl<'a> MiterSession<'a> {
+    /// Builds the two-copy miter.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the locked view's non-key inputs do not align with the
+    /// oracle.
+    pub fn new(
+        locked: &'a Netlist,
+        key_inputs: &[NetId],
+        ignored_inputs: &[NetId],
+        oracle: &'a Netlist,
+    ) -> Self {
+        let view = CombView::new(locked);
+        let oracle = ComboOracle::new(oracle);
+        let mut role = vec![Role::Data; view.num_inputs()];
+        for (i, net) in view.input_nets().iter().enumerate() {
+            if key_inputs.contains(net) {
+                role[i] = Role::Key;
+            } else if ignored_inputs.contains(net) {
+                role[i] = Role::Ignored;
+            }
+        }
+        let data_ix: Vec<usize> = (0..role.len()).filter(|&i| role[i] == Role::Data).collect();
+        let key_ix: Vec<usize> = (0..role.len()).filter(|&i| role[i] == Role::Key).collect();
+        assert_eq!(
+            data_ix.len(),
+            oracle.num_inputs(),
+            "locked view data inputs must align with the oracle"
+        );
+        assert_eq!(
+            view.num_outputs(),
+            oracle.num_outputs(),
+            "output widths must align"
+        );
+
+        let mut solver = Solver::new();
+        let ports1 = encode_comb_into(&mut solver, locked, &view, &[]);
+        let pinned: Vec<Option<Var>> = (0..role.len())
+            .map(|i| (role[i] != Role::Key).then(|| ports1.input_vars[i]))
+            .collect();
+        let ports2 = encode_comb_into(&mut solver, locked, &view, &pinned);
+        for i in (0..role.len()).filter(|&i| role[i] == Role::Ignored) {
+            solver.add_clause(&[Lit::neg(ports1.input_vars[i])]);
+        }
+        let miter_gate = solver.new_var();
+        let mut diff_lits = vec![Lit::neg(miter_gate)];
+        for (o1, o2) in ports1.output_vars.iter().zip(&ports2.output_vars) {
+            let d = solver.new_var();
+            encode_xor(&mut solver, d, *o1, *o2);
+            diff_lits.push(Lit::pos(d));
+        }
+        solver.add_clause(&diff_lits);
+        MiterSession {
+            locked,
+            view,
+            oracle,
+            solver,
+            role,
+            data_ix,
+            key_ix,
+            ports1,
+            ports2,
+            miter_gate,
+        }
+    }
+
+    /// Searches for a distinguishing input pattern; `None` means the miter
+    /// is unsatisfiable under the accumulated constraints.
+    pub fn find_dip(&mut self) -> Option<Vec<bool>> {
+        match self.solver.solve_with(&[Lit::pos(self.miter_gate)]) {
+            SatResult::Unsat => None,
+            SatResult::Sat => Some(
+                self.data_ix
+                    .iter()
+                    .map(|&i| self.solver.value(self.ports1.input_vars[i]).unwrap_or(false))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Queries the activated chip.
+    pub fn query_oracle(&self, data: &[bool]) -> Vec<bool> {
+        self.oracle.query(data)
+    }
+
+    /// Constrains both key copies to agree with `response` on `data`.
+    pub fn add_io_constraint(&mut self, data: &[bool], response: &[bool]) {
+        for copy_ix in 0..2 {
+            let key_vars = if copy_ix == 0 { &self.ports1 } else { &self.ports2 };
+            let mut pins: Vec<Option<Var>> = vec![None; self.role.len()];
+            for &i in &self.key_ix {
+                pins[i] = Some(key_vars.input_vars[i]);
+            }
+            let copy = encode_comb_into(&mut self.solver, self.locked, &self.view, &pins);
+            let mut di = 0;
+            for i in 0..self.role.len() {
+                match self.role[i] {
+                    Role::Key => {}
+                    Role::Ignored => {
+                        self.solver.add_clause(&[Lit::neg(copy.input_vars[i])]);
+                    }
+                    Role::Data => {
+                        let lit = Lit::with_sign(copy.input_vars[i], !data[di]);
+                        self.solver.add_clause(&[lit]);
+                        di += 1;
+                    }
+                }
+            }
+            for (j, &ov) in copy.output_vars.iter().enumerate() {
+                self.solver.add_clause(&[Lit::with_sign(ov, !response[j])]);
+            }
+        }
+    }
+
+    /// A key satisfying every recorded IO constraint, or `None` when the
+    /// constraints are contradictory.
+    pub fn extract_key(&mut self) -> Option<Vec<bool>> {
+        match self.solver.solve() {
+            SatResult::Unsat => None,
+            SatResult::Sat => Some(
+                self.key_ix
+                    .iter()
+                    .map(|&i| self.solver.value(self.ports1.input_vars[i]).unwrap_or(false))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Evaluates the locked view under (data, key) without the solver —
+    /// used by the approximate attack's error probes.
+    pub fn eval_locked(&self, data: &[bool], key: &[bool]) -> Vec<bool> {
+        use glitchlock_netlist::Logic;
+        let mut inputs = vec![Logic::Zero; self.view.num_inputs()];
+        for (di, &i) in self.data_ix.iter().enumerate() {
+            inputs[i] = Logic::from_bool(data[di]);
+        }
+        for (ki, &i) in self.key_ix.iter().enumerate() {
+            inputs[i] = Logic::from_bool(key[ki]);
+        }
+        self.view
+            .eval(self.locked, &inputs)
+            .into_iter()
+            .map(|v| v == Logic::One)
+            .collect()
+    }
+
+    /// Number of data inputs (DIP width).
+    pub fn data_width(&self) -> usize {
+        self.data_ix.len()
+    }
+
+    /// Solver statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.solver.stats()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Role {
+    Data,
+    Key,
+    Ignored,
+}
+
+fn encode_xor(solver: &mut Solver, y: Var, a: Var, b: Var) {
+    let (yp, yn) = (Lit::pos(y), Lit::neg(y));
+    let (ap, an) = (Lit::pos(a), Lit::neg(a));
+    let (bp, bn) = (Lit::pos(b), Lit::neg(b));
+    solver.add_clause(&[yn, ap, bp]);
+    solver.add_clause(&[yn, an, bn]);
+    solver.add_clause(&[yp, an, bp]);
+    solver.add_clause(&[yp, ap, bn]);
+}
+
+/// Checks a recovered key by exhaustive or sampled comparison of the locked
+/// view against the oracle. Returns the match rate over the tried patterns.
+pub fn key_match_rate(
+    locked: &Netlist,
+    key_inputs: &[NetId],
+    key: &[bool],
+    oracle: &Netlist,
+    samples: usize,
+    rng: &mut impl rand::Rng,
+) -> f64 {
+    use glitchlock_netlist::Logic;
+    let view = CombView::new(locked);
+    let oracle_view = CombView::new(oracle);
+    let data_positions: Vec<usize> = view
+        .input_nets()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| !key_inputs.contains(n))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(data_positions.len(), oracle_view.num_inputs());
+    let mut matches = 0usize;
+    for _ in 0..samples {
+        let data: Vec<Logic> = (0..data_positions.len())
+            .map(|_| Logic::from_bool(rng.gen()))
+            .collect();
+        let mut inputs = vec![Logic::Zero; view.num_inputs()];
+        for (di, &pos) in data_positions.iter().enumerate() {
+            inputs[pos] = data[di];
+        }
+        let mut ki = 0;
+        for (i, n) in view.input_nets().iter().enumerate() {
+            if key_inputs.contains(n) {
+                let pos = key_inputs.iter().position(|k| k == n).expect("key present");
+                inputs[i] = Logic::from_bool(key[pos]);
+                ki += 1;
+            }
+        }
+        debug_assert_eq!(ki, key_inputs.len());
+        let got = view.eval(locked, &inputs);
+        let expect = oracle_view.eval(oracle, &data);
+        if got == expect {
+            matches += 1;
+        }
+    }
+    matches as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitchlock_core::locking::{LockScheme, MuxLock, SarLock, XorLock};
+    use glitchlock_netlist::GateKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_circuit() -> Netlist {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let d = nl.add_input("d");
+        let w1 = nl.add_gate(GateKind::Nand, &[a, b]).unwrap();
+        let w2 = nl.add_gate(GateKind::Nor, &[c, d]).unwrap();
+        let w3 = nl.add_gate(GateKind::Xor, &[w1, w2]).unwrap();
+        let w4 = nl.add_gate(GateKind::And, &[w1, c]).unwrap();
+        let q = nl.add_dff(w3).unwrap();
+        let y = nl.add_gate(GateKind::Or, &[q, w4]).unwrap();
+        nl.mark_output(y, "y");
+        nl.mark_output(w3, "z");
+        nl
+    }
+
+    #[test]
+    fn cracks_xor_locking() {
+        let nl = test_circuit();
+        let mut rng = StdRng::seed_from_u64(21);
+        let locked = XorLock::new(5).lock(&nl, &mut rng).unwrap();
+        let attack = SatAttack::new(&locked.netlist, locked.key_inputs.clone(), &nl);
+        let result = attack.run();
+        let key = result.key().expect("XOR locking must fall").to_vec();
+        // The recovered key need not equal the inserted one bit-for-bit,
+        // but it must make the circuit functionally correct.
+        let rate = key_match_rate(
+            &locked.netlist,
+            &locked.key_inputs,
+            &key,
+            &nl,
+            200,
+            &mut rng,
+        );
+        assert_eq!(rate, 1.0, "recovered key must be functionally correct");
+        assert!(result.iterations >= 1);
+    }
+
+    #[test]
+    fn cracks_mux_locking() {
+        let nl = test_circuit();
+        let mut rng = StdRng::seed_from_u64(22);
+        let locked = MuxLock::new(3).lock(&nl, &mut rng).unwrap();
+        let attack = SatAttack::new(&locked.netlist, locked.key_inputs.clone(), &nl);
+        let result = attack.run();
+        let key = result.key().expect("MUX locking must fall").to_vec();
+        let rate = key_match_rate(
+            &locked.netlist,
+            &locked.key_inputs,
+            &key,
+            &nl,
+            200,
+            &mut rng,
+        );
+        assert_eq!(rate, 1.0);
+    }
+
+    #[test]
+    fn sarlock_needs_many_dips() {
+        // SARLock's whole point: each DIP kills one key. With n key bits
+        // the attack needs ~2^n iterations (here n = 4 -> >= 8).
+        let nl = test_circuit();
+        let mut rng = StdRng::seed_from_u64(23);
+        let locked = SarLock::new(4).lock(&nl, &mut rng).unwrap();
+        let attack = SatAttack::new(&locked.netlist, locked.key_inputs.clone(), &nl);
+        let result = attack.run();
+        let key = result.key().expect("SARLock falls eventually").to_vec();
+        assert!(
+            result.iterations >= 8,
+            "point function must drag out the attack: {} iterations",
+            result.iterations
+        );
+        let rate = key_match_rate(
+            &locked.netlist,
+            &locked.key_inputs,
+            &key,
+            &nl,
+            200,
+            &mut rng,
+        );
+        assert_eq!(rate, 1.0);
+    }
+
+    #[test]
+    fn unlockable_key_free_circuit_is_no_dip() {
+        // A "locked" design with a key input that does not affect anything:
+        // the miter is UNSAT at iteration 1, like a GK in the static view.
+        let nl = test_circuit();
+        let mut locked = nl.clone();
+        let k = locked.add_input("key0");
+        // Key feeds a gate whose output goes nowhere.
+        let _dead = locked.add_gate(GateKind::Inv, &[k]).unwrap();
+        let attack = SatAttack::new(&locked, vec![k], &nl);
+        let result = attack.run();
+        assert!(matches!(
+            result.outcome,
+            SatOutcome::NoDipAtFirstIteration { .. }
+        ));
+        assert_eq!(result.iterations, 0);
+        assert!(result.dips.is_empty());
+    }
+
+    #[test]
+    fn iteration_limit_respected() {
+        let nl = test_circuit();
+        let mut rng = StdRng::seed_from_u64(24);
+        let locked = SarLock::new(4).lock(&nl, &mut rng).unwrap();
+        let mut attack = SatAttack::new(&locked.netlist, locked.key_inputs.clone(), &nl);
+        attack.max_iterations = 2;
+        let result = attack.run();
+        assert_eq!(result.outcome, SatOutcome::IterationLimit);
+        assert_eq!(result.iterations, 2);
+    }
+}

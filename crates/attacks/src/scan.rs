@@ -1,0 +1,292 @@
+//! Scan-chain (BIST) based attack on GK locking — the weakness the paper
+//! concedes in Sec. VI ("the GK that works solely to encrypt the input of
+//! FF at the end of the path can provide only limited security").
+//!
+//! With scan access, an attacker fully controls and observes the state, so
+//! each flip-flop's next-state function can be *tested* against the
+//! activated chip. A bare GK then falls to a simple hypothesis test: feed
+//! patterns through the scan chain, compare the capture against "the GK is
+//! a buffer" vs "the GK is an inverter", and keep the hypothesis that
+//! matches.
+//!
+//! When the path also carries conventional key-gates (the paper's hybrid),
+//! the test resolves a *composite* model: the GK's polarity gets absorbed
+//! into the guessed key bits, so the attacker may label a buffer-GK
+//! "inverter" yet still hold a functionally equivalent model — or, when
+//! the unknown key bits interact non-linearly with the tested cone, get an
+//! [`GkResolution::Inconsistent`] answer. Full protection of the structure
+//! itself comes from withholding (Sec. V-D), which removes the hypothesis
+//! space entirely.
+
+use crate::oracle::ComboOracle;
+use crate::removal::{locate_gk_candidates, GkSite};
+use glitchlock_netlist::{CombView, Logic, NetId, Netlist};
+use rand::Rng;
+
+/// The attacker's conclusion for one located GK.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GkResolution {
+    /// Every probed pattern matched the buffer hypothesis.
+    Buffer,
+    /// Every probed pattern matched the inverter hypothesis.
+    Inverter,
+    /// Neither hypothesis explained all observations (e.g. other key-gates
+    /// on the same path corrupt the comparison — the hybrid defense).
+    Inconsistent,
+}
+
+/// Runs the scan-based hypothesis test for each located GK site.
+///
+/// `locked_view` is the attacker's netlist (KEYGEN stripped, GK keys as
+/// inputs); `oracle` the activated chip. Non-key inputs of the view must
+/// align with the oracle's combinational view (same convention as the SAT
+/// attack). Returns one resolution per located site, in
+/// [`locate_gk_candidates`] order.
+pub fn scan_hypothesis_attack<R: Rng>(
+    locked_view: &Netlist,
+    key_inputs: &[NetId],
+    oracle: &Netlist,
+    samples: usize,
+    rng: &mut R,
+) -> Vec<(GkSite, GkResolution)> {
+    let sites = locate_gk_candidates(locked_view);
+    let view = CombView::new(locked_view);
+    let oracle_chip = ComboOracle::new(oracle);
+    let data_positions: Vec<usize> = view
+        .input_nets()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| !key_inputs.contains(n))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(
+        data_positions.len(),
+        oracle_chip.num_inputs(),
+        "view data inputs must align with the oracle"
+    );
+
+    // Find which view outputs each GK influences by evaluating the view
+    // with the GK output virtually forced — we emulate "forced buffer" and
+    // "forced inverter" by toggling the key input when the GK's two
+    // constant behaviours differ... they do not (GK statics are key-free),
+    // so instead we compare the *view's* prediction (steady behaviour)
+    // against the oracle per sample and per site via single-site patching.
+    sites
+        .iter()
+        .map(|&site| {
+            let mut buf_ok = true;
+            let mut inv_ok = true;
+            for _ in 0..samples {
+                let data: Vec<bool> = (0..data_positions.len()).map(|_| rng.gen()).collect();
+                let expect = oracle_chip.query(&data);
+                for hypothesis_buffer in [true, false] {
+                    let got = eval_with_patched_gk(
+                        locked_view,
+                        &view,
+                        &data_positions,
+                        &data,
+                        site,
+                        hypothesis_buffer,
+                    );
+                    let matched = got
+                        .iter()
+                        .zip(&expect)
+                        .all(|(g, e)| g.to_bool() == Some(*e));
+                    if hypothesis_buffer {
+                        buf_ok &= matched;
+                    } else {
+                        inv_ok &= matched;
+                    }
+                }
+                if !buf_ok && !inv_ok {
+                    break;
+                }
+            }
+            let resolution = match (buf_ok, inv_ok) {
+                (true, false) => GkResolution::Buffer,
+                (false, true) => GkResolution::Inverter,
+                _ => GkResolution::Inconsistent,
+            };
+            (site, resolution)
+        })
+        .collect()
+}
+
+/// Evaluates the locked view with one GK's output forced to `x` (buffer
+/// hypothesis) or `!x` (inverter hypothesis), other GKs left at their
+/// static behaviour.
+fn eval_with_patched_gk(
+    netlist: &Netlist,
+    view: &CombView,
+    data_positions: &[usize],
+    data: &[bool],
+    site: GkSite,
+    buffer: bool,
+) -> Vec<Logic> {
+    let mut inputs = vec![Logic::Zero; view.num_inputs()];
+    for (di, &pos) in data_positions.iter().enumerate() {
+        inputs[pos] = Logic::from_bool(data[di]);
+    }
+    // Evaluate once to get x, then re-evaluate with the GK output pinned.
+    // Pinning is emulated by evaluating the full net table and replaying
+    // the fanout cone of the GK output with the patched value — for
+    // simplicity we just evaluate a patched copy of the net values in
+    // topological order.
+    let (pi, qs) = split_inputs(netlist, &inputs);
+    let mut values = netlist.eval_nets(&pi, Some(&qs));
+    let xv = values[site.x.index()];
+    let patched = if buffer { xv } else { !xv };
+    values[site.y.index()] = patched;
+    // Recompute everything downstream of the patch.
+    let order = netlist.topo_order().expect("acyclic");
+    let mut in_buf = Vec::new();
+    for cell_id in order {
+        let cell = netlist.cell(cell_id);
+        if cell.output() == site.y {
+            continue; // hold the patch
+        }
+        in_buf.clear();
+        in_buf.extend(cell.inputs().iter().map(|n| values[n.index()]));
+        if cell.kind().is_combinational() {
+            values[cell.output().index()] = cell.kind().eval(&in_buf);
+        }
+    }
+    view.output_nets()
+        .iter()
+        .map(|n| values[n.index()])
+        .collect()
+}
+
+fn split_inputs(netlist: &Netlist, inputs: &[Logic]) -> (Vec<Logic>, Vec<Logic>) {
+    let n_pi = netlist.input_nets().len();
+    (inputs[..n_pi].to_vec(), inputs[n_pi..].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitchlock_core::gk::{build_gk, GkDesign, GkScheme};
+    use glitchlock_core::locking::{LockScheme, XorLock};
+    use glitchlock_netlist::GateKind;
+    use glitchlock_stdcell::Library;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Original circuit plus its GK'd attacker view where the real chip
+    /// behaves as a *buffer* on the locked path.
+    fn setup() -> (Netlist, Netlist, Vec<NetId>) {
+        let mut original = Netlist::new("o");
+        let a = original.add_input("a");
+        let b = original.add_input("b");
+        let w = original.add_gate(GateKind::Nand, &[a, b]).unwrap();
+        let q = original.add_dff(w).unwrap();
+        let y = original.add_gate(GateKind::Xor, &[q, a]).unwrap();
+        original.mark_output(y, "y");
+
+        let lib = Library::cl013g_like();
+        let mut view = original.clone();
+        let key = view.add_input("gk0_key");
+        let d = view.cell(view.dff_cells()[0]).inputs()[0];
+        // BufferSteady: the static view IS a buffer, and the real chip's
+        // glitch-mode behaviour (correct key) is also a buffer of x — so
+        // the hypothesis test must resolve to Buffer.
+        let design = GkDesign {
+            scheme: GkScheme::BufferSteady,
+            ..GkDesign::paper_default()
+        };
+        let gk = build_gk(&mut view, &lib, d, key, &design).unwrap();
+        let ff = view.dff_cells()[0];
+        view.rewire_input(ff, 0, gk.y).unwrap();
+        (original, view, vec![key])
+    }
+
+    #[test]
+    fn bare_gk_is_resolved_by_scan_testing() {
+        let (original, view, keys) = setup();
+        let mut rng = StdRng::seed_from_u64(51);
+        let results = scan_hypothesis_attack(&view, &keys, &original, 32, &mut rng);
+        assert_eq!(results.len(), 1);
+        assert_eq!(
+            results[0].1,
+            GkResolution::Buffer,
+            "scan access resolves the buffer/inverter ambiguity (paper Sec. VI)"
+        );
+    }
+
+    #[test]
+    fn hybrid_xnor_absorbs_the_polarity() {
+        // Put an XNOR key-gate (correct key = 1) between the GK and the
+        // flip-flop. The attacker guesses 0 for the unknown key, so the
+        // hypothesis test labels the buffer-GK "Inverter" — structurally
+        // wrong, but the *composite* model (inverter GK + XNOR at 0) is
+        // functionally identical to the chip. The structure stays hidden
+        // even though the function is learned: exactly Sec. V-C's point
+        // that locating/modelling gates is not the same as knowing them.
+        let (original, mut view, mut keys) = setup();
+        let ff = view.dff_cells()[0];
+        let k = view.add_input("xk0");
+        let gk_y = view.cell(ff).inputs()[0];
+        let xnor = view.add_gate(GateKind::Xnor, &[gk_y, k]).unwrap();
+        view.rewire_input(ff, 0, xnor).unwrap();
+        keys.push(k);
+        let mut rng = StdRng::seed_from_u64(52);
+        let results = scan_hypothesis_attack(&view, &keys, &original, 32, &mut rng);
+        assert_eq!(results.len(), 1);
+        assert_eq!(
+            results[0].1,
+            GkResolution::Inverter,
+            "polarity absorbed by the downstream key-gate"
+        );
+    }
+
+    #[test]
+    fn random_hybrid_lock_resolutions_are_sound() {
+        // Whatever XorLock inserts, a non-Inconsistent resolution must
+        // correspond to a functionally correct composite model: re-check
+        // the winning hypothesis on fresh patterns.
+        for seed in 0..8u64 {
+            let (original, view, mut keys) = setup();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let hybrid = XorLock::new(2).lock(&view, &mut rng).unwrap();
+            keys.extend(hybrid.key_inputs.iter().copied());
+            let results =
+                scan_hypothesis_attack(&hybrid.netlist, &keys, &original, 24, &mut rng);
+            let Some(&(site, resolution)) = results.first() else {
+                // A key-gate landed on the GK's own select net, destroying
+                // the locator's structural pattern — also a (accidental)
+                // defense; nothing to check.
+                continue;
+            };
+            if resolution == GkResolution::Inconsistent {
+                continue;
+            }
+            // Fresh patterns must keep matching.
+            let confirm = {
+                let view_c = CombView::new(&hybrid.netlist);
+                let data_positions: Vec<usize> = view_c
+                    .input_nets()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| !keys.contains(n))
+                    .map(|(i, _)| i)
+                    .collect();
+                let oracle_chip = ComboOracle::new(&original);
+                (0..16).all(|_| {
+                    let data: Vec<bool> =
+                        (0..data_positions.len()).map(|_| rng.gen()).collect();
+                    let expect = oracle_chip.query(&data);
+                    let got = eval_with_patched_gk(
+                        &hybrid.netlist,
+                        &view_c,
+                        &data_positions,
+                        &data,
+                        site,
+                        resolution == GkResolution::Buffer,
+                    );
+                    got.iter().zip(&expect).all(|(g, e)| g.to_bool() == Some(*e))
+                })
+            };
+            assert!(confirm, "seed {seed}: resolution must generalize");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Timed Characteristic Functions (Ho et al. \[3\]; paper Sec. V-B).
+//!
+//! TCF extends the Boolean abstraction with timing: each signal carries its
+//! settled value *and* a conservative latest-arrival time, so a SAT
+//! formulation over TCF can generate two-pattern tests for delay defects —
+//! and, in the locking context, can reason about delay keys (TDK).
+//!
+//! The paper's point: TCF still cannot model a **glitch-latched** value.
+//! The abstraction only knows the final stable level and when it settles;
+//! the momentary level of a glitch that deliberately straddles the capture
+//! window exists in neither CNF nor TCF. This module implements the TCF
+//! abstraction and shows both halves: it *detects* TDK-style delay
+//! violations, and it reports GK-fed captures as **undefined**, so an
+//! enhanced (timing-aware) SAT attack has no constraint to learn from.
+
+use glitchlock_netlist::{CellId, Logic, Netlist};
+use glitchlock_sta::ClockModel;
+use glitchlock_stdcell::{Library, Ps};
+
+/// A signal in the TCF abstraction: settled value plus latest arrival.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TcfSignal {
+    /// The settled (zero-delay) logic value.
+    pub stable: Logic,
+    /// Conservative latest arrival time of that value.
+    pub arrival: Ps,
+}
+
+/// What the TCF abstraction predicts a flip-flop captures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TcfCapture {
+    /// The settled value arrives before the setup deadline: the capture is
+    /// the stable value — a usable SAT constraint.
+    Defined(Logic),
+    /// The last transition lands inside or beyond the capture window; the
+    /// latched level is not derivable from (value, arrival) — no constraint
+    /// exists. This is every GK-fed flip-flop under a transitional key.
+    Undefined,
+}
+
+/// Per-flip-flop TCF capture analysis for one input frame.
+#[derive(Clone, Debug)]
+pub struct TcfFrame {
+    /// `(flip-flop, predicted capture)` pairs in [`Netlist::dff_cells`]
+    /// order.
+    pub captures: Vec<(CellId, TcfCapture)>,
+}
+
+impl TcfFrame {
+    /// Number of captures the abstraction cannot define.
+    pub fn undefined_count(&self) -> usize {
+        self.captures
+            .iter()
+            .filter(|(_, c)| *c == TcfCapture::Undefined)
+            .count()
+    }
+}
+
+/// Evaluates the TCF abstraction: settled values from the zero-delay
+/// evaluator, arrivals from an STA forward pass, captures checked against
+/// each flip-flop's setup deadline.
+pub fn tcf_frame(
+    netlist: &Netlist,
+    library: &Library,
+    clock: &ClockModel,
+    inputs: &[Logic],
+    dff_q: &[Logic],
+) -> TcfFrame {
+    let values = netlist.eval_nets(inputs, Some(dff_q));
+    let sta = glitchlock_sta::analyze(netlist, library, clock);
+    let captures = netlist
+        .dff_cells()
+        .iter()
+        .map(|&ff| {
+            let d = netlist.cell(ff).inputs()[0];
+            let check = sta.check_of(ff).expect("dff has a check");
+            let capture = if sta.arrival_max(d) <= check.ub {
+                TcfCapture::Defined(values[d.index()])
+            } else {
+                TcfCapture::Undefined
+            };
+            (ff, capture)
+        })
+        .collect();
+    TcfFrame { captures }
+}
+
+/// Outcome of attempting a TCF-based (timing-aware) SAT attack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TcfAttackOutcome {
+    /// Every capture is defined: the attack degenerates to the plain SAT
+    /// attack (which then fails against GK for the Sec. V-A reason).
+    ReducesToPlainSat,
+    /// Some captures are undefined: TCF cannot produce constraints for
+    /// them, so the formulation cannot model the locked design at all.
+    CannotModel {
+        /// How many flip-flop captures are outside the abstraction.
+        undefined_captures: usize,
+    },
+}
+
+/// The Sec. V-B argument, executable: runs the TCF frame analysis on the
+/// (fully keyed, KEYGEN-included) locked netlist and reports whether a
+/// TCF-SAT formulation could even express its behaviour.
+pub fn tcf_attack_feasibility(
+    netlist: &Netlist,
+    library: &Library,
+    clock: &ClockModel,
+    inputs: &[Logic],
+    dff_q: &[Logic],
+) -> TcfAttackOutcome {
+    let frame = tcf_frame(netlist, library, clock, inputs, dff_q);
+    let undefined = frame.undefined_count();
+    if undefined == 0 {
+        TcfAttackOutcome::ReducesToPlainSat
+    } else {
+        TcfAttackOutcome::CannotModel {
+            undefined_captures: undefined,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitchlock_netlist::GateKind;
+
+    fn lib() -> Library {
+        Library::cl013g_like()
+    }
+
+    #[test]
+    fn clean_pipeline_is_fully_defined() {
+        let lib = lib();
+        let mut nl = Netlist::new("p");
+        let a = nl.add_input("a");
+        let g = nl.add_gate(GateKind::Inv, &[a]).unwrap();
+        let q = nl.add_dff(g).unwrap();
+        nl.mark_output(q, "y");
+        let clock = ClockModel::new(Ps::from_ns(2));
+        let frame = tcf_frame(&nl, &lib, &clock, &[Logic::One], &[Logic::Zero]);
+        assert_eq!(frame.undefined_count(), 0);
+        assert_eq!(frame.captures[0].1, TcfCapture::Defined(Logic::Zero));
+        assert_eq!(
+            tcf_attack_feasibility(&nl, &lib, &clock, &[Logic::One], &[Logic::Zero]),
+            TcfAttackOutcome::ReducesToPlainSat
+        );
+    }
+
+    #[test]
+    fn tcf_detects_tdk_style_delay_violation() {
+        // A slow deliberate delay chain past the deadline: TCF flags it —
+        // exactly the delay-defect detection [3] was built for.
+        let lib = lib();
+        let mut nl = Netlist::new("slow");
+        let a = nl.add_input("a");
+        let mut n = a;
+        for _ in 0..2 {
+            n = nl.add_gate(GateKind::Buf, &[n]).unwrap();
+            let c = nl.net(n).driver().unwrap();
+            nl.bind_lib(c, lib.by_name("DLY8X1").unwrap()).unwrap();
+        }
+        let q = nl.add_dff(n).unwrap();
+        nl.mark_output(q, "y");
+        let clock = ClockModel::new(Ps::from_ns(2)); // 4ns path vs 2ns clock
+        let frame = tcf_frame(&nl, &lib, &clock, &[Logic::One], &[Logic::Zero]);
+        assert_eq!(frame.captures[0].1, TcfCapture::Undefined);
+    }
+
+    #[test]
+    fn gk_locked_ff_is_undefined_under_tcf() {
+        // Build a GK + KEYGEN in front of a flip-flop, exactly as the
+        // insertion flow does, and show the TCF abstraction cannot define
+        // the capture: the KEYGEN's deliberate delay pushes the last
+        // arrival past the setup deadline (the glitch straddles capture).
+        use glitchlock_core::gk::{build_gk, GkDesign};
+        use glitchlock_core::keygen::build_keygen;
+        use glitchlock_stdcell::Ps;
+        let lib = lib();
+        let mut nl = Netlist::new("gk");
+        let a = nl.add_input("a");
+        let g = nl.add_gate(GateKind::Inv, &[a]).unwrap();
+        let q = nl.add_dff(g).unwrap();
+        let ff = nl.dff_cells()[0];
+        nl.mark_output(q, "y");
+        let k1 = nl.add_input("k1");
+        let k2 = nl.add_input("k2");
+        // Correct trigger near the end of a 3ns cycle (on-glitch window).
+        let kg = build_keygen(&mut nl, &lib, k1, k2, Ps(2400), Ps(1000), Ps(40)).unwrap();
+        let gk = build_gk(&mut nl, &lib, g, kg.key_out, &GkDesign::paper_default()).unwrap();
+        nl.rewire_input(ff, 0, gk.y).unwrap();
+
+        let clock = ClockModel::new(Ps::from_ns(3));
+        let inputs = vec![Logic::One, Logic::One, Logic::Zero]; // a, k1, k2
+        let qs = vec![Logic::Zero, Logic::Zero]; // data FF, toggle FF
+        let out = tcf_attack_feasibility(&nl, &lib, &clock, &inputs, &qs);
+        assert!(
+            matches!(out, TcfAttackOutcome::CannotModel { undefined_captures } if undefined_captures >= 1),
+            "GK capture must be outside the TCF abstraction: {out:?}"
+        );
+    }
+}

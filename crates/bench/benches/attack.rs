@@ -1,0 +1,71 @@
+//! Criterion microbenchmarks for the attacks: the SAT attack cracking XOR
+//! locking, bouncing off GK locking, and the removal-attack analyses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glitchlock_attacks::removal::{locate_point_function, signal_skew};
+use glitchlock_attacks::SatAttack;
+use glitchlock_circuits::{generate, tiny};
+use glitchlock_core::locking::{LockScheme, SarLock, XorLock};
+use glitchlock_core::GkEncryptor;
+use glitchlock_sta::ClockModel;
+use glitchlock_stdcell::{Library, Ps};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_attacks(c: &mut Criterion) {
+    let nl = generate(&tiny(11));
+    let lib = Library::cl013g_like();
+    let clock = ClockModel::new(Ps::from_ns(3));
+    let mut rng = StdRng::seed_from_u64(11);
+
+    let xor_locked = XorLock::new(8).lock(&nl, &mut rng).expect("lockable");
+    let gk_locked = GkEncryptor::new(4)
+        .encrypt(&nl, &lib, &clock, &mut rng)
+        .expect("feasible");
+    let sar_locked = SarLock::new(5).lock(&nl, &mut rng).expect("lockable");
+
+    let mut group = c.benchmark_group("attack");
+    group.bench_function("sat_attack_xor8", |b| {
+        b.iter(|| {
+            black_box(
+                SatAttack::new(&xor_locked.netlist, xor_locked.key_inputs.clone(), &nl).run(),
+            )
+        })
+    });
+    group.bench_function("sat_attack_gk4_unsat", |b| {
+        b.iter(|| {
+            black_box(
+                SatAttack::new(
+                    &gk_locked.attack_view,
+                    gk_locked.attack_key_inputs.clone(),
+                    &nl,
+                )
+                .run(),
+            )
+        })
+    });
+    group.bench_function("sat_attack_sarlock5", |b| {
+        b.iter(|| {
+            black_box(
+                SatAttack::new(&sar_locked.netlist, sar_locked.key_inputs.clone(), &nl).run(),
+            )
+        })
+    });
+    group.bench_function("signal_skew_1000", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(12);
+            black_box(signal_skew(&sar_locked.netlist, 1000, &mut rng))
+        })
+    });
+    group.bench_function("locate_point_function", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(12);
+            black_box(locate_point_function(&sar_locked.netlist, 1000, 0.1, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attacks);
+criterion_main!(benches);

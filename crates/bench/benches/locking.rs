@@ -1,0 +1,50 @@
+//! Criterion microbenchmarks for the locking flows: feasibility analysis,
+//! GK insertion, and baseline schemes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glitchlock_circuits::{generate, profile_by_name};
+use glitchlock_core::feasibility::analyze_feasibility;
+use glitchlock_core::gk::GkDesign;
+use glitchlock_core::locking::{LockScheme, XorLock};
+use glitchlock_core::GkEncryptor;
+use glitchlock_sta::ClockModel;
+use glitchlock_stdcell::Library;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_locking(c: &mut Criterion) {
+    let profile = profile_by_name("s5378").expect("known profile");
+    let nl = generate(&profile);
+    let lib = Library::cl013g_like();
+    let clock = ClockModel::new(profile.clock_period);
+    let design = GkDesign::paper_default();
+
+    let mut group = c.benchmark_group("locking");
+    group.bench_function("sta_s5378", |b| {
+        b.iter(|| black_box(glitchlock_sta::analyze(&nl, &lib, &clock)))
+    });
+    group.bench_function("feasibility_s5378", |b| {
+        b.iter(|| black_box(analyze_feasibility(&nl, &lib, &clock, &design)))
+    });
+    group.bench_function("gk_insert_8_s5378", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(
+                GkEncryptor::new(8)
+                    .encrypt(&nl, &lib, &clock, &mut rng)
+                    .expect("feasible"),
+            )
+        })
+    });
+    group.bench_function("xor_lock_16_s5378", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(XorLock::new(16).lock(&nl, &mut rng).expect("lockable"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_locking);
+criterion_main!(benches);

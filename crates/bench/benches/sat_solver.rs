@@ -1,0 +1,88 @@
+//! Criterion microbenchmarks for the CDCL solver: random 3-SAT near the
+//! phase transition, pigeonhole (hard UNSAT), and a benchmark-circuit
+//! Tseitin query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glitchlock_circuits::{generate, tiny};
+use glitchlock_netlist::CombView;
+use glitchlock_sat::{encode_comb, Cnf, Lit, SatResult, Solver, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_3sat(n_vars: u32, n_clauses: usize, seed: u64) -> Cnf {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut f = Cnf::new();
+    for _ in 0..n_vars {
+        f.new_var();
+    }
+    for _ in 0..n_clauses {
+        let lits: Vec<Lit> = (0..3)
+            .map(|_| Lit::with_sign(Var(rng.gen_range(0..n_vars)), rng.gen()))
+            .collect();
+        f.add_clause(&lits);
+    }
+    f
+}
+
+fn pigeonhole(n: u32) -> Cnf {
+    let mut f = Cnf::new();
+    let holes = n;
+    let pigeons = n + 1;
+    let var = |p: u32, h: u32| Var(p * holes + h);
+    for _ in 0..pigeons * holes {
+        f.new_var();
+    }
+    for p in 0..pigeons {
+        let clause: Vec<Lit> = (0..holes).map(|h| Lit::pos(var(p, h))).collect();
+        f.add_clause(&clause);
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                f.add_clause(&[Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+            }
+        }
+    }
+    f
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_solver");
+    for &n in &[60u32, 100] {
+        let clauses = (n as f64 * 4.2) as usize;
+        let f = random_3sat(n, clauses, 42);
+        group.bench_with_input(BenchmarkId::new("random_3sat", n), &f, |b, f| {
+            b.iter(|| {
+                let mut s = Solver::from_cnf(f);
+                black_box(s.solve())
+            })
+        });
+    }
+    for &n in &[6u32, 7] {
+        let f = pigeonhole(n);
+        group.bench_with_input(BenchmarkId::new("pigeonhole_unsat", n), &f, |b, f| {
+            b.iter(|| {
+                let mut s = Solver::from_cnf(f);
+                assert_eq!(s.solve(), SatResult::Unsat);
+            })
+        });
+    }
+    // Encode + query a benchmark-scale circuit.
+    let nl = generate(&tiny(5));
+    let view = CombView::new(&nl);
+    group.bench_function("tseitin_encode_tiny", |b| {
+        b.iter(|| black_box(encode_comb(&nl, &view)))
+    });
+    let enc = encode_comb(&nl, &view);
+    group.bench_function("circuit_query_tiny", |b| {
+        b.iter(|| {
+            let mut s = Solver::from_cnf(&enc.cnf);
+            black_box(s.solve())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

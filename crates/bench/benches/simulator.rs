@@ -1,0 +1,54 @@
+//! Criterion microbenchmarks for the event-driven timing simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glitchlock_circuits::{generate, tiny, Profile};
+use glitchlock_netlist::Logic;
+use glitchlock_sim::{ClockSpec, SimConfig, Simulator, Stimulus};
+use glitchlock_stdcell::{Library, Ps};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let lib = Library::cl013g_like();
+    let mut group = c.benchmark_group("simulator");
+    for (label, profile) in [("tiny", tiny(3)), ("s1238-scale", scaled_s1238())] {
+        let nl = generate(&profile);
+        let mut rng = StdRng::seed_from_u64(9);
+        let period = profile.clock_period;
+        let cycles = 10u64;
+        let mut stim = Stimulus::new();
+        for &ff in nl.dff_cells() {
+            stim.set_ff(ff, Logic::Zero);
+        }
+        for (i, &pi) in nl.input_nets().iter().enumerate() {
+            stim.set(pi, Logic::from_bool(i % 2 == 0));
+            for cyc in 0..cycles {
+                stim.at(
+                    period * (cyc + 1) + Ps(200),
+                    pi,
+                    Logic::from_bool(rng.gen()),
+                );
+            }
+        }
+        let cfg = SimConfig::new().with_clock(ClockSpec::new(period));
+        group.bench_with_input(
+            BenchmarkId::new("clocked_10_cycles", label),
+            &nl,
+            |b, nl| {
+                b.iter(|| {
+                    let sim = Simulator::new(nl, &lib, cfg.clone());
+                    black_box(sim.run(&stim, period * (cycles + 2)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn scaled_s1238() -> Profile {
+    glitchlock_circuits::profile_by_name("s1238").expect("known profile")
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

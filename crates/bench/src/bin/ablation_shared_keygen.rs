@@ -1,0 +1,61 @@
+//! Ablation (beyond the paper): sharing one KEYGEN among GKs with
+//! identical trigger plans.
+//!
+//! The KEYGEN (toggle flip-flop + ADB with two composed delay chains) is
+//! the dominant per-GK cost in Table II. GKs inserted at flip-flops with
+//! the same trigger windows can share one, trading key-input count
+//! (2 per KEYGEN instead of 2 per GK) for area.
+//!
+//! ```text
+//! cargo run --release -p glitchlock-bench --bin ablation_shared_keygen
+//! ```
+
+use glitchlock_circuits::{generate, iwls2005_profiles, Profile};
+use glitchlock_core::GkEncryptor;
+use glitchlock_sta::ClockModel;
+use glitchlock_stdcell::Library;
+use glitchlock_synth::Overhead;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run(profile: &Profile, share: bool, lib: &Library) -> Option<(f64, f64, usize)> {
+    let nl = generate(profile);
+    let clock = ClockModel::new(profile.clock_period);
+    let mut rng = StdRng::seed_from_u64(0x5A4E);
+    let locked = GkEncryptor {
+        share_keygens: share,
+        ..GkEncryptor::new(8)
+    }
+    .encrypt(&nl, lib, &clock, &mut rng)
+    .ok()?;
+    let oh = Overhead::measure(lib, &nl, &locked.netlist);
+    Some((
+        oh.cell_overhead_pct(),
+        oh.area_overhead_pct(),
+        locked.key_width(),
+    ))
+}
+
+fn main() {
+    let lib = Library::cl013g_like();
+    println!("Ablation: per-GK KEYGENs vs shared KEYGENs (8 GKs per design)");
+    println!("(cell OH % / area OH %; 'keys' = key-input count)\n");
+    println!(
+        "{:<8} | {:>17} | {:>17} | area saved",
+        "Bench.", "per-GK (keys)", "shared (keys)"
+    );
+    for profile in iwls2005_profiles() {
+        match (run(&profile, false, &lib), run(&profile, true, &lib)) {
+            (Some((sc, sa, sk)), Some((hc, ha, hk))) => {
+                let saved = if sa > 0.0 { (1.0 - ha / sa) * 100.0 } else { 0.0 };
+                println!(
+                    "{:<8} | {sc:5.2}/{sa:5.2} ({sk:>2}) | {hc:5.2}/{ha:5.2} ({hk:>2}) | {saved:4.1}%",
+                    profile.name
+                );
+            }
+            _ => println!("{:<8} | insufficient feasible flip-flops", profile.name),
+        }
+    }
+    println!("\nSharing trades key-vector entropy for silicon: the GKs remain");
+    println!("individually placed and timed, but their keys become correlated.");
+}

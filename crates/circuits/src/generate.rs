@@ -1,0 +1,383 @@
+//! Seeded synthetic benchmark generation with IWLS2005-calibrated profiles.
+
+use glitchlock_netlist::{GateKind, NetId, Netlist};
+use glitchlock_stdcell::Ps;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic benchmark profile mirroring one of the paper's IWLS2005
+/// circuits after synthesis and optimization (Table I, columns 1–3).
+#[derive(Clone, Copy, Debug)]
+pub struct Profile {
+    /// Benchmark name (e.g. `"s5378"`).
+    pub name: &'static str,
+    /// Target silicon cell count (gates + flip-flops), matching Table I.
+    pub cells: usize,
+    /// Flip-flop count, matching Table I.
+    pub ffs: usize,
+    /// Primary-input count (from the original ISCAS'89 circuit).
+    pub inputs: usize,
+    /// Primary-output count.
+    pub outputs: usize,
+    /// Clock period the design is assumed signed off at.
+    pub clock_period: Ps,
+    /// Calibration: fraction of flip-flops given shallow input cones (and
+    /// thus enough slack for a GK). Set to the paper's measured `Cov. (%)`
+    /// so the *shape* of the feasibility distribution matches; the actual
+    /// coverage is re-measured by the analysis in `glitchlock-core`.
+    pub coverage_target: f64,
+    /// Deterministic generation seed.
+    pub seed: u64,
+}
+
+/// The seven benchmark profiles of the paper's Tables I and II.
+///
+/// Cell/FF counts are the paper's post-synthesis numbers; I/O widths come
+/// from the original ISCAS'89 descriptions. `s9234` covers the paper's
+/// `s9324`/`s9234` typo pair.
+pub fn iwls2005_profiles() -> Vec<Profile> {
+    let p = |name, cells, ffs, inputs, outputs, cov| Profile {
+        name,
+        cells,
+        ffs,
+        inputs,
+        outputs,
+        clock_period: Ps::from_ns(3),
+        coverage_target: cov,
+        seed: 0x5EED_0000 + cells as u64,
+    };
+    vec![
+        p("s1238", 341, 18, 14, 14, 0.8889),
+        p("s5378", 775, 163, 35, 49, 0.6380),
+        p("s9234", 613, 145, 36, 39, 0.5103),
+        p("s13207", 901, 330, 62, 152, 0.5606),
+        p("s15850", 447, 134, 77, 150, 0.4328),
+        p("s38417", 5397, 1564, 28, 106, 0.6630),
+        p("s38584", 5304, 1168, 38, 304, 0.7911),
+    ]
+}
+
+/// Looks a profile up by benchmark name.
+pub fn profile_by_name(name: &str) -> Option<Profile> {
+    iwls2005_profiles().into_iter().find(|p| p.name == name)
+}
+
+/// A small profile for fast tests.
+pub fn tiny(seed: u64) -> Profile {
+    Profile {
+        name: "tiny",
+        cells: 60,
+        ffs: 12,
+        inputs: 6,
+        outputs: 4,
+        clock_period: Ps::from_ns(3),
+        coverage_target: 0.6,
+        seed,
+    }
+}
+
+/// Average per-gate delay (intrinsic + typical load) used only to convert
+/// the clock period into a target logic depth during generation.
+const AVG_GATE_DELAY_PS: u64 = 65;
+/// Flip-flop clk→q assumed during depth calibration.
+const CLK_TO_Q_PS: u64 = 160;
+/// Setup time assumed during depth calibration.
+const SETUP_PS: u64 = 90;
+/// Approximate timing headroom a glitch key-gate needs at a D pin: glitch
+/// generation delay (≈ L_glitch) plus the GK's own data-path delay.
+const GK_HEADROOM_PS: u64 = 1_350;
+/// Below this much headroom a D pin is *certainly* infeasible for the
+/// paper-default GK: the Eq. (5) window needs `L + D_react + margin`
+/// ≈ 1000 + 80 + 120 ps of slack.
+const GK_INFEASIBLE_PS: u64 = 1_150;
+
+/// Generates the synthetic netlist for a profile. Deterministic in
+/// `profile.seed`.
+///
+/// Structure: a layered combinational cloud over the primary inputs and
+/// flip-flop outputs. Each flip-flop's D pin taps a layer chosen from a
+/// bimodal depth distribution — a `coverage_target` share taps shallow
+/// layers (GK-feasible slack), the rest taps layers whose arrival lands
+/// within the last ~0.5ns before the setup deadline (timing-clean but too
+/// tight for a GK). Primary outputs tap arbitrary layers.
+///
+/// # Panics
+///
+/// Panics if the profile is degenerate (fewer cells than flip-flops + 1).
+pub fn generate(profile: &Profile) -> Netlist {
+    assert!(
+        profile.cells > profile.ffs,
+        "profile must have room for at least one gate"
+    );
+    let mut rng = StdRng::seed_from_u64(profile.seed);
+    let mut nl = Netlist::new(profile.name);
+
+    // Primary inputs.
+    let pis: Vec<NetId> = (0..profile.inputs)
+        .map(|i| nl.add_input(format!("pi{i}")))
+        .collect();
+
+    // Flip-flops with placeholder D nets, rewired at the end.
+    let mut ff_cells = Vec::with_capacity(profile.ffs);
+    let mut qs = Vec::with_capacity(profile.ffs);
+    for i in 0..profile.ffs {
+        let d = nl.add_net(format!("ffd{i}"));
+        let q = nl.add_dff_named(d, format!("ff{i}")).unwrap();
+        ff_cells.push(nl.net(q).driver().expect("dff drives q"));
+        qs.push(q);
+    }
+
+    // Depth budget from the clock period.
+    let period = profile.clock_period.as_ps();
+    let max_depth = ((period - SETUP_PS - CLK_TO_Q_PS - 100) / AVG_GATE_DELAY_PS).max(4) as usize;
+    let feasible_depth =
+        ((period.saturating_sub(SETUP_PS + CLK_TO_Q_PS + GK_HEADROOM_PS)) / AVG_GATE_DELAY_PS)
+            .max(2) as usize;
+    let deep_min = (max_depth * 3 / 4).max(feasible_depth + 1);
+
+    // Layered cloud: layer 0 = sources, layers 1..=max_depth hold gates.
+    let gate_budget = profile.cells - profile.ffs;
+    let mut layers: Vec<Vec<NetId>> = vec![Vec::new(); max_depth + 1];
+    layers[0].extend(pis.iter().copied());
+    layers[0].extend(qs.iter().copied());
+
+    // Distribute gates: denser in the shallow half so shallow taps exist
+    // everywhere, but every layer gets at least one gate while budget lasts.
+    let mut gates_in_layer = vec![0usize; max_depth + 1];
+    for layer in gates_in_layer.iter_mut().skip(1) {
+        *layer = 1;
+    }
+    let mut remaining = gate_budget.saturating_sub(max_depth);
+    while remaining > 0 {
+        // Bias: quadratic preference toward shallow layers.
+        let l = 1 + (rng.gen_range(0.0..1.0f64).powi(2) * max_depth as f64) as usize;
+        let l = l.min(max_depth);
+        gates_in_layer[l] += 1;
+        remaining -= 1;
+    }
+    // If budget < max_depth, trim the deepest mandatory gates.
+    let mut total: usize = gates_in_layer.iter().sum();
+    while total > gate_budget {
+        let deepest = gates_in_layer
+            .iter()
+            .rposition(|&c| c > 0)
+            .expect("at least one gate layer");
+        gates_in_layer[deepest] -= 1;
+        total -= 1;
+    }
+
+    let kinds = [
+        (GateKind::Nand, 24u32),
+        (GateKind::Nor, 18),
+        (GateKind::And, 14),
+        (GateKind::Or, 14),
+        (GateKind::Inv, 12),
+        (GateKind::Xor, 8),
+        (GateKind::Xnor, 5),
+        (GateKind::Buf, 5),
+    ];
+    let kind_total: u32 = kinds.iter().map(|&(_, w)| w).sum();
+    let pick_kind = |rng: &mut StdRng| {
+        let mut roll = rng.gen_range(0..kind_total);
+        for &(k, w) in &kinds {
+            if roll < w {
+                return k;
+            }
+            roll -= w;
+        }
+        GateKind::Nand
+    };
+
+    for layer in 1..=max_depth {
+        for _ in 0..gates_in_layer[layer] {
+            let kind = pick_kind(&mut rng);
+            let arity = match kind {
+                GateKind::Inv | GateKind::Buf => 1,
+                _ => {
+                    if rng.gen_bool(0.2) {
+                        3
+                    } else {
+                        2
+                    }
+                }
+            };
+            let mut ins = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                // Strong preference for the previous layer keeps real depth
+                // close to the layer index.
+                let src_layer = if rng.gen_bool(0.7) {
+                    layer - 1
+                } else {
+                    rng.gen_range(0..layer)
+                };
+                let pool = (0..=src_layer)
+                    .rev()
+                    .find(|&l| !layers[l].is_empty())
+                    .expect("layer 0 is never empty");
+                let net = layers[pool][rng.gen_range(0..layers[pool].len())];
+                ins.push(net);
+            }
+            let y = nl.add_gate(kind, &ins).expect("generated arity is legal");
+            layers[layer].push(y);
+        }
+    }
+
+    // Tap points for flip-flop D pins, chosen by *measured* arrival time:
+    // an STA pass over the finished cloud partitions the gate outputs into
+    // a GK-feasible pool (plenty of slack) and a timing-tight pool (clean
+    // at sign-off, but no room for a 1ns glitch flow). This both keeps the
+    // generated design violation-free at the profile's clock period and
+    // makes the coverage calibration precise.
+    let library = glitchlock_stdcell::Library::cl013g_like();
+    let clock = glitchlock_sta::ClockModel::new(profile.clock_period);
+    let sta = glitchlock_sta::analyze(&nl, &library, &clock);
+    let ub = profile.clock_period.as_ps() - SETUP_PS;
+    let mut feasible_pool: Vec<NetId> = Vec::new();
+    let mut tight_pool: Vec<NetId> = Vec::new();
+    for layer in layers.iter().skip(1) {
+        for &net in layer {
+            let arrival = sta.arrival_max(net).as_ps();
+            if arrival + GK_HEADROOM_PS + 150 <= ub {
+                feasible_pool.push(net);
+            } else if arrival + 120 <= ub && arrival + GK_INFEASIBLE_PS > ub {
+                // Clean at sign-off but *strictly* inside the zone where the
+                // Eq. (5) window (L + D_react + margin) cannot fit.
+                tight_pool.push(net);
+            }
+            // Nets in the narrow gap between the pools, and nets slower
+            // than UB, stay untapped (dead logic in the cloud).
+        }
+    }
+    assert!(
+        !feasible_pool.is_empty(),
+        "profile {} has no GK-feasible nets at {}",
+        profile.name,
+        profile.clock_period
+    );
+    if tight_pool.is_empty() {
+        // Degenerate shallow cloud: reuse the slowest feasible nets so the
+        // bimodal draw still terminates (coverage will skew high).
+        tight_pool = feasible_pool.clone();
+    }
+
+    for &ff in &ff_cells {
+        let shallow = rng.gen_bool(profile.coverage_target.clamp(0.0, 1.0));
+        let pool = if shallow { &feasible_pool } else { &tight_pool };
+        let d = pool[rng.gen_range(0..pool.len())];
+        nl.rewire_input(ff, 0, d).expect("ff exists");
+    }
+
+    // Primary outputs tap anywhere with a preference for deeper logic,
+    // like real output cones.
+    let all_taps: Vec<NetId> = layers.iter().skip(1).flatten().copied().collect();
+    for i in 0..profile.outputs {
+        let net = if rng.gen_bool(0.7) && !tight_pool.is_empty() {
+            tight_pool[rng.gen_range(0..tight_pool.len())]
+        } else {
+            all_taps[rng.gen_range(0..all_taps.len())]
+        };
+        nl.mark_output(net, format!("po{i}"));
+    }
+
+    // Tapping adds fanout load, which can push a margin-tight net over the
+    // deadline; repair by re-tapping any violating flip-flop onto a
+    // high-slack net until the design signs off cleanly.
+    for _round in 0..4 {
+        let sta = glitchlock_sta::analyze(&nl, &library, &clock);
+        let violators: Vec<_> = sta
+            .checks()
+            .iter()
+            .filter(|c| !c.met())
+            .map(|c| c.ff)
+            .collect();
+        if violators.is_empty() {
+            break;
+        }
+        for ff in violators {
+            let d = feasible_pool[rng.gen_range(0..feasible_pool.len())];
+            nl.rewire_input(ff, 0, d).expect("ff exists");
+        }
+    }
+    debug_assert!(
+        glitchlock_sta::analyze(&nl, &library, &clock).all_met(),
+        "generated {} must sign off cleanly",
+        profile.name
+    );
+
+    let _ = (feasible_depth, deep_min);
+    nl.validate().expect("generated netlist is structurally valid");
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitchlock_netlist::{Logic, SeqState};
+
+    #[test]
+    fn profiles_match_paper_counts() {
+        let ps = iwls2005_profiles();
+        assert_eq!(ps.len(), 7);
+        let s5378 = profile_by_name("s5378").unwrap();
+        assert_eq!(s5378.cells, 775);
+        assert_eq!(s5378.ffs, 163);
+        assert!(profile_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn generated_counts_are_exact() {
+        for p in [tiny(1), profile_by_name("s1238").unwrap(), profile_by_name("s5378").unwrap()] {
+            let nl = generate(&p);
+            let st = nl.stats();
+            assert_eq!(st.cells, p.cells, "{}", p.name);
+            assert_eq!(st.dffs, p.ffs, "{}", p.name);
+            assert_eq!(st.inputs, p.inputs, "{}", p.name);
+            assert_eq!(st.outputs, p.outputs, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = tiny(42);
+        let a = generate(&p);
+        let b = generate(&p);
+        let mut sa = SeqState::reset(&a);
+        let mut sb = SeqState::reset(&b);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let pat: Vec<Logic> = (0..p.inputs).map(|_| Logic::from_bool(rng.gen())).collect();
+            assert_eq!(sa.step(&a, &pat), sb.step(&b, &pat));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&tiny(1));
+        let b = generate(&tiny(2));
+        // Extremely likely to differ in at least one gate kind sequence.
+        let ka: Vec<_> = a.cells().map(|(_, c)| c.kind()).collect();
+        let kb: Vec<_> = b.cells().map(|(_, c)| c.kind()).collect();
+        assert_ne!(ka, kb);
+    }
+
+    #[test]
+    fn generated_netlists_are_simulable_and_acyclic() {
+        let nl = generate(&tiny(3));
+        nl.validate().unwrap();
+        let mut st = SeqState::reset(&nl);
+        let out = st.step(&nl, &[Logic::One; 6]);
+        assert_eq!(out.len(), 4);
+        // After one cycle from reset with definite inputs, outputs are
+        // definite (no X contamination: all sources are driven).
+        for o in out {
+            assert!(o.is_known());
+        }
+    }
+
+    #[test]
+    fn big_profile_generates_quickly() {
+        let p = profile_by_name("s38417").unwrap();
+        let nl = generate(&p);
+        assert_eq!(nl.stats().cells, 5397);
+    }
+}

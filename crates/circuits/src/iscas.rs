@@ -1,0 +1,143 @@
+//! Embedded real ISCAS'89 circuits.
+
+use glitchlock_netlist::{bench_format, Netlist};
+
+/// The ISCAS'89 `s27` benchmark in `.bench` source form: 4 primary inputs,
+/// 1 primary output, 3 flip-flops, 10 logic gates.
+pub const S27_BENCH: &str = "\
+# s27 (ISCAS'89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+";
+
+/// Parses the embedded [`S27_BENCH`] netlist.
+///
+/// # Panics
+///
+/// Never panics in practice — the embedded text is covered by tests.
+pub fn s27() -> Netlist {
+    bench_format::parse_named(S27_BENCH, "s27").expect("embedded s27 parses")
+}
+
+/// The ISCAS'85 `c17` benchmark in `.bench` source form: the classic
+/// 6-NAND combinational circuit (5 inputs, 2 outputs).
+pub const C17_BENCH: &str = "\
+# c17 (ISCAS'85)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+/// Parses the embedded [`C17_BENCH`] netlist.
+///
+/// # Panics
+///
+/// Never panics in practice — the embedded text is covered by tests.
+pub fn c17() -> Netlist {
+    bench_format::parse_named(C17_BENCH, "c17").expect("embedded c17 parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitchlock_netlist::{Logic, SeqState};
+
+    #[test]
+    fn s27_has_expected_shape() {
+        let nl = s27();
+        let st = nl.stats();
+        assert_eq!(st.inputs, 4);
+        assert_eq!(st.outputs, 1);
+        assert_eq!(st.dffs, 3);
+        assert_eq!(st.gates, 10);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn s27_known_trace_from_reset() {
+        // With all flip-flops reset to 0 and inputs held at 0:
+        //   G14 = NOT(0) = 1, G8 = AND(1, 0) = 0, G12 = NOR(0,0) = 1,
+        //   G15 = OR(1, 0) = 1, G16 = OR(0,0) = 0, G9 = NAND(0,1) = 1,
+        //   G11 = NOR(0,1) = 0, G17 = NOT(0) = 1.
+        let nl = s27();
+        let mut st = SeqState::reset(&nl);
+        let out = st.step(&nl, &[Logic::Zero; 4]);
+        assert_eq!(out, vec![Logic::One]);
+        // Next state: G10 = NOR(G14=1, G11=0) = 0, G11 = 0, G13 = NOR(0, G12=1) = 0.
+        assert_eq!(st.values(), &[Logic::Zero, Logic::Zero, Logic::Zero]);
+        // Drive G0 = 1: G14 = 0, G10 = NOR(0, G11).
+        let out = st.step(&nl, &[Logic::One, Logic::Zero, Logic::Zero, Logic::Zero]);
+        assert_eq!(out, vec![Logic::One]);
+        assert_eq!(st.values(), &[Logic::One, Logic::Zero, Logic::Zero]);
+    }
+
+    #[test]
+    fn c17_truth_table_spot_checks() {
+        use glitchlock_netlist::Logic::{One, Zero};
+        let nl = c17();
+        let st = nl.stats();
+        assert_eq!(st.gates, 6);
+        assert_eq!(st.dffs, 0);
+        assert_eq!(st.inputs, 5);
+        assert_eq!(st.outputs, 2);
+        // Inputs in declaration order: G1 G2 G3 G6 G7.
+        // All zeros: G10=1, G11=1, G16=1, G19=1 -> G22=NAND(1,1)=0,
+        // G23=NAND(1,1)=0.
+        assert_eq!(nl.eval_comb(&[Zero; 5]), vec![Zero, Zero]);
+        // G3=1 only: G10=1, G11=1, G16=1, G19=1 -> 0, 0.
+        assert_eq!(
+            nl.eval_comb(&[Zero, Zero, One, Zero, Zero]),
+            vec![Zero, Zero]
+        );
+        // G2=1, G3=1, G6=1: G11=NAND(1,1)=0, G16=NAND(1,0)=1, G10=1,
+        // G19=1 -> G22=0, G23=0.
+        assert_eq!(
+            nl.eval_comb(&[Zero, One, One, One, Zero]),
+            vec![Zero, Zero]
+        );
+        // G1=1, G3=1: G10=0 -> G22=NAND(0, G16)=1.
+        let out = nl.eval_comb(&[One, Zero, One, Zero, Zero]);
+        assert_eq!(out[0], One);
+    }
+
+    #[test]
+    fn s27_round_trips_through_bench_format() {
+        let nl = s27();
+        let emitted = bench_format::emit(&nl);
+        let re = bench_format::parse(&emitted).unwrap();
+        let mut a = SeqState::reset(&nl);
+        let mut b = SeqState::reset(&re);
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let pat: Vec<Logic> = (0..4).map(|_| Logic::from_bool(rng.gen())).collect();
+            assert_eq!(a.step(&nl, &pat), b.step(&re, &pat));
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Benchmark circuits for `glitchlock`.
+//!
+//! The paper evaluates on seven sequential IWLS2005/ISCAS'89 benchmarks
+//! synthesized with a proprietary 0.13µm library. The original post-
+//! synthesis netlists are not redistributable, so this crate provides the
+//! documented substitution (see `DESIGN.md`):
+//!
+//! * [`s27`] — the real ISCAS'89 s27 circuit, embedded in `.bench` form and
+//!   used as ground truth in tests and examples.
+//! * [`generate`] — a seeded synthetic benchmark generator. Each
+//!   [`Profile`] reproduces a paper benchmark's post-synthesis **cell
+//!   count**, **flip-flop count**, and I/O width exactly, and calibrates
+//!   the logic-depth distribution at flip-flop D pins so that the share of
+//!   timing slack available for glitch key-gates resembles the paper's
+//!   `Cov. (%)` column. The feasibility numbers reported by the experiment
+//!   harness are then *measured* by the real Eqs. (3)–(6) analysis, not
+//!   copied.
+//!
+//! Note: the paper's Table I lists `s9324` while Table II lists `s9234`;
+//! ISCAS'89 has only `s9234`, which is what we model.
+
+#![deny(missing_docs)]
+
+mod generate;
+mod iscas;
+
+pub use generate::{generate, iwls2005_profiles, profile_by_name, tiny, Profile};
+pub use iscas::{c17, s27, C17_BENCH, S27_BENCH};

@@ -1,0 +1,102 @@
+//! Encrypt-FF flip-flop selection (Karmakar et al. \[4\]).
+//!
+//! Table I's last column selects, among the GK-feasible flip-flops, a group
+//! **fanning out to the same set of primary outputs**. Encrypting such a
+//! group makes scan-based attacks harder: the corruption from every key-gate
+//! aliases onto the same observable outputs.
+
+use glitchlock_netlist::{reachable_outputs, CellId, Netlist};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// A group of flip-flops whose Q pins reach exactly the same primary
+/// outputs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FfGroup {
+    /// Indices (into [`Netlist::output_ports`]) of the reached outputs.
+    pub outputs: BTreeSet<usize>,
+    /// The flip-flops in the group.
+    pub ffs: Vec<CellId>,
+}
+
+/// Groups `candidates` by the set of primary outputs their Q pins reach
+/// combinationally, largest group first (ties broken by output-set order
+/// for determinism).
+pub fn group_by_output_cone(netlist: &Netlist, candidates: &[CellId]) -> Vec<FfGroup> {
+    let mut groups: BTreeMap<BTreeSet<usize>, Vec<CellId>> = BTreeMap::new();
+    for &ff in candidates {
+        let q = netlist.cell(ff).output();
+        let outs = reachable_outputs(netlist, q);
+        groups.entry(outs).or_default().push(ff);
+    }
+    let mut v: Vec<FfGroup> = groups
+        .into_iter()
+        .map(|(outputs, ffs)| FfGroup { outputs, ffs })
+        .collect();
+    v.sort_by(|a, b| b.ffs.len().cmp(&a.ffs.len()).then(a.outputs.cmp(&b.outputs)));
+    v
+}
+
+/// The Encrypt-FF selection: the largest same-output-cone group among the
+/// candidates (Table I's "Ava. FF \[4\]" counts its size).
+pub fn select_encrypt_ff(netlist: &Netlist, candidates: &[CellId]) -> Vec<CellId> {
+    group_by_output_cone(netlist, candidates)
+        .into_iter()
+        .next()
+        .map(|g| g.ffs)
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitchlock_netlist::GateKind;
+
+    /// Two flip-flops feed output y1 through shared logic; a third feeds y2.
+    fn three_ffs() -> (Netlist, Vec<CellId>) {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let q1 = nl.add_dff_named(a, "f1").unwrap();
+        let q2 = nl.add_dff_named(a, "f2").unwrap();
+        let q3 = nl.add_dff_named(a, "f3").unwrap();
+        let y1 = nl.add_gate(GateKind::And, &[q1, q2]).unwrap();
+        let y2 = nl.add_gate(GateKind::Inv, &[q3]).unwrap();
+        nl.mark_output(y1, "y1");
+        nl.mark_output(y2, "y2");
+        let ffs = nl.dff_cells().to_vec();
+        (nl, ffs)
+    }
+
+    #[test]
+    fn groups_partition_by_cone() {
+        let (nl, ffs) = three_ffs();
+        let groups = group_by_output_cone(&nl, &ffs);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].ffs.len(), 2, "largest group first");
+        assert_eq!(
+            groups[0].outputs.iter().copied().collect::<Vec<_>>(),
+            vec![0]
+        );
+        assert_eq!(groups[1].ffs, vec![ffs[2]]);
+    }
+
+    #[test]
+    fn selection_returns_largest_group() {
+        let (nl, ffs) = three_ffs();
+        let sel = select_encrypt_ff(&nl, &ffs);
+        assert_eq!(sel, vec![ffs[0], ffs[1]]);
+    }
+
+    #[test]
+    fn empty_candidates_give_empty_selection() {
+        let (nl, _) = three_ffs();
+        assert!(select_encrypt_ff(&nl, &[]).is_empty());
+    }
+
+    #[test]
+    fn candidate_subset_is_respected() {
+        let (nl, ffs) = three_ffs();
+        let sel = select_encrypt_ff(&nl, &ffs[2..]);
+        assert_eq!(sel, vec![ffs[2]]);
+    }
+}

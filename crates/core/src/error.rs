@@ -1,0 +1,86 @@
+//! Error type for locking operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from key-gate construction and insertion flows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// Not enough feasible flip-flops (or lockable nets) for the requested
+    /// key-gate count.
+    NotEnoughSites {
+        /// Sites requested.
+        requested: usize,
+        /// Sites available.
+        available: usize,
+    },
+    /// Delay-element synthesis failed for a required delay.
+    Delay(String),
+    /// Underlying netlist manipulation failed.
+    Netlist(String),
+    /// The requested glitch length cannot satisfy the capture flip-flop's
+    /// setup + hold window.
+    GlitchTooShort {
+        /// Requested glitch length in picoseconds.
+        requested_ps: u64,
+        /// Minimum needed (setup + hold) in picoseconds.
+        needed_ps: u64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NotEnoughSites {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested {requested} key-gate sites but only {available} are feasible"
+            ),
+            CoreError::Delay(msg) => write!(f, "delay synthesis failed: {msg}"),
+            CoreError::Netlist(msg) => write!(f, "netlist operation failed: {msg}"),
+            CoreError::GlitchTooShort {
+                requested_ps,
+                needed_ps,
+            } => write!(
+                f,
+                "glitch of {requested_ps}ps cannot cover setup+hold of {needed_ps}ps"
+            ),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<glitchlock_netlist::NetlistError> for CoreError {
+    fn from(e: glitchlock_netlist::NetlistError) -> Self {
+        CoreError::Netlist(e.to_string())
+    }
+}
+
+impl From<glitchlock_synth::SynthError> for CoreError {
+    fn from(e: glitchlock_synth::SynthError) -> Self {
+        CoreError::Delay(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = CoreError::NotEnoughSites {
+            requested: 16,
+            available: 3,
+        };
+        assert!(e.to_string().contains("16"));
+        assert!(e.to_string().contains("3"));
+        let e = CoreError::GlitchTooShort {
+            requested_ps: 100,
+            needed_ps: 125,
+        };
+        assert!(e.to_string().contains("125"));
+    }
+}

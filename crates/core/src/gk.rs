@@ -1,0 +1,360 @@
+//! The Glitch Key-gate (GK) cell: Fig. 3 of the paper.
+//!
+//! A GK has a data input `x` and a key input `key`:
+//!
+//! ```text
+//!          ┌─ delay A ─ XNOR(x,·) ─┐ (in0)
+//!   key ───┤                        MUX ── y      (Fig. 3(a))
+//!          └─ delay B ─ XOR(x,·)  ─┘ (in1)
+//!              (sel = key, undelayed)
+//! ```
+//!
+//! With `key` constant (0 or 1) the selected gate sees the settled key and
+//! `y = x'` — a stable **inverter**. A key transition flips the MUX to the
+//! branch whose gate still holds the *old* key value, so for the branch's
+//! path delay the output carries `x` — a glitch acting as a **buffer**.
+//! Fig. 3(b) swaps the XNOR/XOR allocation, exchanging the two roles.
+
+use crate::CoreError;
+use glitchlock_netlist::{CellId, GateKind, NetId, Netlist};
+use glitchlock_stdcell::{Library, Ps};
+use glitchlock_synth::compose_delay;
+
+/// Which of the paper's two GK schemes to build.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GkScheme {
+    /// Fig. 3(a): stable **inverter**; the glitch transmits `x` (buffer).
+    InverterSteady,
+    /// Fig. 3(b): stable **buffer**; the glitch transmits `x'` (inverter).
+    BufferSteady,
+}
+
+impl GkScheme {
+    /// Output level as a function of `x` under a *constant* key — the
+    /// static Boolean view a netlist attacker sees (key-independent!).
+    pub fn steady_inverts(self) -> bool {
+        self == GkScheme::InverterSteady
+    }
+}
+
+/// Delay design for one GK.
+#[derive(Clone, Copy, Debug)]
+pub struct GkDesign {
+    /// Scheme (gate allocation).
+    pub scheme: GkScheme,
+    /// Target glitch length (Eq. (2)): realized as each branch's path delay
+    /// (delay chain + XOR/XNOR gate).
+    pub l_glitch: Ps,
+    /// Delay-chain composition tolerance.
+    pub tolerance: Ps,
+}
+
+impl GkDesign {
+    /// The paper's experimental configuration: Fig. 3(a) GKs transmitting
+    /// on 1ns glitches (Sec. VI, "the strictest requirement").
+    pub fn paper_default() -> Self {
+        GkDesign {
+            scheme: GkScheme::InverterSteady,
+            l_glitch: Ps::from_ns(1),
+            tolerance: Ps(30),
+        }
+    }
+}
+
+/// A GK instantiated in a netlist.
+#[derive(Clone, Debug)]
+pub struct GkInstance {
+    /// The scheme built.
+    pub scheme: GkScheme,
+    /// The data input net (`x`).
+    pub x: NetId,
+    /// The key input net.
+    pub key: NetId,
+    /// The GK output net (`y`).
+    pub y: NetId,
+    /// Every cell added for this GK (gates + delay chains).
+    pub cells: Vec<CellId>,
+    /// Achieved path delay of branch A (delay chain + XNOR/XOR gate).
+    pub d_path_a: Ps,
+    /// Achieved path delay of branch B.
+    pub d_path_b: Ps,
+    /// MUX select-to-output latency (`D_react`).
+    pub d_react: Ps,
+}
+
+impl GkInstance {
+    /// Glitch length for a **rising** key transition (branch B's stale
+    /// value is exposed; Fig. 4's first glitch).
+    pub fn l_glitch_rising(&self) -> Ps {
+        self.d_path_b
+    }
+
+    /// Glitch length for a **falling** key transition.
+    pub fn l_glitch_falling(&self) -> Ps {
+        self.d_path_a
+    }
+
+    /// `D_ready` for a rising transition (paper Sec. IV-A): the selected
+    /// branch's full path delay.
+    pub fn d_ready_rising(&self) -> Ps {
+        self.d_path_b
+    }
+
+    /// `D_ready` for a falling transition.
+    pub fn d_ready_falling(&self) -> Ps {
+        self.d_path_a
+    }
+}
+
+/// Builds a GK in `netlist` reading data from `x` and key from `key`.
+/// Returns the instance (its output net is *not* connected to anything —
+/// the caller rewires the capture flip-flop or sink pin).
+///
+/// ```rust
+/// use glitchlock_core::gk::{build_gk, GkDesign};
+/// use glitchlock_netlist::{Netlist, Logic};
+/// use glitchlock_stdcell::Library;
+///
+/// # fn main() -> Result<(), glitchlock_core::CoreError> {
+/// let lib = Library::cl013g_like();
+/// let mut nl = Netlist::new("demo");
+/// let x = nl.add_input("x");
+/// let key = nl.add_input("key");
+/// let gk = build_gk(&mut nl, &lib, x, key, &GkDesign::paper_default())?;
+/// nl.mark_output(gk.y, "y");
+/// // Statically the GK inverts x regardless of the key constant — the
+/// // property that blinds the SAT attack.
+/// assert_eq!(nl.eval_comb(&[Logic::One, Logic::Zero]),
+///            nl.eval_comb(&[Logic::One, Logic::One]));
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// * [`CoreError::Delay`] if the delay chains cannot realize the design.
+/// * [`CoreError::Netlist`] on structural failures.
+pub fn build_gk(
+    netlist: &mut Netlist,
+    library: &Library,
+    x: NetId,
+    key: NetId,
+    design: &GkDesign,
+) -> Result<GkInstance, CoreError> {
+    let xnor_delay = library
+        .cell(library.default_cell(GateKind::Xnor))
+        .delay_with_fanout(1);
+    let xor_delay = library
+        .cell(library.default_cell(GateKind::Xor))
+        .delay_with_fanout(1);
+    let mux_delay = library
+        .cell(library.default_cell(GateKind::Mux2))
+        .delay_with_fanout(1);
+
+    // Each branch's chain target: L_glitch minus its gate's own delay.
+    let chain_a_target = design.l_glitch.saturating_sub(xnor_delay);
+    let chain_b_target = design.l_glitch.saturating_sub(xor_delay);
+
+    let mut cells = Vec::new();
+    let (key_a, chain_a, plan_a) =
+        compose_delay(netlist, library, key, chain_a_target, design.tolerance)?;
+    cells.extend(chain_a);
+    let (key_b, chain_b, plan_b) =
+        compose_delay(netlist, library, key, chain_b_target, design.tolerance)?;
+    cells.extend(chain_b);
+
+    let (upper_kind, lower_kind) = match design.scheme {
+        GkScheme::InverterSteady => (GateKind::Xnor, GateKind::Xor),
+        GkScheme::BufferSteady => (GateKind::Xor, GateKind::Xnor),
+    };
+    let a_out = netlist.add_gate(upper_kind, &[x, key_a])?;
+    cells.push(netlist.net(a_out).driver().expect("gate drives net"));
+    let b_out = netlist.add_gate(lower_kind, &[x, key_b])?;
+    cells.push(netlist.net(b_out).driver().expect("gate drives net"));
+    let y = netlist.add_gate(GateKind::Mux2, &[a_out, b_out, key])?;
+    cells.push(netlist.net(y).driver().expect("gate drives net"));
+
+    let (gate_a, gate_b) = match design.scheme {
+        GkScheme::InverterSteady => (xnor_delay, xor_delay),
+        GkScheme::BufferSteady => (xor_delay, xnor_delay),
+    };
+    Ok(GkInstance {
+        scheme: design.scheme,
+        x,
+        key,
+        y,
+        cells,
+        d_path_a: plan_a.achieved + gate_a,
+        d_path_b: plan_b.achieved + gate_b,
+        d_react: mux_delay,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitchlock_netlist::Logic;
+    use glitchlock_sim::{SimConfig, Simulator, Stimulus};
+
+    fn lib() -> Library {
+        Library::cl013g_like()
+    }
+
+    #[test]
+    fn static_view_is_key_independent() {
+        // The crucial security property: under *any constant* key the GK
+        // output is the same function of x. A SAT attacker's CNF therefore
+        // admits no DIP through a GK.
+        for scheme in [GkScheme::InverterSteady, GkScheme::BufferSteady] {
+            let lib = lib();
+            let mut nl = Netlist::new("gk");
+            let x = nl.add_input("x");
+            let key = nl.add_input("key");
+            let design = GkDesign {
+                scheme,
+                ..GkDesign::paper_default()
+            };
+            let gk = build_gk(&mut nl, &lib, x, key, &design).unwrap();
+            nl.mark_output(gk.y, "y");
+            for xv in [Logic::Zero, Logic::One] {
+                let y0 = nl.eval_comb(&[xv, Logic::Zero]);
+                let y1 = nl.eval_comb(&[xv, Logic::One]);
+                assert_eq!(y0, y1, "constant keys indistinguishable");
+                let expect = if scheme.steady_inverts() { !xv } else { xv };
+                assert_eq!(y0[0], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_default_matches_sec6() {
+        let d = GkDesign::paper_default();
+        assert_eq!(d.l_glitch, Ps::from_ns(1));
+        assert_eq!(d.scheme, GkScheme::InverterSteady);
+    }
+
+    #[test]
+    fn achieved_path_delays_near_target() {
+        let lib = lib();
+        let mut nl = Netlist::new("gk");
+        let x = nl.add_input("x");
+        let key = nl.add_input("key");
+        let gk = build_gk(&mut nl, &lib, x, key, &GkDesign::paper_default()).unwrap();
+        nl.mark_output(gk.y, "y");
+        for d in [gk.d_path_a, gk.d_path_b] {
+            assert!(
+                d.as_ps().abs_diff(1000) <= 40,
+                "path delay {d} should be ~1ns"
+            );
+        }
+        assert_eq!(gk.d_react, Ps(80), "MUX2X1 latency");
+        assert!(gk.cells.len() >= 3, "two gates + mux + chains");
+    }
+
+    #[test]
+    fn transition_produces_buffer_glitch_in_simulation() {
+        // End-to-end: a rising key transition exposes x for ~L_glitch.
+        let lib = lib();
+        let mut nl = Netlist::new("gk");
+        let x = nl.add_input("x");
+        let key = nl.add_input("key");
+        let gk = build_gk(&mut nl, &lib, x, key, &GkDesign::paper_default()).unwrap();
+        nl.mark_output(gk.y, "y");
+
+        let mut stim = Stimulus::new();
+        stim.set(x, Logic::One).set(key, Logic::Zero);
+        stim.rise(Ps::from_ns(4), key);
+        let res = Simulator::new(&nl, &lib, SimConfig::new()).run(&stim, Ps::from_ns(10));
+        let w = res.waveform(gk.y);
+        // Steady inverter: y = 0. Glitch at 1 after the transition.
+        assert_eq!(w.initial(), Logic::Zero);
+        let (start, end) = w
+            .pulse_after(Logic::One, Ps::from_ns(4), Ps::from_ns(10))
+            .expect("glitch must appear");
+        let length = end - start;
+        assert!(
+            length.as_ps().abs_diff(gk.l_glitch_rising().as_ps()) <= 2,
+            "glitch length {length} vs designed {}",
+            gk.l_glitch_rising()
+        );
+        // Glitch starts D_react after the trigger.
+        assert_eq!(start, Ps::from_ns(4) + gk.d_react);
+        // And the output settles back to the inverter level.
+        assert_eq!(res.final_value(gk.y), Logic::Zero);
+    }
+
+    #[test]
+    fn falling_transition_glitches_with_branch_a_length() {
+        let lib = lib();
+        let mut nl = Netlist::new("gk");
+        let x = nl.add_input("x");
+        let key = nl.add_input("key");
+        let gk = build_gk(&mut nl, &lib, x, key, &GkDesign::paper_default()).unwrap();
+        nl.mark_output(gk.y, "y");
+        let mut stim = Stimulus::new();
+        stim.set(x, Logic::One).set(key, Logic::One);
+        stim.fall(Ps::from_ns(4), key);
+        let res = Simulator::new(&nl, &lib, SimConfig::new()).run(&stim, Ps::from_ns(10));
+        let (start, end) = res
+            .waveform(gk.y)
+            .pulse_after(Logic::One, Ps::from_ns(4), Ps::from_ns(10))
+            .expect("glitch must appear");
+        assert!(
+            (end - start).as_ps().abs_diff(gk.l_glitch_falling().as_ps()) <= 2
+        );
+        assert_eq!(start, Ps::from_ns(4) + gk.d_react);
+    }
+
+    #[test]
+    fn buffer_steady_scheme_glitch_is_inverter() {
+        let lib = lib();
+        let mut nl = Netlist::new("gk");
+        let x = nl.add_input("x");
+        let key = nl.add_input("key");
+        let design = GkDesign {
+            scheme: GkScheme::BufferSteady,
+            ..GkDesign::paper_default()
+        };
+        let gk = build_gk(&mut nl, &lib, x, key, &design).unwrap();
+        nl.mark_output(gk.y, "y");
+        let mut stim = Stimulus::new();
+        stim.set(x, Logic::One).set(key, Logic::Zero);
+        stim.rise(Ps::from_ns(4), key);
+        let res = Simulator::new(&nl, &lib, SimConfig::new()).run(&stim, Ps::from_ns(10));
+        let w = res.waveform(gk.y);
+        // Steady buffer: y = x = 1; glitch dips to 0 (inverter).
+        assert_eq!(w.initial(), Logic::One);
+        assert!(w
+            .pulse_after(Logic::Zero, Ps::from_ns(4), Ps::from_ns(10))
+            .is_some());
+    }
+
+    #[test]
+    fn inertial_simulation_can_swallow_the_glitch() {
+        // Margin study: under inertial filtering with a long downstream
+        // gate delay, the glitch is swallowed — motivating the paper's
+        // transport-delay operating assumption.
+        use glitchlock_sim::DelayModel;
+        let lib = lib();
+        let mut nl = Netlist::new("gk");
+        let x = nl.add_input("x");
+        let key = nl.add_input("key");
+        let gk = build_gk(&mut nl, &lib, x, key, &GkDesign::paper_default()).unwrap();
+        // Chase the GK with a delay cell slower than the glitch.
+        let slow = nl.add_gate(GateKind::Buf, &[gk.y]).unwrap();
+        let slow_cell = nl.net(slow).driver().unwrap();
+        nl.bind_lib(slow_cell, lib.by_name("DLY8X1").unwrap()).unwrap();
+        nl.mark_output(slow, "y");
+        let mut stim = Stimulus::new();
+        stim.set(x, Logic::One).set(key, Logic::Zero);
+        stim.rise(Ps::from_ns(4), key);
+        let cfg = SimConfig::new().with_delay_model(DelayModel::Inertial);
+        let res = Simulator::new(&nl, &lib, cfg).run(&stim, Ps::from_ns(12));
+        assert!(
+            res.waveform(slow)
+                .pulse_after(Logic::One, Ps::from_ns(4), Ps::from_ns(12))
+                .is_none(),
+            "2ns inertial gate swallows the 1ns glitch"
+        );
+    }
+}

@@ -1,0 +1,330 @@
+//! Key models: constant key bits and transitional key signals.
+//!
+//! The paper's central extension of logic locking is that a key input may
+//! be a **transition at a precise time**, not just a constant (Sec. II).
+//! [`KeyBit`] captures both. A [`KeyVector`] mixes constant bits (for
+//! XOR/XNOR/MUX key-gates) and transitions (for the GK's key pin when
+//! driven directly, e.g. in the attacker's KEYGEN-stripped view).
+
+use glitchlock_stdcell::Ps;
+use std::fmt;
+
+/// The direction of a key transition.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum Transition {
+    /// 0 → 1 at the trigger time.
+    Rising,
+    /// 1 → 0 at the trigger time.
+    Falling,
+}
+
+impl Transition {
+    /// The level before the transition.
+    pub fn level_before(self) -> bool {
+        self == Transition::Falling
+    }
+
+    /// The level after the transition.
+    pub fn level_after(self) -> bool {
+        self == Transition::Rising
+    }
+
+    /// The opposite direction.
+    pub fn flip(self) -> Transition {
+        match self {
+            Transition::Rising => Transition::Falling,
+            Transition::Falling => Transition::Rising,
+        }
+    }
+}
+
+/// One key input's assignment.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum KeyBit {
+    /// A constant logic level for the whole clock cycle.
+    Const(bool),
+    /// A transition triggered at `trigger` (relative to the cycle start).
+    Transition {
+        /// Direction of the transition.
+        kind: Transition,
+        /// Trigger time within the clock cycle.
+        trigger: Ps,
+    },
+}
+
+impl KeyBit {
+    /// The signal level at time `t` within the cycle.
+    pub fn level_at(self, t: Ps) -> bool {
+        match self {
+            KeyBit::Const(v) => v,
+            KeyBit::Transition { kind, trigger } => {
+                if t < trigger {
+                    kind.level_before()
+                } else {
+                    kind.level_after()
+                }
+            }
+        }
+    }
+
+    /// True for transitional assignments.
+    pub fn is_transition(self) -> bool {
+        matches!(self, KeyBit::Transition { .. })
+    }
+}
+
+impl fmt::Display for KeyBit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyBit::Const(v) => write!(f, "{}", *v as u8),
+            KeyBit::Transition {
+                kind: Transition::Rising,
+                trigger,
+            } => write!(f, "R@{trigger}"),
+            KeyBit::Transition {
+                kind: Transition::Falling,
+                trigger,
+            } => write!(f, "F@{trigger}"),
+        }
+    }
+}
+
+/// An ordered key assignment, one [`KeyBit`] per key input.
+#[derive(Clone, PartialEq, Eq, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct KeyVector {
+    bits: Vec<KeyBit>,
+}
+
+impl KeyVector {
+    /// An empty key.
+    pub fn new() -> Self {
+        KeyVector::default()
+    }
+
+    /// A key of constant bits.
+    pub fn from_bools(bits: impl IntoIterator<Item = bool>) -> Self {
+        KeyVector {
+            bits: bits.into_iter().map(KeyBit::Const).collect(),
+        }
+    }
+
+    /// Appends a bit.
+    pub fn push(&mut self, bit: KeyBit) {
+        self.bits.push(bit);
+    }
+
+    /// Number of key inputs.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True for a zero-length key.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The bits in order.
+    pub fn bits(&self) -> &[KeyBit] {
+        &self.bits
+    }
+
+    /// Constant view of the key, if every bit is constant.
+    pub fn as_bools(&self) -> Option<Vec<bool>> {
+        self.bits
+            .iter()
+            .map(|b| match b {
+                KeyBit::Const(v) => Some(*v),
+                KeyBit::Transition { .. } => None,
+            })
+            .collect()
+    }
+
+    /// Flips constant bit `i` (useful for building wrong keys in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if bit `i` is transitional or out of range.
+    pub fn flip_const(&mut self, i: usize) {
+        match &mut self.bits[i] {
+            KeyBit::Const(v) => *v = !*v,
+            KeyBit::Transition { .. } => panic!("bit {i} is transitional"),
+        }
+    }
+}
+
+/// Error parsing a key from text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseKeyError {
+    /// The offending token.
+    pub token: String,
+}
+
+impl fmt::Display for ParseKeyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad key token {:?} (expected 0, 1, R@<ps>, or F@<ps>)", self.token)
+    }
+}
+
+impl std::error::Error for ParseKeyError {}
+
+impl std::str::FromStr for KeyBit {
+    type Err = ParseKeyError;
+
+    /// Parses `0`, `1`, `R@<ps>` (rising) or `F@<ps>` (falling).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || ParseKeyError { token: s.to_string() };
+        match s.trim() {
+            "0" => Ok(KeyBit::Const(false)),
+            "1" => Ok(KeyBit::Const(true)),
+            other => {
+                let (kind, rest) = match other.split_at_checked(2) {
+                    Some(("R@", rest)) => (Transition::Rising, rest),
+                    Some(("F@", rest)) => (Transition::Falling, rest),
+                    _ => return Err(bad()),
+                };
+                let ps: u64 = rest.trim_end_matches("ps").parse().map_err(|_| bad())?;
+                Ok(KeyBit::Transition {
+                    kind,
+                    trigger: Ps(ps),
+                })
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for KeyVector {
+    type Err = ParseKeyError;
+
+    /// Parses a comma-separated key string, e.g. `"0,1,R@2400,F@1000"`.
+    /// An unseparated bitstring like `"0110"` is also accepted.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if !s.contains(',') && s.chars().all(|c| c == '0' || c == '1') && !s.is_empty() {
+            return Ok(KeyVector::from_bools(s.chars().map(|c| c == '1')));
+        }
+        s.split(',')
+            .filter(|t| !t.trim().is_empty())
+            .map(str::parse)
+            .collect::<Result<Vec<KeyBit>, _>>()
+            .map(|bits| bits.into_iter().collect())
+    }
+}
+
+impl FromIterator<KeyBit> for KeyVector {
+    fn from_iter<T: IntoIterator<Item = KeyBit>>(iter: T) -> Self {
+        KeyVector {
+            bits: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for KeyVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, b) in self.bits.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transition_levels() {
+        assert!(!Transition::Rising.level_before());
+        assert!(Transition::Rising.level_after());
+        assert!(Transition::Falling.level_before());
+        assert!(!Transition::Falling.level_after());
+        assert_eq!(Transition::Rising.flip(), Transition::Falling);
+    }
+
+    #[test]
+    fn keybit_level_at() {
+        let r = KeyBit::Transition {
+            kind: Transition::Rising,
+            trigger: Ps(3000),
+        };
+        assert!(!r.level_at(Ps(0)));
+        assert!(!r.level_at(Ps(2999)));
+        assert!(r.level_at(Ps(3000)));
+        assert!(r.level_at(Ps(9000)));
+        assert!(KeyBit::Const(true).level_at(Ps(0)));
+        assert!(r.is_transition());
+        assert!(!KeyBit::Const(false).is_transition());
+    }
+
+    #[test]
+    fn vector_round_trips_constants() {
+        let k = KeyVector::from_bools([true, false, true]);
+        assert_eq!(k.len(), 3);
+        assert_eq!(k.as_bools(), Some(vec![true, false, true]));
+        let mut k2 = k.clone();
+        k2.flip_const(1);
+        assert_eq!(k2.as_bools(), Some(vec![true, true, true]));
+        assert_ne!(k, k2);
+    }
+
+    #[test]
+    fn mixed_vector_has_no_constant_view() {
+        let mut k = KeyVector::new();
+        k.push(KeyBit::Const(true));
+        k.push(KeyBit::Transition {
+            kind: Transition::Falling,
+            trigger: Ps(500),
+        });
+        assert_eq!(k.as_bools(), None);
+        assert_eq!(k.to_string(), "[1 F@500ps]");
+    }
+
+    #[test]
+    fn parse_bit_tokens() {
+        assert_eq!("0".parse::<KeyBit>().unwrap(), KeyBit::Const(false));
+        assert_eq!("1".parse::<KeyBit>().unwrap(), KeyBit::Const(true));
+        assert_eq!(
+            "R@2400".parse::<KeyBit>().unwrap(),
+            KeyBit::Transition {
+                kind: Transition::Rising,
+                trigger: Ps(2400)
+            }
+        );
+        assert_eq!(
+            "F@1000ps".parse::<KeyBit>().unwrap(),
+            KeyBit::Transition {
+                kind: Transition::Falling,
+                trigger: Ps(1000)
+            }
+        );
+        assert!("2".parse::<KeyBit>().is_err());
+        assert!("R@x".parse::<KeyBit>().is_err());
+        assert!("".parse::<KeyBit>().is_err());
+    }
+
+    #[test]
+    fn parse_vectors_both_forms() {
+        let v: KeyVector = "0,1,R@500".parse().unwrap();
+        assert_eq!(v.len(), 3);
+        assert!(v.bits()[2].is_transition());
+        let v: KeyVector = "0110".parse().unwrap();
+        assert_eq!(v.as_bools(), Some(vec![false, true, true, false]));
+        assert!("0,2".parse::<KeyVector>().is_err());
+        // Round trip through Display for constant keys.
+        let v: KeyVector = "1,0".parse().unwrap();
+        assert_eq!(v.to_string(), "[1 0]");
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let k: KeyVector = [KeyBit::Const(false), KeyBit::Const(true)]
+            .into_iter()
+            .collect();
+        assert_eq!(k.len(), 2);
+        assert!(!k.is_empty());
+        assert!(KeyVector::new().is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! The paper's contribution: **glitch key-gates for logic locking**.
+//!
+//! This crate implements everything in Secs. II–V of *"A Glitch Key-Gate
+//! for Logic Locking"* (Ji et al., SOCC 2019):
+//!
+//! * [`gk`] — the GK cell itself (Fig. 3(a)/(b)): an XNOR/XOR pair fed by
+//!   delayed copies of the key signal, muxed by the undelayed key. A
+//!   constant key yields a stable inverter (or buffer); a key *transition*
+//!   produces a glitch of designed length during which the output carries
+//!   the opposite polarity.
+//! * [`keygen`] — the per-GK key generator (Fig. 5): a toggle flip-flop
+//!   plus an Adjustable Delay Buffer (4:1 MUX over `{0, Q delayed by DA,
+//!   Q delayed by DB, 1}`) driven by two key bits `(k1, k2)`.
+//! * [`windows`] — the timing-window algebra of Eqs. (1)–(6): where a GK
+//!   may be inserted and when its transition must trigger so the capture
+//!   flip-flop latches the glitch level (Fig. 7(a)) or the stable level
+//!   (Figs. 7(b)–(d)) without a true setup/hold violation.
+//! * [`feasibility`] — Table I's analysis: which flip-flops can host a GK.
+//! * [`encrypt_ff`] — the Encrypt-FF grouping \[4\] used for Table I's last
+//!   column (flip-flops fanning out to the same primary outputs).
+//! * [`insertion`] — the design flow of Sec. IV-B: select feasible
+//!   flip-flops off the critical path, build GK + KEYGEN with composed
+//!   delay elements, classify false vs. true timing violations, and emit
+//!   both the manufactured netlist and the attacker's view (KEYGEN
+//!   stripped, key inputs promoted to primary inputs) that the SAT attack
+//!   operates on.
+//! * [`locking`] — the baselines: XOR/XNOR \[9\], MUX, TDK delay locking
+//!   \[12\], SARLock \[14\], and Anti-SAT \[13\].
+//! * [`withholding`] — LUT-based design withholding \[5\]\[6\] combined with
+//!   GK against the enhanced removal attack (Sec. V-D).
+
+#![deny(missing_docs)]
+
+mod error;
+
+pub mod encrypt_ff;
+pub mod feasibility;
+pub mod gk;
+pub mod insertion;
+pub mod key;
+pub mod keygen;
+pub mod locking;
+pub mod util;
+pub mod windows;
+pub mod withholding;
+
+pub use error::CoreError;
+pub use insertion::{GkEncryptor, GkLocked};
+pub use key::{KeyBit, KeyVector, Transition};
+pub use locking::{Locked, LockScheme};

@@ -1,0 +1,238 @@
+//! Netlist surgery helpers shared by the locking flows.
+
+use crate::CoreError;
+use glitchlock_netlist::{CellId, GateKind, NetId, Netlist};
+use std::collections::{HashMap, HashSet};
+
+/// Rebuilds `netlist` with each net in `promote` turned into a fresh
+/// primary input (named by the paired string), dropping the cells in
+/// `drop_cells` and any logic that then becomes dead.
+///
+/// This is how the attacker's view of a GK-locked design is produced: the
+/// paper's SAT-attack experiment "removed the KEYGEN of each GK and treated
+/// its key-input as the key-input of the design" (Sec. VI).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Netlist`] if the result is structurally invalid.
+pub fn promote_to_inputs(
+    netlist: &Netlist,
+    promote: &[(NetId, String)],
+    drop_cells: &HashSet<CellId>,
+) -> Result<Netlist, CoreError> {
+    promote_to_inputs_dropping(netlist, promote, drop_cells, &[])
+}
+
+/// Like [`promote_to_inputs`], additionally removing the given primary
+/// inputs entirely (used for KEYGEN key pins, which disappear together with
+/// their KEYGEN in the attacker's view).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Netlist`] if the result is structurally invalid —
+/// including when a dropped input still feeds surviving logic.
+pub fn promote_to_inputs_dropping(
+    netlist: &Netlist,
+    promote: &[(NetId, String)],
+    drop_cells: &HashSet<CellId>,
+    drop_inputs: &[NetId],
+) -> Result<Netlist, CoreError> {
+    let promoted: HashMap<NetId, &str> = promote
+        .iter()
+        .map(|(n, name)| (*n, name.as_str()))
+        .collect();
+    let mut out = Netlist::new(netlist.name());
+    let mut map: Vec<Option<NetId>> = vec![None; netlist.net_count()];
+
+    for &pi in netlist.input_nets() {
+        if drop_inputs.contains(&pi) {
+            continue;
+        }
+        map[pi.index()] = Some(out.add_input(netlist.net(pi).name()));
+    }
+    for (net, name) in promote {
+        if map[net.index()].is_none() {
+            map[net.index()] = Some(out.add_input(name.clone()));
+        }
+    }
+
+    // Copy flip-flops (except dropped ones) with placeholder D nets.
+    let mut ff_map: Vec<(CellId, CellId)> = Vec::new();
+    for &ff in netlist.dff_cells() {
+        if drop_cells.contains(&ff) {
+            continue;
+        }
+        let cell = netlist.cell(ff);
+        if promoted.contains_key(&cell.output()) {
+            continue; // its Q was promoted: the FF itself is gone
+        }
+        let placeholder = out.add_net(format!("{}_d", cell.name()));
+        let q = out
+            .add_dff_named(placeholder, cell.name())
+            .map_err(|e| CoreError::Netlist(e.to_string()))?;
+        map[cell.output().index()] = Some(q);
+        ff_map.push((ff, out.net(q).driver().expect("dff drives q")));
+    }
+
+    let order = netlist
+        .topo_order()
+        .map_err(|e| CoreError::Netlist(e.to_string()))?;
+    for cell_id in order {
+        let cell = netlist.cell(cell_id);
+        if drop_cells.contains(&cell_id) || map[cell.output().index()].is_some() {
+            continue;
+        }
+        // Skip cells whose inputs are unavailable (inside dropped cones).
+        let Some(ins) = cell
+            .inputs()
+            .iter()
+            .map(|n| map[n.index()])
+            .collect::<Option<Vec<NetId>>>()
+        else {
+            continue;
+        };
+        let y = out
+            .add_gate_named(cell.kind(), &ins, cell.name())
+            .map_err(|e| CoreError::Netlist(e.to_string()))?;
+        if let Some(lib) = cell.lib() {
+            let new_cell = out.net(y).driver().expect("gate drives net");
+            out.bind_lib(new_cell, lib)
+                .map_err(|e| CoreError::Netlist(e.to_string()))?;
+        }
+        map[cell.output().index()] = Some(y);
+    }
+
+    for (old_ff, new_ff) in ff_map {
+        let d_old = netlist.cell(old_ff).inputs()[0];
+        let d = map[d_old.index()].ok_or_else(|| {
+            CoreError::Netlist(format!(
+                "flip-flop {} reads a dropped cone",
+                netlist.cell(old_ff).name()
+            ))
+        })?;
+        out.rewire_input(new_ff, 0, d)
+            .map_err(|e| CoreError::Netlist(e.to_string()))?;
+    }
+    for (net, name) in netlist.output_ports() {
+        let n = map[net.index()].ok_or_else(|| {
+            CoreError::Netlist(format!("output {name} reads a dropped cone"))
+        })?;
+        out.mark_output(n, name.clone());
+    }
+    out.validate().map_err(|e| CoreError::Netlist(e.to_string()))?;
+    // Dead logic left behind by the drops is swept.
+    glitchlock_synth::sweep_sequential(&out).map_err(|e| CoreError::Netlist(e.to_string()))
+}
+
+/// Inserts a gate *in front of one sink pin*: the sink's pin is rewired to
+/// read the new gate's output. Returns the new gate's output net.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Netlist`] on illegal pins or arities.
+pub fn splice_before_pin(
+    netlist: &mut Netlist,
+    sink: CellId,
+    pin: usize,
+    kind: GateKind,
+    extra_inputs: &[NetId],
+) -> Result<NetId, CoreError> {
+    let original = *netlist
+        .cell(sink)
+        .inputs()
+        .get(pin)
+        .ok_or_else(|| CoreError::Netlist(format!("cell has no pin {pin}")))?;
+    let mut ins = vec![original];
+    ins.extend_from_slice(extra_inputs);
+    let y = netlist.add_gate(kind, &ins)?;
+    netlist.rewire_input(sink, pin, y)?;
+    Ok(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitchlock_netlist::Logic;
+
+    #[test]
+    fn promote_turns_net_into_input() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let na = nl.add_gate(GateKind::Inv, &[a]).unwrap();
+        let y = nl.add_gate(GateKind::And, &[na, a]).unwrap();
+        nl.mark_output(y, "y");
+        // Promote the inverter output: the inverter becomes dead and the
+        // AND now reads a free input.
+        let view = promote_to_inputs(&nl, &[(na, "k".into())], &HashSet::new()).unwrap();
+        assert_eq!(view.input_nets().len(), 2);
+        assert_eq!(view.stats().gates, 1, "inverter swept");
+        // y = k AND a now.
+        assert_eq!(view.eval_comb(&[Logic::One, Logic::One]), vec![Logic::One]);
+        assert_eq!(view.eval_comb(&[Logic::One, Logic::Zero]), vec![Logic::Zero]);
+    }
+
+    #[test]
+    fn drop_cells_removes_cone() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let keygen_like = nl.add_gate(GateKind::Inv, &[a]).unwrap();
+        let y = nl.add_gate(GateKind::Buf, &[keygen_like]).unwrap();
+        nl.mark_output(y, "y");
+        let drop: HashSet<CellId> = [nl.net(keygen_like).driver().unwrap()].into();
+        let view = promote_to_inputs(&nl, &[(keygen_like, "key".into())], &drop).unwrap();
+        // The inverter is gone; y = buf(key).
+        assert_eq!(view.stats().gates, 1);
+        assert_eq!(
+            view.eval_comb(&[Logic::X, Logic::One]),
+            vec![Logic::One],
+            "output follows the promoted input regardless of a"
+        );
+    }
+
+    #[test]
+    fn promoted_ff_q_removes_ff() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let q = nl.add_dff(a).unwrap();
+        let y = nl.add_gate(GateKind::Buf, &[q]).unwrap();
+        nl.mark_output(y, "y");
+        let view = promote_to_inputs(&nl, &[(q, "state".into())], &HashSet::new()).unwrap();
+        assert_eq!(view.stats().dffs, 0);
+        assert_eq!(view.input_nets().len(), 2);
+    }
+
+    #[test]
+    fn splice_inserts_gate_before_pin() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        nl.mark_output(y, "y");
+        let and_cell = nl.net(y).driver().unwrap();
+        let k = nl.add_input("k");
+        let spliced = splice_before_pin(&mut nl, and_cell, 0, GateKind::Xor, &[k]).unwrap();
+        assert_eq!(nl.cell(and_cell).inputs()[0], spliced);
+        // y = (a ^ k) & b.
+        assert_eq!(
+            nl.eval_comb(&[Logic::One, Logic::One, Logic::One]),
+            vec![Logic::Zero]
+        );
+        assert_eq!(
+            nl.eval_comb(&[Logic::One, Logic::One, Logic::Zero]),
+            vec![Logic::One]
+        );
+    }
+
+    #[test]
+    fn dropped_cone_feeding_output_is_an_error() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let g = nl.add_gate(GateKind::Inv, &[a]).unwrap();
+        let y = nl.add_gate(GateKind::Buf, &[g]).unwrap();
+        nl.mark_output(y, "y");
+        let drop: HashSet<CellId> = [nl.net(g).driver().unwrap()].into();
+        // Dropping the inverter without promoting its output orphans y.
+        let err = promote_to_inputs(&nl, &[], &drop).unwrap_err();
+        assert!(matches!(err, CoreError::Netlist(_)));
+    }
+}

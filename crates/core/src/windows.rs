@@ -1,0 +1,250 @@
+//! Timing-window algebra: Eqs. (1)–(6) of the paper.
+//!
+//! All quantities are measured in the capture cycle's time frame: the
+//! launching edge is at each source flip-flop's skew, and the capture edge
+//! at flip-flop `j` is at `T_clk + T_j`. The bounds of Eq. (1) then become
+//! per-capture-flip-flop arrival bounds:
+//!
+//! ```text
+//! LB_j = T_j + T_hold(j)            (earliest a new value may arrive)
+//! UB_j = T_clk + T_j - T_setup(j)   (latest the value must settle)
+//! ```
+//!
+//! A glitch triggered at `T_trigger` appears at the GK output during
+//! `[T_trigger + D_react, T_trigger + D_react + L_glitch)` where
+//! `D_react = D_MUX` (the select-to-output latency) and `L_glitch` is the
+//! selected branch's path delay (Eq. (2); under the paper's ideal-gate
+//! exposition both formulations coincide — see `DESIGN.md`).
+
+use glitchlock_stdcell::Ps;
+
+/// An open interval `(lo, hi)` of legal trigger times.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TriggerWindow {
+    /// Exclusive lower bound.
+    pub lo: Ps,
+    /// Exclusive upper bound.
+    pub hi: Ps,
+}
+
+impl TriggerWindow {
+    /// True when `t` lies strictly inside the window.
+    pub fn contains(&self, t: Ps) -> bool {
+        self.lo < t && t < self.hi
+    }
+
+    /// The window midpoint — the insertion flow's default trigger choice.
+    pub fn midpoint(&self) -> Ps {
+        Ps((self.lo.as_ps() + self.hi.as_ps()) / 2)
+    }
+
+    /// Window width.
+    pub fn width(&self) -> Ps {
+        self.hi.saturating_sub(self.lo)
+    }
+}
+
+/// The timing context of one candidate GK insertion at a capture
+/// flip-flop's D pin.
+#[derive(Clone, Copy, Debug)]
+pub struct GkTiming {
+    /// Latest data arrival at the GK's `x` input (`T_arrival`).
+    pub t_arrival: Ps,
+    /// Capture flip-flop clock arrival (`T_j`).
+    pub t_j: Ps,
+    /// Clock period (`T_clk`).
+    pub t_clk: Ps,
+    /// Capture flip-flop setup time.
+    pub t_setup: Ps,
+    /// Capture flip-flop hold time.
+    pub t_hold: Ps,
+    /// Glitch length of the selected branch (Eq. (2)).
+    pub l_glitch: Ps,
+    /// Delay to have the glitch-level value ready (`D_ready`, the selected
+    /// branch's path delay — the paper's conservative bound).
+    pub d_ready: Ps,
+    /// Latency from key transition to glitch start (`D_react = D_MUX`).
+    pub d_react: Ps,
+}
+
+impl GkTiming {
+    /// `LB_j` per Eq. (1).
+    pub fn lb(&self) -> Ps {
+        self.t_j + self.t_hold
+    }
+
+    /// `UB_j` per Eq. (1).
+    pub fn ub(&self) -> Ps {
+        (self.t_clk + self.t_j).saturating_sub(self.t_setup)
+    }
+
+    /// Eq. (3): can a glitch carrying data *on its level* be generated and
+    /// triggered between the bounds?
+    pub fn eq3_ok(&self) -> bool {
+        let total = self.t_arrival + self.d_ready + self.d_react;
+        self.lb() <= total && total <= self.ub()
+    }
+
+    /// Eq. (4): for off-glitch transmission, the slowest branch
+    /// (`max_d_path`) must still fit inside the bounds.
+    pub fn eq4_ok(&self, max_d_path: Ps) -> bool {
+        let total = self.t_arrival + max_d_path + self.d_react;
+        self.lb() <= total && total <= self.ub()
+    }
+
+    /// Eq. (5): the trigger window for transmitting data **on the level of
+    /// the glitch** (Fig. 7(a)): the glitch must start before the setup
+    /// window and end after the hold window, and the data must already be
+    /// ready at the selected branch.
+    pub fn on_glitch_window(&self) -> Option<TriggerWindow> {
+        // First part: T_j + T_hold - L - D_react < T < UB - D_react, where
+        // Eq. (5)'s `T_j` is the *capture edge* (`T_clk + skew` in our
+        // frame; the paper's Fig. 9 uses T_j = 8ns for an 8ns cycle).
+        let capture = self.t_clk + self.t_j;
+        let lo1 = (capture + self.t_hold).saturating_sub(self.l_glitch + self.d_react);
+        let hi = self.ub().saturating_sub(self.d_react);
+        // Second part: T > T_arrival + D_ready.
+        let lo2 = self.t_arrival + self.d_ready;
+        let lo = lo1.max(lo2);
+        // The glitch must be long enough to cover setup + hold at all.
+        if self.l_glitch < self.t_setup + self.t_hold {
+            return None;
+        }
+        (lo < hi).then_some(TriggerWindow { lo, hi })
+    }
+
+    /// Eq. (6): the trigger window for transmitting the **stable** value,
+    /// with the complete glitch out of the way (Figs. 7(b)/(c)).
+    pub fn off_glitch_window(&self) -> Option<TriggerWindow> {
+        let lo1 = self.lb().saturating_sub(self.d_react);
+        let hi = self
+            .ub()
+            .saturating_sub(self.l_glitch + self.d_react);
+        // The glitch value must also exist (data ready) before it fires.
+        let lo = lo1.max(self.t_arrival + self.d_ready);
+        (lo < hi).then_some(TriggerWindow { lo, hi })
+    }
+
+    /// True when a trigger time latches the glitch level without a real
+    /// setup/hold violation (the full Fig. 7(a) condition, used by tests to
+    /// cross-check against event simulation).
+    pub fn glitch_covers_window(&self, trigger: Ps) -> bool {
+        let start = trigger + self.d_react;
+        let end = start + self.l_glitch;
+        let capture = self.t_clk + self.t_j;
+        start + self.t_setup <= capture && end >= capture + self.t_hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 9 scenario: 8ns cycle, setup = hold = 1ns, T_j = 0 (the
+    /// figure measures in the capture cycle with the edge at 8ns),
+    /// L_glitch = 3ns, ideal gates (D_react = 0).
+    fn fig9(t_arrival: Ps, d_ready: Ps) -> GkTiming {
+        GkTiming {
+            t_arrival,
+            t_j: Ps::ZERO,
+            t_clk: Ps::from_ns(8),
+            t_setup: Ps::from_ns(1),
+            t_hold: Ps::from_ns(1),
+            l_glitch: Ps::from_ns(3),
+            d_ready,
+            d_react: Ps::ZERO,
+        }
+    }
+
+    #[test]
+    fn fig9_bounds_match_paper() {
+        let t = fig9(Ps::from_ns(1), Ps::ZERO);
+        assert_eq!(t.ub(), Ps::from_ns(7), "UB = 8 - 1");
+        assert_eq!(t.lb(), Ps::from_ns(1), "LB = 1");
+    }
+
+    #[test]
+    fn fig9_on_glitch_window() {
+        // With data arriving early, the window is (T_j + T_hold - L, UB) =
+        // (9 - 3 = 6ns relative to capture at 8ns -> 6ns, 7ns).
+        let t = fig9(Ps::from_ns(1), Ps::ZERO);
+        let w = t.on_glitch_window().unwrap();
+        assert_eq!(w.lo, Ps::from_ns(6));
+        assert_eq!(w.hi, Ps::from_ns(7));
+        assert!(w.contains(Ps(6500)));
+        assert!(!w.contains(Ps::from_ns(6)), "bounds are exclusive");
+        assert!(!w.contains(Ps::from_ns(7)));
+        assert_eq!(w.midpoint(), Ps(6500));
+        assert_eq!(w.width(), Ps::from_ns(1));
+    }
+
+    #[test]
+    fn fig9_glitch_boundaries_latch_cleanly() {
+        let t = fig9(Ps::from_ns(1), Ps::ZERO);
+        // Glitch (a): starts at 6ns, ends at 9ns — covers [7ns, 9ns]
+        // (setup at 8-1, hold to 8+1): clean.
+        assert!(t.glitch_covers_window(Ps::from_ns(6)));
+        // Anything later than 7ns start violates setup coverage.
+        assert!(!t.glitch_covers_window(Ps(7001)));
+        // Glitch (b): latest start that still covers hold: end >= 9ns ->
+        // start >= 6ns; earliest legal = 6ns exactly.
+        assert!(!t.glitch_covers_window(Ps(5999)));
+    }
+
+    #[test]
+    fn fig9_off_glitch_window() {
+        let t = fig9(Ps::from_ns(1), Ps::ZERO);
+        let w = t.off_glitch_window().unwrap();
+        // (LB - D_react, UB - L - D_react) = (1ns, 4ns).
+        assert_eq!(w.lo, Ps::from_ns(1));
+        assert_eq!(w.hi, Ps::from_ns(4));
+    }
+
+    #[test]
+    fn late_arrival_shrinks_or_kills_window() {
+        // Data arrives so late that T_arrival + D_ready exceeds UB.
+        let t = fig9(Ps::from_ns(6), Ps::from_ns(3));
+        assert!(t.on_glitch_window().is_none());
+        assert!(!t.eq3_ok());
+    }
+
+    #[test]
+    fn d_ready_pushes_lower_bound() {
+        let t = fig9(Ps::from_ns(3), Ps::from_ns(3));
+        let w = t.on_glitch_window().unwrap();
+        // lo = max(6ns, 3+3=6ns) = 6ns.
+        assert_eq!(w.lo, Ps::from_ns(6));
+        assert!(t.eq3_ok(), "1 <= 6 <= 7");
+    }
+
+    #[test]
+    fn short_glitch_cannot_transmit_on_level() {
+        let mut t = fig9(Ps::from_ns(1), Ps::ZERO);
+        t.l_glitch = Ps(1500); // < setup + hold = 2ns
+        assert!(t.on_glitch_window().is_none());
+    }
+
+    #[test]
+    fn eq4_uses_slowest_branch() {
+        let t = fig9(Ps::from_ns(3), Ps::ZERO);
+        assert!(t.eq4_ok(Ps::from_ns(3)), "3+3 = 6 <= 7");
+        assert!(!t.eq4_ok(Ps::from_ns(5)), "3+5 = 8 > 7");
+    }
+
+    #[test]
+    fn d_react_shifts_windows() {
+        let mut t = fig9(Ps::from_ns(1), Ps::ZERO);
+        t.d_react = Ps(200);
+        let w = t.on_glitch_window().unwrap();
+        assert_eq!(w.lo, Ps(5800), "T_j + T_hold - L - D_react");
+        assert_eq!(w.hi, Ps(6800), "UB - D_react");
+    }
+
+    #[test]
+    fn skewed_capture_clock() {
+        let mut t = fig9(Ps::from_ns(1), Ps::ZERO);
+        t.t_j = Ps::from_ns(1);
+        assert_eq!(t.lb(), Ps::from_ns(2));
+        assert_eq!(t.ub(), Ps::from_ns(8));
+    }
+}

@@ -1,0 +1,399 @@
+//! Design withholding (Khaleghi et al. \[5\], Liu & Wang \[6\]; paper Sec. V-D
+//! and Fig. 10).
+//!
+//! Withholding stores a subcircuit's truth table in a LUT that is not
+//! externally readable: the chip operates normally, but the attacker's
+//! netlist shows an opaque `k`-input box. Combined with a GK (Fig. 10 — a
+//! reused AND gate absorbed together with the key-gate), the *enhanced*
+//! removal attack of Sec. V-D can no longer model the security structure:
+//! it would have to enumerate all `2^(2^k)` candidate functions.
+
+use crate::util::promote_to_inputs;
+use crate::CoreError;
+use glitchlock_netlist::{CellId, GateKind, Logic, NetId, Netlist};
+use std::collections::HashSet;
+
+/// A withheld region: the opaque LUT the attacker sees only as a box, and
+/// the truth table the fab programs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lut {
+    /// The cut nets feeding the LUT, in table-index bit order (bit 0 =
+    /// first input).
+    pub inputs: Vec<NetId>,
+    /// The net the LUT drives.
+    pub output: NetId,
+    /// Truth table, indexed by the input bits.
+    pub table: Vec<bool>,
+}
+
+impl Lut {
+    /// Number of LUT inputs.
+    pub fn arity(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Evaluates the withheld function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()`.
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.arity());
+        let ix = inputs
+            .iter()
+            .enumerate()
+            .fold(0usize, |acc, (i, &b)| acc | ((b as usize) << i));
+        self.table[ix]
+    }
+
+    /// How many distinct `k`-input functions an attacker must consider when
+    /// the region is withheld: `2^(2^k)` (Sec. V-D's argument).
+    pub fn candidate_function_count(arity: usize) -> f64 {
+        2f64.powf(2f64.powi(arity as i32))
+    }
+}
+
+/// Absorbs the combinational cone driving `output` (up to `max_inputs` cut
+/// nets) into a withheld LUT. Returns the attacker's view — the cone's
+/// cells removed, the LUT output promoted to an opaque free input — and the
+/// LUT itself.
+///
+/// # Errors
+///
+/// * [`CoreError::NotEnoughSites`] if the cone's support exceeds
+///   `max_inputs` (LUT size limit).
+/// * [`CoreError::Netlist`] if `output` has no combinational driver.
+pub fn absorb_cone(
+    netlist: &Netlist,
+    output: NetId,
+    max_inputs: usize,
+) -> Result<(Netlist, Lut), CoreError> {
+    let driver = netlist
+        .net(output)
+        .driver()
+        .filter(|&d| netlist.cell(d).kind().is_combinational())
+        .ok_or_else(|| CoreError::Netlist("LUT output needs a combinational driver".into()))?;
+
+    // Collect the cone's cells and its input cut (nets driven from outside
+    // the cone).
+    let mut cone: HashSet<CellId> = HashSet::new();
+    let mut cut: Vec<NetId> = Vec::new();
+    let mut stack = vec![driver];
+    while let Some(cell) = stack.pop() {
+        if !cone.insert(cell) {
+            continue;
+        }
+        for &inp in netlist.cell(cell).inputs() {
+            let d = netlist.net(inp).driver();
+            match d {
+                Some(dc)
+                    if netlist.cell(dc).kind().is_combinational()
+                        && cone.len() < 64
+                        && !matches!(
+                            netlist.cell(dc).kind(),
+                            GateKind::Const0 | GateKind::Const1
+                        ) =>
+                {
+                    stack.push(dc);
+                }
+                _ => {
+                    if !cut.contains(&inp) {
+                        cut.push(inp);
+                    }
+                }
+            }
+        }
+    }
+    // Re-derive the cut precisely: inputs of cone cells driven by non-cone
+    // cells (the greedy walk above may have stopped early on size).
+    let mut cut: Vec<NetId> = Vec::new();
+    for &cell in &cone {
+        for &inp in netlist.cell(cell).inputs() {
+            let from_cone = netlist
+                .net(inp)
+                .driver()
+                .map(|d| cone.contains(&d))
+                .unwrap_or(false);
+            if !from_cone && !cut.contains(&inp) {
+                cut.push(inp);
+            }
+        }
+    }
+    cut.sort();
+    if cut.len() > max_inputs {
+        return Err(CoreError::NotEnoughSites {
+            requested: max_inputs,
+            available: cut.len(),
+        });
+    }
+
+    // Truth table by local evaluation over the cone.
+    let k = cut.len();
+    let mut table = Vec::with_capacity(1 << k);
+    for bits in 0usize..(1 << k) {
+        let mut values: Vec<Option<Logic>> = vec![None; netlist.net_count()];
+        for (i, &n) in cut.iter().enumerate() {
+            values[n.index()] = Some(Logic::from_bool(bits >> i & 1 == 1));
+        }
+        let v = eval_cone(netlist, &cone, output, &mut values);
+        table.push(v.to_bool().ok_or_else(|| {
+            CoreError::Netlist("withheld cone evaluated to X".into())
+        })?);
+    }
+
+    let attacker_view = promote_to_inputs(
+        netlist,
+        &[(output, format!("lut_{}", netlist.net(output).name()))],
+        &cone,
+    )?;
+    Ok((
+        attacker_view,
+        Lut {
+            inputs: cut,
+            output,
+            table,
+        },
+    ))
+}
+
+/// An opaque region in an attacker's view: the free input standing in for
+/// a withheld LUT's output, plus the LUT's arity (all an attacker can see).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpaqueRegion {
+    /// The promoted input net (in the attacker-view netlist).
+    pub input: NetId,
+    /// The promoted input's name.
+    pub name: String,
+    /// LUT input count.
+    pub arity: usize,
+}
+
+/// Applies Fig. 10's combined defense to a GK attacker view: for each GK
+/// (found by its `gk{i}_key` input), the cone feeding its data input `x`
+/// is absorbed into a withheld LUT (up to `max_inputs` wide; GKs whose
+/// cones are wider are skipped). Returns the hardened view, the opaque
+/// regions, and the withheld truth tables (fab-side secrets).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Netlist`] on structural failures during rebuilds.
+pub fn withhold_gk_inputs(
+    attack_view: &Netlist,
+    max_inputs: usize,
+) -> Result<(Netlist, Vec<OpaqueRegion>, Vec<Lut>), CoreError> {
+    let mut view = attack_view.clone();
+    let mut regions = Vec::new();
+    let mut luts = Vec::new();
+    // Each round re-finds one unprocessed GK by key-input name, since every
+    // absorption rebuilds the netlist and renumbers nets.
+    let mut gk_index = 0usize;
+    loop {
+        let key_name = format!("gk{gk_index}_key");
+        let Some(key_net) = view.net_by_name(&key_name) else {
+            break;
+        };
+        gk_index += 1;
+        // The GK mux: the Mux2 whose select pin reads the key input.
+        let Some(&(mux, _)) = view
+            .net(key_net)
+            .fanout()
+            .iter()
+            .find(|&&(c, pin)| view.cell(c).kind() == GateKind::Mux2 && pin == 2)
+        else {
+            continue; // already replaced or unusual structure
+        };
+        // x = the shared data input of the two branch gates.
+        let ins = view.cell(mux).inputs().to_vec();
+        let branch_inputs = |n: NetId| -> Vec<NetId> {
+            view.net(n)
+                .driver()
+                .map(|d| view.cell(d).inputs().to_vec())
+                .unwrap_or_default()
+        };
+        let (b0, b1) = (branch_inputs(ins[0]), branch_inputs(ins[1]));
+        let Some(&x) = b0.iter().find(|n| b1.contains(n)) else {
+            continue;
+        };
+        // Opaque-ify x's cone, if it is absorbable (driven by logic and
+        // narrow enough).
+        match absorb_cone(&view, x, max_inputs) {
+            Ok((new_view, lut)) => {
+                let name = format!("lut_{}", view.net(x).name());
+                let input = new_view
+                    .net_by_name(&name)
+                    .expect("absorption promoted the named input");
+                regions.push(OpaqueRegion {
+                    input,
+                    name,
+                    arity: lut.arity(),
+                });
+                luts.push(lut);
+                view = new_view;
+                // Net ids of previously recorded regions changed: re-find
+                // them by name.
+                for r in &mut regions {
+                    r.input = view
+                        .net_by_name(&r.name)
+                        .expect("opaque inputs survive later rebuilds");
+                }
+            }
+            Err(_) => continue, // cone too wide or not absorbable: skip
+        }
+    }
+    Ok((view, regions, luts))
+}
+
+fn eval_cone(
+    netlist: &Netlist,
+    cone: &HashSet<CellId>,
+    net: NetId,
+    values: &mut Vec<Option<Logic>>,
+) -> Logic {
+    if let Some(v) = values[net.index()] {
+        return v;
+    }
+    let Some(driver) = netlist.net(net).driver() else {
+        return Logic::X;
+    };
+    if !cone.contains(&driver) {
+        // Outside the cone and not a cut value: constants are allowed.
+        let v = match netlist.cell(driver).kind() {
+            GateKind::Const0 => Logic::Zero,
+            GateKind::Const1 => Logic::One,
+            _ => Logic::X,
+        };
+        values[net.index()] = Some(v);
+        return v;
+    }
+    let cell = netlist.cell(driver);
+    let ins: Vec<Logic> = cell
+        .inputs()
+        .iter()
+        .map(|&n| eval_cone(netlist, cone, n, values))
+        .collect();
+    let v = cell.kind().eval(&ins);
+    values[net.index()] = Some(v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 10's shape: an AND gate feeding a cone that gets absorbed.
+    fn circuit() -> (Netlist, NetId) {
+        let mut nl = Netlist::new("w");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let and1 = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let region = nl.add_gate(GateKind::Xor, &[and1, c]).unwrap();
+        let y = nl.add_gate(GateKind::Inv, &[region]).unwrap();
+        nl.mark_output(y, "y");
+        (nl, region)
+    }
+
+    #[test]
+    fn lut_table_matches_cone_function() {
+        let (nl, region) = circuit();
+        let (_view, lut) = absorb_cone(&nl, region, 4).unwrap();
+        assert_eq!(lut.arity(), 3);
+        // region = (a & b) ^ c over cut {a, b, c} (cut order is sorted net
+        // id order = a, b, c here).
+        for bits in 0u8..8 {
+            let ins: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let expect = (ins[0] && ins[1]) ^ ins[2];
+            assert_eq!(lut.eval(&ins), expect, "bits {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn attacker_view_hides_the_cone() {
+        let (nl, region) = circuit();
+        let (view, _lut) = absorb_cone(&nl, region, 4).unwrap();
+        // The AND and XOR are gone; the inverter reads an opaque input.
+        assert_eq!(view.stats().gates, 1);
+        assert_eq!(view.input_nets().len(), 4, "a, b, c, lut output");
+        view.validate().unwrap();
+    }
+
+    #[test]
+    fn oversized_cone_is_rejected() {
+        let (nl, region) = circuit();
+        let err = absorb_cone(&nl, region, 2).unwrap_err();
+        assert!(matches!(err, CoreError::NotEnoughSites { .. }));
+    }
+
+    #[test]
+    fn candidate_count_grows_double_exponentially() {
+        assert_eq!(Lut::candidate_function_count(1), 4.0);
+        assert_eq!(Lut::candidate_function_count(2), 16.0);
+        assert_eq!(Lut::candidate_function_count(3), 256.0);
+        assert!(Lut::candidate_function_count(5) > 4e9);
+    }
+
+    #[test]
+    fn integrated_flow_absorbs_gk_cones() {
+        use crate::gk::{build_gk, GkDesign};
+        use glitchlock_stdcell::Library;
+        // A GK attacker-view shape: x has a private cone (NAND of two
+        // inputs), the GK key is the `gk0_key` input.
+        let lib = Library::cl013g_like();
+        let mut view = Netlist::new("v");
+        let a = view.add_input("a");
+        let b = view.add_input("b");
+        let x = view.add_gate(GateKind::Nand, &[a, b]).unwrap();
+        let key = view.add_input("gk0_key");
+        let gk = build_gk(&mut view, &lib, x, key, &GkDesign::paper_default()).unwrap();
+        let q = view.add_dff(gk.y).unwrap();
+        view.mark_output(q, "q");
+
+        let (hardened, regions, luts) = withhold_gk_inputs(&view, 4).unwrap();
+        assert_eq!(regions.len(), 1);
+        assert_eq!(luts.len(), 1);
+        assert_eq!(luts[0].arity(), 2, "NAND cone has a 2-input cut");
+        // The opaque input exists and feeds the GK branches.
+        let opaque = hardened.net_by_name(&regions[0].name).unwrap();
+        assert_eq!(opaque, regions[0].input);
+        assert!(hardened.net(opaque).fanout().len() >= 2);
+        // The NAND itself is gone from the hardened view.
+        assert!(
+            hardened
+                .cells()
+                .all(|(_, c)| c.kind() != GateKind::Nand),
+            "the withheld cone must not appear in the attacker's view"
+        );
+        // The truth table is the NAND.
+        assert_eq!(luts[0].eval(&[true, true]), false);
+        assert_eq!(luts[0].eval(&[false, true]), true);
+    }
+
+    #[test]
+    fn integrated_flow_skips_wide_or_shared_cones() {
+        use crate::gk::{build_gk, GkDesign};
+        use glitchlock_stdcell::Library;
+        let lib = Library::cl013g_like();
+        let mut view = Netlist::new("v");
+        let ins: Vec<_> = (0..6).map(|i| view.add_input(format!("i{i}"))).collect();
+        // x's cone has a 6-input cut: wider than the max of 3.
+        let g1 = view.add_gate(GateKind::And, &[ins[0], ins[1], ins[2]]).unwrap();
+        let g2 = view.add_gate(GateKind::Or, &[ins[3], ins[4], ins[5]]).unwrap();
+        let x = view.add_gate(GateKind::Xor, &[g1, g2]).unwrap();
+        let key = view.add_input("gk0_key");
+        let gk = build_gk(&mut view, &lib, x, key, &GkDesign::paper_default()).unwrap();
+        let q = view.add_dff(gk.y).unwrap();
+        view.mark_output(q, "q");
+        let (hardened, regions, _) = withhold_gk_inputs(&view, 3).unwrap();
+        assert!(regions.is_empty(), "wide cone must be skipped, not absorbed");
+        assert_eq!(hardened.stats().cells, view.stats().cells);
+    }
+
+    #[test]
+    fn output_without_comb_driver_rejected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        nl.mark_output(a, "y");
+        let err = absorb_cone(&nl, a, 4).unwrap_err();
+        assert!(matches!(err, CoreError::Netlist(_)));
+    }
+}

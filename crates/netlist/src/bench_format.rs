@@ -1,0 +1,445 @@
+//! ISCAS-85/89 `.bench` format parser and writer.
+//!
+//! The format used by the classic benchmark suites (and IWLS2005 re-releases):
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G10 = NAND(G0, G1)
+//! G11 = DFF(G10)
+//! ```
+//!
+//! Supported gate names: `AND OR NAND NOR XOR XNOR NOT BUF BUFF DFF MUX`
+//! (`MUX(sel, in0, in1)` as in some extended suites) and `CONST0`/`CONST1`.
+
+use crate::{GateKind, LibCellId, Netlist, NetlistError};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Parses `.bench` source text into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] with a line number on malformed input, or
+/// a structural error if the described circuit is ill-formed.
+pub fn parse(src: &str) -> Result<Netlist, NetlistError> {
+    parse_named(src, "bench")
+}
+
+/// Parses `.bench` text with an explicit design name.
+///
+/// # Errors
+///
+/// See [`parse`].
+pub fn parse_named(src: &str, name: &str) -> Result<Netlist, NetlistError> {
+    parse_with_bindings(src, name, &|_| None)
+}
+
+/// Parses `.bench` text, resolving `# $lib=NAME` binding pragmas (as
+/// written by [`emit_with_bindings`]) through `resolve`. Unknown names are
+/// reported as parse errors so a mis-matched library is caught loudly.
+///
+/// # Errors
+///
+/// See [`parse`]; additionally errors on unresolvable `$lib=` names.
+pub fn parse_with_bindings(
+    src: &str,
+    name: &str,
+    resolve: &dyn Fn(&str) -> Option<LibCellId>,
+) -> Result<Netlist, NetlistError> {
+    let mut nl = Netlist::new(name);
+    // First pass: declare all signals so gates can reference forward.
+    struct GateLine {
+        line: usize,
+        target: String,
+        func: String,
+        args: Vec<String>,
+        lib: Option<String>,
+    }
+    let mut inputs: Vec<(usize, String)> = Vec::new();
+    let mut outputs: Vec<(usize, String)> = Vec::new();
+    let mut gates: Vec<GateLine> = Vec::new();
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let (code, comment) = match raw.find('#') {
+            Some(ix) => (&raw[..ix], &raw[ix + 1..]),
+            None => (raw, ""),
+        };
+        // Binding pragma: `# $lib=NAME`.
+        let lib = comment
+            .trim()
+            .strip_prefix("$lib=")
+            .map(|n| n.trim().to_string());
+        let text = code.trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(rest) = strip_call(text, "INPUT") {
+            inputs.push((line, rest.to_string()));
+        } else if let Some(rest) = strip_call(text, "OUTPUT") {
+            outputs.push((line, rest.to_string()));
+        } else if let Some(eq) = text.find('=') {
+            let target = text[..eq].trim().to_string();
+            let rhs = text[eq + 1..].trim();
+            let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
+                line,
+                msg: format!("expected FUNC(args) on rhs, got {rhs:?}"),
+            })?;
+            let close = rhs.rfind(')').ok_or_else(|| NetlistError::Parse {
+                line,
+                msg: "missing closing parenthesis".into(),
+            })?;
+            let func = rhs[..open].trim().to_ascii_uppercase();
+            let args: Vec<String> = rhs[open + 1..close]
+                .split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect();
+            if target.is_empty() {
+                return Err(NetlistError::Parse {
+                    line,
+                    msg: "missing assignment target".into(),
+                });
+            }
+            gates.push(GateLine {
+                line,
+                target,
+                func,
+                args,
+                lib,
+            });
+        } else {
+            return Err(NetlistError::Parse {
+                line,
+                msg: format!("unrecognized statement {text:?}"),
+            });
+        }
+    }
+
+    let mut nets: HashMap<String, crate::NetId> = HashMap::new();
+    for (_, name) in &inputs {
+        let id = nl.add_input(name.clone());
+        nets.insert(name.clone(), id);
+    }
+    // Declare a placeholder net for every gate target not yet present.
+    for g in &gates {
+        nets.entry(g.target.clone())
+            .or_insert_with(|| nl.add_net(g.target.clone()));
+    }
+    // Any referenced-but-undefined signal becomes an error at validate time;
+    // create its net now so parsing can proceed deterministically.
+    for g in &gates {
+        for a in &g.args {
+            if !nets.contains_key(a) {
+                let id = nl.add_net(a.clone());
+                nets.insert(a.clone(), id);
+            }
+        }
+    }
+
+    for g in &gates {
+        let target_net = nets[&g.target];
+        let arg_nets: Vec<_> = g.args.iter().map(|a| nets[a]).collect();
+        let parse_err = |msg: String| NetlistError::Parse { line: g.line, msg };
+        let kind = match g.func.as_str() {
+            "AND" => GateKind::And,
+            "OR" => GateKind::Or,
+            "NAND" => GateKind::Nand,
+            "NOR" => GateKind::Nor,
+            "XOR" => GateKind::Xor,
+            "XNOR" => GateKind::Xnor,
+            "NOT" | "INV" => GateKind::Inv,
+            "BUF" | "BUFF" => GateKind::Buf,
+            "DFF" => GateKind::Dff,
+            "MUX" => GateKind::Mux2,
+            "MUX4" => GateKind::Mux4,
+            "CONST0" => GateKind::Const0,
+            "CONST1" => GateKind::Const1,
+            other => return Err(parse_err(format!("unknown gate function {other:?}"))),
+        };
+        let produced = if kind == GateKind::Dff {
+            if arg_nets.len() != 1 {
+                return Err(parse_err(format!("DFF takes 1 input, got {}", arg_nets.len())));
+            }
+            nl.add_dff_named(arg_nets[0], format!("{}_ff", g.target))
+                .map_err(|e| parse_err(e.to_string()))?
+        } else if kind == GateKind::Mux2 {
+            // .bench MUX argument order is (sel, in0, in1); ours is
+            // [in0, in1, sel].
+            if arg_nets.len() != 3 {
+                return Err(parse_err(format!("MUX takes 3 inputs, got {}", arg_nets.len())));
+            }
+            nl.add_gate_named(
+                kind,
+                &[arg_nets[1], arg_nets[2], arg_nets[0]],
+                format!("{}_g", g.target),
+            )
+            .map_err(|e| parse_err(e.to_string()))?
+        } else {
+            let kind = normalize_arity(kind, arg_nets.len()).map_err(parse_err)?;
+            nl.add_gate_named(kind, &arg_nets, format!("{}_g", g.target))
+                .map_err(|e| parse_err(e.to_string()))?
+        };
+        // Alias: the produced fresh net replaces the placeholder target net.
+        // Rewire every reader of the placeholder onto the produced net.
+        let readers: Vec<(crate::CellId, usize)> =
+            nl.net(target_net).fanout().to_vec();
+        for (cell, pin) in readers {
+            nl.rewire_input(cell, pin, produced)
+                .map_err(|e| NetlistError::Parse {
+                    line: g.line,
+                    msg: e.to_string(),
+                })?;
+        }
+        if let Some(lib_name) = &g.lib {
+            let id = resolve(lib_name).ok_or_else(|| NetlistError::Parse {
+                line: g.line,
+                msg: format!("unknown library cell {lib_name:?} in $lib pragma"),
+            })?;
+            let cell = nl.net(produced).driver().expect("gate drives its net");
+            nl.bind_lib(cell, id)
+                .map_err(|e| NetlistError::Parse {
+                    line: g.line,
+                    msg: e.to_string(),
+                })?;
+        }
+        nets.insert(g.target.clone(), produced);
+    }
+
+    for (line, name) in &outputs {
+        let net = nets.get(name).ok_or_else(|| NetlistError::Parse {
+            line: *line,
+            msg: format!("output {name:?} is never defined"),
+        })?;
+        nl.mark_output(*net, name.clone());
+    }
+    nl.validate()?;
+    Ok(nl)
+}
+
+/// Single-input AND/OR act as buffers in some benchmark dumps.
+fn normalize_arity(kind: GateKind, n: usize) -> Result<GateKind, String> {
+    if kind.accepts_arity(n) {
+        return Ok(kind);
+    }
+    match (kind, n) {
+        (GateKind::And | GateKind::Or, 1) => Ok(GateKind::Buf),
+        (GateKind::Nand | GateKind::Nor, 1) => Ok(GateKind::Inv),
+        _ => Err(format!("{kind} does not accept {n} inputs")),
+    }
+}
+
+fn strip_call<'a>(text: &'a str, func: &str) -> Option<&'a str> {
+    let rest = text.strip_prefix(func)?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let rest = rest.strip_suffix(')')?;
+    Some(rest.trim())
+}
+
+/// Serializes a netlist to `.bench` text.
+///
+/// Because the arena keeps gates in creation order (a topological order for
+/// builder-constructed circuits), emitted files list gates before use except
+/// across flip-flop boundaries, which the format allows.
+pub fn emit(netlist: &Netlist) -> String {
+    emit_with_bindings(netlist, &|_| None)
+}
+
+/// Serializes a netlist to `.bench` text, annotating cells that carry a
+/// library binding with a `# $lib=NAME` pragma (resolved back by
+/// [`parse_with_bindings`]). `name_of` maps a binding to its cell name;
+/// returning `None` drops the annotation.
+pub fn emit_with_bindings(
+    netlist: &Netlist,
+    name_of: &dyn Fn(LibCellId) -> Option<String>,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", netlist.name());
+    for &i in netlist.input_nets() {
+        let _ = writeln!(out, "INPUT({})", netlist.net(i).name());
+    }
+    for (net, name) in netlist.output_ports() {
+        let _ = writeln!(out, "OUTPUT({})", po_alias(netlist, *net, name));
+    }
+    for (_, cell) in netlist.cells() {
+        let kind = cell.kind();
+        if kind == GateKind::Input {
+            continue;
+        }
+        let target = netlist.net(cell.output()).name();
+        let func = match kind {
+            GateKind::Inv => "NOT".to_string(),
+            GateKind::Buf => "BUFF".to_string(),
+            GateKind::Mux2 => "MUX".to_string(),
+            other => other.to_string(),
+        };
+        let args: Vec<&str> = if kind == GateKind::Mux2 {
+            vec![
+                netlist.net(cell.inputs()[2]).name(),
+                netlist.net(cell.inputs()[0]).name(),
+                netlist.net(cell.inputs()[1]).name(),
+            ]
+        } else {
+            cell.inputs()
+                .iter()
+                .map(|&n| netlist.net(n).name())
+                .collect()
+        };
+        let pragma = cell
+            .lib()
+            .and_then(name_of)
+            .map(|n| format!(" # $lib={n}"))
+            .unwrap_or_default();
+        let _ = writeln!(out, "{target} = {func}({}){pragma}", args.join(", "));
+    }
+    out
+}
+
+fn po_alias<'a>(netlist: &'a Netlist, net: crate::NetId, _name: &'a str) -> &'a str {
+    netlist.net(net).name()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Logic, SeqState};
+
+    const S27_LIKE: &str = "
+# tiny sequential circuit
+INPUT(G0)
+INPUT(G1)
+OUTPUT(G17)
+G5 = DFF(G10)
+G10 = NAND(G0, G5)
+G17 = NOT(G11)
+G11 = OR(G10, G1)
+";
+
+    #[test]
+    fn parses_forward_references_and_dffs() {
+        let nl = parse(S27_LIKE).unwrap();
+        let st = nl.stats();
+        assert_eq!(st.dffs, 1);
+        assert_eq!(st.gates, 3);
+        assert_eq!(st.inputs, 2);
+        assert_eq!(st.outputs, 1);
+    }
+
+    #[test]
+    fn parsed_circuit_simulates() {
+        let nl = parse(S27_LIKE).unwrap();
+        let mut st = SeqState::reset(&nl);
+        // q=0: G10 = NAND(G0,0) = 1; G11 = OR(1, G1) = 1; G17 = 0.
+        let out = st.step(&nl, &[Logic::One, Logic::Zero]);
+        assert_eq!(out, vec![Logic::Zero]);
+        assert_eq!(st.values(), &[Logic::One]);
+        // q=1: G10 = NAND(1,1) = 0; G11 = OR(0,0) = 0; G17 = 1.
+        let out = st.step(&nl, &[Logic::One, Logic::Zero]);
+        assert_eq!(out, vec![Logic::One]);
+    }
+
+    #[test]
+    fn round_trip_emit_parse() {
+        let nl = parse(S27_LIKE).unwrap();
+        let text = emit(&nl);
+        let nl2 = parse(&text).unwrap();
+        let s1 = nl.stats();
+        let s2 = nl2.stats();
+        assert_eq!(s1.gates, s2.gates);
+        assert_eq!(s1.dffs, s2.dffs);
+        // Behavioural equality over a few cycles.
+        let mut a = SeqState::reset(&nl);
+        let mut b = SeqState::reset(&nl2);
+        for pat in [
+            [Logic::Zero, Logic::Zero],
+            [Logic::One, Logic::Zero],
+            [Logic::One, Logic::One],
+            [Logic::Zero, Logic::One],
+        ] {
+            assert_eq!(a.step(&nl, &pat), b.step(&nl2, &pat));
+        }
+    }
+
+    #[test]
+    fn mux_argument_order() {
+        let src = "
+INPUT(s)
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = MUX(s, a, b)
+";
+        let nl = parse(src).unwrap();
+        use Logic::{One, Zero};
+        assert_eq!(nl.eval_comb(&[Zero, One, Zero]), vec![One], "sel=0 -> a");
+        assert_eq!(nl.eval_comb(&[One, One, Zero]), vec![Zero], "sel=1 -> b");
+    }
+
+    #[test]
+    fn unknown_function_is_a_parse_error() {
+        let err = parse("INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }));
+    }
+
+    #[test]
+    fn single_input_and_becomes_buffer() {
+        let nl = parse("INPUT(a)\nOUTPUT(y)\ny = AND(a)\n").unwrap();
+        assert_eq!(nl.eval_comb(&[Logic::One]), vec![Logic::One]);
+    }
+
+    #[test]
+    fn lib_binding_pragma_round_trips() {
+        use crate::LibCellId;
+        let mut nl = Netlist::new("b");
+        let a = nl.add_input("a");
+        let y = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+        let cell = nl.net(y).driver().unwrap();
+        nl.bind_lib(cell, LibCellId(7)).unwrap();
+        nl.mark_output(y, "y");
+        let text = emit_with_bindings(&nl, &|id| (id == LibCellId(7)).then(|| "DLY4X1".into()));
+        assert!(text.contains("# $lib=DLY4X1"), "{text}");
+        let re = parse_with_bindings(&text, "b", &|name| {
+            (name == "DLY4X1").then_some(LibCellId(7))
+        })
+        .unwrap();
+        let rb = re
+            .cells()
+            .find(|(_, c)| c.kind() == GateKind::Buf)
+            .map(|(_, c)| c.lib())
+            .unwrap();
+        assert_eq!(rb, Some(LibCellId(7)));
+        // Unknown pragma names are loud errors.
+        let err = parse_with_bindings(&text, "b", &|_| None).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }));
+        // The binding-less parser ignores nothing: it resolves nothing and
+        // errors too (pragmas demand a resolver).
+        assert!(parse(&text).is_err());
+    }
+
+    #[test]
+    fn mux4_round_trips() {
+        let mut nl = Netlist::new("m");
+        let ins: Vec<_> = (0..6).map(|i| nl.add_input(format!("i{i}"))).collect();
+        let y = nl.add_gate(GateKind::Mux4, &ins).unwrap();
+        nl.mark_output(y, "y");
+        let text = emit(&nl);
+        assert!(text.contains("MUX4("));
+        let re = parse(&text).unwrap();
+        use Logic::{One, Zero};
+        for sel in 0..4u8 {
+            let mut iv = vec![Zero; 6];
+            iv[sel as usize] = One;
+            iv[4] = Logic::from_bool(sel & 1 == 1);
+            iv[5] = Logic::from_bool(sel & 2 == 2);
+            assert_eq!(nl.eval_comb(&iv), re.eval_comb(&iv), "sel {sel}");
+        }
+    }
+
+    #[test]
+    fn undefined_output_is_an_error() {
+        let err = parse("INPUT(a)\nOUTPUT(zz)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }));
+    }
+}

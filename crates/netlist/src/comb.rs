@@ -1,0 +1,237 @@
+//! Sequential→combinational unfolding and zero-delay sequential stepping.
+//!
+//! SAT attacks on sequential designs first extract the combinational block:
+//! every flip-flop's D pin is treated as a pseudo primary output and its Q
+//! pin as a pseudo primary input (paper, Sec. VI). [`CombView`] implements
+//! exactly that transformation without rewriting the netlist.
+
+use crate::{Logic, NetId, Netlist};
+
+/// The combinational view of a (possibly sequential) netlist.
+///
+/// Input order is: primary inputs, then flip-flop Q nets (in
+/// [`Netlist::dff_cells`] order). Output order is: primary outputs, then
+/// flip-flop D nets.
+#[derive(Clone, Debug)]
+pub struct CombView {
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    num_pi: usize,
+    num_po: usize,
+}
+
+impl CombView {
+    /// Builds the combinational view of `netlist`.
+    pub fn new(netlist: &Netlist) -> Self {
+        let mut inputs: Vec<NetId> = netlist.input_nets().to_vec();
+        let mut outputs: Vec<NetId> = netlist.output_nets();
+        let num_pi = inputs.len();
+        let num_po = outputs.len();
+        for &ff in netlist.dff_cells() {
+            let cell = netlist.cell(ff);
+            inputs.push(cell.output());
+            outputs.push(cell.inputs()[0]);
+        }
+        CombView {
+            inputs,
+            outputs,
+            num_pi,
+            num_po,
+        }
+    }
+
+    /// Total input width (primary inputs + pseudo inputs).
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Total output width (primary outputs + pseudo outputs).
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of true primary inputs (the first `num_pi` input slots).
+    pub fn num_primary_inputs(&self) -> usize {
+        self.num_pi
+    }
+
+    /// Number of true primary outputs (the first `num_po` output slots).
+    pub fn num_primary_outputs(&self) -> usize {
+        self.num_po
+    }
+
+    /// Input nets in view order.
+    pub fn input_nets(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Output nets in view order.
+    pub fn output_nets(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Evaluates the combinational block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.num_inputs()`.
+    pub fn eval(&self, netlist: &Netlist, values: &[Logic]) -> Vec<Logic> {
+        assert_eq!(values.len(), self.inputs.len());
+        let (pi, qs) = values.split_at(self.num_pi);
+        let nets = netlist.eval_nets(pi, Some(qs));
+        self.outputs.iter().map(|n| nets[n.index()]).collect()
+    }
+}
+
+/// Zero-delay sequential simulation state: one [`Logic`] per flip-flop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeqState {
+    q: Vec<Logic>,
+}
+
+impl SeqState {
+    /// All flip-flops start at `X` (unknown power-on state).
+    pub fn unknown(netlist: &Netlist) -> Self {
+        SeqState {
+            q: vec![Logic::X; netlist.dff_cells().len()],
+        }
+    }
+
+    /// All flip-flops reset to 0.
+    pub fn reset(netlist: &Netlist) -> Self {
+        SeqState {
+            q: vec![Logic::Zero; netlist.dff_cells().len()],
+        }
+    }
+
+    /// Builds a state from explicit Q values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width does not match the flip-flop count.
+    pub fn from_values(netlist: &Netlist, q: Vec<Logic>) -> Self {
+        assert_eq!(q.len(), netlist.dff_cells().len());
+        SeqState { q }
+    }
+
+    /// Current Q values in [`Netlist::dff_cells`] order.
+    pub fn values(&self) -> &[Logic] {
+        &self.q
+    }
+
+    /// Applies one clock cycle: evaluates the combinational logic with the
+    /// current state and `inputs`, returns primary-output values, and latches
+    /// every D into its flip-flop.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-width mismatch or a cyclic netlist.
+    pub fn step(&mut self, netlist: &Netlist, inputs: &[Logic]) -> Vec<Logic> {
+        let nets = netlist.eval_nets(inputs, Some(&self.q));
+        let outs = netlist
+            .output_nets()
+            .iter()
+            .map(|n| nets[n.index()])
+            .collect();
+        for (i, &ff) in netlist.dff_cells().iter().enumerate() {
+            let d = netlist.cell(ff).inputs()[0];
+            self.q[i] = nets[d.index()];
+        }
+        outs
+    }
+
+    /// Runs `inputs_per_cycle` through the circuit, collecting outputs per
+    /// cycle.
+    pub fn run(&mut self, netlist: &Netlist, inputs_per_cycle: &[Vec<Logic>]) -> Vec<Vec<Logic>> {
+        inputs_per_cycle
+            .iter()
+            .map(|iv| self.step(netlist, iv))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+    use Logic::{One, Zero};
+
+    /// 2-bit counter: q0 toggles every cycle, q1 toggles when q0 = 1.
+    fn counter() -> Netlist {
+        let mut nl = Netlist::new("cnt2");
+        let q0_d = nl.add_net("q0_d");
+        let q0 = nl.add_dff_named(q0_d, "ff0").unwrap();
+        let q1_d = nl.add_net("q1_d");
+        let q1 = nl.add_dff_named(q1_d, "ff1").unwrap();
+        let nq0 = nl.add_gate(GateKind::Inv, &[q0]).unwrap();
+        let t = nl.add_gate(GateKind::Xor, &[q1, q0]).unwrap();
+        let ff0 = nl.dff_cells()[0];
+        let ff1 = nl.dff_cells()[1];
+        nl.rewire_input(ff0, 0, nq0).unwrap();
+        nl.rewire_input(ff1, 0, t).unwrap();
+        nl.mark_output(q0, "q0");
+        nl.mark_output(q1, "q1");
+        nl
+    }
+
+    #[test]
+    fn counter_counts() {
+        let nl = counter();
+        nl.validate().unwrap();
+        let mut st = SeqState::reset(&nl);
+        let mut seen = Vec::new();
+        for _ in 0..5 {
+            let out = st.step(&nl, &[]);
+            seen.push((out[1], out[0]));
+        }
+        assert_eq!(
+            seen,
+            vec![
+                (Zero, Zero),
+                (Zero, One),
+                (One, Zero),
+                (One, One),
+                (Zero, Zero)
+            ]
+        );
+    }
+
+    #[test]
+    fn comb_view_exposes_pseudo_ports() {
+        let nl = counter();
+        let view = CombView::new(&nl);
+        assert_eq!(view.num_primary_inputs(), 0);
+        assert_eq!(view.num_inputs(), 2);
+        assert_eq!(view.num_primary_outputs(), 2);
+        assert_eq!(view.num_outputs(), 4);
+        // With q = (q0=1, q1=0): next q0 = 0, next q1 = 1.
+        let out = view.eval(&nl, &[One, Zero]);
+        assert_eq!(out[0], One, "po q0 follows q0");
+        assert_eq!(out[1], Zero, "po q1 follows q1");
+        assert_eq!(out[2], Zero, "next q0 = !q0");
+        assert_eq!(out[3], One, "next q1 = q1 ^ q0");
+    }
+
+    #[test]
+    fn unknown_state_propagates_x() {
+        let nl = counter();
+        let mut st = SeqState::unknown(&nl);
+        let out = st.step(&nl, &[]);
+        assert_eq!(out, vec![Logic::X, Logic::X]);
+    }
+
+    #[test]
+    fn from_values_round_trips() {
+        let nl = counter();
+        let st = SeqState::from_values(&nl, vec![One, Zero]);
+        assert_eq!(st.values(), &[One, Zero]);
+    }
+
+    #[test]
+    fn run_collects_all_cycles() {
+        let nl = counter();
+        let mut st = SeqState::reset(&nl);
+        let outs = st.run(&nl, &[vec![], vec![], vec![]]);
+        assert_eq!(outs.len(), 3);
+    }
+}

@@ -1,0 +1,148 @@
+//! Cone analysis: transitive fanin/fanout, output support.
+//!
+//! Used by the Encrypt-FF flip-flop selection algorithm (paper Table I,
+//! column "Ava. FF \[4\]"): flip-flops are grouped by the *set of primary
+//! outputs they can reach*, and key-gates are placed on a group fanning out
+//! to the same outputs.
+
+use crate::{CellId, NetId, Netlist};
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+/// Returns the set of cells in the transitive fanin cone of `net`
+/// (stopping at primary inputs and flip-flop outputs).
+pub fn fanin_cone(netlist: &Netlist, net: NetId) -> HashSet<CellId> {
+    let mut seen = HashSet::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(net);
+    let mut visited_nets = HashSet::new();
+    while let Some(n) = queue.pop_front() {
+        if !visited_nets.insert(n) {
+            continue;
+        }
+        let Some(driver) = netlist.net(n).driver() else {
+            continue;
+        };
+        if !seen.insert(driver) {
+            continue;
+        }
+        let cell = netlist.cell(driver);
+        if cell.kind().is_combinational() {
+            for &inp in cell.inputs() {
+                queue.push_back(inp);
+            }
+        }
+    }
+    seen
+}
+
+/// Returns the set of cells in the transitive fanout cone of `net`
+/// (crossing flip-flops is controlled by `through_ffs`).
+pub fn fanout_cone(netlist: &Netlist, net: NetId, through_ffs: bool) -> HashSet<CellId> {
+    let mut seen = HashSet::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(net);
+    let mut visited_nets = HashSet::new();
+    while let Some(n) = queue.pop_front() {
+        if !visited_nets.insert(n) {
+            continue;
+        }
+        for &(sink, _) in netlist.net(n).fanout() {
+            if !seen.insert(sink) {
+                continue;
+            }
+            let cell = netlist.cell(sink);
+            if cell.kind().is_sequential() && !through_ffs {
+                continue;
+            }
+            queue.push_back(cell.output());
+        }
+    }
+    seen
+}
+
+/// The set of primary-output indices (into [`Netlist::output_ports`])
+/// reachable from `net` through combinational logic only.
+pub fn reachable_outputs(netlist: &Netlist, net: NetId) -> BTreeSet<usize> {
+    let cone = fanout_cone(netlist, net, false);
+    let mut cone_nets: HashSet<NetId> = cone.iter().map(|&c| netlist.cell(c).output()).collect();
+    cone_nets.insert(net);
+    netlist
+        .output_ports()
+        .iter()
+        .enumerate()
+        .filter(|(_, (n, _))| cone_nets.contains(n))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// The set of primary-input indices in the combinational support of `net`.
+pub fn output_support(netlist: &Netlist, net: NetId) -> BTreeSet<usize> {
+    let cone = fanin_cone(netlist, net);
+    let cone_nets: HashSet<NetId> = cone.iter().map(|&c| netlist.cell(c).output()).collect();
+    netlist
+        .input_nets()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| cone_nets.contains(n) || **n == net)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    fn diamond() -> (Netlist, NetId, NetId, NetId) {
+        // a -> inv -> y1 (PO), a -> buf -> ff -> y2 (PO)
+        let mut nl = Netlist::new("d");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let i = nl.add_gate(GateKind::Inv, &[a]).unwrap();
+        let y1 = nl.add_gate(GateKind::And, &[i, b]).unwrap();
+        let bu = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+        let q = nl.add_dff(bu).unwrap();
+        let y2 = nl.add_gate(GateKind::Buf, &[q]).unwrap();
+        nl.mark_output(y1, "y1");
+        nl.mark_output(y2, "y2");
+        (nl, a, q, y1)
+    }
+
+    #[test]
+    fn fanout_stops_at_ffs_when_asked() {
+        let (nl, a, _, _) = diamond();
+        let without = fanout_cone(&nl, a, false);
+        let with = fanout_cone(&nl, a, true);
+        assert!(with.len() > without.len());
+    }
+
+    #[test]
+    fn reachable_outputs_respects_ff_boundary() {
+        let (nl, a, q, _) = diamond();
+        // From input a, only y1 is combinationally reachable (y2 is behind
+        // the flip-flop).
+        let r = reachable_outputs(&nl, a);
+        assert_eq!(r.into_iter().collect::<Vec<_>>(), vec![0]);
+        // From the flip-flop's Q, only y2.
+        let r = reachable_outputs(&nl, q);
+        assert_eq!(r.into_iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn fanin_cone_stops_at_ffs() {
+        let (nl, _, _, y1) = diamond();
+        let cone = fanin_cone(&nl, y1);
+        // inv + and + two input markers.
+        let kinds: Vec<_> = cone.iter().map(|&c| nl.cell(c).kind()).collect();
+        assert!(kinds.contains(&GateKind::Inv));
+        assert!(kinds.contains(&GateKind::And));
+        assert!(!kinds.contains(&GateKind::Dff));
+    }
+
+    #[test]
+    fn support_of_po() {
+        let (nl, _, _, y1) = diamond();
+        let s = output_support(&nl, y1);
+        assert_eq!(s.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+}

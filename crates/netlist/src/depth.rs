@@ -1,0 +1,112 @@
+//! Levelization: per-net logic depth and depth histograms.
+
+use crate::{GateKind, Netlist};
+
+/// Per-net logic depth: sources (primary inputs, constants, flip-flop Q
+/// pins) are level 0; every combinational gate is one past its deepest
+/// input. Indexed by [`NetId::index`].
+pub fn levelize(netlist: &Netlist) -> Vec<usize> {
+    let mut level = vec![0usize; netlist.net_count()];
+    let order = netlist.topo_order().expect("netlist must be acyclic");
+    for cell_id in order {
+        let cell = netlist.cell(cell_id);
+        let depth = cell
+            .inputs()
+            .iter()
+            .map(|n| level[n.index()])
+            .max()
+            .map(|d| d + 1)
+            .unwrap_or(0);
+        level[cell.output().index()] = depth;
+    }
+    level
+}
+
+/// The deepest combinational level in the design.
+pub fn max_depth(netlist: &Netlist) -> usize {
+    let levels = levelize(netlist);
+    netlist
+        .cells()
+        .filter(|(_, c)| c.kind().is_combinational())
+        .map(|(_, c)| levels[c.output().index()])
+        .max()
+        .unwrap_or(0)
+}
+
+/// Gate count per level (index = level, starting at 1 for gates fed only
+/// by sources).
+pub fn depth_histogram(netlist: &Netlist) -> Vec<usize> {
+    let levels = levelize(netlist);
+    let mut hist = Vec::new();
+    for (_, cell) in netlist.cells() {
+        if !cell.kind().is_combinational()
+            || matches!(cell.kind(), GateKind::Const0 | GateKind::Const1)
+        {
+            continue;
+        }
+        let l = levels[cell.output().index()];
+        if hist.len() <= l {
+            hist.resize(l + 1, 0);
+        }
+        hist[l] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_depth_counts_gates() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let g1 = nl.add_gate(GateKind::Inv, &[a]).unwrap();
+        let g2 = nl.add_gate(GateKind::Inv, &[g1]).unwrap();
+        let g3 = nl.add_gate(GateKind::Inv, &[g2]).unwrap();
+        nl.mark_output(g3, "y");
+        let levels = levelize(&nl);
+        assert_eq!(levels[a.index()], 0);
+        assert_eq!(levels[g1.index()], 1);
+        assert_eq!(levels[g3.index()], 3);
+        assert_eq!(max_depth(&nl), 3);
+    }
+
+    #[test]
+    fn ff_q_restarts_depth() {
+        let mut nl = Netlist::new("s");
+        let a = nl.add_input("a");
+        let g = nl.add_gate(GateKind::Inv, &[a]).unwrap();
+        let q = nl.add_dff(g).unwrap();
+        let h = nl.add_gate(GateKind::Inv, &[q]).unwrap();
+        nl.mark_output(h, "y");
+        let levels = levelize(&nl);
+        assert_eq!(levels[q.index()], 0, "flip-flop Q is a source");
+        assert_eq!(levels[h.index()], 1);
+    }
+
+    #[test]
+    fn reconvergent_depth_takes_the_max() {
+        let mut nl = Netlist::new("r");
+        let a = nl.add_input("a");
+        let slow = nl.add_gate(GateKind::Inv, &[a]).unwrap();
+        let slower = nl.add_gate(GateKind::Inv, &[slow]).unwrap();
+        let y = nl.add_gate(GateKind::And, &[a, slower]).unwrap();
+        nl.mark_output(y, "y");
+        assert_eq!(levelize(&nl)[y.index()], 3);
+    }
+
+    #[test]
+    fn histogram_partitions_gates() {
+        let mut nl = Netlist::new("h");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let g2 = nl.add_gate(GateKind::Or, &[a, b]).unwrap();
+        let g3 = nl.add_gate(GateKind::Xor, &[g1, g2]).unwrap();
+        nl.mark_output(g3, "y");
+        let hist = depth_histogram(&nl);
+        assert_eq!(hist, vec![0, 2, 1]);
+        assert_eq!(hist.iter().sum::<usize>(), nl.stats().gates);
+    }
+}

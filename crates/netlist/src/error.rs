@@ -1,0 +1,102 @@
+//! Error type for netlist construction and parsing.
+
+use crate::{CellId, NetId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating, or parsing a netlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A gate was created with an illegal number of input pins.
+    BadArity {
+        /// The offending gate kind (display form).
+        kind: String,
+        /// How many inputs were supplied.
+        got: usize,
+    },
+    /// Two cells drive the same net.
+    MultipleDrivers {
+        /// The doubly-driven net.
+        net: NetId,
+        /// The pre-existing driver.
+        first: CellId,
+        /// The newly added driver.
+        second: CellId,
+    },
+    /// A net is read but never driven.
+    UndrivenNet {
+        /// The floating net.
+        net: NetId,
+        /// The net's name, if any.
+        name: String,
+    },
+    /// The combinational part of the circuit contains a cycle.
+    CombinationalCycle {
+        /// A cell on the cycle.
+        via: CellId,
+    },
+    /// A referenced net id is out of range.
+    UnknownNet(NetId),
+    /// A referenced cell id is out of range.
+    UnknownCell(CellId),
+    /// Parse error with line number and message.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// Human-readable message.
+        msg: String,
+    },
+    /// An evaluation was requested with the wrong number of input values.
+    InputWidthMismatch {
+        /// Number of primary inputs the circuit has.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::BadArity { kind, got } => {
+                write!(f, "gate kind {kind} does not accept {got} inputs")
+            }
+            NetlistError::MultipleDrivers { net, first, second } => {
+                write!(f, "net {net} driven by both {first} and {second}")
+            }
+            NetlistError::UndrivenNet { net, name } => {
+                write!(f, "net {net} ({name:?}) has no driver")
+            }
+            NetlistError::CombinationalCycle { via } => {
+                write!(f, "combinational cycle through cell {via}")
+            }
+            NetlistError::UnknownNet(n) => write!(f, "unknown net {n}"),
+            NetlistError::UnknownCell(c) => write!(f, "unknown cell {c}"),
+            NetlistError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            NetlistError::InputWidthMismatch { expected, got } => {
+                write!(f, "expected {expected} input values, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = NetlistError::BadArity {
+            kind: "NOT".into(),
+            got: 3,
+        };
+        assert_eq!(e.to_string(), "gate kind NOT does not accept 3 inputs");
+        let e = NetlistError::Parse {
+            line: 4,
+            msg: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 4"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Typed index newtypes for netlist arenas.
+
+use std::fmt;
+
+/// Index of a cell (gate, flip-flop, or I/O marker) inside a [`crate::Netlist`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct CellId(pub(crate) u32);
+
+/// Index of a net (a single-driver wire) inside a [`crate::Netlist`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct NetId(pub(crate) u32);
+
+/// Opaque reference to a concrete standard-cell library entry.
+///
+/// The netlist layer does not interpret this value; `glitchlock-stdcell`
+/// resolves it to area and delay data. A cell without a library binding uses
+/// the library's default cell for its [`crate::GateKind`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct LibCellId(pub u32);
+
+impl CellId {
+    /// Returns the raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `CellId` from a raw arena index.
+    ///
+    /// Intended for iteration helpers; an out-of-range id is caught by the
+    /// indexing operations on [`crate::Netlist`].
+    pub fn from_index(ix: usize) -> Self {
+        CellId(ix as u32)
+    }
+}
+
+impl NetId {
+    /// Returns the raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NetId` from a raw arena index.
+    pub fn from_index(ix: usize) -> Self {
+        NetId(ix as u32)
+    }
+}
+
+impl fmt::Debug for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Debug for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for LibCellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lib{}", self.0)
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_indices() {
+        assert_eq!(CellId::from_index(42).index(), 42);
+        assert_eq!(NetId::from_index(7).index(), 7);
+    }
+
+    #[test]
+    fn debug_formats_are_compact() {
+        assert_eq!(format!("{:?}", CellId::from_index(3)), "c3");
+        assert_eq!(format!("{:?}", NetId::from_index(9)), "n9");
+        assert_eq!(format!("{:?}", LibCellId(1)), "lib1");
+    }
+}

@@ -1,0 +1,206 @@
+//! Primitive gate functions.
+
+use crate::Logic;
+use std::fmt;
+
+/// The function computed by a netlist cell.
+///
+/// Pin conventions:
+/// * `And`/`Nand`/`Or`/`Nor` are n-ary with at least two inputs.
+/// * `Xor`/`Xnor` are n-ary parity / inverted parity with at least two inputs.
+/// * `Mux2` takes `[in0, in1, sel]` and outputs `in0` when `sel = 0`.
+/// * `Mux4` takes `[in0, in1, in2, in3, s0, s1]` and outputs `in[s1·2 + s0]`.
+/// * `Dff` takes `[d]` and drives `q`; the clock is the implicit global clock.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum GateKind {
+    /// Primary-input marker; drives its net, takes no inputs.
+    Input,
+    /// Constant logic 0.
+    Const0,
+    /// Constant logic 1.
+    Const1,
+    /// Buffer.
+    Buf,
+    /// Inverter.
+    Inv,
+    /// n-ary AND.
+    And,
+    /// n-ary NAND.
+    Nand,
+    /// n-ary OR.
+    Or,
+    /// n-ary NOR.
+    Nor,
+    /// n-ary XOR (odd parity).
+    Xor,
+    /// n-ary XNOR (even parity).
+    Xnor,
+    /// 2:1 multiplexer `[in0, in1, sel]`.
+    Mux2,
+    /// 4:1 multiplexer `[in0, in1, in2, in3, s0, s1]`.
+    Mux4,
+    /// D flip-flop `[d] -> q`, implicit global clock.
+    Dff,
+}
+
+impl GateKind {
+    /// Number of input pins this kind requires, or `None` for n-ary kinds
+    /// (which require at least [`GateKind::min_arity`]).
+    pub fn fixed_arity(self) -> Option<usize> {
+        match self {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => Some(0),
+            GateKind::Buf | GateKind::Inv | GateKind::Dff => Some(1),
+            GateKind::Mux2 => Some(3),
+            GateKind::Mux4 => Some(6),
+            GateKind::And
+            | GateKind::Nand
+            | GateKind::Or
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor => None,
+        }
+    }
+
+    /// Minimum number of inputs accepted by this kind.
+    pub fn min_arity(self) -> usize {
+        self.fixed_arity().unwrap_or(2)
+    }
+
+    /// Returns true if `n` inputs is a legal pin count for this kind.
+    pub fn accepts_arity(self, n: usize) -> bool {
+        match self.fixed_arity() {
+            Some(k) => n == k,
+            None => n >= 2,
+        }
+    }
+
+    /// True for cells evaluated in the combinational phase (everything except
+    /// [`GateKind::Dff`] and [`GateKind::Input`]).
+    pub fn is_combinational(self) -> bool {
+        !matches!(self, GateKind::Dff | GateKind::Input)
+    }
+
+    /// True for state-holding cells.
+    pub fn is_sequential(self) -> bool {
+        matches!(self, GateKind::Dff)
+    }
+
+    /// Evaluates the combinational function over three-valued inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`GateKind::Input`] or [`GateKind::Dff`] (which
+    /// have no combinational function) or with an illegal arity; the
+    /// [`crate::Netlist`] builder rejects illegal arities up front.
+    pub fn eval(self, inputs: &[Logic]) -> Logic {
+        debug_assert!(
+            self.accepts_arity(inputs.len()),
+            "{self:?} does not accept {} inputs",
+            inputs.len()
+        );
+        match self {
+            GateKind::Input => panic!("primary inputs have no combinational function"),
+            GateKind::Dff => panic!("flip-flops are evaluated by the sequential stepper"),
+            GateKind::Const0 => Logic::Zero,
+            GateKind::Const1 => Logic::One,
+            GateKind::Buf => inputs[0],
+            GateKind::Inv => !inputs[0],
+            GateKind::And => inputs.iter().copied().fold(Logic::One, Logic::and),
+            GateKind::Nand => !inputs.iter().copied().fold(Logic::One, Logic::and),
+            GateKind::Or => inputs.iter().copied().fold(Logic::Zero, Logic::or),
+            GateKind::Nor => !inputs.iter().copied().fold(Logic::Zero, Logic::or),
+            GateKind::Xor => inputs.iter().copied().fold(Logic::Zero, Logic::xor),
+            GateKind::Xnor => !inputs.iter().copied().fold(Logic::Zero, Logic::xor),
+            GateKind::Mux2 => Logic::mux(inputs[2], inputs[0], inputs[1]),
+            GateKind::Mux4 => {
+                let lo = Logic::mux(inputs[4], inputs[0], inputs[1]);
+                let hi = Logic::mux(inputs[4], inputs[2], inputs[3]);
+                Logic::mux(inputs[5], lo, hi)
+            }
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateKind::Input => "INPUT",
+            GateKind::Const0 => "CONST0",
+            GateKind::Const1 => "CONST1",
+            GateKind::Buf => "BUF",
+            GateKind::Inv => "NOT",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Mux2 => "MUX2",
+            GateKind::Mux4 => "MUX4",
+            GateKind::Dff => "DFF",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic::{One, X, Zero};
+
+    #[test]
+    fn nary_gates_fold_correctly() {
+        assert_eq!(GateKind::And.eval(&[One, One, One]), One);
+        assert_eq!(GateKind::And.eval(&[One, Zero, One]), Zero);
+        assert_eq!(GateKind::Nand.eval(&[One, One]), Zero);
+        assert_eq!(GateKind::Or.eval(&[Zero, Zero, One]), One);
+        assert_eq!(GateKind::Nor.eval(&[Zero, Zero]), One);
+        assert_eq!(GateKind::Xor.eval(&[One, One, One]), One);
+        assert_eq!(GateKind::Xnor.eval(&[One, One, One]), Zero);
+    }
+
+    #[test]
+    fn unary_gates() {
+        assert_eq!(GateKind::Buf.eval(&[X]), X);
+        assert_eq!(GateKind::Inv.eval(&[Zero]), One);
+        assert_eq!(GateKind::Const0.eval(&[]), Zero);
+        assert_eq!(GateKind::Const1.eval(&[]), One);
+    }
+
+    #[test]
+    fn mux4_selects_all_four_inputs() {
+        let data = [Zero, One, One, Zero];
+        for (s1, s0, expect) in [
+            (Zero, Zero, Zero),
+            (Zero, One, One),
+            (One, Zero, One),
+            (One, One, Zero),
+        ] {
+            let ins = [data[0], data[1], data[2], data[3], s0, s1];
+            assert_eq!(GateKind::Mux4.eval(&ins), expect, "s1={s1} s0={s0}");
+        }
+    }
+
+    #[test]
+    fn arity_checks() {
+        assert!(GateKind::And.accepts_arity(2));
+        assert!(GateKind::And.accepts_arity(9));
+        assert!(!GateKind::And.accepts_arity(1));
+        assert!(GateKind::Inv.accepts_arity(1));
+        assert!(!GateKind::Inv.accepts_arity(2));
+        assert!(GateKind::Mux4.accepts_arity(6));
+        assert_eq!(GateKind::Dff.fixed_arity(), Some(1));
+    }
+
+    #[test]
+    fn xnor2_is_equality() {
+        // XNOR(x, 0) = !x and XNOR(x, 1) = x: the identity the glitch
+        // key-gate relies on.
+        for x in [Zero, One] {
+            assert_eq!(GateKind::Xnor.eval(&[x, Zero]), !x);
+            assert_eq!(GateKind::Xnor.eval(&[x, One]), x);
+            assert_eq!(GateKind::Xor.eval(&[x, One]), !x);
+            assert_eq!(GateKind::Xor.eval(&[x, Zero]), x);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Three-valued logic (`0`, `1`, `X`).
+
+use std::fmt;
+use std::ops::Not;
+
+/// A three-valued logic level.
+///
+/// `X` models an unknown/uninitialized level and propagates pessimistically
+/// through gates (e.g. `And(0, X) = 0` but `And(1, X) = X`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown.
+    #[default]
+    X,
+}
+
+impl Logic {
+    /// All three levels, useful for exhaustive tests.
+    pub const ALL: [Logic; 3] = [Logic::Zero, Logic::One, Logic::X];
+
+    /// Converts a bool into a definite logic level.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Returns `Some(bool)` for a definite level, `None` for `X`.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X => None,
+        }
+    }
+
+    /// True iff the level is `0` or `1`.
+    pub fn is_known(self) -> bool {
+        self != Logic::X
+    }
+
+    /// Three-valued AND.
+    pub fn and(self, rhs: Logic) -> Logic {
+        match (self, rhs) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Three-valued OR.
+    pub fn or(self, rhs: Logic) -> Logic {
+        match (self, rhs) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Three-valued XOR.
+    pub fn xor(self, rhs: Logic) -> Logic {
+        match (self.to_bool(), rhs.to_bool()) {
+            (Some(a), Some(b)) => Logic::from_bool(a ^ b),
+            _ => Logic::X,
+        }
+    }
+
+    /// Three-valued 2:1 multiplexer: returns `a` when `sel = 0`, `b` when
+    /// `sel = 1`. When `sel = X` the result is known only if both data inputs
+    /// agree on a definite level.
+    pub fn mux(sel: Logic, a: Logic, b: Logic) -> Logic {
+        match sel {
+            Logic::Zero => a,
+            Logic::One => b,
+            Logic::X => {
+                if a == b && a.is_known() {
+                    a
+                } else {
+                    Logic::X
+                }
+            }
+        }
+    }
+}
+
+impl Not for Logic {
+    type Output = Logic;
+
+    fn not(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            Logic::X => Logic::X,
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Self {
+        Logic::from_bool(b)
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Logic::Zero => write!(f, "0"),
+            Logic::One => write!(f, "1"),
+            Logic::X => write!(f, "X"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_controls_with_zero() {
+        for v in Logic::ALL {
+            assert_eq!(Logic::Zero.and(v), Logic::Zero);
+            assert_eq!(v.and(Logic::Zero), Logic::Zero);
+        }
+        assert_eq!(Logic::One.and(Logic::X), Logic::X);
+        assert_eq!(Logic::One.and(Logic::One), Logic::One);
+    }
+
+    #[test]
+    fn or_controls_with_one() {
+        for v in Logic::ALL {
+            assert_eq!(Logic::One.or(v), Logic::One);
+            assert_eq!(v.or(Logic::One), Logic::One);
+        }
+        assert_eq!(Logic::Zero.or(Logic::X), Logic::X);
+        assert_eq!(Logic::Zero.or(Logic::Zero), Logic::Zero);
+    }
+
+    #[test]
+    fn xor_is_unknown_with_x() {
+        assert_eq!(Logic::One.xor(Logic::X), Logic::X);
+        assert_eq!(Logic::X.xor(Logic::Zero), Logic::X);
+        assert_eq!(Logic::One.xor(Logic::Zero), Logic::One);
+        assert_eq!(Logic::One.xor(Logic::One), Logic::Zero);
+    }
+
+    #[test]
+    fn not_inverts_definite_levels() {
+        assert_eq!(!Logic::Zero, Logic::One);
+        assert_eq!(!Logic::One, Logic::Zero);
+        assert_eq!(!Logic::X, Logic::X);
+    }
+
+    #[test]
+    fn mux_with_unknown_select_needs_agreement() {
+        assert_eq!(Logic::mux(Logic::X, Logic::One, Logic::One), Logic::One);
+        assert_eq!(Logic::mux(Logic::X, Logic::One, Logic::Zero), Logic::X);
+        assert_eq!(Logic::mux(Logic::X, Logic::X, Logic::X), Logic::X);
+        assert_eq!(Logic::mux(Logic::Zero, Logic::One, Logic::Zero), Logic::One);
+        assert_eq!(Logic::mux(Logic::One, Logic::One, Logic::Zero), Logic::Zero);
+    }
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(Logic::from_bool(true).to_bool(), Some(true));
+        assert_eq!(Logic::from_bool(false).to_bool(), Some(false));
+        assert_eq!(Logic::X.to_bool(), None);
+        assert_eq!(Logic::from(true), Logic::One);
+    }
+}

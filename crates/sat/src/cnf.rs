@@ -1,0 +1,230 @@
+//! Variables, literals, and clause databases.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered from 0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation, encoded as `var·2 + sign`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// Builds a literal with an explicit sign (`true` = negated).
+    pub fn with_sign(v: Var, negated: bool) -> Lit {
+        Lit((v.0 << 1) | negated as u32)
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// True when the literal is negated.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Dense code (used to index watcher lists).
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Inverse of [`Lit::code`].
+    pub fn from_code(code: usize) -> Lit {
+        Lit(code as u32)
+    }
+
+    /// Evaluates the literal under an assignment of its variable.
+    pub fn eval(self, var_value: bool) -> bool {
+        var_value ^ self.is_neg()
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "!v{}", self.var().0)
+        } else {
+            write!(f, "v{}", self.var().0)
+        }
+    }
+}
+
+/// A plain clause database, independent of any solver: useful for building
+/// formulas, moving them between solvers, and brute-force checking in tests.
+#[derive(Clone, Debug, Default)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// An empty formula.
+    pub fn new() -> Self {
+        Cnf::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Ensures at least `n` variables exist.
+    pub fn grow_to(&mut self, n: u32) {
+        self.num_vars = self.num_vars.max(n);
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Adds a clause (empty clauses are legal and make the formula
+    /// unsatisfiable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references an unallocated variable.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        for l in lits {
+            assert!(l.var().0 < self.num_vars, "literal {l} out of range");
+        }
+        self.clauses.push(lits.to_vec());
+    }
+
+    /// The clause list.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Evaluates the formula under a complete assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() < self.num_vars()`.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert!(assignment.len() >= self.num_vars as usize);
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.eval(assignment[l.var().index()])))
+    }
+
+    /// Exhaustively searches for a satisfying assignment (test helper; only
+    /// usable for small variable counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the formula has more than 24 variables.
+    pub fn brute_force(&self) -> Option<Vec<bool>> {
+        assert!(self.num_vars <= 24, "brute force is for small formulas");
+        let n = self.num_vars as usize;
+        for bits in 0u64..(1u64 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            if self.eval(&assignment) {
+                return Some(assignment);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_round_trips() {
+        let v = Var(5);
+        let p = Lit::pos(v);
+        let n = Lit::neg(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(!p.is_neg());
+        assert!(n.is_neg());
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_eq!(Lit::from_code(p.code()), p);
+        assert_eq!(Lit::with_sign(v, true), n);
+    }
+
+    #[test]
+    fn literal_eval() {
+        let v = Var(0);
+        assert!(Lit::pos(v).eval(true));
+        assert!(!Lit::pos(v).eval(false));
+        assert!(Lit::neg(v).eval(false));
+        assert!(!Lit::neg(v).eval(true));
+    }
+
+    #[test]
+    fn cnf_eval_and_brute_force() {
+        let mut f = Cnf::new();
+        let a = f.new_var();
+        let b = f.new_var();
+        f.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        f.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+        // XOR-ish: exactly one of a, b.
+        assert!(f.eval(&[true, false]));
+        assert!(!f.eval(&[true, true]));
+        let m = f.brute_force().unwrap();
+        assert!(f.eval(&m));
+        f.add_clause(&[Lit::pos(a)]);
+        f.add_clause(&[Lit::pos(b)]);
+        assert!(f.brute_force().is_none());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut f = Cnf::new();
+        let _ = f.new_var();
+        f.add_clause(&[]);
+        assert!(f.brute_force().is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Lit::pos(Var(3)).to_string(), "v3");
+        assert_eq!(Lit::neg(Var(3)).to_string(), "!v3");
+        assert_eq!(Var(3).to_string(), "v3");
+    }
+}

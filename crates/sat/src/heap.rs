@@ -1,0 +1,150 @@
+//! Indexed max-heap over variable activities (the VSIDS order).
+
+use crate::Var;
+
+/// A binary max-heap of variables keyed by an external activity array,
+/// supporting O(log n) increase-key via stored positions.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ActivityHeap {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `usize::MAX` when absent.
+    pos: Vec<usize>,
+}
+
+impl ActivityHeap {
+    #[cfg(test)]
+    pub fn new() -> Self {
+        ActivityHeap::default()
+    }
+
+    pub fn grow_to(&mut self, n_vars: usize) {
+        if self.pos.len() < n_vars {
+            self.pos.resize(n_vars, usize::MAX);
+        }
+    }
+
+    pub fn contains(&self, v: Var) -> bool {
+        self.pos
+            .get(v.index())
+            .map(|&p| p != usize::MAX)
+            .unwrap_or(false)
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.grow_to(v.index() + 1);
+        self.pos[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top.index()] = usize::MAX;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order after `v`'s activity increased.
+    pub fn decrease_key_of_increased_activity(&mut self, v: Var, activity: &[f64]) {
+        if let Some(&p) = self.pos.get(v.index()) {
+            if p != usize::MAX {
+                self.sift_up(p, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i].index()] > activity[self.heap[parent].index()] {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l].index()] > activity[self.heap[best].index()]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r].index()] > activity[self.heap[best].index()]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i].index()] = i;
+        self.pos[self.heap[j].index()] = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![0.5, 3.0, 1.0, 2.0];
+        let mut h = ActivityHeap::new();
+        for i in 0..4 {
+            h.insert(Var(i), &activity);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop_max(&activity)).map(|v| v.0).collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn reinsertion_is_idempotent() {
+        let activity = vec![1.0, 2.0];
+        let mut h = ActivityHeap::new();
+        h.insert(Var(0), &activity);
+        h.insert(Var(0), &activity);
+        h.insert(Var(1), &activity);
+        assert_eq!(h.pop_max(&activity), Some(Var(1)));
+        assert_eq!(h.pop_max(&activity), Some(Var(0)));
+        assert_eq!(h.pop_max(&activity), None);
+    }
+
+    #[test]
+    fn increase_key_reorders() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = ActivityHeap::new();
+        for i in 0..3 {
+            h.insert(Var(i), &activity);
+        }
+        activity[0] = 10.0;
+        h.decrease_key_of_increased_activity(Var(0), &activity);
+        assert_eq!(h.pop_max(&activity), Some(Var(0)));
+    }
+}

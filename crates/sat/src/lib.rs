@@ -1,0 +1,44 @@
+//! A CDCL SAT solver and netlist-to-CNF encoder for `glitchlock`.
+//!
+//! The SAT attack (Subramanyan et al., HOST'15) that the paper defends
+//! against needs a real Boolean satisfiability solver. The offline crate
+//! set has none, so this crate implements one from scratch:
+//!
+//! * [`Solver`] — conflict-driven clause learning with two-watched-literal
+//!   propagation, first-UIP conflict analysis, VSIDS branching with phase
+//!   saving, Luby restarts, and activity-based learned-clause reduction.
+//!   Supports incremental clause addition between solves and solving under
+//!   assumptions — both used by the attack's DIP loop.
+//! * [`Cnf`]/[`Lit`]/[`Var`] — clause database types.
+//! * [`tseitin`] — the Tseitin transformation from a gate-level netlist's
+//!   combinational view to CNF, one variable per net.
+//!
+//! # Example
+//!
+//! ```rust
+//! use glitchlock_sat::{Solver, Lit, SatResult};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+//! s.add_clause(&[Lit::neg(a)]);
+//! assert_eq!(s.solve(), SatResult::Sat);
+//! assert_eq!(s.value(b), Some(true));
+//! // Incremental: adding the blocking clause flips the result.
+//! s.add_clause(&[Lit::neg(b)]);
+//! assert_eq!(s.solve(), SatResult::Unsat);
+//! ```
+
+#![deny(missing_docs)]
+
+mod cnf;
+pub mod dimacs;
+pub mod equiv;
+mod heap;
+mod solver;
+pub mod tseitin;
+
+pub use cnf::{Cnf, Lit, Var};
+pub use solver::{SatResult, Solver, SolverStats};
+pub use tseitin::{encode_comb, encode_comb_into, CnfSink, EncodedPorts, Encoding};

@@ -1,0 +1,389 @@
+//! Tseitin transformation: gate-level netlist → CNF.
+//!
+//! Encodes the *combinational view* of a netlist ([`CombView`]): primary
+//! inputs and flip-flop Q pins become free variables, every other net is
+//! constrained to equal its gate function. This is exactly the abstraction a
+//! netlist-level SAT attack works on — and the reason the glitch key-gate
+//! defeats it: the GK's output is key-independent in this static view, so
+//! the attack's miter can never differ (paper Sec. V-A).
+
+use crate::{Cnf, Lit, Solver, Var};
+use glitchlock_netlist::{CombView, GateKind, NetId, Netlist};
+
+/// A clause consumer: both [`Cnf`] (standalone formulas) and [`Solver`]
+/// (incremental encoding, as the SAT attack's DIP loop needs) accept
+/// Tseitin output.
+pub trait CnfSink {
+    /// Allocates a fresh variable.
+    fn fresh_var(&mut self) -> Var;
+    /// Adds a clause.
+    fn clause(&mut self, lits: &[Lit]);
+}
+
+impl CnfSink for Cnf {
+    fn fresh_var(&mut self) -> Var {
+        self.new_var()
+    }
+    fn clause(&mut self, lits: &[Lit]) {
+        self.add_clause(lits);
+    }
+}
+
+impl CnfSink for Solver {
+    fn fresh_var(&mut self) -> Var {
+        self.new_var()
+    }
+    fn clause(&mut self, lits: &[Lit]) {
+        self.add_clause(lits);
+    }
+}
+
+/// The result of encoding a netlist: the formula plus the net↔variable maps.
+#[derive(Clone, Debug)]
+pub struct Encoding {
+    /// The CNF constraints.
+    pub cnf: Cnf,
+    /// Variable of each net (dense, indexed by [`NetId::index`]).
+    net_var: Vec<Option<Var>>,
+    /// Variables of the view's inputs, in view order.
+    pub input_vars: Vec<Var>,
+    /// Variables of the view's outputs, in view order.
+    pub output_vars: Vec<Var>,
+}
+
+impl Encoding {
+    /// The variable encoding a net, if the net was in the encoded cone.
+    pub fn var_of(&self, net: NetId) -> Option<Var> {
+        self.net_var.get(net.index()).copied().flatten()
+    }
+}
+
+/// Encodes the combinational view of `netlist` into CNF.
+///
+/// Every net with a combinational driver (or a view input) receives a
+/// variable; gate semantics become clauses. N-ary XOR/XNOR chains introduce
+/// auxiliary variables.
+///
+/// # Panics
+///
+/// Panics if the netlist fails validation (undriven read nets).
+pub fn encode_comb(netlist: &Netlist, view: &CombView) -> Encoding {
+    let mut cnf = Cnf::new();
+    let ports = encode_comb_into(&mut cnf, netlist, view, &[]);
+    Encoding {
+        cnf,
+        net_var: ports.net_var,
+        input_vars: ports.input_vars,
+        output_vars: ports.output_vars,
+    }
+}
+
+/// Variable bindings produced by [`encode_comb_into`].
+#[derive(Clone, Debug)]
+pub struct EncodedPorts {
+    /// Variables of the view's inputs, in view order.
+    pub input_vars: Vec<Var>,
+    /// Variables of the view's outputs, in view order.
+    pub output_vars: Vec<Var>,
+    /// Variable of each net (dense, indexed by [`NetId::index`]).
+    pub net_var: Vec<Option<Var>>,
+}
+
+/// Encodes a fresh copy of the combinational view into any [`CnfSink`]
+/// (e.g. directly into a [`Solver`] mid-attack). `pinned` may pre-assign
+/// variables for a prefix of the view inputs — the mechanism the SAT
+/// attack uses to share the data-input variables between its two circuit
+/// copies while keeping the key variables independent.
+///
+/// # Panics
+///
+/// Panics on a cyclic netlist.
+pub fn encode_comb_into<S: CnfSink>(
+    sink: &mut S,
+    netlist: &Netlist,
+    view: &CombView,
+    pinned: &[Option<Var>],
+) -> EncodedPorts {
+    let mut net_var: Vec<Option<Var>> = vec![None; netlist.net_count()];
+
+    // View inputs are free (or pinned) variables.
+    for (i, &n) in view.input_nets().iter().enumerate() {
+        if net_var[n.index()].is_none() {
+            let v = pinned
+                .get(i)
+                .copied()
+                .flatten()
+                .unwrap_or_else(|| sink.fresh_var());
+            net_var[n.index()] = Some(v);
+        }
+    }
+
+    // Walk combinational cells in topological order, assigning output vars.
+    let order = netlist.topo_order().expect("netlist must be acyclic");
+    for cell_id in order {
+        let cell = netlist.cell(cell_id);
+        let out = cell.output();
+        if net_var[out.index()].is_some() {
+            // Flip-flop Q pins that are also view inputs were handled above;
+            // their driving DFF is skipped by `is_combinational` anyway.
+            continue;
+        }
+        let y = {
+            let v = sink.fresh_var();
+            net_var[out.index()] = Some(v);
+            v
+        };
+        let ins: Vec<Var> = cell
+            .inputs()
+            .iter()
+            .map(|n| net_var[n.index()].expect("inputs precede outputs in topo order"))
+            .collect();
+        encode_gate(sink, cell.kind(), y, &ins);
+    }
+
+    let input_vars = view
+        .input_nets()
+        .iter()
+        .map(|n| net_var[n.index()].expect("view input encoded"))
+        .collect();
+    let output_vars = view
+        .output_nets()
+        .iter()
+        .map(|n| net_var[n.index()].expect("view output encoded"))
+        .collect();
+    EncodedPorts {
+        input_vars,
+        output_vars,
+        net_var,
+    }
+}
+
+fn encode_gate<S: CnfSink>(cnf: &mut S, kind: GateKind, y: Var, ins: &[Var]) {
+    let yp = Lit::pos(y);
+    let yn = Lit::neg(y);
+    match kind {
+        GateKind::Input | GateKind::Dff => unreachable!("not combinational"),
+        GateKind::Const0 => cnf.clause(&[yn]),
+        GateKind::Const1 => cnf.clause(&[yp]),
+        GateKind::Buf => {
+            cnf.clause(&[yn, Lit::pos(ins[0])]);
+            cnf.clause(&[yp, Lit::neg(ins[0])]);
+        }
+        GateKind::Inv => {
+            cnf.clause(&[yn, Lit::neg(ins[0])]);
+            cnf.clause(&[yp, Lit::pos(ins[0])]);
+        }
+        GateKind::And => {
+            let mut big: Vec<Lit> = vec![yp];
+            for &a in ins {
+                cnf.clause(&[yn, Lit::pos(a)]);
+                big.push(Lit::neg(a));
+            }
+            cnf.clause(&big);
+        }
+        GateKind::Nand => {
+            let mut big: Vec<Lit> = vec![yn];
+            for &a in ins {
+                cnf.clause(&[yp, Lit::pos(a)]);
+                big.push(Lit::neg(a));
+            }
+            cnf.clause(&big);
+        }
+        GateKind::Or => {
+            let mut big: Vec<Lit> = vec![yn];
+            for &a in ins {
+                cnf.clause(&[yp, Lit::neg(a)]);
+                big.push(Lit::pos(a));
+            }
+            cnf.clause(&big);
+        }
+        GateKind::Nor => {
+            let mut big: Vec<Lit> = vec![yp];
+            for &a in ins {
+                cnf.clause(&[yn, Lit::neg(a)]);
+                big.push(Lit::pos(a));
+            }
+            cnf.clause(&big);
+        }
+        GateKind::Xor => encode_parity(cnf, y, ins, false),
+        GateKind::Xnor => encode_parity(cnf, y, ins, true),
+        GateKind::Mux2 => encode_mux2(cnf, y, ins[0], ins[1], ins[2]),
+        GateKind::Mux4 => {
+            // y = s1 ? (s0 ? in3 : in2) : (s0 ? in1 : in0)
+            let lo = cnf.fresh_var();
+            let hi = cnf.fresh_var();
+            encode_mux2(cnf, lo, ins[0], ins[1], ins[4]);
+            encode_mux2(cnf, hi, ins[2], ins[3], ins[4]);
+            encode_mux2(cnf, y, lo, hi, ins[5]);
+        }
+    }
+}
+
+/// `y = a ^ b ^ … (^ 1 if invert)` via a chain of 2-input XOR constraints.
+fn encode_parity<S: CnfSink>(cnf: &mut S, y: Var, ins: &[Var], invert: bool) {
+    debug_assert!(ins.len() >= 2);
+    let mut acc = ins[0];
+    for (i, &b) in ins[1..].iter().enumerate() {
+        let is_last = i == ins.len() - 2;
+        let target = if is_last && !invert {
+            y
+        } else {
+            cnf.fresh_var()
+        };
+        encode_xor2(cnf, target, acc, b);
+        acc = target;
+    }
+    if invert {
+        // y = !acc
+        cnf.clause(&[Lit::neg(y), Lit::neg(acc)]);
+        cnf.clause(&[Lit::pos(y), Lit::pos(acc)]);
+    }
+}
+
+fn encode_xor2<S: CnfSink>(cnf: &mut S, y: Var, a: Var, b: Var) {
+    let (yp, yn) = (Lit::pos(y), Lit::neg(y));
+    let (ap, an) = (Lit::pos(a), Lit::neg(a));
+    let (bp, bn) = (Lit::pos(b), Lit::neg(b));
+    cnf.clause(&[yn, ap, bp]);
+    cnf.clause(&[yn, an, bn]);
+    cnf.clause(&[yp, an, bp]);
+    cnf.clause(&[yp, ap, bn]);
+}
+
+/// `y = sel ? in1 : in0`.
+fn encode_mux2<S: CnfSink>(cnf: &mut S, y: Var, in0: Var, in1: Var, sel: Var) {
+    let (yp, yn) = (Lit::pos(y), Lit::neg(y));
+    let (sp, sn) = (Lit::pos(sel), Lit::neg(sel));
+    cnf.clause(&[sp, Lit::neg(in0), yp]);
+    cnf.clause(&[sp, Lit::pos(in0), yn]);
+    cnf.clause(&[sn, Lit::neg(in1), yp]);
+    cnf.clause(&[sn, Lit::pos(in1), yn]);
+    // Redundant but propagation-strengthening clauses.
+    cnf.clause(&[Lit::neg(in0), Lit::neg(in1), yp]);
+    cnf.clause(&[Lit::pos(in0), Lit::pos(in1), yn]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SatResult, Solver};
+    use glitchlock_netlist::{Logic, Netlist};
+
+    /// Checks the encoding against direct evaluation on all input patterns.
+    fn check_equiv(netlist: &Netlist) {
+        let view = CombView::new(netlist);
+        let enc = encode_comb(netlist, &view);
+        let n = view.num_inputs();
+        assert!(n <= 12, "exhaustive check needs few inputs");
+        for bits in 0u32..(1 << n) {
+            let input_bools: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            let logic: Vec<Logic> = input_bools.iter().map(|&b| Logic::from_bool(b)).collect();
+            let expect = view.eval(netlist, &logic);
+            let mut solver = Solver::from_cnf(&enc.cnf);
+            let assumptions: Vec<Lit> = enc
+                .input_vars
+                .iter()
+                .zip(&input_bools)
+                .map(|(&v, &b)| Lit::with_sign(v, !b))
+                .collect();
+            assert_eq!(solver.solve_with(&assumptions), SatResult::Sat);
+            for (i, &ov) in enc.output_vars.iter().enumerate() {
+                let got = solver.value(ov);
+                match expect[i].to_bool() {
+                    Some(b) => assert_eq!(
+                        got,
+                        Some(b),
+                        "output {i} mismatch for input bits {bits:b}"
+                    ),
+                    None => panic!("X in fully-driven combinational circuit"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_adder_equivalence() {
+        let mut nl = Netlist::new("fa");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let cin = nl.add_input("cin");
+        let axb = nl.add_gate(GateKind::Xor, &[a, b]).unwrap();
+        let s = nl.add_gate(GateKind::Xor, &[axb, cin]).unwrap();
+        let t1 = nl.add_gate(GateKind::Nand, &[a, b]).unwrap();
+        let t2 = nl.add_gate(GateKind::Nand, &[axb, cin]).unwrap();
+        let cout = nl.add_gate(GateKind::Nand, &[t1, t2]).unwrap();
+        nl.mark_output(s, "sum");
+        nl.mark_output(cout, "cout");
+        check_equiv(&nl);
+    }
+
+    #[test]
+    fn every_gate_kind_equivalence() {
+        let mut nl = Netlist::new("kinds");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        for kind in [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ] {
+            let y2 = nl.add_gate(kind, &[a, b]).unwrap();
+            let y3 = nl.add_gate(kind, &[a, b, c]).unwrap();
+            nl.mark_output(y2, format!("{kind}2"));
+            nl.mark_output(y3, format!("{kind}3"));
+        }
+        let inv = nl.add_gate(GateKind::Inv, &[a]).unwrap();
+        let buf = nl.add_gate(GateKind::Buf, &[b]).unwrap();
+        let mux = nl.add_gate(GateKind::Mux2, &[a, b, c]).unwrap();
+        let c0 = nl.add_gate(GateKind::Const0, &[]).unwrap();
+        let c1 = nl.add_gate(GateKind::Const1, &[]).unwrap();
+        nl.mark_output(inv, "inv");
+        nl.mark_output(buf, "buf");
+        nl.mark_output(mux, "mux");
+        nl.mark_output(c0, "c0");
+        nl.mark_output(c1, "c1");
+        check_equiv(&nl);
+    }
+
+    #[test]
+    fn mux4_equivalence() {
+        let mut nl = Netlist::new("m4");
+        let ins: Vec<_> = (0..6).map(|i| nl.add_input(format!("i{i}"))).collect();
+        let y = nl.add_gate(GateKind::Mux4, &ins).unwrap();
+        nl.mark_output(y, "y");
+        check_equiv(&nl);
+    }
+
+    #[test]
+    fn sequential_view_exposes_ff_boundary_vars() {
+        let mut nl = Netlist::new("seq");
+        let a = nl.add_input("a");
+        let d = nl.add_gate(GateKind::Inv, &[a]).unwrap();
+        let q = nl.add_dff(d).unwrap();
+        let y = nl.add_gate(GateKind::And, &[q, a]).unwrap();
+        nl.mark_output(y, "y");
+        check_equiv(&nl);
+        let view = CombView::new(&nl);
+        let enc = encode_comb(&nl, &view);
+        assert_eq!(enc.input_vars.len(), 2, "PI + pseudo-PI");
+        assert_eq!(enc.output_vars.len(), 2, "PO + pseudo-PO");
+        assert!(enc.var_of(q).is_some());
+    }
+
+    #[test]
+    fn var_of_unencoded_net_is_none() {
+        let mut nl = Netlist::new("seq");
+        let a = nl.add_input("a");
+        let y = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+        nl.mark_output(y, "y");
+        let view = CombView::new(&nl);
+        let enc = encode_comb(&nl, &view);
+        assert!(enc.var_of(NetId::from_index(999).min(NetId::from_index(1))).is_some());
+        // A fabricated out-of-range id yields None rather than panicking.
+        assert!(enc.var_of(NetId::from_index(10_000)).is_none());
+    }
+}

@@ -1,0 +1,113 @@
+//! Switching-activity (dynamic power) accounting.
+//!
+//! Dynamic power is proportional to toggle count × switched capacitance.
+//! Glitches are pure overhead in ordinary designs — and the GK *adds* one
+//! deliberate glitch per locked flip-flop per cycle, so its power cost is a
+//! natural companion metric to Table II's area numbers (not reported in
+//! the paper; measured here as an extension).
+
+use crate::SimResult;
+use glitchlock_netlist::Netlist;
+use glitchlock_stdcell::Library;
+
+/// Switching-activity summary of a simulation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ActivityReport {
+    /// Total net transitions observed.
+    pub toggles: u64,
+    /// Capacitance-weighted toggles: each transition weighted by the
+    /// driven fanout + 1 (a first-order switched-capacitance proxy).
+    pub weighted_toggles: u64,
+}
+
+impl ActivityReport {
+    /// Relative dynamic-power proxy against a baseline run (1.0 = equal).
+    pub fn relative_to(&self, baseline: &ActivityReport) -> f64 {
+        if baseline.weighted_toggles == 0 {
+            return if self.weighted_toggles == 0 { 1.0 } else { f64::INFINITY };
+        }
+        self.weighted_toggles as f64 / baseline.weighted_toggles as f64
+    }
+}
+
+/// Tallies switching activity over every net of a finished run.
+pub fn activity(netlist: &Netlist, result: &SimResult) -> ActivityReport {
+    let mut report = ActivityReport::default();
+    for (net_id, net) in netlist.nets() {
+        let toggles = result.waveform(net_id).transition_count() as u64;
+        report.toggles += toggles;
+        report.weighted_toggles += toggles * (net.fanout().len() as u64 + 1);
+    }
+    report
+}
+
+/// Convenience: the library is accepted for future per-cell capacitance
+/// models; the first-order proxy only needs fanout counts.
+pub fn activity_with_library(
+    netlist: &Netlist,
+    _library: &Library,
+    result: &SimResult,
+) -> ActivityReport {
+    activity(netlist, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimConfig, Simulator, Stimulus};
+    use glitchlock_netlist::{GateKind, Logic};
+    use glitchlock_stdcell::Ps;
+
+    #[test]
+    fn toggles_counted_and_weighted() {
+        let lib = Library::cl013g_like();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_gate(GateKind::Inv, &[a]).unwrap();
+        // Fanout of 2 on the inverter output.
+        let b1 = nl.add_gate(GateKind::Buf, &[y]).unwrap();
+        let b2 = nl.add_gate(GateKind::Buf, &[y]).unwrap();
+        nl.mark_output(b1, "o1");
+        nl.mark_output(b2, "o2");
+        let mut stim = Stimulus::new();
+        stim.set(a, Logic::Zero).rise(Ps(1000), a).fall(Ps(2000), a);
+        let res = Simulator::new(&nl, &lib, SimConfig::new()).run(&stim, Ps(5000));
+        let report = activity(&nl, &res);
+        // a toggles twice, y twice, b1 twice, b2 twice = 8.
+        assert_eq!(report.toggles, 8);
+        // Weights: a drives 1 sink (2 each), y drives 2 (3 each), b1/b2
+        // drive 0 (1 each): 2*2 + 2*3 + 2*1 + 2*1 = 14.
+        assert_eq!(report.weighted_toggles, 14);
+        assert_eq!(report.relative_to(&report), 1.0);
+    }
+
+    #[test]
+    fn glitching_raises_activity() {
+        // An XOR hazard generator toggles more under transport delay than
+        // the same circuit with the hazard masked.
+        let lib = Library::cl013g_like();
+        let mut nl = Netlist::new("g");
+        let a = nl.add_input("a");
+        let slow = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+        nl.bind_lib(nl.net(slow).driver().unwrap(), lib.by_name("DLY4X1").unwrap())
+            .unwrap();
+        let y = nl.add_gate(GateKind::Xor, &[a, slow]).unwrap();
+        nl.mark_output(y, "y");
+        let mut stim = Stimulus::new();
+        stim.set(a, Logic::Zero).rise(Ps(1000), a);
+        let res = Simulator::new(&nl, &lib, SimConfig::new()).run(&stim, Ps(5000));
+        let glitchy = activity(&nl, &res);
+        // Same stimulus, inertial model: the 1ns pulse survives the XOR (it
+        // is wider than the XOR delay), so compare against a steady input
+        // instead: no transition at all.
+        let calm_stim = {
+            let mut s = Stimulus::new();
+            s.set(a, Logic::Zero);
+            s
+        };
+        let res = Simulator::new(&nl, &lib, SimConfig::new()).run(&calm_stim, Ps(5000));
+        let calm = activity(&nl, &res);
+        assert!(glitchy.toggles > calm.toggles);
+        assert!(glitchy.relative_to(&calm).is_infinite() || glitchy.relative_to(&calm) > 1.0);
+    }
+}

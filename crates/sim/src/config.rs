@@ -1,0 +1,151 @@
+//! Simulation configuration: delay model and clocking.
+
+use glitchlock_netlist::CellId;
+use glitchlock_stdcell::Ps;
+use std::collections::HashMap;
+
+/// How gate delays filter pulses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DelayModel {
+    /// Every transition propagates; narrow pulses survive. The glitch
+    /// key-gate is designed under this model.
+    #[default]
+    Transport,
+    /// A gate output keeps only its most recently scheduled transition:
+    /// pulses shorter than the propagation delay are swallowed.
+    Inertial,
+}
+
+/// Clock description: a single global clock with optional per-flip-flop skew.
+///
+/// Flip-flop `i` sees rising edges at `first_edge + skew(i) + k·period`
+/// for `k = 0, 1, …` — `skew(i)` is the paper's clock arrival time `T_i`
+/// offset.
+#[derive(Clone, Debug)]
+pub struct ClockSpec {
+    /// Clock period (`T_clk`).
+    pub period: Ps,
+    /// Time of the first rising edge at a zero-skew flip-flop.
+    pub first_edge: Ps,
+    /// Per-flip-flop clock arrival offset.
+    pub skew: HashMap<CellId, Ps>,
+}
+
+impl ClockSpec {
+    /// A zero-skew clock whose first edge lands one full period after t=0.
+    pub fn new(period: Ps) -> Self {
+        ClockSpec {
+            period,
+            first_edge: period,
+            skew: HashMap::new(),
+        }
+    }
+
+    /// Sets the first-edge time (useful for aligning diagrams with the
+    /// paper's figures).
+    pub fn with_first_edge(mut self, t: Ps) -> Self {
+        self.first_edge = t;
+        self
+    }
+
+    /// Adds clock skew for one flip-flop.
+    pub fn with_skew(mut self, ff: CellId, skew: Ps) -> Self {
+        self.skew.insert(ff, skew);
+        self
+    }
+
+    /// Clock arrival offset of a flip-flop (the paper's `T_i` relative to
+    /// the common edge).
+    pub fn skew_of(&self, ff: CellId) -> Ps {
+        self.skew.get(&ff).copied().unwrap_or(Ps::ZERO)
+    }
+
+    /// Rising-edge times of a flip-flop within `[0, until]`.
+    pub fn edges_for(&self, ff: CellId, until: Ps) -> Vec<Ps> {
+        let mut t = self.first_edge + self.skew_of(ff);
+        let mut edges = Vec::new();
+        while t <= until {
+            edges.push(t);
+            t += self.period;
+        }
+        edges
+    }
+}
+
+/// Complete simulator configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Pulse-filtering model.
+    pub delay_model: DelayModel,
+    /// When true, ordinary gates have zero delay and only cells explicitly
+    /// bound to library **delay cells** (`DLYx`) keep their delay. This
+    /// mirrors the paper's Sec. II exposition, which "first ignores gate
+    /// delays" to isolate the delay-element behaviour.
+    pub ideal_gates: bool,
+    /// Clock description.
+    pub clock: ClockSpec,
+}
+
+impl SimConfig {
+    /// Transport delay, real library delays, 10ns clock.
+    pub fn new() -> Self {
+        SimConfig {
+            delay_model: DelayModel::Transport,
+            ideal_gates: false,
+            clock: ClockSpec::new(Ps::from_ns(10)),
+        }
+    }
+
+    /// Transport delay with idealized (zero-delay) gates — only delay cells
+    /// delay. Matches the paper's timing diagrams (Figs. 4, 6, 9).
+    pub fn ideal() -> Self {
+        SimConfig {
+            ideal_gates: true,
+            ..SimConfig::new()
+        }
+    }
+
+    /// Replaces the clock.
+    pub fn with_clock(mut self, clock: ClockSpec) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Replaces the delay model.
+    pub fn with_delay_model(mut self, model: DelayModel) -> Self {
+        self.delay_model = model;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_respect_skew_and_period() {
+        let ff = CellId::from_index(0);
+        let clk = ClockSpec::new(Ps::from_ns(8)).with_skew(ff, Ps::from_ns(1));
+        let edges = clk.edges_for(ff, Ps::from_ns(26));
+        assert_eq!(edges, vec![Ps::from_ns(9), Ps::from_ns(17), Ps::from_ns(25)]);
+        let other = CellId::from_index(1);
+        assert_eq!(clk.skew_of(other), Ps::ZERO);
+        assert_eq!(clk.edges_for(other, Ps::from_ns(16)), vec![Ps::from_ns(8), Ps::from_ns(16)]);
+    }
+
+    #[test]
+    fn config_builders() {
+        let cfg = SimConfig::ideal().with_delay_model(DelayModel::Inertial);
+        assert!(cfg.ideal_gates);
+        assert_eq!(cfg.delay_model, DelayModel::Inertial);
+        let cfg = SimConfig::default().with_clock(ClockSpec::new(Ps::from_ns(4)).with_first_edge(Ps::from_ns(2)));
+        assert_eq!(cfg.clock.period, Ps::from_ns(4));
+        assert_eq!(cfg.clock.first_edge, Ps::from_ns(2));
+    }
+}

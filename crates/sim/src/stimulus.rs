@@ -1,0 +1,130 @@
+//! Input stimulus description.
+
+use glitchlock_netlist::{CellId, Logic, NetId};
+use glitchlock_stdcell::Ps;
+use std::collections::HashMap;
+
+/// Input waveforms and initial state for a simulation run.
+///
+/// Values not set default to `X`. The circuit is assumed settled at t = 0
+/// with the initial values (the simulator seeds every internal net with the
+/// zero-delay evaluation of the initial assignment).
+#[derive(Clone, Debug, Default)]
+pub struct Stimulus {
+    initial: HashMap<NetId, Logic>,
+    initial_ff: HashMap<CellId, Logic>,
+    events: Vec<(Ps, NetId, Logic)>,
+}
+
+impl Stimulus {
+    /// An empty stimulus (all inputs and flip-flops start at `X`).
+    pub fn new() -> Self {
+        Stimulus::default()
+    }
+
+    /// Sets the initial (t = 0) value of an input net.
+    pub fn set(&mut self, net: NetId, value: Logic) -> &mut Self {
+        self.initial.insert(net, value);
+        self
+    }
+
+    /// Sets the initial Q value of a flip-flop.
+    pub fn set_ff(&mut self, ff: CellId, value: Logic) -> &mut Self {
+        self.initial_ff.insert(ff, value);
+        self
+    }
+
+    /// Schedules an input net to change to `value` at `time`.
+    pub fn at(&mut self, time: Ps, net: NetId, value: Logic) -> &mut Self {
+        self.events.push((time, net, value));
+        self
+    }
+
+    /// Schedules a positive pulse `[start, start+width)` on an input that is
+    /// otherwise low, or the inverse for an input that is high at `start`.
+    pub fn pulse(&mut self, start: Ps, width: Ps, net: NetId, level: Logic) -> &mut Self {
+        self.at(start, net, level);
+        self.at(start + width, net, !level);
+        self
+    }
+
+    /// Schedules a rising transition at `time` (0 before, 1 after).
+    pub fn rise(&mut self, time: Ps, net: NetId) -> &mut Self {
+        self.at(time, net, Logic::One)
+    }
+
+    /// Schedules a falling transition at `time`.
+    pub fn fall(&mut self, time: Ps, net: NetId) -> &mut Self {
+        self.at(time, net, Logic::Zero)
+    }
+
+    /// Initial value of an input net (default `X`).
+    pub fn initial_of(&self, net: NetId) -> Logic {
+        self.initial.get(&net).copied().unwrap_or(Logic::X)
+    }
+
+    /// Initial Q of a flip-flop (default `X`).
+    pub fn initial_ff_of(&self, ff: CellId) -> Logic {
+        self.initial_ff.get(&ff).copied().unwrap_or(Logic::X)
+    }
+
+    /// The scheduled input events, sorted by time (stable for equal times).
+    pub fn sorted_events(&self) -> Vec<(Ps, NetId, Logic)> {
+        let mut ev = self.events.clone();
+        ev.sort_by_key(|&(t, _, _)| t);
+        ev
+    }
+
+    /// Number of scheduled events.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_x() {
+        let stim = Stimulus::new();
+        assert_eq!(stim.initial_of(NetId::from_index(0)), Logic::X);
+        assert_eq!(stim.initial_ff_of(CellId::from_index(0)), Logic::X);
+    }
+
+    #[test]
+    fn pulse_schedules_two_edges() {
+        let n = NetId::from_index(3);
+        let mut stim = Stimulus::new();
+        stim.set(n, Logic::Zero)
+            .pulse(Ps(100), Ps(50), n, Logic::One);
+        let ev = stim.sorted_events();
+        assert_eq!(ev, vec![(Ps(100), n, Logic::One), (Ps(150), n, Logic::Zero)]);
+    }
+
+    #[test]
+    fn events_sorted_stably() {
+        let a = NetId::from_index(0);
+        let b = NetId::from_index(1);
+        let mut stim = Stimulus::new();
+        stim.at(Ps(200), a, Logic::One)
+            .at(Ps(100), b, Logic::One)
+            .at(Ps(200), b, Logic::Zero);
+        let ev = stim.sorted_events();
+        assert_eq!(ev[0].1, b);
+        assert_eq!(ev[1], (Ps(200), a, Logic::One));
+        assert_eq!(ev[2], (Ps(200), b, Logic::Zero));
+        assert_eq!(stim.event_count(), 3);
+    }
+
+    #[test]
+    fn rise_and_fall_shorthand() {
+        let n = NetId::from_index(0);
+        let mut stim = Stimulus::new();
+        stim.rise(Ps(10), n).fall(Ps(20), n);
+        assert_eq!(
+            stim.sorted_events(),
+            vec![(Ps(10), n, Logic::One), (Ps(20), n, Logic::Zero)]
+        );
+    }
+}

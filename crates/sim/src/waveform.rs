@@ -1,0 +1,236 @@
+//! Recorded signal waveforms.
+
+use glitchlock_netlist::Logic;
+use glitchlock_stdcell::Ps;
+use std::fmt;
+
+/// The recorded history of one net: an initial value plus a sorted list of
+/// `(time, new-value)` changes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Waveform {
+    initial: Logic,
+    changes: Vec<(Ps, Logic)>,
+}
+
+impl Waveform {
+    /// A waveform that holds `initial` forever (until changes are pushed).
+    pub fn constant(initial: Logic) -> Self {
+        Waveform {
+            initial,
+            changes: Vec::new(),
+        }
+    }
+
+    /// Appends a change. Same-time changes collapse to the last value;
+    /// no-op changes are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug only) if `time` is before the last recorded change.
+    pub fn push(&mut self, time: Ps, value: Logic) {
+        if let Some(last) = self.changes.last_mut() {
+            debug_assert!(time >= last.0, "waveform changes must be time-ordered");
+            if last.0 == time {
+                last.1 = value;
+                // Collapse a change that lands back on the previous level.
+                let prev = self
+                    .changes
+                    .len()
+                    .checked_sub(2)
+                    .map(|i| self.changes[i].1)
+                    .unwrap_or(self.initial);
+                if prev == value {
+                    self.changes.pop();
+                }
+                return;
+            }
+            if last.1 == value {
+                return;
+            }
+        } else if self.initial == value {
+            return;
+        }
+        self.changes.push((time, value));
+    }
+
+    /// Value at time `t` (changes take effect exactly at their timestamp).
+    pub fn value_at(&self, t: Ps) -> Logic {
+        match self.changes.binary_search_by_key(&t, |&(ct, _)| ct) {
+            Ok(i) => self.changes[i].1,
+            Err(0) => self.initial,
+            Err(i) => self.changes[i - 1].1,
+        }
+    }
+
+    /// Initial value.
+    pub fn initial(&self) -> Logic {
+        self.initial
+    }
+
+    /// The `(time, value)` change list.
+    pub fn changes(&self) -> &[(Ps, Logic)] {
+        &self.changes
+    }
+
+    /// Number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// True if the signal holds a single value across `[from, to]`
+    /// (inclusive of both endpoints).
+    pub fn stable_in(&self, from: Ps, to: Ps) -> bool {
+        !self.changes.iter().any(|&(t, _)| t > from && t <= to)
+    }
+
+    /// Maximal constant-level intervals as `(start, end, level)`, with the
+    /// final interval ending at `until`.
+    pub fn levels(&self, until: Ps) -> Vec<(Ps, Ps, Logic)> {
+        let mut out = Vec::new();
+        let mut cur_start = Ps::ZERO;
+        let mut cur_val = self.initial;
+        for &(t, v) in &self.changes {
+            if t > until {
+                break;
+            }
+            if t > cur_start {
+                out.push((cur_start, t, cur_val));
+            }
+            cur_start = t;
+            cur_val = v;
+        }
+        if cur_start < until {
+            out.push((cur_start, until, cur_val));
+        }
+        out
+    }
+
+    /// Pulses (maximal intervals) at `level` that are strictly shorter than
+    /// `max_width` — the classic glitch query. Returns `(start, end)` pairs.
+    pub fn pulses_shorter_than(&self, level: Logic, max_width: Ps, until: Ps) -> Vec<(Ps, Ps)> {
+        self.levels(until)
+            .into_iter()
+            .filter(|&(s, e, v)| v == level && e - s < max_width && s > Ps::ZERO)
+            .map(|(s, e, _)| (s, e))
+            .collect()
+    }
+
+    /// The first pulse at `level` starting at or after `from`, if any.
+    pub fn pulse_after(&self, level: Logic, from: Ps, until: Ps) -> Option<(Ps, Ps)> {
+        self.levels(until)
+            .into_iter()
+            .find(|&(s, _, v)| v == level && s >= from)
+            .map(|(s, e, _)| (s, e))
+    }
+
+    /// Renders the waveform as an ASCII strip with one character per
+    /// `step` of time, e.g. `"___~~~___"` (`_` low, `~` high, `?` unknown).
+    pub fn ascii(&self, until: Ps, step: Ps) -> String {
+        assert!(step > Ps::ZERO, "step must be positive");
+        let mut s = String::new();
+        let mut t = Ps::ZERO;
+        while t < until {
+            s.push(match self.value_at(t) {
+                Logic::Zero => '_',
+                Logic::One => '~',
+                Logic::X => '?',
+            });
+            t += step;
+        }
+        s
+    }
+}
+
+impl fmt::Display for Waveform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.initial)?;
+        for &(t, v) in &self.changes {
+            write!(f, " -[{t}]-> {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic::{One, X, Zero};
+
+    fn pulse_wave() -> Waveform {
+        let mut w = Waveform::constant(Zero);
+        w.push(Ps(3000), One);
+        w.push(Ps(6000), Zero);
+        w
+    }
+
+    #[test]
+    fn value_at_boundaries() {
+        let w = pulse_wave();
+        assert_eq!(w.value_at(Ps(0)), Zero);
+        assert_eq!(w.value_at(Ps(2999)), Zero);
+        assert_eq!(w.value_at(Ps(3000)), One, "change applies at its timestamp");
+        assert_eq!(w.value_at(Ps(5999)), One);
+        assert_eq!(w.value_at(Ps(6000)), Zero);
+    }
+
+    #[test]
+    fn noop_and_sametime_changes_collapse() {
+        let mut w = Waveform::constant(Zero);
+        w.push(Ps(10), Zero); // no-op
+        assert_eq!(w.transition_count(), 0);
+        w.push(Ps(20), One);
+        w.push(Ps(20), Zero); // same-time revert collapses entirely
+        assert_eq!(w.transition_count(), 0);
+        w.push(Ps(30), One);
+        w.push(Ps(30), X); // same-time override keeps the last value
+        assert_eq!(w.changes(), &[(Ps(30), X)]);
+    }
+
+    #[test]
+    fn stability_windows() {
+        let w = pulse_wave();
+        assert!(w.stable_in(Ps(3000), Ps(5999)), "level of the pulse");
+        assert!(!w.stable_in(Ps(2999), Ps(3000)), "edge inside window");
+        assert!(!w.stable_in(Ps(2500), Ps(6500)));
+        assert!(w.stable_in(Ps(6000), Ps(9000)));
+    }
+
+    #[test]
+    fn levels_partition_time() {
+        let w = pulse_wave();
+        assert_eq!(
+            w.levels(Ps(8000)),
+            vec![
+                (Ps(0), Ps(3000), Zero),
+                (Ps(3000), Ps(6000), One),
+                (Ps(6000), Ps(8000), Zero)
+            ]
+        );
+    }
+
+    #[test]
+    fn glitch_query_finds_short_pulse() {
+        let w = pulse_wave();
+        assert_eq!(
+            w.pulses_shorter_than(One, Ps(4000), Ps(10_000)),
+            vec![(Ps(3000), Ps(6000))]
+        );
+        assert!(w.pulses_shorter_than(One, Ps(3000), Ps(10_000)).is_empty());
+        assert_eq!(w.pulse_after(One, Ps(1000), Ps(10_000)), Some((Ps(3000), Ps(6000))));
+        assert_eq!(w.pulse_after(One, Ps(6001), Ps(10_000)), None);
+    }
+
+    #[test]
+    fn ascii_render() {
+        let w = pulse_wave();
+        assert_eq!(w.ascii(Ps(9000), Ps(1000)), "___~~~___");
+    }
+
+    #[test]
+    fn display_lists_changes() {
+        let w = pulse_wave();
+        let s = w.to_string();
+        assert!(s.starts_with('0'));
+        assert!(s.contains("3.0ns"));
+    }
+}

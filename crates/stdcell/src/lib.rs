@@ -1,0 +1,27 @@
+//! Synthetic 0.13µm-class standard-cell library for `glitchlock`.
+//!
+//! The paper characterizes its flow on the TSMC 0.13µm CL013G library, which
+//! is proprietary. This crate substitutes a synthetic library whose *relative*
+//! areas and delays follow published 0.13µm standard-cell characteristics —
+//! the experiments in the paper (Tables I and II) only depend on ratios, so
+//! the substitution preserves the reported shapes (see `DESIGN.md`).
+//!
+//! Provides:
+//!
+//! * [`Ps`] — integer picosecond time (no floating-point drift in the
+//!   paper's window arithmetic, Eqs. (2)–(6)).
+//! * [`AreaMilliUm2`] — integer cell area in thousandths of a µm².
+//! * [`LibCell`]/[`Library`] — cell entries with area, intrinsic delay, a
+//!   fanout-load delay slope, and setup/hold/clk→q data for flip-flops.
+//! * A family of dedicated delay cells (`DLY1`…`DLY8`) plus buffers that the
+//!   delay-chain composer in `glitchlock-synth` uses, mirroring how Design
+//!   Compiler maps "set min-delay" design constraints onto library cells.
+
+#![deny(missing_docs)]
+
+mod library;
+pub mod liberty;
+mod time;
+
+pub use library::{LibCell, Library, SeqTiming};
+pub use time::{AreaMilliUm2, Ps};

@@ -1,0 +1,151 @@
+//! Liberty (`.lib`) format emission.
+//!
+//! Liberty is the de-facto interchange format for standard-cell timing and
+//! area data. Emitting our synthetic library in it serves two purposes:
+//! documentation of exactly what the substituted library contains, and a
+//! bridge for anyone wanting to push the locked netlists through a real
+//! synthesis flow.
+
+use crate::{Library, Ps};
+use glitchlock_netlist::GateKind;
+use std::fmt::Write as _;
+
+/// Serializes the library as minimal Liberty text: cell area, pin
+/// directions, a Boolean `function` per output, and a fixed `cell_rise`/
+/// `cell_fall` intrinsic delay (scalar tables).
+pub fn emit(library: &Library, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "library ({name}) {{");
+    let _ = writeln!(out, "  time_unit : \"1ps\";");
+    let _ = writeln!(out, "  capacitive_load_unit (1, ff);");
+    let _ = writeln!(out, "  area_unit : \"1um2\";");
+    for (_, cell) in library.cells() {
+        if cell.kind() == GateKind::Input {
+            continue;
+        }
+        let _ = writeln!(out, "  cell ({}) {{", cell.name());
+        let _ = writeln!(out, "    area : {:.3};", cell.area().as_um2_f64());
+        if cell.is_delay_cell() {
+            let _ = writeln!(out, "    /* dedicated delay cell */");
+        }
+        let pins = input_pins(cell.kind());
+        for pin in &pins {
+            let _ = writeln!(out, "    pin ({pin}) {{ direction : input; }}");
+        }
+        if let Some(seq) = cell.seq() {
+            let _ = writeln!(out, "    ff (IQ, IQN) {{ clocked_on : \"CK\"; next_state : \"D\"; }}");
+            let _ = writeln!(out, "    pin (CK) {{ direction : input; clock : true; }}");
+            let _ = writeln!(
+                out,
+                "    pin (Q) {{ direction : output; function : \"IQ\"; {} }}",
+                timing_block(seq.clk_to_q, "CK")
+            );
+            let _ = writeln!(
+                out,
+                "    /* setup : {}ps, hold : {}ps */",
+                seq.setup.as_ps(),
+                seq.hold.as_ps()
+            );
+        } else {
+            let func = function_of(cell.kind(), &pins);
+            let _ = writeln!(
+                out,
+                "    pin (Y) {{ direction : output; function : \"{func}\"; {} }}",
+                timing_block(cell.delay(), pins.first().map(String::as_str).unwrap_or("A"))
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn timing_block(delay: Ps, related: &str) -> String {
+    format!(
+        "timing () {{ related_pin : \"{related}\"; cell_rise (scalar) {{ values(\"{0}\"); }} cell_fall (scalar) {{ values(\"{0}\"); }} }}",
+        delay.as_ps()
+    )
+}
+
+fn input_pins(kind: GateKind) -> Vec<String> {
+    let n = match kind {
+        GateKind::Input => 0,
+        GateKind::Const0 | GateKind::Const1 => 0,
+        GateKind::Buf | GateKind::Inv => 1,
+        GateKind::Mux2 => 3,
+        GateKind::Mux4 => 6,
+        GateKind::Dff => 1,
+        _ => 2,
+    };
+    match kind {
+        GateKind::Dff => vec!["D".to_string()],
+        GateKind::Mux2 => vec!["A".into(), "B".into(), "S".into()],
+        GateKind::Mux4 => vec!["A".into(), "B".into(), "C".into(), "D".into(), "S0".into(), "S1".into()],
+        _ => (0..n).map(|i| ((b'A' + i as u8) as char).to_string()).collect(),
+    }
+}
+
+fn function_of(kind: GateKind, pins: &[String]) -> String {
+    let a = pins.first().cloned().unwrap_or_default();
+    let b = pins.get(1).cloned().unwrap_or_default();
+    match kind {
+        GateKind::Const0 => "0".into(),
+        GateKind::Const1 => "1".into(),
+        GateKind::Buf => a,
+        GateKind::Inv => format!("!{a}"),
+        GateKind::And => format!("({a} * {b})"),
+        GateKind::Nand => format!("!({a} * {b})"),
+        GateKind::Or => format!("({a} + {b})"),
+        GateKind::Nor => format!("!({a} + {b})"),
+        GateKind::Xor => format!("({a} ^ {b})"),
+        GateKind::Xnor => format!("!({a} ^ {b})"),
+        GateKind::Mux2 => "((A * !S) + (B * S))".into(),
+        GateKind::Mux4 => {
+            "((A * !S0 * !S1) + (B * S0 * !S1) + (C * !S0 * S1) + (D * S0 * S1))".into()
+        }
+        GateKind::Dff | GateKind::Input => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_every_silicon_cell() {
+        let lib = Library::cl013g_like();
+        let text = emit(&lib, "glitchlock_cl013g");
+        assert!(text.starts_with("library (glitchlock_cl013g) {"));
+        for (_, cell) in lib.cells() {
+            if cell.kind() == GateKind::Input {
+                continue;
+            }
+            assert!(
+                text.contains(&format!("cell ({})", cell.name())),
+                "{} missing",
+                cell.name()
+            );
+        }
+        assert!(text.contains("function : \"!(A * B)\""), "NAND function");
+        assert!(text.contains("clocked_on : \"CK\""), "flip-flop group");
+        assert!(text.contains("area : 3.200;"), "INVX1 area");
+    }
+
+    #[test]
+    fn delay_cells_annotated_and_timed() {
+        let lib = Library::cl013g_like();
+        let text = emit(&lib, "l");
+        assert!(text.contains("/* dedicated delay cell */"));
+        // DLY4X1's 1000ps intrinsic shows up in its timing table.
+        let dly = text.split("cell (DLY4X1)").nth(1).unwrap();
+        assert!(dly.contains("values(\"1000\")"));
+    }
+
+    #[test]
+    fn custom_macros_included_when_extended() {
+        let lib = Library::cl013g_like().with_gk_delay_macros();
+        let text = emit(&lib, "l");
+        assert!(text.contains("cell (GKDLY100)"));
+        assert!(text.contains("cell (GKDLY3000)"));
+    }
+}

@@ -1,0 +1,391 @@
+//! The standard-cell library model.
+
+use crate::{AreaMilliUm2, Ps};
+use glitchlock_netlist::{CellId, GateKind, LibCellId, Netlist};
+use std::collections::HashMap;
+
+/// Setup/hold/clock-to-Q data for sequential cells.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeqTiming {
+    /// Setup time (`T_set` in the paper's Eq. (1)).
+    pub setup: Ps,
+    /// Hold time (`T_hold`).
+    pub hold: Ps,
+    /// Clock-to-Q propagation delay.
+    pub clk_to_q: Ps,
+}
+
+/// One library cell: a concrete implementation of a [`GateKind`].
+#[derive(Clone, Debug)]
+pub struct LibCell {
+    name: String,
+    kind: GateKind,
+    area: AreaMilliUm2,
+    delay: Ps,
+    load_slope: Ps,
+    seq: Option<SeqTiming>,
+    is_delay_cell: bool,
+}
+
+impl LibCell {
+    /// Library cell name, e.g. `"NAND2X1"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The logic function this cell implements.
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Cell area.
+    pub fn area(&self) -> AreaMilliUm2 {
+        self.area
+    }
+
+    /// Intrinsic pin-to-pin delay (at fanout 1).
+    pub fn delay(&self) -> Ps {
+        self.delay
+    }
+
+    /// Additional delay per extra fanout load.
+    pub fn load_slope(&self) -> Ps {
+        self.load_slope
+    }
+
+    /// Sequential timing data (present only for flip-flops).
+    pub fn seq(&self) -> Option<SeqTiming> {
+        self.seq
+    }
+
+    /// True for the dedicated delay cells (`DLYx`) used by the delay-chain
+    /// composer.
+    pub fn is_delay_cell(&self) -> bool {
+        self.is_delay_cell
+    }
+
+    /// Total delay through this cell when driving `fanout` sinks.
+    pub fn delay_with_fanout(&self, fanout: usize) -> Ps {
+        self.delay + self.load_slope * (fanout.saturating_sub(1) as u64)
+    }
+}
+
+/// A standard-cell library: a set of [`LibCell`]s plus a default binding per
+/// [`GateKind`].
+#[derive(Clone, Debug)]
+pub struct Library {
+    cells: Vec<LibCell>,
+    defaults: HashMap<GateKind, LibCellId>,
+    by_name: HashMap<String, LibCellId>,
+}
+
+impl Library {
+    /// Builds the project's synthetic 0.13µm-class library.
+    ///
+    /// Relative areas and delays follow published 0.13µm standard-cell data:
+    /// an inverter is the area unit (~3.2µm², ~25ps), XOR/XNOR cost roughly
+    /// 2.3×, a D flip-flop roughly 6×; the `DLY1/2/4/8` delay cells trade
+    /// area for large intrinsic delays the way real "delay buffer" cells do.
+    pub fn cl013g_like() -> Self {
+        let mut lib = Library {
+            cells: Vec::new(),
+            defaults: HashMap::new(),
+            by_name: HashMap::new(),
+        };
+        use GateKind::*;
+        // name, kind, area(milli-µm²), delay(ps), load-slope(ps), delay-cell?
+        let combo: &[(&str, GateKind, u64, u64, u64, bool)] = &[
+            ("INVX1", Inv, 3_200, 25, 8, false),
+            ("BUFX1", Buf, 4_300, 55, 7, false),
+            ("AND2X1", And, 4_500, 60, 9, false),
+            ("NAND2X1", Nand, 3_800, 40, 9, false),
+            ("OR2X1", Or, 4_500, 65, 9, false),
+            ("NOR2X1", Nor, 3_800, 45, 9, false),
+            ("XOR2X1", Xor, 7_500, 90, 11, false),
+            ("XNOR2X1", Xnor, 7_500, 95, 11, false),
+            ("MUX2X1", Mux2, 7_800, 80, 10, false),
+            ("MUX4X1", Mux4, 16_800, 140, 12, false),
+            // X2 drive strengths: same function, more area, much lower
+            // fanout sensitivity. Never defaults (X1 entries come first).
+            ("INVX2", Inv, 4_500, 24, 4, false),
+            ("BUFX2", Buf, 6_000, 52, 3, false),
+            ("AND2X2", And, 6_300, 58, 4, false),
+            ("NAND2X2", Nand, 5_300, 38, 4, false),
+            ("OR2X2", Or, 6_300, 62, 4, false),
+            ("NOR2X2", Nor, 5_300, 43, 4, false),
+            ("XOR2X2", Xor, 10_500, 86, 5, false),
+            ("XNOR2X2", Xnor, 10_500, 90, 5, false),
+            ("MUX2X2", Mux2, 10_900, 76, 5, false),
+            ("MUX4X2", Mux4, 23_500, 134, 6, false),
+            ("TIELO", Const0, 1_600, 0, 0, false),
+            ("TIEHI", Const1, 1_600, 0, 0, false),
+            // Input markers occupy no silicon.
+            ("PORT", Input, 0, 0, 0, false),
+            // Dedicated delay cells: large intrinsic delay per unit area.
+            ("DLY1X1", Buf, 5_400, 250, 7, true),
+            ("DLY2X1", Buf, 6_900, 500, 7, true),
+            ("DLY4X1", Buf, 9_800, 1_000, 7, true),
+            ("DLY8X1", Buf, 15_600, 2_000, 7, true),
+        ];
+        for &(name, kind, area, delay, slope, is_delay) in combo {
+            lib.push(LibCell {
+                name: name.to_string(),
+                kind,
+                area: AreaMilliUm2(area),
+                delay: Ps(delay),
+                load_slope: Ps(slope),
+                seq: None,
+                is_delay_cell: is_delay,
+            });
+        }
+        lib.push(LibCell {
+            name: "DFFX1".to_string(),
+            kind: Dff,
+            area: AreaMilliUm2(19_400),
+            delay: Ps(0),
+            load_slope: Ps(8),
+            seq: Some(SeqTiming {
+                setup: Ps(90),
+                hold: Ps(35),
+                clk_to_q: Ps(160),
+            }),
+            is_delay_cell: false,
+        });
+        lib
+    }
+
+    /// Extends the library with **customized GK delay macros** — the
+    /// paper's stated future work: "when the customized delay elements for
+    /// GKs are available, the area overhead will be significantly reduced"
+    /// (Sec. VI). Models compact current-starved delay cells at 100ps
+    /// granularity from 100ps to 3ns, each a single cell of near-constant
+    /// small area, so a GK delay chain collapses to one or two cells.
+    pub fn with_gk_delay_macros(mut self) -> Self {
+        for n in 1..=30u64 {
+            self.push(LibCell {
+                name: format!("GKDLY{n}00"),
+                kind: GateKind::Buf,
+                // Area grows sub-linearly: a starved chain is dense.
+                area: AreaMilliUm2(2_500 + 80 * n),
+                delay: Ps(100 * n),
+                load_slope: Ps(7),
+                seq: None,
+                is_delay_cell: true,
+            });
+        }
+        self
+    }
+
+    fn push(&mut self, cell: LibCell) -> LibCellId {
+        let id = LibCellId(self.cells.len() as u32);
+        self.by_name.insert(cell.name.clone(), id);
+        // First cell of a kind (that is not a delay cell) becomes the default.
+        if !cell.is_delay_cell {
+            self.defaults.entry(cell.kind).or_insert(id);
+        }
+        self.cells.push(cell);
+        id
+    }
+
+    /// Borrows a cell entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id from a different library.
+    pub fn cell(&self, id: LibCellId) -> &LibCell {
+        &self.cells[id.0 as usize]
+    }
+
+    /// Looks a cell up by name.
+    pub fn by_name(&self, name: &str) -> Option<LibCellId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The default binding for a gate kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library has no cell for `kind` (the built-in library
+    /// covers every kind).
+    pub fn default_cell(&self, kind: GateKind) -> LibCellId {
+        *self
+            .defaults
+            .get(&kind)
+            .unwrap_or_else(|| panic!("library has no cell implementing {kind}"))
+    }
+
+    /// All cells.
+    pub fn cells(&self) -> impl ExactSizeIterator<Item = (LibCellId, &LibCell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (LibCellId(i as u32), c))
+    }
+
+    /// The delay cells available to the chain composer, sorted by decreasing
+    /// intrinsic delay.
+    pub fn delay_cells(&self) -> Vec<LibCellId> {
+        let mut v: Vec<LibCellId> = self
+            .cells()
+            .filter(|(_, c)| c.is_delay_cell)
+            .map(|(id, _)| id)
+            .collect();
+        v.sort_by_key(|&id| std::cmp::Reverse(self.cell(id).delay()));
+        v
+    }
+
+    /// The next drive strength up from `id` by naming convention
+    /// (`…X1` → `…X2`), if the library has one.
+    pub fn upsize_of(&self, id: LibCellId) -> Option<LibCellId> {
+        let name = self.cell(id).name();
+        let upsized = name.strip_suffix("X1").map(|base| format!("{base}X2"))?;
+        self.by_name(&upsized)
+            .filter(|&u| self.cell(u).kind() == self.cell(id).kind())
+    }
+
+    /// Resolves the library cell for a netlist cell: its explicit binding if
+    /// present, otherwise the default for its kind.
+    pub fn resolve(&self, netlist: &Netlist, cell: CellId) -> &LibCell {
+        let c = netlist.cell(cell);
+        let id = c.lib().unwrap_or_else(|| self.default_cell(c.kind()));
+        self.cell(id)
+    }
+
+    /// Propagation delay of a netlist cell including its fanout load.
+    pub fn cell_delay(&self, netlist: &Netlist, cell: CellId) -> Ps {
+        let lib = self.resolve(netlist, cell);
+        let fanout = netlist.net(netlist.cell(cell).output()).fanout().len();
+        lib.delay_with_fanout(fanout)
+    }
+
+    /// Sequential timing of a netlist flip-flop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not bound to a sequential library cell.
+    pub fn ff_timing(&self, netlist: &Netlist, cell: CellId) -> SeqTiming {
+        self.resolve(netlist, cell)
+            .seq()
+            .expect("flip-flop must resolve to a sequential library cell")
+    }
+
+    /// Sums the area of every silicon cell in a netlist (input markers are
+    /// free).
+    pub fn total_area(&self, netlist: &Netlist) -> AreaMilliUm2 {
+        netlist
+            .cells()
+            .map(|(id, _)| self.resolve(netlist, id).area())
+            .sum()
+    }
+
+    /// Counts silicon cells the way the paper does: gates plus flip-flops,
+    /// excluding ports and tie cells.
+    pub fn silicon_cell_count(&self, netlist: &Netlist) -> usize {
+        netlist
+            .cells()
+            .filter(|(_, c)| {
+                !matches!(
+                    c.kind(),
+                    GateKind::Input | GateKind::Const0 | GateKind::Const1
+                )
+            })
+            .count()
+    }
+}
+
+impl Default for Library {
+    fn default() -> Self {
+        Library::cl013g_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_bindings_cover_all_kinds() {
+        let lib = Library::cl013g_like();
+        for kind in [
+            GateKind::Inv,
+            GateKind::Buf,
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::Mux2,
+            GateKind::Mux4,
+            GateKind::Dff,
+            GateKind::Const0,
+            GateKind::Const1,
+            GateKind::Input,
+        ] {
+            let id = lib.default_cell(kind);
+            assert_eq!(lib.cell(id).kind(), kind);
+            assert!(!lib.cell(id).is_delay_cell(), "default must not be a DLY cell");
+        }
+    }
+
+    #[test]
+    fn delay_cells_sorted_descending() {
+        let lib = Library::cl013g_like();
+        let dlys = lib.delay_cells();
+        assert_eq!(dlys.len(), 4);
+        let delays: Vec<u64> = dlys.iter().map(|&d| lib.cell(d).delay().as_ps()).collect();
+        assert_eq!(delays, vec![2000, 1000, 500, 250]);
+    }
+
+    #[test]
+    fn fanout_load_increases_delay() {
+        let lib = Library::cl013g_like();
+        let inv = lib.cell(lib.by_name("INVX1").unwrap());
+        assert_eq!(inv.delay_with_fanout(1), Ps(25));
+        assert_eq!(inv.delay_with_fanout(4), Ps(25 + 3 * 8));
+        // Zero fanout behaves like fanout 1.
+        assert_eq!(inv.delay_with_fanout(0), Ps(25));
+    }
+
+    #[test]
+    fn dff_has_seq_timing() {
+        let lib = Library::cl013g_like();
+        let ff = lib.cell(lib.default_cell(GateKind::Dff));
+        let seq = ff.seq().unwrap();
+        assert!(seq.setup > Ps::ZERO);
+        assert!(seq.hold > Ps::ZERO);
+        assert!(seq.clk_to_q > seq.hold);
+    }
+
+    #[test]
+    fn netlist_accounting() {
+        use glitchlock_netlist::Netlist;
+        let lib = Library::cl013g_like();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate(GateKind::Nand, &[a, b]).unwrap();
+        let q = nl.add_dff(y).unwrap();
+        nl.mark_output(q, "q");
+        assert_eq!(lib.silicon_cell_count(&nl), 2);
+        let area = lib.total_area(&nl);
+        assert_eq!(area, AreaMilliUm2(3_800 + 19_400));
+        // NAND drives one sink (the FF).
+        let nand = nl.net(y).driver().unwrap();
+        assert_eq!(lib.cell_delay(&nl, nand), Ps(40));
+    }
+
+    #[test]
+    fn explicit_binding_overrides_default() {
+        use glitchlock_netlist::Netlist;
+        let lib = Library::cl013g_like();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+        nl.mark_output(y, "y");
+        let buf = nl.net(y).driver().unwrap();
+        nl.bind_lib(buf, lib.by_name("DLY4X1").unwrap()).unwrap();
+        assert_eq!(lib.cell_delay(&nl, buf), Ps(1000));
+        assert_eq!(lib.resolve(&nl, buf).name(), "DLY4X1");
+    }
+}

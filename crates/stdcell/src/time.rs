@@ -1,0 +1,216 @@
+//! Integer time and area quantities.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// A duration or instant in integer picoseconds.
+///
+/// All timing arithmetic in the project uses integer picoseconds so the
+/// window inequalities of the paper (Eqs. (3)–(6)) are exact. The paper's
+/// nanosecond examples map via [`Ps::from_ns`].
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default,
+    serde::Serialize, serde::Deserialize,
+)]
+pub struct Ps(pub u64);
+
+impl Ps {
+    /// Zero duration.
+    pub const ZERO: Ps = Ps(0);
+
+    /// Builds a duration from whole nanoseconds.
+    pub const fn from_ns(ns: u64) -> Ps {
+        Ps(ns * 1000)
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Duration in (truncated) nanoseconds.
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// Duration as fractional nanoseconds for reporting.
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Saturating subtraction (clamps at zero instead of underflowing).
+    pub fn saturating_sub(self, rhs: Ps) -> Ps {
+        Ps(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: Ps) -> Option<Ps> {
+        self.0.checked_sub(rhs.0).map(Ps)
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, rhs: Ps) -> Ps {
+        Ps(self.0.max(rhs.0))
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, rhs: Ps) -> Ps {
+        Ps(self.0.min(rhs.0))
+    }
+}
+
+impl Add for Ps {
+    type Output = Ps;
+    fn add(self, rhs: Ps) -> Ps {
+        Ps(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ps {
+    fn add_assign(&mut self, rhs: Ps) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ps {
+    type Output = Ps;
+    /// # Panics
+    ///
+    /// Panics on underflow in debug builds; use [`Ps::saturating_sub`] or
+    /// [`Ps::checked_sub`] when the difference may be negative.
+    fn sub(self, rhs: Ps) -> Ps {
+        Ps(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Ps {
+    fn sub_assign(&mut self, rhs: Ps) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Ps {
+    type Output = Ps;
+    fn mul(self, rhs: u64) -> Ps {
+        Ps(self.0 * rhs)
+    }
+}
+
+impl Sum for Ps {
+    fn sum<I: Iterator<Item = Ps>>(iter: I) -> Ps {
+        iter.fold(Ps::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Ps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1000 && self.0.is_multiple_of(100) {
+            let ns_tenths = self.0 / 100;
+            write!(f, "{}.{}ns", ns_tenths / 10, ns_tenths % 10)
+        } else {
+            write!(f, "{}ps", self.0)
+        }
+    }
+}
+
+/// Cell area in thousandths of a square micrometre.
+///
+/// Stored as an integer so workspace-wide area sums are exact; display
+/// converts back to µm².
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default,
+    serde::Serialize, serde::Deserialize,
+)]
+pub struct AreaMilliUm2(pub u64);
+
+impl AreaMilliUm2 {
+    /// Zero area.
+    pub const ZERO: AreaMilliUm2 = AreaMilliUm2(0);
+
+    /// Builds from whole square micrometres.
+    pub const fn from_um2(um2: u64) -> Self {
+        AreaMilliUm2(um2 * 1000)
+    }
+
+    /// Area as fractional µm².
+    pub fn as_um2_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+}
+
+impl Add for AreaMilliUm2 {
+    type Output = AreaMilliUm2;
+    fn add(self, rhs: Self) -> Self {
+        AreaMilliUm2(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for AreaMilliUm2 {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for AreaMilliUm2 {
+    type Output = AreaMilliUm2;
+    fn sub(self, rhs: Self) -> Self {
+        AreaMilliUm2(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for AreaMilliUm2 {
+    type Output = AreaMilliUm2;
+    fn mul(self, rhs: u64) -> Self {
+        AreaMilliUm2(self.0 * rhs)
+    }
+}
+
+impl Sum for AreaMilliUm2 {
+    fn sum<I: Iterator<Item = AreaMilliUm2>>(iter: I) -> AreaMilliUm2 {
+        iter.fold(AreaMilliUm2::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for AreaMilliUm2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}um2", self.as_um2_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_conversion() {
+        assert_eq!(Ps::from_ns(3), Ps(3000));
+        assert_eq!(Ps(2500).as_ns(), 2);
+        assert!((Ps(2500).as_ns_f64() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Ps(100) + Ps(50), Ps(150));
+        assert_eq!(Ps(100) - Ps(50), Ps(50));
+        assert_eq!(Ps(100).saturating_sub(Ps(150)), Ps::ZERO);
+        assert_eq!(Ps(100).checked_sub(Ps(150)), None);
+        assert_eq!(Ps(30) * 4, Ps(120));
+        assert_eq!(vec![Ps(1), Ps(2), Ps(3)].into_iter().sum::<Ps>(), Ps(6));
+    }
+
+    #[test]
+    fn display_uses_ns_when_round() {
+        assert_eq!(Ps::from_ns(3).to_string(), "3.0ns");
+        assert_eq!(Ps(2500).to_string(), "2.5ns");
+        assert_eq!(Ps(137).to_string(), "137ps");
+    }
+
+    #[test]
+    fn area_math_and_display() {
+        let a = AreaMilliUm2::from_um2(3) + AreaMilliUm2(250);
+        assert_eq!(a, AreaMilliUm2(3250));
+        assert_eq!(a.to_string(), "3.250um2");
+        assert_eq!((a * 2).0, 6500);
+    }
+}

@@ -1,0 +1,268 @@
+//! Delay-chain composition: map a target path delay onto library cells.
+
+use crate::SynthError;
+use glitchlock_netlist::{CellId, GateKind, LibCellId, NetId, Netlist};
+use glitchlock_stdcell::{AreaMilliUm2, Library, Ps};
+
+/// A planned (not yet instantiated) delay chain: the library cells to
+/// string together and the exact delay they achieve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainPlan {
+    /// Library cells in chain order.
+    pub cells: Vec<LibCellId>,
+    /// Sum of the cells' intrinsic delays.
+    pub achieved: Ps,
+}
+
+impl ChainPlan {
+    /// Total area of the planned chain.
+    pub fn area(&self, library: &Library) -> AreaMilliUm2 {
+        self.cells.iter().map(|&c| library.cell(c).area()).sum()
+    }
+
+    /// Number of cells in the chain.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True for a zero-delay (empty) chain.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// Plans a delay chain realizing `target` within `±tolerance`, the way an
+/// area-driven constrained synthesis run maps delay cells from the
+/// library: a dynamic program over the available delay cells (plus the
+/// default buffer for fine resolution) minimizes the **cell count** among
+/// all sums landing inside the tolerance window, breaking ties by
+/// accuracy.
+///
+/// ```rust
+/// use glitchlock_synth::plan_chain;
+/// use glitchlock_stdcell::{Library, Ps};
+///
+/// # fn main() -> Result<(), glitchlock_synth::SynthError> {
+/// let lib = Library::cl013g_like();
+/// let plan = plan_chain(&lib, Ps::from_ns(3), Ps(30))?;
+/// assert_eq!(plan.achieved, Ps::from_ns(3));
+/// assert!(plan.len() <= 2, "dedicated delay cells keep chains short");
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`SynthError::Unreachable`] when no combination lands inside the
+/// window (e.g. a sub-buffer-delay target with zero tolerance).
+pub fn plan_chain(library: &Library, target: Ps, tolerance: Ps) -> Result<ChainPlan, SynthError> {
+    if target == Ps::ZERO {
+        return Ok(ChainPlan {
+            cells: Vec::new(),
+            achieved: Ps::ZERO,
+        });
+    }
+    // Sanity bound: on-chip delay elements top out far below a microsecond;
+    // beyond this the DP table would be absurdly large, so fail fast
+    // instead of allocating it.
+    const MAX_TARGET_PS: u64 = 1_000_000;
+    if target.as_ps() > MAX_TARGET_PS {
+        return Err(SynthError::Unreachable {
+            target,
+            tolerance,
+            closest: Ps(MAX_TARGET_PS),
+        });
+    }
+    // Candidate cells: every dedicated delay cell plus the default buffer.
+    let mut candidates: Vec<(LibCellId, u64)> = library
+        .delay_cells()
+        .into_iter()
+        .map(|c| (c, library.cell(c).delay().as_ps()))
+        .collect();
+    let buf = library.default_cell(GateKind::Buf);
+    candidates.push((buf, library.cell(buf).delay().as_ps()));
+    candidates.retain(|&(_, d)| d > 0);
+    let min_delay = candidates.iter().map(|&(_, d)| d).min().unwrap_or(1);
+
+    // dp[t] = minimum cells whose delays sum to exactly t, with the cell
+    // used last (for reconstruction). Capacity covers the window plus one
+    // smallest cell so the error path can report the closest achievable.
+    let cap = (target + tolerance).as_ps() + min_delay;
+    let mut dp: Vec<Option<(u32, LibCellId)>> = vec![None; cap as usize + 1];
+    dp[0] = Some((0, buf));
+    for t in 1..=cap as usize {
+        for &(cell, d) in &candidates {
+            let d = d as usize;
+            if t >= d {
+                if let Some((count, _)) = dp[t - d] {
+                    let better = match dp[t] {
+                        None => true,
+                        Some((existing, _)) => count + 1 < existing,
+                    };
+                    if better {
+                        dp[t] = Some((count + 1, cell));
+                    }
+                }
+            }
+        }
+    }
+
+    // Pick the achievable sum inside the window with fewest cells, ties by
+    // accuracy (mirrors an area-first synthesis objective).
+    let lo = target.saturating_sub(tolerance).as_ps();
+    let hi = (target + tolerance).as_ps();
+    let mut best: Option<(u32, u64, u64)> = None; // (cells, dev, t)
+    for t in lo..=hi {
+        if let Some((count, _)) = dp[t as usize] {
+            let dev = t.abs_diff(target.as_ps());
+            if best.map(|(bc, bd, _)| (count, dev) < (bc, bd)).unwrap_or(true) {
+                best = Some((count, dev, t));
+            }
+        }
+    }
+    let Some((_, _, mut t)) = best else {
+        // Report the closest achievable sum for diagnostics.
+        let closest = (0..=cap)
+            .filter(|&t| dp[t as usize].is_some())
+            .min_by_key(|&t| t.abs_diff(target.as_ps()))
+            .unwrap_or(0);
+        return Err(SynthError::Unreachable {
+            target,
+            tolerance,
+            closest: Ps(closest),
+        });
+    };
+    let achieved = Ps(t);
+    let mut cells = Vec::new();
+    while t > 0 {
+        let (_, cell) = dp[t as usize].expect("reconstruction follows dp");
+        cells.push(cell);
+        t -= library.cell(cell).delay().as_ps();
+    }
+    // Largest first: a cosmetic but stable order.
+    cells.sort_by_key(|&c| std::cmp::Reverse(library.cell(c).delay()));
+    Ok(ChainPlan { cells, achieved })
+}
+
+/// Instantiates a planned delay chain in the netlist from `from` and returns
+/// `(chain-output net, instantiated cells, plan)`.
+///
+/// The chain is built from buffer-function cells bound to the planned
+/// library entries, so the timing simulator and STA both see the composed
+/// delay.
+///
+/// # Errors
+///
+/// Propagates [`SynthError::Unreachable`] from planning.
+pub fn compose_delay(
+    netlist: &mut Netlist,
+    library: &Library,
+    from: NetId,
+    target: Ps,
+    tolerance: Ps,
+) -> Result<(NetId, Vec<CellId>, ChainPlan), SynthError> {
+    let plan = plan_chain(library, target, tolerance)?;
+    let mut net = from;
+    let mut cells = Vec::with_capacity(plan.len());
+    for &lib_cell in &plan.cells {
+        let out = netlist.add_gate(GateKind::Buf, &[net])?;
+        let cell = netlist
+            .net(out)
+            .driver()
+            .expect("freshly added gate drives its net");
+        netlist.bind_lib(cell, lib_cell)?;
+        cells.push(cell);
+        net = out;
+    }
+    Ok((net, cells, plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> Library {
+        Library::cl013g_like()
+    }
+
+    #[test]
+    fn zero_target_is_empty_chain() {
+        let plan = plan_chain(&lib(), Ps::ZERO, Ps::ZERO).unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan.achieved, Ps::ZERO);
+    }
+
+    #[test]
+    fn round_targets_hit_exactly_with_delay_cells() {
+        let lib = lib();
+        for ns in [1u64, 2, 3, 5, 8] {
+            let plan = plan_chain(&lib, Ps::from_ns(ns), Ps::ZERO).unwrap();
+            assert_eq!(plan.achieved, Ps::from_ns(ns), "{ns}ns");
+            // Dedicated delay cells keep chains short.
+            assert!(plan.len() <= (ns as usize).max(1) + 1, "{ns}ns used {}", plan.len());
+        }
+    }
+
+    #[test]
+    fn fine_targets_use_buffers() {
+        let lib = lib();
+        // 920ps = DLY2(500) + DLY1(250) + ~3 BUF(55) = 915 (within 10).
+        let plan = plan_chain(&lib, Ps(920), Ps(10)).unwrap();
+        assert!(plan.achieved.as_ps().abs_diff(920) <= 10);
+        assert!(plan.len() <= 6);
+    }
+
+    #[test]
+    fn unreachable_small_target() {
+        let lib = lib();
+        let err = plan_chain(&lib, Ps(10), Ps(5)).unwrap_err();
+        assert!(matches!(err, SynthError::Unreachable { .. }));
+    }
+
+    #[test]
+    fn tolerance_accepts_near_miss() {
+        let lib = lib();
+        let plan = plan_chain(&lib, Ps(60), Ps(10)).unwrap();
+        assert_eq!(plan.achieved, Ps(55), "single buffer");
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn compose_instantiates_bound_cells() {
+        let lib = lib();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let (out, cells, plan) = compose_delay(&mut nl, &lib, a, Ps::from_ns(3), Ps(10)).unwrap();
+        assert_eq!(plan.achieved, Ps::from_ns(3));
+        assert_eq!(cells.len(), plan.len());
+        assert_ne!(out, a);
+        // The netlist delay (sum of cell delays at fanout<=1) equals the plan.
+        let mut total = Ps::ZERO;
+        for &c in &cells {
+            total += lib.cell_delay(&nl, c);
+        }
+        // Last cell has no sink yet (fanout 0 behaves as 1).
+        assert_eq!(total, plan.achieved);
+        // Area accounting exists and is positive.
+        assert!(plan.area(&lib) > AreaMilliUm2::ZERO);
+    }
+
+    #[test]
+    fn plans_prefer_fewer_cells_for_equal_accuracy() {
+        let lib = lib();
+        let plan = plan_chain(&lib, Ps::from_ns(2), Ps::ZERO).unwrap();
+        assert_eq!(plan.len(), 1, "one DLY8 beats two DLY4: got {:?}", plan.cells);
+    }
+}
+
+#[cfg(test)]
+mod review_tests {
+    use super::*;
+
+    #[test]
+    fn absurd_targets_fail_fast_without_allocating() {
+        let lib = Library::cl013g_like();
+        let err = plan_chain(&lib, Ps::from_ns(10_000_000), Ps(100)).unwrap_err();
+        assert!(matches!(err, SynthError::Unreachable { .. }));
+    }
+}

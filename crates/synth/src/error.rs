@@ -1,0 +1,61 @@
+//! Error type for synthesis operations.
+
+use glitchlock_stdcell::Ps;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from delay composition and optimization passes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SynthError {
+    /// No combination of library cells reaches the target delay within the
+    /// tolerance.
+    Unreachable {
+        /// Requested path delay.
+        target: Ps,
+        /// Allowed deviation.
+        tolerance: Ps,
+        /// The closest delay the library can realize.
+        closest: Ps,
+    },
+    /// A netlist-level operation failed.
+    Netlist(String),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::Unreachable {
+                target,
+                tolerance,
+                closest,
+            } => write!(
+                f,
+                "no delay chain reaches {target} within ±{tolerance} (closest {closest})"
+            ),
+            SynthError::Netlist(msg) => write!(f, "netlist operation failed: {msg}"),
+        }
+    }
+}
+
+impl Error for SynthError {}
+
+impl From<glitchlock_netlist::NetlistError> for SynthError {
+    fn from(e: glitchlock_netlist::NetlistError) -> Self {
+        SynthError::Netlist(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_target() {
+        let e = SynthError::Unreachable {
+            target: Ps(123),
+            tolerance: Ps(10),
+            closest: Ps(110),
+        };
+        assert!(e.to_string().contains("123ps"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Hold fixing: pad fast paths with delay cells.
+//!
+//! With clock skew, a short flip-flop-to-flip-flop path can violate hold
+//! (`LB_ij` in the paper's Eq. (1)). P&R flows fix this by inserting delay
+//! buffers on the offending D pins — the same mechanism (and the same
+//! library cells) the GK flow uses deliberately. Sharing the composer
+//! keeps both honest about area cost.
+
+use crate::{compose_delay, SynthError};
+use glitchlock_netlist::Netlist;
+use glitchlock_sta::{analyze, ClockModel};
+use glitchlock_stdcell::{Library, Ps};
+
+/// Report of one hold-fixing run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HoldFixReport {
+    /// Flip-flops that violated hold before the pass.
+    pub violations_before: usize,
+    /// Flip-flops still violating after the pass (0 on success).
+    pub violations_after: usize,
+    /// Delay cells inserted.
+    pub cells_added: usize,
+}
+
+/// Inserts delay chains in front of every hold-violating flip-flop D pin
+/// until the design meets hold (up to `max_rounds` refinement rounds; the
+/// added delay also shifts max-arrival, so setup is re-checked and the
+/// pass refuses fixes that would break it).
+///
+/// # Errors
+///
+/// Returns [`SynthError::Unreachable`] if a needed padding delay cannot be
+/// composed, or [`SynthError::Netlist`] if padding a path would push its
+/// max arrival past the setup deadline.
+pub fn fix_hold(
+    netlist: &mut Netlist,
+    library: &Library,
+    clock: &ClockModel,
+    max_rounds: usize,
+) -> Result<HoldFixReport, SynthError> {
+    let mut report = HoldFixReport::default();
+    let initial = analyze(netlist, library, clock);
+    report.violations_before = initial.checks().iter().filter(|c| c.slack_hold < 0).count();
+    report.violations_after = report.violations_before;
+    if report.violations_before == 0 {
+        return Ok(report);
+    }
+    for _round in 0..max_rounds {
+        let sta = analyze(netlist, library, clock);
+        let violators: Vec<_> = sta
+            .checks()
+            .iter()
+            .filter(|c| c.slack_hold < 0)
+            .map(|c| (c.ff, (-c.slack_hold) as u64, c.slack_setup))
+            .collect();
+        report.violations_after = violators.len();
+        if violators.is_empty() {
+            return Ok(report);
+        }
+        for (ff, shortfall, setup_slack) in violators {
+            // Pad by the shortfall plus a small guard band.
+            let pad = Ps(shortfall + 20);
+            if setup_slack < pad.as_ps() as i64 {
+                return Err(SynthError::Netlist(format!(
+                    "hold fix of {pad} at {} would violate setup (slack {setup_slack}ps)",
+                    netlist.cell(ff).name()
+                )));
+            }
+            let d = netlist.cell(ff).inputs()[0];
+            let (padded, cells, _) = compose_delay(netlist, library, d, pad, Ps(40))?;
+            report.cells_added += cells.len();
+            netlist
+                .rewire_input(ff, 0, padded)
+                .map_err(|e| SynthError::Netlist(e.to_string()))?;
+        }
+    }
+    let sta = analyze(netlist, library, clock);
+    report.violations_after = sta.checks().iter().filter(|c| c.slack_hold < 0).count();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitchlock_netlist::GateKind;
+
+    /// A fast FF→FF path with a late-capturing clock: a hold violation.
+    fn skewed() -> (Netlist, glitchlock_netlist::CellId, ClockModel) {
+        let mut nl = Netlist::new("h");
+        let a = nl.add_input("a");
+        let q1 = nl.add_dff_named(a, "ff1").unwrap();
+        let buf = nl.add_gate(GateKind::Buf, &[q1]).unwrap();
+        let q2 = nl.add_dff_named(buf, "ff2").unwrap();
+        nl.mark_output(q2, "y");
+        let ff2 = nl.dff_cells()[1];
+        // Capture clock arrives 400ps late: LB = 400 + 35 = 435 >
+        // clk_to_q(160) + BUF(55) = 215 -> hold violated by 220ps.
+        let clock = ClockModel::new(Ps::from_ns(3)).with_skew(ff2, Ps(400));
+        (nl, ff2, clock)
+    }
+
+    #[test]
+    fn pads_until_hold_met() {
+        let lib = Library::cl013g_like();
+        let (mut nl, ff2, clock) = skewed();
+        let before = analyze(&nl, &lib, &clock);
+        assert!(before.check_of(ff2).unwrap().slack_hold < 0);
+        let report = fix_hold(&mut nl, &lib, &clock, 4).unwrap();
+        assert_eq!(report.violations_before, 1);
+        assert_eq!(report.violations_after, 0);
+        assert!(report.cells_added >= 1);
+        let after = analyze(&nl, &lib, &clock);
+        assert!(after.all_met(), "both setup and hold must now hold");
+    }
+
+    #[test]
+    fn clean_design_untouched() {
+        let lib = Library::cl013g_like();
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let q = nl.add_dff(a).unwrap();
+        nl.mark_output(q, "y");
+        let clock = ClockModel::new(Ps::from_ns(3));
+        let cells_before = nl.cell_count();
+        let report = fix_hold(&mut nl, &lib, &clock, 4).unwrap();
+        assert_eq!(report.violations_before, 0);
+        assert_eq!(report.cells_added, 0);
+        assert_eq!(nl.cell_count(), cells_before);
+    }
+
+    #[test]
+    fn refuses_fix_that_would_break_setup() {
+        // A capture flip-flop with *diverging* paths: the fast branch
+        // violates hold under skew while the slow branch already sits past
+        // the setup deadline — no padding can fix one without the other.
+        let lib = Library::cl013g_like();
+        let mut nl = Netlist::new("conflict");
+        let a = nl.add_input("a");
+        let q1 = nl.add_dff_named(a, "ff1").unwrap();
+        let fast = nl.add_gate(GateKind::Buf, &[q1]).unwrap();
+        let mut slow = q1;
+        for _ in 0..2 {
+            slow = nl.add_gate(GateKind::Buf, &[slow]).unwrap();
+            let c = nl.net(slow).driver().unwrap();
+            nl.bind_lib(c, lib.by_name("DLY8X1").unwrap()).unwrap();
+        }
+        let d = nl.add_gate(GateKind::And, &[fast, slow]).unwrap();
+        let q2 = nl.add_dff_named(d, "ff2").unwrap();
+        nl.mark_output(q2, "y");
+        let ff2 = nl.dff_cells()[1];
+        let clock = ClockModel::new(Ps::from_ns(3)).with_skew(ff2, Ps(400));
+        let err = fix_hold(&mut nl, &lib, &clock, 4).unwrap_err();
+        assert!(matches!(err, SynthError::Netlist(_)));
+    }
+
+    #[test]
+    fn behaviour_preserved_by_padding() {
+        use glitchlock_netlist::{Logic, SeqState};
+        let lib = Library::cl013g_like();
+        let (mut nl, _, clock) = skewed();
+        let reference = nl.clone();
+        fix_hold(&mut nl, &lib, &clock, 4).unwrap();
+        let mut a = SeqState::reset(&reference);
+        let mut b = SeqState::reset(&nl);
+        for v in [Logic::One, Logic::Zero, Logic::One, Logic::One] {
+            assert_eq!(a.step(&reference, &[v]), b.step(&nl, &[v]));
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Synthesis-lite for `glitchlock`: delay-element mapping and netlist
+//! optimization (the Design Compiler substitute).
+//!
+//! The paper inserts the GK's delay elements by "setting design constraints
+//! on the path … Design Compiler maps delay elements from the library for
+//! satisfying the constraints" (Sec. IV-B), and observes that the resulting
+//! chains of discrete library cells dominate the area overhead (Sec. VI).
+//! [`compose_delay`] reproduces exactly that mechanism: a greedy+DP
+//! composition of dedicated delay cells (`DLY8…DLY1`) and buffers that hits
+//! a requested path delay within a tolerance, charged at real library area.
+//!
+//! [`optimize`] provides the re-synthesis pass used before encryption and by
+//! the removal attack's "remove TDB, re-synthesize, re-attack" flow:
+//! constant folding, buffer/double-inverter collapsing, structural
+//! de-duplication, and dead-logic sweeping, as a netlist rebuild.
+
+#![deny(missing_docs)]
+
+mod chain;
+mod error;
+mod holdfix;
+mod overhead;
+mod passes;
+mod resize;
+
+pub use chain::{compose_delay, plan_chain, ChainPlan};
+pub use error::SynthError;
+pub use holdfix::{fix_hold, HoldFixReport};
+pub use overhead::Overhead;
+pub use passes::{optimize, optimize_sequential, sweep, sweep_sequential};
+pub use resize::{upsize_high_fanout, ResizeReport};

@@ -1,0 +1,101 @@
+//! Encryption overhead accounting (Table II's columns).
+
+use glitchlock_netlist::Netlist;
+use glitchlock_stdcell::{AreaMilliUm2, Library};
+use std::fmt;
+
+/// Cell-count and cell-area overhead of a transformed netlist relative to
+/// the original, computed with the paper's accounting (gates + flip-flops,
+/// ports and tie cells free).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Overhead {
+    /// Silicon cells before.
+    pub cells_before: usize,
+    /// Silicon cells after.
+    pub cells_after: usize,
+    /// Total area before.
+    pub area_before: AreaMilliUm2,
+    /// Total area after.
+    pub area_after: AreaMilliUm2,
+}
+
+impl Overhead {
+    /// Measures the overhead of `after` relative to `before`.
+    pub fn measure(library: &Library, before: &Netlist, after: &Netlist) -> Self {
+        Overhead {
+            cells_before: library.silicon_cell_count(before),
+            cells_after: library.silicon_cell_count(after),
+            area_before: library.total_area(before),
+            area_after: library.total_area(after),
+        }
+    }
+
+    /// Cell-count overhead in percent (`Cell OH (%)` in Table II).
+    pub fn cell_overhead_pct(&self) -> f64 {
+        if self.cells_before == 0 {
+            return 0.0;
+        }
+        (self.cells_after as f64 - self.cells_before as f64) / self.cells_before as f64 * 100.0
+    }
+
+    /// Area overhead in percent (`Area OH (%)` in Table II).
+    pub fn area_overhead_pct(&self) -> f64 {
+        if self.area_before.0 == 0 {
+            return 0.0;
+        }
+        (self.area_after.0 as f64 - self.area_before.0 as f64) / self.area_before.0 as f64
+            * 100.0
+    }
+}
+
+impl fmt::Display for Overhead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cells {} -> {} (+{:.2}%), area {} -> {} (+{:.2}%)",
+            self.cells_before,
+            self.cells_after,
+            self.cell_overhead_pct(),
+            self.area_before,
+            self.area_after,
+            self.area_overhead_pct()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitchlock_netlist::GateKind;
+
+    #[test]
+    fn percentages_match_counts() {
+        let lib = Library::cl013g_like();
+        let mut before = Netlist::new("b");
+        let a = before.add_input("a");
+        let b = before.add_input("b");
+        let y = before.add_gate(GateKind::Nand, &[a, b]).unwrap();
+        before.mark_output(y, "y");
+        let mut after = before.clone();
+        let z = after.add_gate(GateKind::Inv, &[y]).unwrap();
+        after.mark_output(z, "z");
+        let oh = Overhead::measure(&lib, &before, &after);
+        assert_eq!(oh.cells_before, 1);
+        assert_eq!(oh.cells_after, 2);
+        assert!((oh.cell_overhead_pct() - 100.0).abs() < 1e-9);
+        // NAND 3.8 + INV 3.2 vs NAND 3.8.
+        assert!((oh.area_overhead_pct() - 3.2 / 3.8 * 100.0).abs() < 1e-6);
+        let s = oh.to_string();
+        assert!(s.contains("cells 1 -> 2"));
+    }
+
+    #[test]
+    fn empty_before_is_guarded() {
+        let lib = Library::cl013g_like();
+        let before = Netlist::new("e");
+        let after = Netlist::new("e2");
+        let oh = Overhead::measure(&lib, &before, &after);
+        assert_eq!(oh.cell_overhead_pct(), 0.0);
+        assert_eq!(oh.area_overhead_pct(), 0.0);
+    }
+}

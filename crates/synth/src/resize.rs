@@ -1,0 +1,139 @@
+//! Drive-strength sizing: upsize cells driving heavy fanout.
+//!
+//! A post-placement optimization every physical flow performs: a gate
+//! driving many sinks suffers load-dependent delay; swapping it for its X2
+//! variant trades area for a flatter load curve. Used here to recover
+//! timing on benchmark nets that accumulate flip-flop taps.
+
+use glitchlock_netlist::{GateKind, Netlist};
+use glitchlock_stdcell::Library;
+
+/// Report of one sizing run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResizeReport {
+    /// Cells examined.
+    pub examined: usize,
+    /// Cells re-bound to a higher drive strength.
+    pub upsized: usize,
+}
+
+/// Upsizes every combinational cell whose output fanout is at least
+/// `fanout_threshold` and whose library binding has a stronger variant.
+/// Mutates the netlist's library bindings in place; the structure is
+/// untouched, so behaviour is trivially preserved.
+pub fn upsize_high_fanout(
+    netlist: &mut Netlist,
+    library: &Library,
+    fanout_threshold: usize,
+) -> ResizeReport {
+    let mut report = ResizeReport::default();
+    let cells: Vec<_> = netlist.cells().map(|(id, _)| id).collect();
+    for cell_id in cells {
+        let cell = netlist.cell(cell_id);
+        let kind = cell.kind();
+        if matches!(
+            kind,
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::Dff
+        ) {
+            continue;
+        }
+        report.examined += 1;
+        let fanout = netlist.net(cell.output()).fanout().len();
+        if fanout < fanout_threshold {
+            continue;
+        }
+        let current = cell.lib().unwrap_or_else(|| library.default_cell(kind));
+        // Skip dedicated delay cells: their delay is the point.
+        if library.cell(current).is_delay_cell() {
+            continue;
+        }
+        if let Some(upsized) = library.upsize_of(current) {
+            netlist
+                .bind_lib(cell_id, upsized)
+                .expect("cell id from iteration");
+            report.upsized += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitchlock_sta::{analyze, ClockModel};
+    use glitchlock_stdcell::Ps;
+
+    /// One inverter driving `n` sinks.
+    fn heavy_fanout(n: usize) -> Netlist {
+        let mut nl = Netlist::new("h");
+        let a = nl.add_input("a");
+        let inv = nl.add_gate(GateKind::Inv, &[a]).unwrap();
+        for i in 0..n {
+            let b = nl.add_gate(GateKind::Buf, &[inv]).unwrap();
+            let q = nl.add_dff(b).unwrap();
+            nl.mark_output(q, format!("q{i}"));
+        }
+        nl
+    }
+
+    #[test]
+    fn upsizing_reduces_loaded_delay() {
+        let lib = Library::cl013g_like();
+        let mut nl = heavy_fanout(8);
+        let clock = ClockModel::new(Ps::from_ns(2));
+        let before = analyze(&nl, &lib, &clock);
+        let ff0 = nl.dff_cells()[0];
+        let arrival_before = before.check_of(ff0).unwrap().arrival_max;
+        let report = upsize_high_fanout(&mut nl, &lib, 4);
+        assert_eq!(report.upsized, 1, "only the inverter is heavy");
+        let after = analyze(&nl, &lib, &clock);
+        let arrival_after = after.check_of(ff0).unwrap().arrival_max;
+        assert!(
+            arrival_after < arrival_before,
+            "{arrival_after} must beat {arrival_before}"
+        );
+    }
+
+    #[test]
+    fn light_fanout_untouched() {
+        let lib = Library::cl013g_like();
+        let mut nl = heavy_fanout(2);
+        let report = upsize_high_fanout(&mut nl, &lib, 4);
+        assert_eq!(report.upsized, 0);
+        assert!(report.examined > 0);
+    }
+
+    #[test]
+    fn behaviour_is_preserved() {
+        use glitchlock_netlist::{Logic, SeqState};
+        let lib = Library::cl013g_like();
+        let mut nl = heavy_fanout(5);
+        let reference = nl.clone();
+        upsize_high_fanout(&mut nl, &lib, 2);
+        let mut a = SeqState::reset(&reference);
+        let mut b = SeqState::reset(&nl);
+        for v in [Logic::One, Logic::Zero, Logic::One] {
+            assert_eq!(a.step(&reference, &[v]), b.step(&nl, &[v]));
+        }
+    }
+
+    #[test]
+    fn delay_cells_are_never_resized() {
+        let lib = Library::cl013g_like();
+        let mut nl = Netlist::new("d");
+        let a = nl.add_input("a");
+        let dly = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+        let dly_cell = nl.net(dly).driver().unwrap();
+        nl.bind_lib(dly_cell, lib.by_name("DLY4X1").unwrap()).unwrap();
+        for i in 0..6 {
+            let b = nl.add_gate(GateKind::Buf, &[dly]).unwrap();
+            nl.mark_output(b, format!("o{i}"));
+        }
+        upsize_high_fanout(&mut nl, &lib, 2);
+        assert_eq!(
+            lib.resolve(&nl, dly_cell).name(),
+            "DLY4X1",
+            "intentional delay must survive sizing"
+        );
+    }
+}

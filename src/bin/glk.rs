@@ -1,0 +1,447 @@
+//! `glk` — the glitchlock command-line tool.
+//!
+//! Operates on ISCAS `.bench` netlists:
+//!
+//! ```text
+//! glk stats       <in.bench>
+//! glk sta         <in.bench> [--period-ns N]
+//! glk feasibility <in.bench> [--period-ns N] [--glitch-ps L]
+//! glk lock-xor    <in.bench> <out.bench> [--bits N] [--seed S]
+//! glk lock-gk     <in.bench> <out-prefix> [--gks N] [--period-ns N] [--seed S] [--mix|--share]
+//! glk attack      <locked.bench> <oracle.bench> [--key-prefix P]
+//! glk sim         <in.bench> [--cycles N] [--period-ns N] [--vcd out.vcd] [--seed S]
+//! glk verify      <locked.bench> <oracle.bench> --key 0,1,… [--cycles N]
+//! glk lib         [out.lib] [--custom]
+//! ```
+//!
+//! `lock-gk` writes `<out-prefix>.locked.bench` (with KEYGENs),
+//! `<out-prefix>.attack.bench` (the attacker's view) and prints the key.
+
+use glitchlock::attacks::sat_attack::SatOutcome;
+use glitchlock::attacks::SatAttack;
+use glitchlock::core::feasibility::analyze_feasibility;
+use glitchlock::core::gk::{GkDesign, GkScheme};
+use glitchlock::core::locking::{LockScheme, XorLock};
+use glitchlock::core::GkEncryptor;
+use glitchlock::netlist::{bench_format, Logic, Netlist};
+use glitchlock::sim::{ClockSpec, SimConfig, Simulator, Stimulus};
+use glitchlock::sta::{analyze, ClockModel};
+use glitchlock::stdcell::{Library, Ps};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("glk: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: impl Iterator<Item = String>) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut raw = raw.peekable();
+        while let Some(a) = raw.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = raw
+                    .peek()
+                    .filter(|v| !v.starts_with("--"))
+                    .cloned()
+                    .inspect(|_v| {
+                        raw.next();
+                    });
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got {v:?}")),
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else {
+        return Err("usage: glk <stats|sta|feasibility|lock-xor|lock-gk|attack|sim> …".into());
+    };
+    let args = Args::parse(argv);
+    match cmd.as_str() {
+        "stats" => cmd_stats(&args),
+        "sta" => cmd_sta(&args),
+        "feasibility" => cmd_feasibility(&args),
+        "lock-xor" => cmd_lock_xor(&args),
+        "lock-gk" => cmd_lock_gk(&args),
+        "attack" => cmd_attack(&args),
+        "sim" => cmd_sim(&args),
+        "verify" => cmd_verify(&args),
+        "lib" => cmd_lib(&args),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+/// Loads a `.bench` file, resolving `# $lib=` binding pragmas against the
+/// default library (they carry the GK delay elements across files).
+fn load(path: &str) -> Result<Netlist, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let lib = Library::cl013g_like().with_gk_delay_macros();
+    bench_format::parse_with_bindings(&text, path, &|name| lib.by_name(name))
+        .map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// Saves a `.bench` file with binding pragmas.
+fn save(path: &str, netlist: &Netlist) -> Result<(), String> {
+    let lib = Library::cl013g_like().with_gk_delay_macros();
+    let text = bench_format::emit_with_bindings(netlist, &|id| {
+        Some(lib.cell(id).name().to_string())
+    });
+    std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn need(args: &Args, ix: usize, what: &str) -> Result<String, String> {
+    args.positional
+        .get(ix)
+        .cloned()
+        .ok_or_else(|| format!("missing argument: {what}"))
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let nl = load(&need(args, 0, "input .bench")?)?;
+    let st = nl.stats();
+    println!("design   {}", nl.name());
+    println!("cells    {} ({} gates + {} flip-flops)", st.cells, st.gates, st.dffs);
+    println!("inputs   {}", st.inputs);
+    println!("outputs  {}", st.outputs);
+    println!("nets     {}", st.nets);
+    Ok(())
+}
+
+fn cmd_sta(args: &Args) -> Result<(), String> {
+    let nl = load(&need(args, 0, "input .bench")?)?;
+    let period = Ps::from_ns(args.num("period-ns", 3u64)?);
+    let lib = Library::cl013g_like();
+    let report = analyze(&nl, &lib, &ClockModel::new(period));
+    println!("clock period  {period}");
+    println!("timing met    {}", report.all_met());
+    println!("WNS           {}ps", report.wns());
+    for check in report.worst_endpoints(5) {
+        println!(
+            "  endpoint {:>8}: arrival {} | setup slack {}ps | hold slack {}ps",
+            nl.cell(check.ff).name(),
+            check.arrival_max,
+            check.slack_setup,
+            check.slack_hold
+        );
+    }
+    Ok(())
+}
+
+fn cmd_feasibility(args: &Args) -> Result<(), String> {
+    let nl = load(&need(args, 0, "input .bench")?)?;
+    let period = Ps::from_ns(args.num("period-ns", 3u64)?);
+    let l_glitch = Ps(args.num("glitch-ps", 1000u64)?);
+    let lib = Library::cl013g_like();
+    let design = GkDesign {
+        scheme: GkScheme::InverterSteady,
+        l_glitch,
+        tolerance: Ps(30),
+    };
+    let report = analyze_feasibility(&nl, &lib, &ClockModel::new(period), &design);
+    println!(
+        "flip-flops {} | available for GK {} | coverage {:.2}%",
+        nl.stats().dffs,
+        report.available_count(),
+        report.coverage_pct()
+    );
+    for entry in report.entries() {
+        let w = entry
+            .window
+            .map(|w| format!("window ({}, {})", w.lo, w.hi))
+            .unwrap_or_else(|| "no window".into());
+        println!(
+            "  {:>8}: {:?} | arrival {} | {}",
+            nl.cell(entry.ff).name(),
+            entry.verdict,
+            entry.timing.t_arrival,
+            w
+        );
+    }
+    Ok(())
+}
+
+fn cmd_lock_xor(args: &Args) -> Result<(), String> {
+    let nl = load(&need(args, 0, "input .bench")?)?;
+    let out = need(args, 1, "output .bench")?;
+    let bits = args.num("bits", 8usize)?;
+    let seed = args.num("seed", 1u64)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let locked = XorLock::new(bits)
+        .lock(&nl, &mut rng)
+        .map_err(|e| e.to_string())?;
+    save(&out, &locked.netlist)?;
+    let key: String = locked
+        .correct_key
+        .iter()
+        .map(|&b| if b { '1' } else { '0' })
+        .collect();
+    println!("locked with {bits} XOR/XNOR key-gates -> {out}");
+    println!("key inputs : {}", names(&locked.netlist, &locked.key_inputs));
+    println!("correct key: {key}");
+    Ok(())
+}
+
+fn cmd_lock_gk(args: &Args) -> Result<(), String> {
+    let nl = load(&need(args, 0, "input .bench")?)?;
+    let prefix = need(args, 1, "output prefix")?;
+    let n_gks = args.num("gks", 4usize)?;
+    let period = Ps::from_ns(args.num("period-ns", 3u64)?);
+    let seed = args.num("seed", 1u64)?;
+    let lib = Library::cl013g_like();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let locked = GkEncryptor {
+        mix_schemes: args.has("mix"),
+        share_keygens: args.has("share"),
+        ..GkEncryptor::new(n_gks)
+    }
+    .encrypt(&nl, &lib, &ClockModel::new(period), &mut rng)
+    .map_err(|e| e.to_string())?;
+    let locked_path = format!("{prefix}.locked.bench");
+    let attack_path = format!("{prefix}.attack.bench");
+    save(&locked_path, &locked.netlist)?;
+    save(&attack_path, &locked.attack_view)?;
+    println!("locked with {n_gks} GKs ({} key inputs)", locked.key_width());
+    println!("manufactured netlist -> {locked_path}");
+    println!("attacker's view      -> {attack_path}");
+    println!("key inputs : {}", names(&locked.netlist, &locked.key_inputs));
+    println!("correct key: {}", locked.correct_key);
+    if let Some(bools) = locked.correct_key.as_bools() {
+        let compact: String = bools.iter().map(|&b| if b { '1' } else { '0' }).collect();
+        println!("verify with: glk verify {locked_path} <original> --key {compact}");
+    }
+    for (i, gk) in locked.gks.iter().enumerate() {
+        println!(
+            "  gk{i}: {:?} selection {:?}, trigger window ({}, {})",
+            gk.gk.scheme, gk.correct, gk.window.lo, gk.window.hi
+        );
+    }
+    Ok(())
+}
+
+fn cmd_attack(args: &Args) -> Result<(), String> {
+    let locked = load(&need(args, 0, "locked .bench")?)?;
+    let oracle = load(&need(args, 1, "oracle .bench")?)?;
+    let prefix = args.flag("key-prefix").unwrap_or("key");
+    let key_inputs: Vec<_> = locked
+        .input_nets()
+        .iter()
+        .copied()
+        .filter(|&n| {
+            let name = locked.net(n).name();
+            name.starts_with(prefix) || name.starts_with("gk")
+        })
+        .collect();
+    if key_inputs.is_empty() {
+        return Err(format!("no key inputs matched prefix {prefix:?} or 'gk'"));
+    }
+    println!(
+        "attacking {} key inputs: {}",
+        key_inputs.len(),
+        names(&locked, &key_inputs)
+    );
+    let result = SatAttack::new(&locked, key_inputs, &oracle).run();
+    match result.outcome {
+        SatOutcome::KeyRecovered { key } => {
+            let k: String = key.iter().map(|&b| if b { '1' } else { '0' }).collect();
+            println!("CRACKED in {} DIP iterations; key = {k}", result.iterations);
+        }
+        SatOutcome::NoDipAtFirstIteration { .. } => {
+            println!("UNSAT at iteration 1: no distinguishing input exists —");
+            println!("the SAT attack is invalid against this locking.");
+        }
+        SatOutcome::IterationLimit => {
+            println!("gave up after {} iterations", result.iterations);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_sim(args: &Args) -> Result<(), String> {
+    let nl = load(&need(args, 0, "input .bench")?)?;
+    let cycles = args.num("cycles", 8u64)?;
+    let period = Ps::from_ns(args.num("period-ns", 3u64)?);
+    let seed = args.num("seed", 1u64)?;
+    let lib = Library::cl013g_like();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stim = Stimulus::new();
+    for &ff in nl.dff_cells() {
+        stim.set_ff(ff, Logic::Zero);
+    }
+    for &pi in nl.input_nets() {
+        stim.set(pi, Logic::from_bool(rng.gen()));
+        for c in 0..cycles {
+            stim.at(period * (c + 1) + Ps(200), pi, Logic::from_bool(rng.gen()));
+        }
+    }
+    let cfg = SimConfig::new().with_clock(ClockSpec::new(period));
+    let horizon = period * (cycles + 2);
+    let res = Simulator::new(&nl, &lib, cfg).run(&stim, horizon);
+    println!("simulated {cycles} cycles at {period}");
+    println!("setup/hold violations: {}", res.violations().len());
+    for (net, name) in nl.output_ports() {
+        println!(
+            "  {name:>10} |{}|",
+            res.waveform(*net).ascii(horizon, Ps(period.as_ps() / 8))
+        );
+    }
+    if let Some(path) = args.flag("vcd") {
+        std::fs::write(path, glitchlock::sim::vcd::to_vcd(&nl, &res, None))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("waveforms -> {path}");
+    }
+    Ok(())
+}
+
+/// `glk verify <locked.bench> <oracle.bench> --key 0,1,… [--cycles N]
+/// [--period-ns N] [--key-prefix P] [--seed S]`
+///
+/// Runs the locked netlist in the timing domain under the given key and
+/// cross-validates every cycle's state transition and outputs against the
+/// oracle's zero-delay semantics.
+fn cmd_verify(args: &Args) -> Result<(), String> {
+    use glitchlock::core::insertion::timed_trace;
+    use glitchlock::core::KeyVector;
+    use glitchlock::netlist::SeqState;
+
+    let locked = load(&need(args, 0, "locked .bench")?)?;
+    let oracle = load(&need(args, 1, "oracle .bench")?)?;
+    let key: KeyVector = args
+        .flag("key")
+        .ok_or("missing --key")?
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let cycles: usize = args.num("cycles", 12usize)?;
+    let period = Ps::from_ns(args.num("period-ns", 3u64)?);
+    let seed = args.num("seed", 1u64)?;
+    let prefix = args.flag("key-prefix").unwrap_or("gk");
+    let lib = Library::cl013g_like();
+
+    let key_nets: Vec<_> = locked
+        .input_nets()
+        .iter()
+        .copied()
+        .filter(|&n| locked.net(n).name().starts_with(prefix))
+        .collect();
+    if key_nets.len() != key.len() {
+        return Err(format!(
+            "key has {} bits but {} key inputs matched prefix {prefix:?}",
+            key.len(),
+            key_nets.len()
+        ));
+    }
+    let data_inputs: Vec<_> = locked
+        .input_nets()
+        .iter()
+        .copied()
+        .filter(|n| !key_nets.contains(n))
+        .collect();
+    if data_inputs.len() != oracle.input_nets().len() {
+        return Err("locked data inputs do not align with the oracle".into());
+    }
+    // The original design's flip-flops precede any KEYGEN toggles.
+    let n_oracle_ffs = oracle.dff_cells().len();
+    if locked.dff_cells().len() < n_oracle_ffs {
+        return Err("locked design has fewer flip-flops than the oracle".into());
+    }
+    let tracked: Vec<_> = locked.dff_cells()[..n_oracle_ffs].to_vec();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inputs: Vec<Vec<Logic>> = (0..cycles)
+        .map(|_| {
+            (0..data_inputs.len())
+                .map(|_| Logic::from_bool(rng.gen()))
+                .collect()
+        })
+        .collect();
+    let keyed: Vec<_> = key_nets
+        .iter()
+        .copied()
+        .zip(key.bits().iter().copied())
+        .collect();
+    let trace = timed_trace(&locked, &lib, period, &keyed, &inputs, &data_inputs, &tracked);
+    let mut bad = 0;
+    #[allow(clippy::needless_range_loop)] // c also indexes trace.states[c+1]
+    for c in 0..cycles {
+        let mut o = SeqState::from_values(&oracle, trace.states[c].clone());
+        let po = o.step(&oracle, &inputs[c]);
+        if trace.po[c] != po || trace.states[c + 1] != o.values() {
+            bad += 1;
+        }
+    }
+    println!(
+        "verified {cycles} cycles: {} clean, {} corrupted",
+        cycles - bad,
+        bad
+    );
+    if bad == 0 {
+        println!("KEY ACCEPTED: the chip matches the oracle in the timing domain.");
+        Ok(())
+    } else {
+        println!("KEY REJECTED: transitions diverge from the oracle.");
+        Err("verification failed".into())
+    }
+}
+
+/// `glk lib [out.lib] [--custom]` — dump the synthetic standard-cell
+/// library as Liberty text (stdout when no path given).
+fn cmd_lib(args: &Args) -> Result<(), String> {
+    let lib = if args.has("custom") {
+        Library::cl013g_like().with_gk_delay_macros()
+    } else {
+        Library::cl013g_like()
+    };
+    let text = glitchlock::stdcell::liberty::emit(&lib, "glitchlock_cl013g");
+    match args.positional.first() {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("library -> {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn names(nl: &Netlist, nets: &[glitchlock::netlist::NetId]) -> String {
+    nets.iter()
+        .map(|&n| nl.net(n).name())
+        .collect::<Vec<_>>()
+        .join(",")
+}

@@ -1,0 +1,172 @@
+//! End-to-end tests of the `glk` command-line tool.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn glk() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_glk"))
+}
+
+fn write_s27(dir: &std::path::Path) -> PathBuf {
+    let path = dir.join("s27.bench");
+    std::fs::write(&path, glitchlock_circuits::S27_BENCH).unwrap();
+    path
+}
+
+fn tempdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("glk-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn stats_and_sta_report() {
+    let dir = tempdir();
+    let bench = write_s27(&dir);
+    let out = glk().arg("stats").arg(&bench).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cells    13 (10 gates + 3 flip-flops)"));
+    assert!(text.contains("inputs   4"));
+
+    let out = glk()
+        .args(["sta"])
+        .arg(&bench)
+        .args(["--period-ns", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("timing met    true"), "{text}");
+}
+
+#[test]
+fn lock_gk_then_attack_round_trip() {
+    let dir = tempdir();
+    let bench = write_s27(&dir);
+    let prefix = dir.join("s27gk");
+    let out = glk()
+        .arg("lock-gk")
+        .arg(&bench)
+        .arg(&prefix)
+        .args(["--gks", "2", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("locked with 2 GKs (4 key inputs)"));
+    let attack_file = format!("{}.attack.bench", prefix.display());
+    assert!(std::path::Path::new(&attack_file).exists());
+    assert!(std::path::Path::new(&format!("{}.locked.bench", prefix.display())).exists());
+
+    let out = glk()
+        .arg("attack")
+        .arg(&attack_file)
+        .arg(&bench)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("UNSAT at iteration 1"),
+        "GK locking must invalidate the attack: {text}"
+    );
+}
+
+#[test]
+fn lock_xor_then_attack_cracks() {
+    let dir = tempdir();
+    let bench = write_s27(&dir);
+    let locked = dir.join("s27x.bench");
+    let out = glk()
+        .arg("lock-xor")
+        .arg(&bench)
+        .arg(&locked)
+        .args(["--bits", "4", "--seed", "9"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = glk().arg("attack").arg(&locked).arg(&bench).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("CRACKED"), "{text}");
+}
+
+#[test]
+fn verify_accepts_correct_key_and_rejects_wrong() {
+    let dir = tempdir();
+    let bench = write_s27(&dir);
+    let prefix = dir.join("s27v");
+    let out = glk()
+        .arg("lock-gk")
+        .arg(&bench)
+        .arg(&prefix)
+        .args(["--gks", "2", "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // The tool prints a ready-to-run verify line with the compact key.
+    let key = text
+        .lines()
+        .find(|l| l.contains("--key "))
+        .and_then(|l| l.split("--key ").nth(1))
+        .expect("compact key printed")
+        .trim()
+        .to_string();
+    let locked_file = format!("{}.locked.bench", prefix.display());
+
+    let out = glk()
+        .arg("verify")
+        .arg(&locked_file)
+        .arg(&bench)
+        .args(["--key", &key])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("KEY ACCEPTED"), "{text}");
+
+    // Flip one bit: rejected.
+    let mut wrong: Vec<char> = key.chars().collect();
+    wrong[0] = if wrong[0] == '0' { '1' } else { '0' };
+    let wrong: String = wrong.into_iter().collect();
+    let out = glk()
+        .arg("verify")
+        .arg(&locked_file)
+        .arg(&bench)
+        .args(["--key", &wrong])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("KEY REJECTED"), "{text}");
+}
+
+#[test]
+fn sim_writes_vcd() {
+    let dir = tempdir();
+    let bench = write_s27(&dir);
+    let vcd = dir.join("s27.vcd");
+    let out = glk()
+        .arg("sim")
+        .arg(&bench)
+        .args(["--cycles", "4", "--vcd"])
+        .arg(&vcd)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let dump = std::fs::read_to_string(&vcd).unwrap();
+    assert!(dump.contains("$timescale 1ps $end"));
+    assert!(dump.contains("$enddefinitions $end"));
+}
+
+#[test]
+fn errors_are_reported() {
+    let out = glk().arg("stats").arg("/nonexistent.bench").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("glk:"));
+    let out = glk().arg("frob").output().unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,214 @@
+//! Property-based tests over the core data structures and invariants.
+
+use glitchlock::netlist::{bench_format, GateKind, Logic, Netlist, SeqState};
+use glitchlock::sat::{encode_comb, Lit, SatResult, Solver};
+use glitchlock::stdcell::Ps;
+use glitchlock::synth::{optimize, plan_chain};
+use glitchlock::{core::windows::GkTiming, stdcell::Library};
+use proptest::prelude::*;
+
+/// Builds a random combinational netlist from a compact recipe.
+fn random_comb_netlist(n_inputs: usize, gates: &[(u8, Vec<usize>)]) -> Option<Netlist> {
+    let mut nl = Netlist::new("rand");
+    let mut nets = Vec::new();
+    for i in 0..n_inputs {
+        nets.push(nl.add_input(format!("i{i}")));
+    }
+    for (kind_ix, srcs) in gates {
+        let kind = match kind_ix % 8 {
+            0 => GateKind::And,
+            1 => GateKind::Or,
+            2 => GateKind::Nand,
+            3 => GateKind::Nor,
+            4 => GateKind::Xor,
+            5 => GateKind::Xnor,
+            6 => GateKind::Inv,
+            _ => GateKind::Buf,
+        };
+        let arity = kind.fixed_arity().unwrap_or(2);
+        if srcs.len() < arity || nets.is_empty() {
+            return None;
+        }
+        let ins: Vec<_> = srcs[..arity].iter().map(|&s| nets[s % nets.len()]).collect();
+        let y = nl.add_gate(kind, &ins).ok()?;
+        nets.push(y);
+    }
+    // Mark the last few nets as outputs.
+    let n_out = nets.len().min(3);
+    for (i, &n) in nets.iter().rev().take(n_out).enumerate() {
+        nl.mark_output(n, format!("o{i}"));
+    }
+    Some(nl)
+}
+
+fn gate_recipe() -> impl Strategy<Value = Vec<(u8, Vec<usize>)>> {
+    prop::collection::vec(
+        (any::<u8>(), prop::collection::vec(any::<usize>(), 2..4)),
+        1..24,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `optimize` preserves combinational behaviour on random circuits.
+    #[test]
+    fn optimize_preserves_combinational_behaviour(
+        n_inputs in 1usize..5,
+        gates in gate_recipe(),
+        patterns in prop::collection::vec(any::<u16>(), 4),
+    ) {
+        let Some(nl) = random_comb_netlist(n_inputs, &gates) else {
+            return Ok(());
+        };
+        prop_assume!(nl.validate().is_ok());
+        let opt = optimize(&nl).unwrap();
+        prop_assert!(opt.stats().cells <= nl.stats().cells);
+        for p in patterns {
+            let inputs: Vec<Logic> = (0..n_inputs)
+                .map(|i| Logic::from_bool(p >> i & 1 == 1))
+                .collect();
+            prop_assert_eq!(nl.eval_comb(&inputs), opt.eval_comb(&inputs));
+        }
+    }
+
+    /// The Tseitin encoding agrees with direct evaluation for a random
+    /// input pattern on a random circuit.
+    #[test]
+    fn tseitin_agrees_with_evaluation(
+        n_inputs in 1usize..5,
+        gates in gate_recipe(),
+        pattern in any::<u16>(),
+    ) {
+        let Some(nl) = random_comb_netlist(n_inputs, &gates) else {
+            return Ok(());
+        };
+        prop_assume!(nl.validate().is_ok());
+        let view = glitchlock::netlist::CombView::new(&nl);
+        let enc = encode_comb(&nl, &view);
+        let input_bools: Vec<bool> = (0..n_inputs).map(|i| pattern >> i & 1 == 1).collect();
+        let logic: Vec<Logic> = input_bools.iter().map(|&b| Logic::from_bool(b)).collect();
+        let expect = view.eval(&nl, &logic);
+        let mut solver = Solver::from_cnf(&enc.cnf);
+        let assumptions: Vec<Lit> = enc
+            .input_vars
+            .iter()
+            .zip(&input_bools)
+            .map(|(&v, &b)| Lit::with_sign(v, !b))
+            .collect();
+        prop_assert_eq!(solver.solve_with(&assumptions), SatResult::Sat);
+        for (i, &ov) in enc.output_vars.iter().enumerate() {
+            prop_assert_eq!(solver.value(ov), expect[i].to_bool());
+        }
+    }
+
+    /// `.bench` round trip preserves behaviour.
+    #[test]
+    fn bench_format_round_trip(
+        n_inputs in 1usize..5,
+        gates in gate_recipe(),
+        patterns in prop::collection::vec(any::<u16>(), 3),
+    ) {
+        let Some(nl) = random_comb_netlist(n_inputs, &gates) else {
+            return Ok(());
+        };
+        prop_assume!(nl.validate().is_ok());
+        let text = bench_format::emit(&nl);
+        let re = bench_format::parse(&text).unwrap();
+        for p in patterns {
+            let inputs: Vec<Logic> = (0..n_inputs)
+                .map(|i| Logic::from_bool(p >> i & 1 == 1))
+                .collect();
+            prop_assert_eq!(nl.eval_comb(&inputs), re.eval_comb(&inputs));
+        }
+    }
+
+    /// Delay-chain plans land within tolerance whenever they succeed, and
+    /// their cell lists really sum to the achieved delay.
+    #[test]
+    fn chain_plans_are_self_consistent(target in 0u64..20_000, tol in 0u64..200) {
+        let lib = Library::cl013g_like();
+        if let Ok(plan) = plan_chain(&lib, Ps(target), Ps(tol)) {
+            let sum: Ps = plan.cells.iter().map(|&c| lib.cell(c).delay()).sum();
+            prop_assert_eq!(sum, plan.achieved);
+            prop_assert!(plan.achieved.as_ps().abs_diff(target) <= tol);
+        }
+    }
+
+    /// Eq. (5) windows only admit triggers whose glitches cover the capture
+    /// window cleanly (cross-check of the two formulations).
+    #[test]
+    fn on_glitch_window_members_cover_capture(
+        t_clk in 2_000u64..12_000,
+        l in 200u64..4_000,
+        arrival in 0u64..6_000,
+        probe in 0u64..12_000,
+    ) {
+        let timing = GkTiming {
+            t_arrival: Ps(arrival),
+            t_j: Ps::ZERO,
+            t_clk: Ps(t_clk),
+            t_setup: Ps(90),
+            t_hold: Ps(35),
+            l_glitch: Ps(l),
+            d_ready: Ps(l),
+            d_react: Ps(80),
+        };
+        if let Some(w) = timing.on_glitch_window() {
+            prop_assert!(w.lo < w.hi);
+            if w.contains(Ps(probe)) {
+                prop_assert!(
+                    timing.glitch_covers_window(Ps(probe)),
+                    "trigger {probe} inside ({}, {}) must latch cleanly",
+                    w.lo, w.hi
+                );
+            }
+            // The midpoint is always a legal trigger.
+            prop_assert!(timing.glitch_covers_window(w.midpoint()));
+        }
+    }
+
+    /// Random sequential circuits: `SeqState` stepping is deterministic
+    /// and output width stable.
+    #[test]
+    fn sequential_stepping_is_deterministic(
+        n_inputs in 1usize..4,
+        gates in gate_recipe(),
+        pattern in any::<u16>(),
+    ) {
+        let Some(mut nl) = random_comb_netlist(n_inputs, &gates) else {
+            return Ok(());
+        };
+        prop_assume!(nl.validate().is_ok());
+        // Register the first output.
+        let po = nl.output_nets()[0];
+        let q = nl.add_dff(po).unwrap();
+        nl.mark_output(q, "q");
+        let inputs: Vec<Logic> = (0..n_inputs)
+            .map(|i| Logic::from_bool(pattern >> i & 1 == 1))
+            .collect();
+        let mut a = SeqState::reset(&nl);
+        let mut b = SeqState::reset(&nl);
+        for _ in 0..4 {
+            prop_assert_eq!(a.step(&nl, &inputs), b.step(&nl, &inputs));
+        }
+    }
+}
+
+/// Non-proptest sanity companion: the window midpoint law holds on the
+/// paper's own Fig. 9 numbers.
+#[test]
+fn fig9_midpoint_is_legal() {
+    let timing = GkTiming {
+        t_arrival: Ps::from_ns(1),
+        t_j: Ps::ZERO,
+        t_clk: Ps::from_ns(8),
+        t_setup: Ps::from_ns(1),
+        t_hold: Ps::from_ns(1),
+        l_glitch: Ps::from_ns(3),
+        d_ready: Ps::ZERO,
+        d_react: Ps::ZERO,
+    };
+    let w = timing.on_glitch_window().unwrap();
+    assert!(timing.glitch_covers_window(w.midpoint()));
+}

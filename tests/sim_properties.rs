@@ -1,0 +1,126 @@
+//! Cross-domain properties of the timing simulator: agreement with the
+//! zero-delay evaluator at settle time, and the transport/inertial
+//! relationship.
+
+use glitchlock::netlist::{GateKind, Logic, Netlist};
+use glitchlock::sim::{DelayModel, SimConfig, Simulator, Stimulus};
+use glitchlock::stdcell::{Library, Ps};
+use proptest::prelude::*;
+
+fn random_comb_netlist(n_inputs: usize, gates: &[(u8, Vec<usize>)]) -> Option<Netlist> {
+    let mut nl = Netlist::new("rand");
+    let mut nets = Vec::new();
+    for i in 0..n_inputs {
+        nets.push(nl.add_input(format!("i{i}")));
+    }
+    for (kind_ix, srcs) in gates {
+        let kind = match kind_ix % 8 {
+            0 => GateKind::And,
+            1 => GateKind::Or,
+            2 => GateKind::Nand,
+            3 => GateKind::Nor,
+            4 => GateKind::Xor,
+            5 => GateKind::Xnor,
+            6 => GateKind::Inv,
+            _ => GateKind::Buf,
+        };
+        let arity = kind.fixed_arity().unwrap_or(2);
+        if srcs.len() < arity || nets.is_empty() {
+            return None;
+        }
+        let ins: Vec<_> = srcs[..arity].iter().map(|&s| nets[s % nets.len()]).collect();
+        let y = nl.add_gate(kind, &ins).ok()?;
+        nets.push(y);
+    }
+    for (i, &n) in nets.iter().rev().take(2).enumerate() {
+        nl.mark_output(n, format!("o{i}"));
+    }
+    Some(nl)
+}
+
+fn gate_recipe() -> impl Strategy<Value = Vec<(u8, Vec<usize>)>> {
+    prop::collection::vec(
+        (any::<u8>(), prop::collection::vec(any::<usize>(), 2..4)),
+        1..16,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After input changes settle, the event-driven simulator's final net
+    /// values equal the zero-delay evaluation of the final input vector —
+    /// regardless of delay model.
+    #[test]
+    fn timed_sim_settles_to_zero_delay_values(
+        n_inputs in 1usize..4,
+        gates in gate_recipe(),
+        initial in any::<u8>(),
+        finals in any::<u8>(),
+    ) {
+        let Some(nl) = random_comb_netlist(n_inputs, &gates) else {
+            return Ok(());
+        };
+        prop_assume!(nl.validate().is_ok());
+        let lib = Library::cl013g_like();
+        let initial_vals: Vec<Logic> = (0..n_inputs)
+            .map(|i| Logic::from_bool(initial >> i & 1 == 1))
+            .collect();
+        let final_vals: Vec<Logic> = (0..n_inputs)
+            .map(|i| Logic::from_bool(finals >> i & 1 == 1))
+            .collect();
+        let expect = nl.eval_comb(&final_vals);
+        for model in [DelayModel::Transport, DelayModel::Inertial] {
+            let mut stim = Stimulus::new();
+            for (i, &pi) in nl.input_nets().iter().enumerate() {
+                stim.set(pi, initial_vals[i]);
+                stim.at(Ps(1000), pi, final_vals[i]);
+            }
+            let cfg = SimConfig::new().with_delay_model(model);
+            let res = Simulator::new(&nl, &lib, cfg).run(&stim, Ps::from_ns(50));
+            let got: Vec<Logic> = nl
+                .output_nets()
+                .iter()
+                .map(|&n| res.final_value(n))
+                .collect();
+            prop_assert_eq!(&got, &expect, "model {:?}", model);
+        }
+    }
+
+    /// Inertial filtering never *adds* transitions: every net's inertial
+    /// transition count is at most its transport transition count.
+    #[test]
+    fn inertial_transitions_subset_of_transport(
+        n_inputs in 1usize..4,
+        gates in gate_recipe(),
+        pulses in prop::collection::vec((0u64..4000, 0u64..600), 1..4),
+    ) {
+        let Some(nl) = random_comb_netlist(n_inputs, &gates) else {
+            return Ok(());
+        };
+        prop_assume!(nl.validate().is_ok());
+        let lib = Library::cl013g_like();
+        let mut stim = Stimulus::new();
+        for &pi in nl.input_nets() {
+            stim.set(pi, Logic::Zero);
+        }
+        let target = nl.input_nets()[0];
+        for &(start, width) in &pulses {
+            stim.at(Ps(1000 + start), target, Logic::One);
+            stim.at(Ps(1000 + start + width + 1), target, Logic::Zero);
+        }
+        let run = |model| {
+            let cfg = SimConfig::new().with_delay_model(model);
+            Simulator::new(&nl, &lib, cfg).run(&stim, Ps::from_ns(20))
+        };
+        let transport = run(DelayModel::Transport);
+        let inertial = run(DelayModel::Inertial);
+        for (net, _) in nl.nets() {
+            prop_assert!(
+                inertial.waveform(net).transition_count()
+                    <= transport.waveform(net).transition_count(),
+                "net {net} gained transitions under inertial filtering"
+            );
+        }
+    }
+}
