@@ -1,0 +1,7 @@
+#!/usr/bin/env sh
+# Tier-1 gate: build, tests, lints. Run from the repository root.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings

@@ -99,12 +99,14 @@ impl AppSat {
             // Probe round: measure the candidate's error rate on random
             // patterns; failing patterns become extra IO constraints
             // (AppSAT's reinforcement step).
+            let data_batch: Vec<Vec<bool>> = (0..self.probes)
+                .map(|_| (0..session.data_width()).map(|_| rng.gen()).collect())
+                .collect();
+            let expect_batch = session.query_oracle_many(&data_batch);
+            let got_batch = session.eval_locked_many(&data_batch, &key);
             let mut errors = 0usize;
             let mut failing: Vec<(Vec<bool>, Vec<bool>)> = Vec::new();
-            for _ in 0..self.probes {
-                let data: Vec<bool> = (0..session.data_width()).map(|_| rng.gen()).collect();
-                let expect = session.query_oracle(&data);
-                let got = session.eval_locked(&data, &key);
+            for ((data, expect), got) in data_batch.into_iter().zip(expect_batch).zip(got_batch) {
                 if got != expect {
                     errors += 1;
                     failing.push((data, expect));

@@ -1,21 +1,31 @@
 //! The attack oracle: a functionally correct chip with the right key.
 
-use glitchlock_netlist::{CombView, Logic, Netlist};
+use glitchlock_netlist::{CombView, EvalProgram, Logic, Netlist, PackedLogic, LANES};
 
 /// An activated chip the attacker can query: combinational view of the
 /// original design, scan access assumed (flip-flop Q pins drivable, D pins
 /// observable), as in the paper's Sec. VI transformation.
+///
+/// The netlist is compiled once into a bit-parallel [`EvalProgram`];
+/// [`ComboOracle::query_many`] answers 64 patterns per evaluation pass.
 #[derive(Debug)]
 pub struct ComboOracle<'a> {
     netlist: &'a Netlist,
     view: CombView,
+    program: EvalProgram,
 }
 
 impl<'a> ComboOracle<'a> {
     /// Wraps the original design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has a combinational cycle (use
+    /// [`Netlist::validate`] first for untrusted circuits).
     pub fn new(netlist: &'a Netlist) -> Self {
         ComboOracle {
             view: CombView::new(netlist),
+            program: EvalProgram::compile(netlist).expect("oracle netlist must be acyclic"),
             netlist,
         }
     }
@@ -44,9 +54,56 @@ impl<'a> ComboOracle<'a> {
             .collect()
     }
 
+    /// Queries the chip with a batch of input assignments, evaluating 64
+    /// patterns per pass through the compiled program. Response rows are in
+    /// pattern order, each exactly what [`ComboOracle::query`] would
+    /// return.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn query_many(&self, patterns: &[impl AsRef<[bool]>]) -> Vec<Vec<bool>> {
+        let width = self.view.num_inputs();
+        let mut buf = self.program.scratch();
+        let mut results = Vec::with_capacity(patterns.len());
+        for chunk in patterns.chunks(LANES) {
+            let words: Vec<PackedLogic> = (0..width)
+                .map(|i| {
+                    let mut val = 0u64;
+                    for (lane, p) in chunk.iter().enumerate() {
+                        let p = p.as_ref();
+                        assert_eq!(p.len(), width, "pattern width");
+                        if p[i] {
+                            val |= 1 << lane;
+                        }
+                    }
+                    PackedLogic { val, known: !0 }
+                })
+                .collect();
+            let outs = self.view.eval_packed_words(&self.program, &words, &mut buf);
+            for lane in 0..chunk.len() {
+                results.push(
+                    outs.iter()
+                        .map(|w| {
+                            w.get(lane)
+                                .to_bool()
+                                .expect("oracle outputs are definite")
+                        })
+                        .collect(),
+                );
+            }
+        }
+        results
+    }
+
     /// The underlying combinational view.
     pub fn view(&self) -> &CombView {
         &self.view
+    }
+
+    /// The compiled bit-parallel program for the oracle netlist.
+    pub fn program(&self) -> &EvalProgram {
+        &self.program
     }
 }
 
@@ -68,5 +125,29 @@ mod tests {
         // a=1, q=0 -> y=1, next q (= a) = 1.
         assert_eq!(oracle.query(&[true, false]), vec![true, true]);
         assert_eq!(oracle.query(&[true, true]), vec![false, true]);
+    }
+
+    #[test]
+    fn query_many_matches_query() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let q = nl.add_dff(a).unwrap();
+        let g = nl.add_gate(GateKind::Nand, &[a, b]).unwrap();
+        let y = nl.add_gate(GateKind::Xor, &[g, q]).unwrap();
+        nl.mark_output(y, "y");
+        let oracle = ComboOracle::new(&nl);
+        // All 8 assignments over (a, b, pseudo-q), plus repeats to cross
+        // the 64-lane boundary.
+        let mut patterns: Vec<Vec<bool>> = Vec::new();
+        for i in 0..130u32 {
+            let bits = i % 8;
+            patterns.push(vec![bits & 1 != 0, bits & 2 != 0, bits & 4 != 0]);
+        }
+        let batch = oracle.query_many(&patterns);
+        assert_eq!(batch.len(), patterns.len());
+        for (p, got) in patterns.iter().zip(&batch) {
+            assert_eq!(got, &oracle.query(p), "pattern {p:?}");
+        }
     }
 }

@@ -12,7 +12,7 @@
 //! is invalid from the start (paper Secs. V-A, VI).
 
 use crate::oracle::ComboOracle;
-use glitchlock_netlist::{CombView, NetId, Netlist};
+use glitchlock_netlist::{CombView, EvalProgram, Logic, NetId, Netlist, PackedLogic, LANES};
 use glitchlock_sat::{encode_comb_into, Lit, SatResult, Solver, SolverStats, Var};
 
 /// How the attack ended.
@@ -142,6 +142,7 @@ impl<'a> SatAttack<'a> {
 pub struct MiterSession<'a> {
     locked: &'a Netlist,
     view: CombView,
+    locked_program: EvalProgram,
     oracle: ComboOracle<'a>,
     solver: Solver,
     role: Vec<Role>,
@@ -166,6 +167,8 @@ impl<'a> MiterSession<'a> {
         oracle: &'a Netlist,
     ) -> Self {
         let view = CombView::new(locked);
+        let locked_program =
+            EvalProgram::compile(locked).expect("locked netlist must be acyclic");
         let oracle = ComboOracle::new(oracle);
         let mut role = vec![Role::Data; view.num_inputs()];
         for (i, net) in view.input_nets().iter().enumerate() {
@@ -208,6 +211,7 @@ impl<'a> MiterSession<'a> {
         MiterSession {
             locked,
             view,
+            locked_program,
             oracle,
             solver,
             role,
@@ -236,6 +240,12 @@ impl<'a> MiterSession<'a> {
     /// Queries the activated chip.
     pub fn query_oracle(&self, data: &[bool]) -> Vec<bool> {
         self.oracle.query(data)
+    }
+
+    /// Queries the activated chip with a batch of patterns, 64 per packed
+    /// evaluation pass.
+    pub fn query_oracle_many(&self, data: &[impl AsRef<[bool]>]) -> Vec<Vec<bool>> {
+        self.oracle.query_many(data)
     }
 
     /// Constrains both key copies to agree with `response` on `data`.
@@ -284,7 +294,6 @@ impl<'a> MiterSession<'a> {
     /// Evaluates the locked view under (data, key) without the solver —
     /// used by the approximate attack's error probes.
     pub fn eval_locked(&self, data: &[bool], key: &[bool]) -> Vec<bool> {
-        use glitchlock_netlist::Logic;
         let mut inputs = vec![Logic::Zero; self.view.num_inputs()];
         for (di, &i) in self.data_ix.iter().enumerate() {
             inputs[i] = Logic::from_bool(data[di]);
@@ -297,6 +306,35 @@ impl<'a> MiterSession<'a> {
             .into_iter()
             .map(|v| v == Logic::One)
             .collect()
+    }
+
+    /// Batched [`MiterSession::eval_locked`]: evaluates the locked view
+    /// under one key for many data patterns, 64 per packed pass through the
+    /// compiled program. Key lanes are splatted constants; result rows are
+    /// in pattern order.
+    pub fn eval_locked_many(&self, data: &[impl AsRef<[bool]>], key: &[bool]) -> Vec<Vec<bool>> {
+        let mut buf = self.locked_program.scratch();
+        let mut results = Vec::with_capacity(data.len());
+        for chunk in data.chunks(LANES) {
+            let mut words = vec![PackedLogic::splat(Logic::Zero); self.view.num_inputs()];
+            for (ki, &i) in self.key_ix.iter().enumerate() {
+                words[i] = PackedLogic::splat(Logic::from_bool(key[ki]));
+            }
+            for (lane, row) in chunk.iter().enumerate() {
+                let row = row.as_ref();
+                assert_eq!(row.len(), self.data_ix.len(), "data width");
+                for (di, &i) in self.data_ix.iter().enumerate() {
+                    words[i].set(lane, Logic::from_bool(row[di]));
+                }
+            }
+            let outs = self
+                .view
+                .eval_packed_words(&self.locked_program, &words, &mut buf);
+            for lane in 0..chunk.len() {
+                results.push(outs.iter().map(|w| w.get(lane) == Logic::One).collect());
+            }
+        }
+        results
     }
 
     /// Number of data inputs (DIP width).
@@ -329,6 +367,9 @@ fn encode_xor(solver: &mut Solver, y: Var, a: Var, b: Var) {
 
 /// Checks a recovered key by exhaustive or sampled comparison of the locked
 /// view against the oracle. Returns the match rate over the tried patterns.
+///
+/// Both netlists are compiled once and evaluated bit-parallel, 64 random
+/// patterns per pass, with the key lanes splatted to constants.
 pub fn key_match_rate(
     locked: &Netlist,
     key_inputs: &[NetId],
@@ -337,9 +378,10 @@ pub fn key_match_rate(
     samples: usize,
     rng: &mut impl rand::Rng,
 ) -> f64 {
-    use glitchlock_netlist::Logic;
     let view = CombView::new(locked);
     let oracle_view = CombView::new(oracle);
+    let locked_program = EvalProgram::compile(locked).expect("locked netlist is acyclic");
+    let oracle_program = EvalProgram::compile(oracle).expect("oracle netlist is acyclic");
     let data_positions: Vec<usize> = view
         .input_nets()
         .iter()
@@ -348,29 +390,54 @@ pub fn key_match_rate(
         .map(|(i, _)| i)
         .collect();
     assert_eq!(data_positions.len(), oracle_view.num_inputs());
+    // One splatted constant word per locked view input that is a key pin.
+    let key_words: Vec<Option<PackedLogic>> = view
+        .input_nets()
+        .iter()
+        .map(|n| {
+            key_inputs
+                .iter()
+                .position(|k| k == n)
+                .map(|pos| PackedLogic::splat(Logic::from_bool(key[pos])))
+        })
+        .collect();
+    let mut locked_buf = locked_program.scratch();
+    let mut oracle_buf = oracle_program.scratch();
     let mut matches = 0usize;
-    for _ in 0..samples {
-        let data: Vec<Logic> = (0..data_positions.len())
-            .map(|_| Logic::from_bool(rng.gen()))
-            .collect();
-        let mut inputs = vec![Logic::Zero; view.num_inputs()];
-        for (di, &pos) in data_positions.iter().enumerate() {
-            inputs[pos] = data[di];
-        }
-        let mut ki = 0;
-        for (i, n) in view.input_nets().iter().enumerate() {
-            if key_inputs.contains(n) {
-                let pos = key_inputs.iter().position(|k| k == n).expect("key present");
-                inputs[i] = Logic::from_bool(key[pos]);
-                ki += 1;
+    let mut done = 0usize;
+    while done < samples {
+        let lanes = LANES.min(samples - done);
+        // Draw sample-major so the consumed RNG stream matches the scalar
+        // one-pattern-at-a-time loop this replaces.
+        let mut data_words = vec![PackedLogic::splat(Logic::Zero); data_positions.len()];
+        for lane in 0..lanes {
+            for w in data_words.iter_mut() {
+                w.set(lane, Logic::from_bool(rng.gen()));
             }
         }
-        debug_assert_eq!(ki, key_inputs.len());
-        let got = view.eval(locked, &inputs);
-        let expect = oracle_view.eval(oracle, &data);
-        if got == expect {
-            matches += 1;
+        let mut di = 0;
+        let locked_words: Vec<PackedLogic> = key_words
+            .iter()
+            .map(|kw| {
+                kw.unwrap_or_else(|| {
+                    let w = data_words[di];
+                    di += 1;
+                    w
+                })
+            })
+            .collect();
+        let got = view.eval_packed_words(&locked_program, &locked_words, &mut locked_buf);
+        let expect = oracle_view.eval_packed_words(&oracle_program, &data_words, &mut oracle_buf);
+        for lane in 0..lanes {
+            if got
+                .iter()
+                .zip(&expect)
+                .all(|(g, e)| g.get(lane) == e.get(lane))
+            {
+                matches += 1;
+            }
         }
+        done += lanes;
     }
     matches as f64 / samples as f64
 }

@@ -20,7 +20,7 @@
 
 use crate::oracle::ComboOracle;
 use crate::removal::{locate_gk_candidates, GkSite};
-use glitchlock_netlist::{CombView, Logic, NetId, Netlist};
+use glitchlock_netlist::{CombView, EvalProgram, Logic, NetId, Netlist, PackedLogic, LANES};
 use rand::Rng;
 
 /// The attacker's conclusion for one located GK.
@@ -65,42 +65,53 @@ pub fn scan_hypothesis_attack<R: Rng>(
         "view data inputs must align with the oracle"
     );
 
-    // Find which view outputs each GK influences by evaluating the view
-    // with the GK output virtually forced — we emulate "forced buffer" and
-    // "forced inverter" by toggling the key input when the GK's two
-    // constant behaviours differ... they do not (GK statics are key-free),
-    // so instead we compare the *view's* prediction (steady behaviour)
-    // against the oracle per sample and per site via single-site patching.
+    // GK statics are key-free, so toggling the key input cannot emulate the
+    // two hypotheses. Instead each is tested by *forcing* the GK output net
+    // inside the compiled program: one unforced pass reads the GK's data
+    // input `x`, then `eval_forced` replays the batch with `y` held at `x`
+    // (buffer) or `!x` (inverter) — 64 patterns per pass.
+    let program = EvalProgram::compile(locked_view).expect("locked view is acyclic");
+    let n_pi = locked_view.input_nets().len();
     sites
         .iter()
         .map(|&site| {
             let mut buf_ok = true;
             let mut inv_ok = true;
-            for _ in 0..samples {
-                let data: Vec<bool> = (0..data_positions.len()).map(|_| rng.gen()).collect();
-                let expect = oracle_chip.query(&data);
-                for hypothesis_buffer in [true, false] {
-                    let got = eval_with_patched_gk(
-                        locked_view,
-                        &view,
-                        &data_positions,
-                        &data,
-                        site,
-                        hypothesis_buffer,
-                    );
-                    let matched = got
-                        .iter()
-                        .zip(&expect)
-                        .all(|(g, e)| g.to_bool() == Some(*e));
-                    if hypothesis_buffer {
-                        buf_ok &= matched;
-                    } else {
-                        inv_ok &= matched;
+            let mut buf = program.scratch();
+            let mut done = 0usize;
+            while done < samples && (buf_ok || inv_ok) {
+                let lanes = LANES.min(samples - done);
+                let data_rows: Vec<Vec<bool>> = (0..lanes)
+                    .map(|_| (0..data_positions.len()).map(|_| rng.gen()).collect())
+                    .collect();
+                let expect = oracle_chip.query_many(&data_rows);
+                let mut words = vec![PackedLogic::splat(Logic::Zero); view.num_inputs()];
+                for (lane, row) in data_rows.iter().enumerate() {
+                    for (di, &pos) in data_positions.iter().enumerate() {
+                        words[pos].set(lane, Logic::from_bool(row[di]));
                     }
                 }
-                if !buf_ok && !inv_ok {
-                    break;
+                let (pi, qs) = words.split_at(n_pi);
+                // Unforced pass: read the GK's data input for this batch.
+                program.eval(pi, Some(qs), &mut buf);
+                let xw = buf.net(site.x);
+                for hypothesis_buffer in [true, false] {
+                    let forced = if hypothesis_buffer { xw } else { !xw };
+                    program.eval_forced(pi, Some(qs), &[(site.y, forced)], &mut buf);
+                    let ok = if hypothesis_buffer {
+                        &mut buf_ok
+                    } else {
+                        &mut inv_ok
+                    };
+                    for (lane, exp) in expect.iter().enumerate() {
+                        *ok &= view
+                            .output_nets()
+                            .iter()
+                            .zip(exp)
+                            .all(|(n, e)| buf.net(*n).get(lane).to_bool() == Some(*e));
+                    }
                 }
+                done += lanes;
             }
             let resolution = match (buf_ok, inv_ok) {
                 (true, false) => GkResolution::Buffer,
@@ -114,7 +125,9 @@ pub fn scan_hypothesis_attack<R: Rng>(
 
 /// Evaluates the locked view with one GK's output forced to `x` (buffer
 /// hypothesis) or `!x` (inverter hypothesis), other GKs left at their
-/// static behaviour.
+/// static behaviour. Scalar reference for the packed `eval_forced` path,
+/// kept for the differential tests.
+#[cfg(test)]
 fn eval_with_patched_gk(
     netlist: &Netlist,
     view: &CombView,
@@ -157,6 +170,7 @@ fn eval_with_patched_gk(
         .collect()
 }
 
+#[cfg(test)]
 fn split_inputs(netlist: &Netlist, inputs: &[Logic]) -> (Vec<Logic>, Vec<Logic>) {
     let n_pi = netlist.input_nets().len();
     (inputs[..n_pi].to_vec(), inputs[n_pi..].to_vec())
@@ -198,6 +212,57 @@ mod tests {
         let ff = view.dff_cells()[0];
         view.rewire_input(ff, 0, gk.y).unwrap();
         (original, view, vec![key])
+    }
+
+    #[test]
+    fn packed_forced_eval_matches_scalar_patching() {
+        let (_original, view_nl, keys) = setup();
+        let sites = locate_gk_candidates(&view_nl);
+        let site = sites[0];
+        let view = CombView::new(&view_nl);
+        let program = EvalProgram::compile(&view_nl).unwrap();
+        let data_positions: Vec<usize> = view
+            .input_nets()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !keys.contains(n))
+            .map(|(i, _)| i)
+            .collect();
+        let n_pi = view_nl.input_nets().len();
+        let width = data_positions.len();
+        let all: Vec<Vec<bool>> = (0..1u32 << width)
+            .map(|m| (0..width).map(|b| m >> b & 1 != 0).collect())
+            .collect();
+        let mut buf = program.scratch();
+        for hypothesis_buffer in [true, false] {
+            let mut words = vec![PackedLogic::splat(Logic::Zero); view.num_inputs()];
+            for (lane, row) in all.iter().enumerate() {
+                for (di, &pos) in data_positions.iter().enumerate() {
+                    words[pos].set(lane, Logic::from_bool(row[di]));
+                }
+            }
+            let (pi, qs) = words.split_at(n_pi);
+            program.eval(pi, Some(qs), &mut buf);
+            let xw = buf.net(site.x);
+            let forced = if hypothesis_buffer { xw } else { !xw };
+            program.eval_forced(pi, Some(qs), &[(site.y, forced)], &mut buf);
+            for (lane, row) in all.iter().enumerate() {
+                let scalar = eval_with_patched_gk(
+                    &view_nl,
+                    &view,
+                    &data_positions,
+                    row,
+                    site,
+                    hypothesis_buffer,
+                );
+                let packed: Vec<Logic> = view
+                    .output_nets()
+                    .iter()
+                    .map(|n| buf.net(*n).get(lane))
+                    .collect();
+                assert_eq!(packed, scalar, "buffer={hypothesis_buffer} lane {lane}");
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! Criterion microbenchmarks for the attacks: the SAT attack cracking XOR
+//! Microbenchmarks for the attacks: the SAT attack cracking XOR
 //! locking, bouncing off GK locking, and the removal-attack analyses.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use glitchlock_bench::harness::Criterion;
+use glitchlock_bench::{criterion_group, criterion_main};
 use glitchlock_attacks::removal::{locate_point_function, signal_skew};
 use glitchlock_attacks::SatAttack;
 use glitchlock_circuits::{generate, tiny};

@@ -1,7 +1,8 @@
-//! Criterion microbenchmarks for the locking flows: feasibility analysis,
+//! Microbenchmarks for the locking flows: feasibility analysis,
 //! GK insertion, and baseline schemes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use glitchlock_bench::harness::Criterion;
+use glitchlock_bench::{criterion_group, criterion_main};
 use glitchlock_circuits::{generate, profile_by_name};
 use glitchlock_core::feasibility::analyze_feasibility;
 use glitchlock_core::gk::GkDesign;

@@ -1,0 +1,158 @@
+//! Scalar vs bit-parallel evaluation throughput on the synthetic ISCAS'89
+//! benchmarks: `Netlist::eval_nets` (one pattern per pass) against a
+//! compiled [`EvalProgram`] (64 patterns per pass), single-threaded.
+//!
+//! Also writes `BENCH_packed_eval.json` at the repository root with
+//! patterns/sec for both engines and the resulting speedup, so the
+//! packed engine's headline number is snapshotted alongside the code.
+//!
+//! ```text
+//! cargo bench -p glitchlock-bench --bench packed_eval
+//! ```
+
+use glitchlock_bench::harness::{BenchmarkId, Criterion};
+use glitchlock_circuits::{generate, profile_by_name};
+use glitchlock_netlist::{EvalProgram, Logic, Netlist, PackedLogic, LANES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::path::Path;
+
+/// One pre-drawn batch of [`LANES`] random definite patterns, held both
+/// row-major (for the scalar engine) and transposed (for the packed one).
+struct Batch {
+    rows: Vec<(Vec<Logic>, Vec<Logic>)>,
+    pi_words: Vec<PackedLogic>,
+    q_words: Vec<PackedLogic>,
+}
+
+fn draw_batch(netlist: &Netlist, rng: &mut StdRng) -> Batch {
+    let n_pi = netlist.input_nets().len();
+    let n_ff = netlist.dff_cells().len();
+    let rows: Vec<(Vec<Logic>, Vec<Logic>)> = (0..LANES)
+        .map(|_| {
+            (
+                (0..n_pi).map(|_| Logic::from_bool(rng.gen())).collect(),
+                (0..n_ff).map(|_| Logic::from_bool(rng.gen())).collect(),
+            )
+        })
+        .collect();
+    let transpose = |pick: fn(&(Vec<Logic>, Vec<Logic>)) -> &Vec<Logic>, width: usize| {
+        (0..width)
+            .map(|i| {
+                let mut w = PackedLogic::X;
+                for (lane, row) in rows.iter().enumerate() {
+                    w.set(lane, pick(row)[i]);
+                }
+                w
+            })
+            .collect::<Vec<_>>()
+    };
+    let pi_words = transpose(|r| &r.0, n_pi);
+    let q_words = transpose(|r| &r.1, n_ff);
+    Batch {
+        rows,
+        pi_words,
+        q_words,
+    }
+}
+
+struct Row {
+    bench: &'static str,
+    cells: usize,
+    scalar_ns_per_pattern: f64,
+    packed_ns_per_pattern: f64,
+    scalar_patterns_per_sec: f64,
+    packed_patterns_per_sec: f64,
+    speedup: f64,
+}
+
+fn bench_packed_eval(c: &mut Criterion) -> Vec<Row> {
+    let mut snapshot = Vec::new();
+    for name in ["s5378", "s38417"] {
+        let profile = profile_by_name(name).expect("known profile");
+        let netlist = generate(&profile);
+        let program = EvalProgram::compile(&netlist).expect("acyclic");
+        let mut rng = StdRng::seed_from_u64(0xbe27c4);
+        let batch = draw_batch(&netlist, &mut rng);
+
+        {
+            let mut group = c.benchmark_group("packed_eval");
+            group.bench_with_input(BenchmarkId::new("scalar", name), &batch, |b, batch| {
+                // One full LANES-pattern batch per iteration, one pass per row.
+                b.iter(|| {
+                    for (pi, qs) in &batch.rows {
+                        black_box(netlist.eval_nets(pi, Some(qs)));
+                    }
+                })
+            });
+            group.finish();
+        }
+        let scalar = c.samples().last().unwrap().clone();
+
+        {
+            let mut buf = program.scratch();
+            let mut group = c.benchmark_group("packed_eval");
+            group.bench_with_input(BenchmarkId::new("packed", name), &batch, |b, batch| {
+                // The same LANES patterns in a single bit-parallel pass.
+                b.iter(|| {
+                    program.eval(&batch.pi_words, Some(&batch.q_words), &mut buf);
+                    black_box(buf.net(*netlist.output_nets().first().unwrap()))
+                })
+            });
+            group.finish();
+        }
+        let packed = c.samples().last().unwrap().clone();
+
+        let scalar_pps = scalar.per_sec() * LANES as f64;
+        let packed_pps = packed.per_sec() * LANES as f64;
+        println!(
+            "  {name}: scalar {scalar_pps:.0} patterns/s, packed {packed_pps:.0} patterns/s, speedup {:.1}x",
+            packed_pps / scalar_pps
+        );
+        snapshot.push(Row {
+            bench: name,
+            cells: profile.cells,
+            scalar_ns_per_pattern: scalar.ns_per_iter / LANES as f64,
+            packed_ns_per_pattern: packed.ns_per_iter / LANES as f64,
+            scalar_patterns_per_sec: scalar_pps,
+            packed_patterns_per_sec: packed_pps,
+            speedup: packed_pps / scalar_pps,
+        });
+    }
+    snapshot
+}
+
+/// Hand-rolled JSON emission — the workspace carries no serde.
+fn to_json(rows: &[Row]) -> String {
+    let mut s = String::from("{\n  \"note\": \"single-thread scalar eval_nets vs compiled 64-lane EvalProgram; cargo bench -p glitchlock-bench --bench packed_eval\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"cells\": {}, \"scalar_ns_per_pattern\": {:.1}, \"packed_ns_per_pattern\": {:.1}, \"scalar_patterns_per_sec\": {:.0}, \"packed_patterns_per_sec\": {:.0}, \"speedup\": {:.1}}}{}\n",
+            r.bench,
+            r.cells,
+            r.scalar_ns_per_pattern,
+            r.packed_ns_per_pattern,
+            r.scalar_patterns_per_sec,
+            r.packed_patterns_per_sec,
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let mut c = Criterion::new();
+    let rows = bench_packed_eval(&mut c);
+    let json = to_json(&rows);
+    // Snapshot next to the workspace manifest (crates/bench -> repo root).
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_packed_eval.json");
+    if std::env::var("GLITCHLOCK_BENCH_NO_SNAPSHOT").is_err() {
+        std::fs::write(&path, &json).expect("write BENCH_packed_eval.json");
+        println!("\nwrote {}", path.display());
+    }
+    print!("\n{json}");
+}

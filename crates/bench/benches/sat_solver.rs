@@ -1,8 +1,9 @@
-//! Criterion microbenchmarks for the CDCL solver: random 3-SAT near the
+//! Microbenchmarks for the CDCL solver: random 3-SAT near the
 //! phase transition, pigeonhole (hard UNSAT), and a benchmark-circuit
 //! Tseitin query.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glitchlock_bench::harness::{BenchmarkId, Criterion};
+use glitchlock_bench::{criterion_group, criterion_main};
 use glitchlock_circuits::{generate, tiny};
 use glitchlock_netlist::CombView;
 use glitchlock_sat::{encode_comb, Cnf, Lit, SatResult, Solver, Var};

@@ -1,6 +1,7 @@
-//! Criterion microbenchmarks for the event-driven timing simulator.
+//! Microbenchmarks for the event-driven timing simulator.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glitchlock_bench::harness::{BenchmarkId, Criterion};
+use glitchlock_bench::{criterion_group, criterion_main};
 use glitchlock_circuits::{generate, tiny, Profile};
 use glitchlock_netlist::Logic;
 use glitchlock_sim::{ClockSpec, SimConfig, Simulator, Stimulus};

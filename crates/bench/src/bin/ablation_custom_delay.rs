@@ -12,6 +12,7 @@
 //! cargo run --release -p glitchlock-bench --bin ablation_custom_delay
 //! ```
 
+use glitchlock_bench::parallel::parallel_map;
 use glitchlock_circuits::{generate, iwls2005_profiles, Profile};
 use glitchlock_core::gk::GkDesign;
 use glitchlock_core::GkEncryptor;
@@ -49,9 +50,15 @@ fn main() {
     );
     let mut red_sum = 0.0;
     let mut n = 0;
-    for profile in iwls2005_profiles() {
-        let std_oh = overhead(&profile, 8, &standard);
-        let cus_oh = overhead(&profile, 8, &custom);
+    let profiles = iwls2005_profiles();
+    // Both library variants per benchmark, fanned out across threads.
+    let rows = parallel_map(&profiles, |profile| {
+        (
+            overhead(profile, 8, &standard),
+            overhead(profile, 8, &custom),
+        )
+    });
+    for (profile, (std_oh, cus_oh)) in profiles.iter().zip(rows) {
         match (std_oh, cus_oh) {
             (Some((sc, sa)), Some((cc, ca))) => {
                 let reduction = if sa > 0.0 { (1.0 - ca / sa) * 100.0 } else { 0.0 };

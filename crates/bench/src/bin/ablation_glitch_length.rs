@@ -10,6 +10,7 @@
 //! cargo run --release -p glitchlock-bench --bin ablation_glitch_length
 //! ```
 
+use glitchlock_bench::parallel::parallel_map;
 use glitchlock_circuits::{generate, profile_by_name};
 use glitchlock_core::feasibility::analyze_feasibility;
 use glitchlock_core::gk::{GkDesign, GkScheme};
@@ -25,19 +26,28 @@ fn main() {
         print!(" {b:>9}");
     }
     println!();
-    for l_ps in (100u64..=2000).step_by(100) {
+    // One row per glitch length; each row re-analyzes all three benchmarks.
+    // Rows are independent: fan them out, print in sweep order.
+    let lengths: Vec<u64> = (100u64..=2000).step_by(100).collect();
+    let rows = parallel_map(&lengths, |&l_ps| {
         let design = GkDesign {
             scheme: GkScheme::InverterSteady,
             l_glitch: Ps(l_ps),
             tolerance: Ps(30),
         };
+        benches
+            .map(|b| {
+                let profile = profile_by_name(b).expect("known profile");
+                let nl = generate(&profile);
+                let clock = ClockModel::new(profile.clock_period);
+                analyze_feasibility(&nl, &lib, &clock, &design).coverage_pct()
+            })
+            .to_vec()
+    });
+    for (l_ps, covs) in lengths.iter().zip(rows) {
         print!("{:>8}ps", l_ps);
-        for b in benches {
-            let profile = profile_by_name(b).expect("known profile");
-            let nl = generate(&profile);
-            let clock = ClockModel::new(profile.clock_period);
-            let report = analyze_feasibility(&nl, &lib, &clock, &design);
-            print!(" {:>8.2}%", report.coverage_pct());
+        for cov in covs {
+            print!(" {cov:>8.2}%");
         }
         println!();
     }

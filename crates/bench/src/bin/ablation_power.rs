@@ -10,6 +10,7 @@
 //! ```
 
 use glitchlock_bench::lock_profile;
+use glitchlock_bench::parallel::parallel_map;
 use glitchlock_circuits::{iwls2005_profiles, tiny};
 use glitchlock_core::KeyBit;
 use glitchlock_netlist::{Logic, NetId, Netlist};
@@ -69,11 +70,9 @@ fn main() {
             .into_iter()
             .filter(|p| p.cells <= 1000),
     );
-    for profile in profiles {
-        let Ok(locked) = lock_profile(&profile, 8, 0x9034 + profile.cells as u64) else {
-            println!("{:<8} | insufficient feasible flip-flops", profile.name);
-            continue;
-        };
+    // Original + locked timed simulations per benchmark, fanned out.
+    let rows = parallel_map(&profiles, |profile| {
+        let locked = lock_profile(profile, 8, 0x9034 + profile.cells as u64).ok()?;
         let period = profile.clock_period;
         let base = run_activity(&locked.original, &lib, period, cycles, &[], 5);
         let key: Vec<(NetId, KeyBit)> = locked
@@ -83,6 +82,13 @@ fn main() {
             .zip(locked.correct_key.bits().iter().copied())
             .collect();
         let gk = run_activity(&locked.netlist, &lib, period, cycles, &key, 5);
+        Some((base, gk))
+    });
+    for (profile, row) in profiles.iter().zip(rows) {
+        let Some((base, gk)) = row else {
+            println!("{:<8} | insufficient feasible flip-flops", profile.name);
+            continue;
+        };
         println!(
             "{:<8} | {:>12} | {:>12} | +{:.1}%",
             profile.name,

@@ -10,6 +10,7 @@
 //! cargo run --release -p glitchlock-bench --bin ablation_shared_keygen
 //! ```
 
+use glitchlock_bench::parallel::parallel_map;
 use glitchlock_circuits::{generate, iwls2005_profiles, Profile};
 use glitchlock_core::GkEncryptor;
 use glitchlock_sta::ClockModel;
@@ -44,8 +45,12 @@ fn main() {
         "{:<8} | {:>17} | {:>17} | area saved",
         "Bench.", "per-GK (keys)", "shared (keys)"
     );
-    for profile in iwls2005_profiles() {
-        match (run(&profile, false, &lib), run(&profile, true, &lib)) {
+    let profiles = iwls2005_profiles();
+    let rows = parallel_map(&profiles, |profile| {
+        (run(profile, false, &lib), run(profile, true, &lib))
+    });
+    for (profile, (per_gk, shared)) in profiles.iter().zip(rows) {
+        match (per_gk, shared) {
             (Some((sc, sa, sk)), Some((hc, ha, hk))) => {
                 let saved = if sa > 0.0 { (1.0 - ha / sa) * 100.0 } else { 0.0 };
                 println!(

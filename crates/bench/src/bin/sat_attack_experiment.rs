@@ -13,6 +13,7 @@
 use glitchlock_attacks::sat_attack::SatOutcome;
 use glitchlock_attacks::SatAttack;
 use glitchlock_bench::lock_profile;
+use glitchlock_bench::parallel::parallel_map;
 use glitchlock_circuits::{generate, iwls2005_profiles};
 use glitchlock_core::locking::{LockScheme, XorLock};
 use rand::rngs::StdRng;
@@ -65,27 +66,8 @@ fn main() {
             elapsed
         )
     };
-    // Work queue bounded by the available parallelism.
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(2)
-        .min(jobs.len());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<String>> =
-        jobs.iter().map(|_| std::sync::Mutex::new(String::new())).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let ix = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some((profile, n_gks)) = jobs.get(ix) else {
-                    break;
-                };
-                *results[ix].lock().expect("unpoisoned") = run_one(profile, *n_gks);
-            });
-        }
-    });
-    for line in &results {
-        println!("{}", line.lock().expect("unpoisoned"));
+    for line in parallel_map(&jobs, |(profile, n_gks)| run_one(profile, *n_gks)) {
+        println!("{line}");
     }
 
     println!("\nContrast: conventional XOR/XNOR locking on the same benchmarks");
@@ -93,7 +75,8 @@ fn main() {
         "{:<8} {:>10} | {:>12} {:>10} {:>9}",
         "Bench.", "key bits", "outcome", "DIP iters", "time"
     );
-    for profile in iwls2005_profiles().iter().take(4) {
+    let xor_profiles: Vec<_> = iwls2005_profiles().into_iter().take(4).collect();
+    let xor_rows = parallel_map(&xor_profiles, |profile| {
         let nl = generate(profile);
         let mut rng = StdRng::seed_from_u64(0xC0DE);
         let locked = XorLock::new(16).lock(&nl, &mut rng).expect("lockable");
@@ -105,10 +88,13 @@ fn main() {
             SatOutcome::NoDipAtFirstIteration { .. } => "no dip?",
             SatOutcome::IterationLimit => "limit",
         };
-        println!(
+        format!(
             "{:<8} {:>10} | {:>12} {:>10} {:>8.2?}",
             profile.name, 16, outcome, result.iterations, elapsed
-        );
+        )
+    });
+    for line in xor_rows {
+        println!("{line}");
     }
     println!("\nWithout DIPs, SAT attack is invalid (paper Sec. VI).");
 }

@@ -5,6 +5,7 @@
 //! cargo run --release -p glitchlock-bench --bin table1
 //! ```
 
+use glitchlock_bench::parallel::parallel_map;
 use glitchlock_bench::PAPER_TABLE1;
 use glitchlock_circuits::{generate, iwls2005_profiles};
 use glitchlock_core::encrypt_ff::select_encrypt_ff;
@@ -25,14 +26,21 @@ fn main() {
     );
     let mut cov_sum = 0.0;
     let mut paper_cov_sum = 0.0;
-    for (profile, paper) in iwls2005_profiles().iter().zip(PAPER_TABLE1) {
+    // Per-benchmark feasibility analyses are independent; fan them out and
+    // print in deterministic order.
+    let profiles = iwls2005_profiles();
+    let rows = parallel_map(&profiles, |profile| {
         let nl = generate(profile);
         let stats = nl.stats();
         let clock = ClockModel::new(profile.clock_period);
         let report = analyze_feasibility(&nl, &lib, &clock, &design);
         let available = report.available();
         let group = select_encrypt_ff(&nl, &available);
-        let cov = report.coverage_pct();
+        (stats, available.len(), report.coverage_pct(), group.len())
+    });
+    for ((profile, paper), (stats, available, cov, group)) in
+        profiles.iter().zip(PAPER_TABLE1).zip(rows)
+    {
         cov_sum += cov;
         paper_cov_sum += paper.4;
         println!(
@@ -40,9 +48,9 @@ fn main() {
             profile.name,
             stats.cells,
             stats.dffs,
-            available.len(),
+            available,
             cov,
-            group.len(),
+            group,
             paper.3,
             paper.4,
             paper.5

@@ -5,6 +5,7 @@
 //! cargo run --release -p glitchlock-bench --bin table2
 //! ```
 
+use glitchlock_bench::parallel::parallel_map;
 use glitchlock_bench::{fmt_pair, lock_profile, PAPER_TABLE2};
 use glitchlock_circuits::{generate, iwls2005_profiles, Profile};
 use glitchlock_core::locking::{LockScheme, XorLock};
@@ -38,15 +39,19 @@ fn main() {
         "Bench.", "4 GK", "8 GK", "16 GK", "8GK+16XOR", "4 GK", "8 GK", "16 GK", "8GK+16XOR"
     );
     let mut sums = [(0.0f64, 0.0f64, 0usize); 4];
-    for (profile, paper) in iwls2005_profiles().iter().zip(PAPER_TABLE2) {
-        // The paper inserts 8/16 GKs "if applicable"; s1238 (18 FFs) only
-        // takes 4. Our feasibility analysis enforces the same limit.
-        let cols = [
+    // The paper inserts 8/16 GKs "if applicable"; s1238 (18 FFs) only
+    // takes 4. Our feasibility analysis enforces the same limit. The 28
+    // lock+measure runs are independent: fan out per benchmark.
+    let profiles = iwls2005_profiles();
+    let all_cols = parallel_map(&profiles, |profile| {
+        [
             overhead_for(profile, 4, &lib),
             overhead_for(profile, 8, &lib),
             overhead_for(profile, 16, &lib),
             hybrid_for(profile, &lib),
-        ];
+        ]
+    });
+    for ((profile, paper), cols) in profiles.iter().zip(PAPER_TABLE2).zip(all_cols) {
         for (i, c) in cols.iter().enumerate() {
             if let Some((cell, area)) = c {
                 sums[i].0 += cell;

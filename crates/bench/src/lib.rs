@@ -1,5 +1,5 @@
 //! Experiment harness for `glitchlock`: binaries regenerating every table
-//! and figure of the paper, plus Criterion microbenchmarks.
+//! and figure of the paper, plus microbenchmarks on an in-repo harness.
 //!
 //! Binaries (run with `cargo run --release -p glitchlock-bench --bin …`):
 //!
@@ -12,10 +12,13 @@
 //! * `figures` — textual reproductions of the timing diagrams and window
 //!   analyses of Figs. 4, 6, 7 and 9.
 //!
-//! Criterion benches (`cargo bench -p glitchlock-bench`): `sat_solver`,
-//! `simulator`, `locking`, `attack`.
+//! Benches (`cargo bench -p glitchlock-bench`): `sat_solver`, `simulator`,
+//! `locking`, `attack`, `packed_eval`.
 
 #![deny(missing_docs)]
+
+pub mod harness;
+pub mod parallel;
 
 use glitchlock_core::gk::GkDesign;
 use glitchlock_core::GkLocked;

@@ -1,0 +1,81 @@
+//! Scoped-thread fan-out for the experiment runners: a tiny stand-in for
+//! rayon's `par_iter().map().collect()` built on `std::thread::scope`, so
+//! the table/ablation binaries spread independent benchmark × config runs
+//! across cores with no external dependency.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use: `GLITCHLOCK_THREADS` if set, otherwise
+/// the machine's available parallelism (at least 1).
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("GLITCHLOCK_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on a scoped worker pool and returns results
+/// in input order. Workers claim indices from a shared counter, so uneven
+/// per-item cost (s1238 vs s38584) load-balances naturally.
+///
+/// `f` runs on plain scoped threads: panics in `f` propagate, and borrows
+/// of surrounding state are fine as long as they are `Sync`.
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = worker_count().min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let ix = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(ix) else { break };
+                let out = f(item);
+                done.lock().expect("result mutex").push((ix, out));
+            });
+        }
+    });
+    let mut pairs = done.into_inner().expect("result mutex");
+    pairs.sort_by_key(|&(ix, _)| ix);
+    assert_eq!(pairs.len(), items.len(), "every item produces one result");
+    pairs.into_iter().map(|(_, u)| u).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * 3);
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn borrows_surrounding_state() {
+        let base = vec![10u64, 20, 30];
+        let items = [0usize, 1, 2];
+        let out = parallel_map(&items, |&i| base[i] + 1);
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+}

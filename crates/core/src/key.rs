@@ -10,7 +10,7 @@ use glitchlock_stdcell::Ps;
 use std::fmt;
 
 /// The direction of a key transition.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Transition {
     /// 0 → 1 at the trigger time.
     Rising,
@@ -39,7 +39,7 @@ impl Transition {
 }
 
 /// One key input's assignment.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum KeyBit {
     /// A constant logic level for the whole clock cycle.
     Const(bool),
@@ -90,7 +90,7 @@ impl fmt::Display for KeyBit {
 }
 
 /// An ordered key assignment, one [`KeyBit`] per key input.
-#[derive(Clone, PartialEq, Eq, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct KeyVector {
     bits: Vec<KeyBit>,
 }

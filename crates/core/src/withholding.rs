@@ -10,7 +10,9 @@
 
 use crate::util::promote_to_inputs;
 use crate::CoreError;
-use glitchlock_netlist::{CellId, GateKind, Logic, NetId, Netlist};
+use glitchlock_netlist::{
+    CellId, EvalProgram, GateKind, Logic, NetId, Netlist, PackedLogic, LANES,
+};
 use std::collections::HashSet;
 
 /// A withheld region: the opaque LUT the attacker sees only as a box, and
@@ -127,18 +129,39 @@ pub fn absorb_cone(
         });
     }
 
-    // Truth table by local evaluation over the cone.
+    // Truth table by bit-parallel sweep: every cut net is *forced* to its
+    // table-index bit inside the compiled program, 64 rows per pass. Every
+    // non-cut input of a cone cell is cone-internal by construction, so
+    // forcing the cut fully determines the output.
     let k = cut.len();
-    let mut table = Vec::with_capacity(1 << k);
-    for bits in 0usize..(1 << k) {
-        let mut values: Vec<Option<Logic>> = vec![None; netlist.net_count()];
-        for (i, &n) in cut.iter().enumerate() {
-            values[n.index()] = Some(Logic::from_bool(bits >> i & 1 == 1));
+    let program =
+        EvalProgram::compile(netlist).map_err(|e| CoreError::Netlist(e.to_string()))?;
+    let mut buf = program.scratch();
+    let x_inputs = vec![PackedLogic::X; program.num_inputs()];
+    let rows = 1usize << k;
+    let mut table = Vec::with_capacity(rows);
+    let mut base = 0usize;
+    while base < rows {
+        let lanes = LANES.min(rows - base);
+        let forced: Vec<(NetId, PackedLogic)> = cut
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let mut w = PackedLogic::ZERO;
+                for lane in 0..lanes {
+                    w.set(lane, Logic::from_bool((base + lane) >> i & 1 == 1));
+                }
+                (n, w)
+            })
+            .collect();
+        program.eval_forced(&x_inputs, None, &forced, &mut buf);
+        let out = buf.net(output);
+        for lane in 0..lanes {
+            table.push(out.get(lane).to_bool().ok_or_else(|| {
+                CoreError::Netlist("withheld cone evaluated to X".into())
+            })?);
         }
-        let v = eval_cone(netlist, &cone, output, &mut values);
-        table.push(v.to_bool().ok_or_else(|| {
-            CoreError::Netlist("withheld cone evaluated to X".into())
-        })?);
+        base += lanes;
     }
 
     let attacker_view = promote_to_inputs(
@@ -243,6 +266,9 @@ pub fn withhold_gk_inputs(
     Ok((view, regions, luts))
 }
 
+/// Scalar recursive cone evaluation — the reference the packed forced-net
+/// sweep in [`absorb_cone`] is checked against in the tests.
+#[cfg(test)]
 fn eval_cone(
     netlist: &Netlist,
     cone: &HashSet<CellId>,
@@ -304,6 +330,44 @@ mod tests {
             let ins: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
             let expect = (ins[0] && ins[1]) ^ ins[2];
             assert_eq!(lut.eval(&ins), expect, "bits {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn packed_table_sweep_matches_scalar_cone_eval() {
+        // Rebuild the cone walk of absorb_cone by hand and check the packed
+        // forced-net table against the recursive scalar evaluator, row by
+        // row — including a DFF Q net and a constant in the cut.
+        let mut nl = Netlist::new("m");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let q = nl.add_dff(a).unwrap();
+        let one = nl.add_const(true);
+        let g1 = nl.add_gate(GateKind::Nand, &[a, q]).unwrap();
+        let g2 = nl.add_gate(GateKind::Mux2, &[g1, b, one]).unwrap();
+        let region = nl.add_gate(GateKind::Xnor, &[g1, g2]).unwrap();
+        let y = nl.add_gate(GateKind::Buf, &[region]).unwrap();
+        nl.mark_output(y, "y");
+        let (_view, lut) = absorb_cone(&nl, region, 5).unwrap();
+        // Scalar reference over the same cut order.
+        let mut cone = HashSet::new();
+        for (cell_id, cell) in nl.cells() {
+            if [g1, g2, region].contains(&cell.output()) {
+                cone.insert(cell_id);
+            }
+        }
+        for bits in 0usize..1 << lut.arity() {
+            let ins: Vec<bool> = (0..lut.arity()).map(|i| bits >> i & 1 == 1).collect();
+            let mut values: Vec<Option<Logic>> = vec![None; nl.net_count()];
+            for (i, &n) in lut.inputs.iter().enumerate() {
+                values[n.index()] = Some(Logic::from_bool(ins[i]));
+            }
+            let expect = eval_cone(&nl, &cone, region, &mut values);
+            assert_eq!(
+                Logic::from_bool(lut.eval(&ins)),
+                expect,
+                "row {bits:b}"
+            );
         }
     }
 

@@ -5,6 +5,7 @@
 //! pin as a pseudo primary input (paper, Sec. VI). [`CombView`] implements
 //! exactly that transformation without rewriting the netlist.
 
+use crate::packed::{EvalProgram, PackedBuf, PackedLogic, LANES};
 use crate::{Logic, NetId, Netlist};
 
 /// The combinational view of a (possibly sequential) netlist.
@@ -80,6 +81,69 @@ impl CombView {
         let (pi, qs) = values.split_at(self.num_pi);
         let nets = netlist.eval_nets(pi, Some(qs));
         self.outputs.iter().map(|n| nets[n.index()]).collect()
+    }
+
+    /// Evaluates the combinational block for a batch of patterns through a
+    /// compiled [`EvalProgram`], 64 patterns per pass. Each pattern is a
+    /// full view-input row (primary inputs then flip-flop Qs, exactly as
+    /// [`CombView::eval`] takes); the result rows are in the same order as
+    /// the patterns, each [`CombView::num_outputs`] wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern's width differs from [`CombView::num_inputs`]
+    /// or if `program` was compiled from a different netlist.
+    pub fn eval_packed(
+        &self,
+        program: &EvalProgram,
+        patterns: &[impl AsRef<[Logic]>],
+    ) -> Vec<Vec<Logic>> {
+        let mut buf = program.scratch();
+        let mut results = Vec::with_capacity(patterns.len());
+        for chunk in patterns.chunks(LANES) {
+            // Transpose the chunk: one word per view input.
+            let words: Vec<PackedLogic> = (0..self.inputs.len())
+                .map(|i| {
+                    let mut w = PackedLogic::X;
+                    for (lane, p) in chunk.iter().enumerate() {
+                        let p = p.as_ref();
+                        assert_eq!(p.len(), self.inputs.len(), "pattern width");
+                        w.set(lane, p[i]);
+                    }
+                    w
+                })
+                .collect();
+            let (pi, qs) = words.split_at(self.num_pi);
+            program.eval(pi, Some(qs), &mut buf);
+            for lane in 0..chunk.len() {
+                results.push(
+                    self.outputs
+                        .iter()
+                        .map(|n| buf.net(*n).get(lane))
+                        .collect(),
+                );
+            }
+        }
+        results
+    }
+
+    /// Shared scratch variant of [`CombView::eval_packed`] writing one
+    /// already-transposed 64-pattern word set: `words` holds one
+    /// [`PackedLogic`] per view input. Returns one word per view output.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatches.
+    pub fn eval_packed_words(
+        &self,
+        program: &EvalProgram,
+        words: &[PackedLogic],
+        buf: &mut PackedBuf,
+    ) -> Vec<PackedLogic> {
+        assert_eq!(words.len(), self.inputs.len(), "view input width");
+        let (pi, qs) = words.split_at(self.num_pi);
+        program.eval(pi, Some(qs), buf);
+        self.outputs.iter().map(|&n| buf.net(n)).collect()
     }
 }
 
@@ -225,6 +289,22 @@ mod tests {
         let nl = counter();
         let st = SeqState::from_values(&nl, vec![One, Zero]);
         assert_eq!(st.values(), &[One, Zero]);
+    }
+
+    #[test]
+    fn eval_packed_matches_eval() {
+        let nl = counter();
+        let view = CombView::new(&nl);
+        let program = EvalProgram::compile(&nl).unwrap();
+        // All 9 (q0, q1) three-valued combinations in one batch.
+        let patterns: Vec<Vec<Logic>> = Logic::ALL
+            .iter()
+            .flat_map(|&a| Logic::ALL.iter().map(move |&b| vec![a, b]))
+            .collect();
+        let batch = view.eval_packed(&program, &patterns);
+        for (p, got) in patterns.iter().zip(&batch) {
+            assert_eq!(got, &view.eval(&nl, p), "pattern {p:?}");
+        }
     }
 
     #[test]

@@ -3,11 +3,11 @@
 use std::fmt;
 
 /// Index of a cell (gate, flip-flop, or I/O marker) inside a [`crate::Netlist`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CellId(pub(crate) u32);
 
 /// Index of a net (a single-driver wire) inside a [`crate::Netlist`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NetId(pub(crate) u32);
 
 /// Opaque reference to a concrete standard-cell library entry.
@@ -15,7 +15,7 @@ pub struct NetId(pub(crate) u32);
 /// The netlist layer does not interpret this value; `glitchlock-stdcell`
 /// resolves it to area and delay data. A cell without a library binding uses
 /// the library's default cell for its [`crate::GateKind`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LibCellId(pub u32);
 
 impl CellId {

@@ -11,7 +11,7 @@ use std::fmt;
 /// * `Mux2` takes `[in0, in1, sel]` and outputs `in0` when `sel = 0`.
 /// * `Mux4` takes `[in0, in1, in2, in3, s0, s1]` and outputs `in[s1·2 + s0]`.
 /// * `Dff` takes `[d]` and drives `q`; the clock is the implicit global clock.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum GateKind {
     /// Primary-input marker; drives its net, takes no inputs.
     Input,

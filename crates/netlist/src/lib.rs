@@ -44,6 +44,7 @@ mod kind;
 mod logic;
 #[allow(clippy::module_inception)]
 mod netlist;
+mod packed;
 
 pub mod bench_format;
 pub mod verilog;
@@ -56,3 +57,6 @@ pub use id::{CellId, LibCellId, NetId};
 pub use kind::GateKind;
 pub use logic::Logic;
 pub use netlist::{Cell, Net, Netlist, NetlistStats};
+pub use packed::{
+    pack_bool_patterns, unpack_lane, EvalProgram, PackedBuf, PackedLogic, PackedSeqState, LANES,
+};

@@ -7,7 +7,7 @@ use std::ops::Not;
 ///
 /// `X` models an unknown/uninitialized level and propagates pessimistically
 /// through gates (e.g. `And(0, X) = 0` but `And(1, X) = X`).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum Logic {
     /// Logic low.
     Zero,

@@ -2,6 +2,7 @@
 
 use crate::{CellId, GateKind, LibCellId, Logic, NetId, NetlistError};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// A single-driver wire.
 #[derive(Clone, Debug)]
@@ -99,6 +100,8 @@ pub struct Netlist {
     outputs: Vec<(NetId, String)>,
     dffs: Vec<CellId>,
     by_name: HashMap<String, NetId>,
+    /// Lazily computed topological order, dropped on structural mutation.
+    topo_cache: OnceLock<Result<Vec<CellId>, NetlistError>>,
 }
 
 impl Netlist {
@@ -112,6 +115,7 @@ impl Netlist {
             outputs: Vec::new(),
             dffs: Vec::new(),
             by_name: HashMap::new(),
+            topo_cache: OnceLock::new(),
         }
     }
 
@@ -231,6 +235,7 @@ impl Netlist {
     }
 
     fn push_cell(&mut self, kind: GateKind, inputs: Vec<NetId>, output: NetId, name: String) -> CellId {
+        self.topo_cache.take();
         let id = CellId::from_index(self.cells.len());
         self.cells.push(Cell {
             kind,
@@ -243,6 +248,7 @@ impl Netlist {
     }
 
     fn connect(&mut self, cell: CellId) {
+        self.topo_cache.take();
         let (inputs, output) = {
             let c = &self.cells[cell.index()];
             (c.inputs.clone(), c.output)
@@ -310,6 +316,7 @@ impl Netlist {
                 got: pin,
             })?
         };
+        self.topo_cache.take();
         self.cells[cell.index()].inputs[pin] = new_net;
         let fan = &mut self.nets[old_net.index()].fanout;
         if let Some(pos) = fan.iter().position(|&(c, p)| c == cell && p == pin) {
@@ -437,17 +444,38 @@ impl Netlist {
                 });
             }
         }
-        self.topo_order().map(|_| ())
+        self.topo_order_cached().map(|_| ())
     }
 
     /// Topologically orders the combinational cells (Kahn's algorithm seeded
-    /// from primary inputs, constants, and flip-flop outputs).
+    /// from primary inputs, constants, and flip-flop outputs). The order is
+    /// cached; repeated calls on an unmutated netlist are cheap clones of
+    /// the cached result ([`Netlist::topo_order_cached`] avoids even that).
     ///
     /// # Errors
     ///
     /// Returns [`NetlistError::CombinationalCycle`] if the combinational part
     /// is cyclic.
     pub fn topo_order(&self) -> Result<Vec<CellId>, NetlistError> {
+        self.topo_order_cached().map(<[CellId]>::to_vec)
+    }
+
+    /// Borrowed view of the cached topological order, computing it on first
+    /// use. Hot paths ([`Netlist::eval_nets`], the packed-engine compiler)
+    /// go through this to avoid re-sorting the graph per pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the combinational part
+    /// is cyclic.
+    pub fn topo_order_cached(&self) -> Result<&[CellId], NetlistError> {
+        match self.topo_cache.get_or_init(|| self.compute_topo_order()) {
+            Ok(order) => Ok(order),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    fn compute_topo_order(&self) -> Result<Vec<CellId>, NetlistError> {
         let mut indegree = vec![0usize; self.cells.len()];
         let mut order = Vec::new();
         let mut queue = std::collections::VecDeque::new();
@@ -562,9 +590,9 @@ impl Netlist {
             let q = self.cells[ff.index()].output;
             values[q.index()] = dff_q.map(|v| v[i]).unwrap_or(Logic::X);
         }
-        let order = self.topo_order().expect("netlist must be acyclic");
+        let order = self.topo_order_cached().expect("netlist must be acyclic");
         let mut in_buf = Vec::with_capacity(8);
-        for cell in order {
+        for &cell in order {
             let c = &self.cells[cell.index()];
             in_buf.clear();
             in_buf.extend(c.inputs.iter().map(|n| values[n.index()]));
@@ -710,6 +738,29 @@ mod tests {
         nl.mark_output(y, "y");
         assert_eq!(nl.eval_comb(&[Zero, One, One]), vec![One]);
         assert_eq!(nl.eval_comb(&[One, One, Zero]), vec![Zero]);
+    }
+
+    #[test]
+    fn topo_cache_invalidates_on_mutation() {
+        let mut nl = full_adder();
+        let first = nl.topo_order().unwrap();
+        // Cached: same answer, and the borrowed view is stable.
+        assert_eq!(nl.topo_order_cached().unwrap(), &first[..]);
+        // Structural mutation must drop the cache: append a gate and check
+        // the new cell shows up in the refreshed order.
+        let a = nl.input_nets()[0];
+        let y = nl.add_gate(GateKind::Inv, &[a]).unwrap();
+        let refreshed = nl.topo_order().unwrap();
+        assert_eq!(refreshed.len(), first.len() + 1);
+        let inv = nl.net(y).driver().unwrap();
+        assert!(refreshed.contains(&inv));
+        // Rewiring also invalidates: move the inverter onto another input
+        // and confirm evaluation tracks the new wiring.
+        nl.mark_output(y, "na");
+        let b = nl.input_nets()[1];
+        nl.rewire_input(inv, 0, b).unwrap();
+        let out = nl.eval_comb(&[One, Zero, Zero]);
+        assert_eq!(*out.last().unwrap(), One, "inverter now reads input b");
     }
 
     #[test]

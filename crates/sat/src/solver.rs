@@ -802,40 +802,50 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    fn random_cnf_strategy() -> impl Strategy<Value = (u32, Vec<Vec<(u32, bool)>>)> {
-        (2u32..8).prop_flat_map(|n_vars| {
-            let clause = prop::collection::vec((0..n_vars, any::<bool>()), 1..4);
-            (
-                Just(n_vars),
-                prop::collection::vec(clause, 1..24),
-            )
-        })
+    /// Draws a random small CNF: `(n_vars, clauses)` with 2–7 variables and
+    /// up to 23 clauses of 1–3 literals each.
+    fn random_cnf(rng: &mut StdRng) -> (u32, Vec<Vec<(u32, bool)>>) {
+        let n_vars = rng.gen_range(2u32..8);
+        let n_clauses = rng.gen_range(1usize..24);
+        let clauses = (0..n_clauses)
+            .map(|_| {
+                let len = rng.gen_range(1usize..4);
+                (0..len)
+                    .map(|_| (rng.gen_range(0..n_vars), rng.gen::<bool>()))
+                    .collect()
+            })
+            .collect();
+        (n_vars, clauses)
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(96))]
+    fn build_cnf(n_vars: u32, clauses: &[Vec<(u32, bool)>]) -> Cnf {
+        let mut f = Cnf::new();
+        for _ in 0..n_vars {
+            f.new_var();
+        }
+        for c in clauses {
+            let lits: Vec<Lit> = c
+                .iter()
+                .map(|&(v, neg)| Lit::with_sign(Var(v), neg))
+                .collect();
+            f.add_clause(&lits);
+        }
+        f
+    }
 
-        /// Solving under assumptions agrees with brute force over the
-        /// formula plus the assumption units.
-        #[test]
-        fn assumptions_agree_with_brute_force(
-            (n_vars, clauses) in random_cnf_strategy(),
-            assume_bits in any::<u8>(),
-            assume_mask in any::<u8>(),
-        ) {
-            let mut f = Cnf::new();
-            for _ in 0..n_vars {
-                f.new_var();
-            }
-            for c in &clauses {
-                let lits: Vec<Lit> = c
-                    .iter()
-                    .map(|&(v, neg)| Lit::with_sign(Var(v), neg))
-                    .collect();
-                f.add_clause(&lits);
-            }
+    /// Solving under assumptions agrees with brute force over the
+    /// formula plus the assumption units.
+    #[test]
+    fn assumptions_agree_with_brute_force() {
+        let mut rng = StdRng::seed_from_u64(0x5a7_a55);
+        for case in 0..96 {
+            let (n_vars, clauses) = random_cnf(&mut rng);
+            let assume_bits: u8 = rng.gen::<u8>();
+            let assume_mask: u8 = rng.gen::<u8>();
+            let f = build_cnf(n_vars, &clauses);
             let assumptions: Vec<Lit> = (0..n_vars.min(8))
                 .filter(|&i| assume_mask >> i & 1 == 1)
                 .map(|i| Lit::with_sign(Var(i), assume_bits >> i & 1 == 0))
@@ -848,39 +858,34 @@ mod proptests {
             let expect_sat = g.brute_force().is_some();
             let mut s = Solver::from_cnf(&f);
             let got = s.solve_with(&assumptions);
-            prop_assert_eq!(got == SatResult::Sat, expect_sat);
+            assert_eq!(got == SatResult::Sat, expect_sat, "case {case}");
             if got == SatResult::Sat {
                 let model = s.model();
-                prop_assert!(g.eval(&model), "model must satisfy formula + assumptions");
+                assert!(
+                    g.eval(&model),
+                    "case {case}: model must satisfy formula + assumptions"
+                );
             }
             // Assumptions must not persist: plain solve matches plain
             // brute force.
             let plain_sat = f.brute_force().is_some();
-            prop_assert_eq!(s.solve() == SatResult::Sat, plain_sat);
+            assert_eq!(s.solve() == SatResult::Sat, plain_sat, "case {case}");
         }
+    }
 
-        /// DIMACS round trip preserves models exactly.
-        #[test]
-        fn dimacs_round_trip_preserves_models(
-            (n_vars, clauses) in random_cnf_strategy(),
-        ) {
-            let mut f = Cnf::new();
-            for _ in 0..n_vars {
-                f.new_var();
-            }
-            for c in &clauses {
-                let lits: Vec<Lit> = c
-                    .iter()
-                    .map(|&(v, neg)| Lit::with_sign(Var(v), neg))
-                    .collect();
-                f.add_clause(&lits);
-            }
+    /// DIMACS round trip preserves models exactly.
+    #[test]
+    fn dimacs_round_trip_preserves_models() {
+        let mut rng = StdRng::seed_from_u64(0xd1_ac5);
+        for case in 0..96 {
+            let (n_vars, clauses) = random_cnf(&mut rng);
+            let f = build_cnf(n_vars, &clauses);
             let text = crate::dimacs::emit(&f);
             let g = crate::dimacs::parse(&text).unwrap();
-            prop_assert_eq!(f.num_clauses(), g.num_clauses());
+            assert_eq!(f.num_clauses(), g.num_clauses(), "case {case}");
             for bits in 0u32..(1 << n_vars) {
                 let m: Vec<bool> = (0..n_vars).map(|i| bits >> i & 1 == 1).collect();
-                prop_assert_eq!(f.eval(&m), g.eval(&m));
+                assert_eq!(f.eval(&m), g.eval(&m), "case {case} bits {bits:b}");
             }
         }
     }

@@ -11,7 +11,6 @@ use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
 /// nanosecond examples map via [`Ps::from_ns`].
 #[derive(
     Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default,
-    serde::Serialize, serde::Deserialize,
 )]
 pub struct Ps(pub u64);
 
@@ -120,7 +119,6 @@ impl fmt::Display for Ps {
 /// converts back to µm².
 #[derive(
     Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default,
-    serde::Serialize, serde::Deserialize,
 )]
 pub struct AreaMilliUm2(pub u64);
 

@@ -1,0 +1,214 @@
+//! Differential tests for the compiled bit-parallel evaluation engine:
+//! `EvalProgram` packed results must match the scalar `Logic` evaluator
+//! bit-for-bit — exhaustively on small circuits (including every X
+//! combination), on seeded-random patterns over the synthetic ISCAS'89
+//! benchmarks, and on the GK's static buffer/inverter abstraction.
+
+use glitchlock_circuits::{generate, iwls2005_profiles};
+use glitchlock_core::gk::{build_gk, GkDesign, GkScheme};
+use glitchlock_netlist::{
+    CombView, EvalProgram, GateKind, Logic, Netlist, PackedLogic, PackedSeqState, SeqState, LANES,
+};
+use glitchlock_stdcell::Library;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Packed evaluation of every net vs scalar `eval_nets`, for one batch of
+/// full three-valued input rows (primary inputs then flip-flop Qs).
+fn assert_packed_matches_scalar(netlist: &Netlist, patterns: &[Vec<Logic>]) {
+    let program = EvalProgram::compile(netlist).expect("acyclic");
+    let mut buf = program.scratch();
+    let n_pi = netlist.input_nets().len();
+    for chunk in patterns.chunks(LANES) {
+        let words: Vec<PackedLogic> = (0..n_pi + netlist.dff_cells().len())
+            .map(|i| {
+                let mut w = PackedLogic::X;
+                for (lane, p) in chunk.iter().enumerate() {
+                    w.set(lane, p[i]);
+                }
+                w
+            })
+            .collect();
+        let (pi, qs) = words.split_at(n_pi);
+        program.eval(pi, Some(qs), &mut buf);
+        for (lane, p) in chunk.iter().enumerate() {
+            let (spi, sqs) = p.split_at(n_pi);
+            let scalar = netlist.eval_nets(spi, Some(sqs));
+            for (i, &expect) in scalar.iter().enumerate() {
+                let got = buf.net(glitchlock_netlist::NetId::from_index(i)).get(lane);
+                assert_eq!(
+                    got, expect,
+                    "net {i} lane {lane} pattern {p:?} in {}",
+                    netlist.name()
+                );
+            }
+        }
+    }
+}
+
+/// All `3^width` three-valued rows.
+fn all_logic_rows(width: usize) -> Vec<Vec<Logic>> {
+    let mut rows = vec![Vec::new()];
+    for _ in 0..width {
+        rows = rows
+            .into_iter()
+            .flat_map(|r| {
+                Logic::ALL.iter().map(move |&v| {
+                    let mut r = r.clone();
+                    r.push(v);
+                    r
+                })
+            })
+            .collect();
+    }
+    rows
+}
+
+#[test]
+fn exhaustive_small_circuits_match_scalar_including_x() {
+    // One circuit per gate kind, swept over every three-valued input row.
+    let kinds = [
+        (GateKind::And, 3),
+        (GateKind::Nand, 3),
+        (GateKind::Or, 3),
+        (GateKind::Nor, 3),
+        (GateKind::Xor, 3),
+        (GateKind::Xnor, 3),
+        (GateKind::Inv, 1),
+        (GateKind::Buf, 1),
+        (GateKind::Mux2, 3),
+        (GateKind::Mux4, 6),
+    ];
+    for (kind, arity) in kinds {
+        let mut nl = Netlist::new(format!("{kind:?}"));
+        let ins: Vec<_> = (0..arity).map(|i| nl.add_input(format!("i{i}"))).collect();
+        let y = nl.add_gate(kind, &ins).unwrap();
+        nl.mark_output(y, "y");
+        assert_packed_matches_scalar(&nl, &all_logic_rows(arity));
+    }
+}
+
+#[test]
+fn exhaustive_mixed_circuit_with_state_matches_scalar() {
+    // A small sequential circuit: constants, reconvergence, and a
+    // flip-flop, exhausted over all three-valued (inputs × q) rows.
+    let mut nl = Netlist::new("mix");
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let one = nl.add_const(true);
+    let g1 = nl.add_gate(GateKind::Nand, &[a, b]).unwrap();
+    let q = nl.add_dff(g1).unwrap();
+    let g2 = nl.add_gate(GateKind::Mux2, &[g1, one, q]).unwrap();
+    let g3 = nl.add_gate(GateKind::Xor, &[g2, g1, q]).unwrap();
+    nl.mark_output(g3, "y");
+    assert_packed_matches_scalar(&nl, &all_logic_rows(3));
+}
+
+#[test]
+fn iscas89_profiles_match_scalar_on_seeded_random_patterns() {
+    let mut rng = StdRng::seed_from_u64(0x9ac7ed);
+    for profile in iwls2005_profiles().iter().filter(|p| p.cells <= 3000) {
+        let nl = generate(profile);
+        let width = nl.input_nets().len() + nl.dff_cells().len();
+        // 96 rows: mostly definite bits with a sprinkling of X lanes.
+        let patterns: Vec<Vec<Logic>> = (0..96)
+            .map(|_| {
+                (0..width)
+                    .map(|_| {
+                        if rng.gen_range(0..10) == 0 {
+                            Logic::X
+                        } else {
+                            Logic::from_bool(rng.gen())
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        assert_packed_matches_scalar(&nl, &patterns);
+    }
+}
+
+#[test]
+fn gk_static_abstraction_matches_scalar_for_both_schemes() {
+    // The GK's static view (delay chains are transparent at zero delay)
+    // must stay a pure buffer/inverter of x in the packed engine, for every
+    // (x, key) three-valued combination and both schemes.
+    let lib = Library::cl013g_like();
+    for scheme in [GkScheme::InverterSteady, GkScheme::BufferSteady] {
+        let mut nl = Netlist::new("gk");
+        let x = nl.add_input("x");
+        let key = nl.add_input("gk0_key");
+        let design = GkDesign {
+            scheme,
+            ..GkDesign::paper_default()
+        };
+        let gk = build_gk(&mut nl, &lib, x, key, &design).unwrap();
+        nl.mark_output(gk.y, "y");
+        assert_packed_matches_scalar(&nl, &all_logic_rows(2));
+
+        // And the abstraction itself: definite x, any definite key, output
+        // is x (or !x), key-independent.
+        let view = CombView::new(&nl);
+        let program = EvalProgram::compile(&nl).unwrap();
+        for xv in [Logic::Zero, Logic::One] {
+            for kv in [Logic::Zero, Logic::One] {
+                let out = view.eval_packed(&program, &[vec![xv, kv]]);
+                let expect = if scheme.steady_inverts() { !xv } else { xv };
+                assert_eq!(out[0][0], expect, "{scheme:?} x={xv:?} k={kv:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn packed_sequential_stepping_matches_scalar_seqstate() {
+    // Drive a GK-locked-shaped sequential circuit for several cycles with
+    // 64 independent streams; every lane must replay the scalar SeqState.
+    let mut nl = Netlist::new("seq");
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let g = nl.add_gate(GateKind::Xor, &[a, b]).unwrap();
+    let q1 = nl.add_dff(g).unwrap();
+    let g2 = nl.add_gate(GateKind::Nand, &[q1, a]).unwrap();
+    let q2 = nl.add_dff(g2).unwrap();
+    let y = nl.add_gate(GateKind::Or, &[q2, b]).unwrap();
+    nl.mark_output(y, "y");
+
+    let program = EvalProgram::compile(&nl).unwrap();
+    let mut buf = program.scratch();
+    let mut packed = PackedSeqState::reset(&program);
+    let mut scalars: Vec<SeqState> = (0..LANES).map(|_| SeqState::reset(&nl)).collect();
+    let mut rng = StdRng::seed_from_u64(0x5e9);
+    for cycle in 0..8 {
+        let rows: Vec<Vec<Logic>> = (0..LANES)
+            .map(|_| {
+                (0..2)
+                    .map(|_| {
+                        if rng.gen_range(0..8) == 0 {
+                            Logic::X
+                        } else {
+                            Logic::from_bool(rng.gen())
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let words: Vec<PackedLogic> = (0..2)
+            .map(|i| {
+                let mut w = PackedLogic::X;
+                for (lane, r) in rows.iter().enumerate() {
+                    w.set(lane, r[i]);
+                }
+                w
+            })
+            .collect();
+        let outs = packed.step(&program, &words, &mut buf);
+        for (lane, (row, st)) in rows.iter().zip(&mut scalars).enumerate() {
+            let expect = st.step(&nl, row);
+            let got: Vec<Logic> = outs.iter().map(|w| w.get(lane)).collect();
+            assert_eq!(got, expect, "cycle {cycle} lane {lane}");
+            let q: Vec<Logic> = packed.values().iter().map(|w| w.get(lane)).collect();
+            assert_eq!(q, st.values(), "state, cycle {cycle} lane {lane}");
+        }
+    }
+}

@@ -1,11 +1,14 @@
-//! Property-based tests over the core data structures and invariants.
+//! Seeded-random property tests over the core data structures and
+//! invariants. Each test replays a fixed number of cases drawn from a
+//! deterministic PRNG, so failures reproduce exactly.
 
 use glitchlock::netlist::{bench_format, GateKind, Logic, Netlist, SeqState};
 use glitchlock::sat::{encode_comb, Lit, SatResult, Solver};
 use glitchlock::stdcell::Ps;
 use glitchlock::synth::{optimize, plan_chain};
 use glitchlock::{core::windows::GkTiming, stdcell::Library};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Builds a random combinational netlist from a compact recipe.
 fn random_comb_netlist(n_inputs: usize, gates: &[(u8, Vec<usize>)]) -> Option<Netlist> {
@@ -41,49 +44,59 @@ fn random_comb_netlist(n_inputs: usize, gates: &[(u8, Vec<usize>)]) -> Option<Ne
     Some(nl)
 }
 
-fn gate_recipe() -> impl Strategy<Value = Vec<(u8, Vec<usize>)>> {
-    prop::collection::vec(
-        (any::<u8>(), prop::collection::vec(any::<usize>(), 2..4)),
-        1..24,
-    )
+/// Draws a gate recipe matching the shapes the old proptest strategy
+/// produced: 1–23 gates, each `(kind byte, 2–3 source indices)`.
+fn gate_recipe(rng: &mut StdRng, max_gates: usize) -> Vec<(u8, Vec<usize>)> {
+    let n_gates = rng.gen_range(1..max_gates);
+    (0..n_gates)
+        .map(|_| {
+            let kind: u8 = rng.gen::<u8>();
+            let n_srcs = rng.gen_range(2usize..4);
+            let srcs = (0..n_srcs).map(|_| rng.gen::<usize>()).collect();
+            (kind, srcs)
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Draws a valid random netlist, retrying until the recipe builds.
+fn draw_netlist(rng: &mut StdRng, max_inputs: usize, max_gates: usize) -> (usize, Netlist) {
+    loop {
+        let n_inputs = rng.gen_range(1..max_inputs);
+        let gates = gate_recipe(rng, max_gates);
+        if let Some(nl) = random_comb_netlist(n_inputs, &gates) {
+            if nl.validate().is_ok() {
+                return (n_inputs, nl);
+            }
+        }
+    }
+}
 
-    /// `optimize` preserves combinational behaviour on random circuits.
-    #[test]
-    fn optimize_preserves_combinational_behaviour(
-        n_inputs in 1usize..5,
-        gates in gate_recipe(),
-        patterns in prop::collection::vec(any::<u16>(), 4),
-    ) {
-        let Some(nl) = random_comb_netlist(n_inputs, &gates) else {
-            return Ok(());
-        };
-        prop_assume!(nl.validate().is_ok());
+/// `optimize` preserves combinational behaviour on random circuits.
+#[test]
+fn optimize_preserves_combinational_behaviour() {
+    let mut rng = StdRng::seed_from_u64(0x0b71);
+    for case in 0..64 {
+        let (n_inputs, nl) = draw_netlist(&mut rng, 5, 24);
         let opt = optimize(&nl).unwrap();
-        prop_assert!(opt.stats().cells <= nl.stats().cells);
-        for p in patterns {
+        assert!(opt.stats().cells <= nl.stats().cells, "case {case}");
+        for _ in 0..4 {
+            let p: u16 = rng.gen::<u16>();
             let inputs: Vec<Logic> = (0..n_inputs)
                 .map(|i| Logic::from_bool(p >> i & 1 == 1))
                 .collect();
-            prop_assert_eq!(nl.eval_comb(&inputs), opt.eval_comb(&inputs));
+            assert_eq!(nl.eval_comb(&inputs), opt.eval_comb(&inputs), "case {case}");
         }
     }
+}
 
-    /// The Tseitin encoding agrees with direct evaluation for a random
-    /// input pattern on a random circuit.
-    #[test]
-    fn tseitin_agrees_with_evaluation(
-        n_inputs in 1usize..5,
-        gates in gate_recipe(),
-        pattern in any::<u16>(),
-    ) {
-        let Some(nl) = random_comb_netlist(n_inputs, &gates) else {
-            return Ok(());
-        };
-        prop_assume!(nl.validate().is_ok());
+/// The Tseitin encoding agrees with direct evaluation for a random
+/// input pattern on a random circuit.
+#[test]
+fn tseitin_agrees_with_evaluation() {
+    let mut rng = StdRng::seed_from_u64(0x7517);
+    for case in 0..64 {
+        let (n_inputs, nl) = draw_netlist(&mut rng, 5, 24);
+        let pattern: u16 = rng.gen::<u16>();
         let view = glitchlock::netlist::CombView::new(&nl);
         let enc = encode_comb(&nl, &view);
         let input_bools: Vec<bool> = (0..n_inputs).map(|i| pattern >> i & 1 == 1).collect();
@@ -96,54 +109,58 @@ proptest! {
             .zip(&input_bools)
             .map(|(&v, &b)| Lit::with_sign(v, !b))
             .collect();
-        prop_assert_eq!(solver.solve_with(&assumptions), SatResult::Sat);
+        assert_eq!(solver.solve_with(&assumptions), SatResult::Sat, "case {case}");
         for (i, &ov) in enc.output_vars.iter().enumerate() {
-            prop_assert_eq!(solver.value(ov), expect[i].to_bool());
+            assert_eq!(solver.value(ov), expect[i].to_bool(), "case {case} output {i}");
         }
     }
+}
 
-    /// `.bench` round trip preserves behaviour.
-    #[test]
-    fn bench_format_round_trip(
-        n_inputs in 1usize..5,
-        gates in gate_recipe(),
-        patterns in prop::collection::vec(any::<u16>(), 3),
-    ) {
-        let Some(nl) = random_comb_netlist(n_inputs, &gates) else {
-            return Ok(());
-        };
-        prop_assume!(nl.validate().is_ok());
+/// `.bench` round trip preserves behaviour.
+#[test]
+fn bench_format_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0xbe7c);
+    for case in 0..64 {
+        let (n_inputs, nl) = draw_netlist(&mut rng, 5, 24);
         let text = bench_format::emit(&nl);
         let re = bench_format::parse(&text).unwrap();
-        for p in patterns {
+        for _ in 0..3 {
+            let p: u16 = rng.gen::<u16>();
             let inputs: Vec<Logic> = (0..n_inputs)
                 .map(|i| Logic::from_bool(p >> i & 1 == 1))
                 .collect();
-            prop_assert_eq!(nl.eval_comb(&inputs), re.eval_comb(&inputs));
+            assert_eq!(nl.eval_comb(&inputs), re.eval_comb(&inputs), "case {case}");
         }
     }
+}
 
-    /// Delay-chain plans land within tolerance whenever they succeed, and
-    /// their cell lists really sum to the achieved delay.
-    #[test]
-    fn chain_plans_are_self_consistent(target in 0u64..20_000, tol in 0u64..200) {
-        let lib = Library::cl013g_like();
+/// Delay-chain plans land within tolerance whenever they succeed, and
+/// their cell lists really sum to the achieved delay.
+#[test]
+fn chain_plans_are_self_consistent() {
+    let mut rng = StdRng::seed_from_u64(0xc4a1);
+    let lib = Library::cl013g_like();
+    for _ in 0..64 {
+        let target = rng.gen_range(0u64..20_000);
+        let tol = rng.gen_range(0u64..200);
         if let Ok(plan) = plan_chain(&lib, Ps(target), Ps(tol)) {
             let sum: Ps = plan.cells.iter().map(|&c| lib.cell(c).delay()).sum();
-            prop_assert_eq!(sum, plan.achieved);
-            prop_assert!(plan.achieved.as_ps().abs_diff(target) <= tol);
+            assert_eq!(sum, plan.achieved);
+            assert!(plan.achieved.as_ps().abs_diff(target) <= tol);
         }
     }
+}
 
-    /// Eq. (5) windows only admit triggers whose glitches cover the capture
-    /// window cleanly (cross-check of the two formulations).
-    #[test]
-    fn on_glitch_window_members_cover_capture(
-        t_clk in 2_000u64..12_000,
-        l in 200u64..4_000,
-        arrival in 0u64..6_000,
-        probe in 0u64..12_000,
-    ) {
+/// Eq. (5) windows only admit triggers whose glitches cover the capture
+/// window cleanly (cross-check of the two formulations).
+#[test]
+fn on_glitch_window_members_cover_capture() {
+    let mut rng = StdRng::seed_from_u64(0x816c);
+    for _ in 0..256 {
+        let t_clk = rng.gen_range(2_000u64..12_000);
+        let l = rng.gen_range(200u64..4_000);
+        let arrival = rng.gen_range(0u64..6_000);
+        let probe = rng.gen_range(0u64..12_000);
         let timing = GkTiming {
             t_arrival: Ps(arrival),
             t_j: Ps::ZERO,
@@ -155,31 +172,29 @@ proptest! {
             d_react: Ps(80),
         };
         if let Some(w) = timing.on_glitch_window() {
-            prop_assert!(w.lo < w.hi);
+            assert!(w.lo < w.hi);
             if w.contains(Ps(probe)) {
-                prop_assert!(
+                assert!(
                     timing.glitch_covers_window(Ps(probe)),
                     "trigger {probe} inside ({}, {}) must latch cleanly",
-                    w.lo, w.hi
+                    w.lo,
+                    w.hi
                 );
             }
             // The midpoint is always a legal trigger.
-            prop_assert!(timing.glitch_covers_window(w.midpoint()));
+            assert!(timing.glitch_covers_window(w.midpoint()));
         }
     }
+}
 
-    /// Random sequential circuits: `SeqState` stepping is deterministic
-    /// and output width stable.
-    #[test]
-    fn sequential_stepping_is_deterministic(
-        n_inputs in 1usize..4,
-        gates in gate_recipe(),
-        pattern in any::<u16>(),
-    ) {
-        let Some(mut nl) = random_comb_netlist(n_inputs, &gates) else {
-            return Ok(());
-        };
-        prop_assume!(nl.validate().is_ok());
+/// Random sequential circuits: `SeqState` stepping is deterministic
+/// and output width stable.
+#[test]
+fn sequential_stepping_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0x5e90);
+    for case in 0..64 {
+        let (n_inputs, mut nl) = draw_netlist(&mut rng, 4, 24);
+        let pattern: u16 = rng.gen::<u16>();
         // Register the first output.
         let po = nl.output_nets()[0];
         let q = nl.add_dff(po).unwrap();
@@ -190,7 +205,7 @@ proptest! {
         let mut a = SeqState::reset(&nl);
         let mut b = SeqState::reset(&nl);
         for _ in 0..4 {
-            prop_assert_eq!(a.step(&nl, &inputs), b.step(&nl, &inputs));
+            assert_eq!(a.step(&nl, &inputs), b.step(&nl, &inputs), "case {case}");
         }
     }
 }

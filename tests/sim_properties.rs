@@ -1,11 +1,12 @@
 //! Cross-domain properties of the timing simulator: agreement with the
 //! zero-delay evaluator at settle time, and the transport/inertial
-//! relationship.
+//! relationship. Seeded-random cases replayed deterministically.
 
 use glitchlock::netlist::{GateKind, Logic, Netlist};
 use glitchlock::sim::{DelayModel, SimConfig, Simulator, Stimulus};
 use glitchlock::stdcell::{Library, Ps};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn random_comb_netlist(n_inputs: usize, gates: &[(u8, Vec<usize>)]) -> Option<Netlist> {
     let mut nl = Netlist::new("rand");
@@ -38,31 +39,41 @@ fn random_comb_netlist(n_inputs: usize, gates: &[(u8, Vec<usize>)]) -> Option<Ne
     Some(nl)
 }
 
-fn gate_recipe() -> impl Strategy<Value = Vec<(u8, Vec<usize>)>> {
-    prop::collection::vec(
-        (any::<u8>(), prop::collection::vec(any::<usize>(), 2..4)),
-        1..16,
-    )
+fn gate_recipe(rng: &mut StdRng, max_gates: usize) -> Vec<(u8, Vec<usize>)> {
+    let n_gates = rng.gen_range(1..max_gates);
+    (0..n_gates)
+        .map(|_| {
+            let kind: u8 = rng.gen::<u8>();
+            let n_srcs = rng.gen_range(2usize..4);
+            let srcs = (0..n_srcs).map(|_| rng.gen::<usize>()).collect();
+            (kind, srcs)
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn draw_netlist(rng: &mut StdRng, max_inputs: usize, max_gates: usize) -> (usize, Netlist) {
+    loop {
+        let n_inputs = rng.gen_range(1..max_inputs);
+        let gates = gate_recipe(rng, max_gates);
+        if let Some(nl) = random_comb_netlist(n_inputs, &gates) {
+            if nl.validate().is_ok() {
+                return (n_inputs, nl);
+            }
+        }
+    }
+}
 
-    /// After input changes settle, the event-driven simulator's final net
-    /// values equal the zero-delay evaluation of the final input vector —
-    /// regardless of delay model.
-    #[test]
-    fn timed_sim_settles_to_zero_delay_values(
-        n_inputs in 1usize..4,
-        gates in gate_recipe(),
-        initial in any::<u8>(),
-        finals in any::<u8>(),
-    ) {
-        let Some(nl) = random_comb_netlist(n_inputs, &gates) else {
-            return Ok(());
-        };
-        prop_assume!(nl.validate().is_ok());
-        let lib = Library::cl013g_like();
+/// After input changes settle, the event-driven simulator's final net
+/// values equal the zero-delay evaluation of the final input vector —
+/// regardless of delay model.
+#[test]
+fn timed_sim_settles_to_zero_delay_values() {
+    let mut rng = StdRng::seed_from_u64(0x5e771e);
+    let lib = Library::cl013g_like();
+    for case in 0..48 {
+        let (n_inputs, nl) = draw_netlist(&mut rng, 4, 16);
+        let initial: u8 = rng.gen::<u8>();
+        let finals: u8 = rng.gen::<u8>();
         let initial_vals: Vec<Logic> = (0..n_inputs)
             .map(|i| Logic::from_bool(initial >> i & 1 == 1))
             .collect();
@@ -83,23 +94,23 @@ proptest! {
                 .iter()
                 .map(|&n| res.final_value(n))
                 .collect();
-            prop_assert_eq!(&got, &expect, "model {:?}", model);
+            assert_eq!(&got, &expect, "case {case} model {model:?}");
         }
     }
+}
 
-    /// Inertial filtering never *adds* transitions: every net's inertial
-    /// transition count is at most its transport transition count.
-    #[test]
-    fn inertial_transitions_subset_of_transport(
-        n_inputs in 1usize..4,
-        gates in gate_recipe(),
-        pulses in prop::collection::vec((0u64..4000, 0u64..600), 1..4),
-    ) {
-        let Some(nl) = random_comb_netlist(n_inputs, &gates) else {
-            return Ok(());
-        };
-        prop_assume!(nl.validate().is_ok());
-        let lib = Library::cl013g_like();
+/// Inertial filtering never *adds* transitions: every net's inertial
+/// transition count is at most its transport transition count.
+#[test]
+fn inertial_transitions_subset_of_transport() {
+    let mut rng = StdRng::seed_from_u64(0x17e5);
+    let lib = Library::cl013g_like();
+    for _ in 0..48 {
+        let (_, nl) = draw_netlist(&mut rng, 4, 16);
+        let n_pulses = rng.gen_range(1usize..4);
+        let pulses: Vec<(u64, u64)> = (0..n_pulses)
+            .map(|_| (rng.gen_range(0u64..4000), rng.gen_range(0u64..600)))
+            .collect();
         let mut stim = Stimulus::new();
         for &pi in nl.input_nets() {
             stim.set(pi, Logic::Zero);
@@ -116,7 +127,7 @@ proptest! {
         let transport = run(DelayModel::Transport);
         let inertial = run(DelayModel::Inertial);
         for (net, _) in nl.nets() {
-            prop_assert!(
+            assert!(
                 inertial.waveform(net).transition_count()
                     <= transport.waveform(net).transition_count(),
                 "net {net} gained transitions under inertial filtering"
