@@ -4,4 +4,50 @@ set -eux
 
 cargo build --release
 cargo test -q
-cargo clippy --workspace -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check
+
+# Static-analysis gate: every freshly locked benchmark must lint clean at
+# deny-all, and a deliberately mutated netlist must be rejected.
+GLK=target/release/glk
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+cat > "$WORK/s27.bench" <<'EOF'
+# s27 (ISCAS'89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+EOF
+
+# Lock with several configurations; lock-gk itself ends in a lint audit,
+# and the standalone gate re-checks the emitted file at deny-all.
+"$GLK" lock-gk "$WORK/s27.bench" "$WORK/plain" --gks 2 --seed 1
+"$GLK" lock-gk "$WORK/s27.bench" "$WORK/mixed" --gks 2 --seed 2 --mix
+"$GLK" lock-gk "$WORK/s27.bench" "$WORK/shared" --gks 2 --seed 3 --share
+for locked in "$WORK"/*.locked.bench; do
+    "$GLK" lint "$locked" --format json --deny all
+done
+
+# Negative check: a malformed netlist must exit nonzero through the
+# diagnostic pipeline, not a panic.
+printf 'G1 = AND)G2(G3\n' > "$WORK/bad.bench"
+if "$GLK" lint "$WORK/bad.bench" --format json; then
+    echo "lint accepted a malformed netlist" >&2
+    exit 1
+fi

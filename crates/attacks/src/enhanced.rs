@@ -85,9 +85,7 @@ pub fn replace_gks_with_xor(
         if let Some(site) = sites.iter().find(|s| s.mux == cell_id) {
             let x = map[site.x.index()].expect("x precedes the GK in topo order");
             let k = out.add_input(format!("model_key{}", model_keys.len()));
-            let y = out
-                .add_gate(GateKind::Xor, &[x, k])
-                .expect("xor arity");
+            let y = out.add_gate(GateKind::Xor, &[x, k]).expect("xor arity");
             map[cell.output().index()] = Some(y);
             model_keys.push(k);
             continue;

@@ -84,11 +84,7 @@ impl<'a> ComboOracle<'a> {
             for lane in 0..chunk.len() {
                 results.push(
                     outs.iter()
-                        .map(|w| {
-                            w.get(lane)
-                                .to_bool()
-                                .expect("oracle outputs are definite")
-                        })
+                        .map(|w| w.get(lane).to_bool().expect("oracle outputs are definite"))
                         .collect(),
                 );
             }

@@ -257,10 +257,7 @@ pub fn strip_tdk_delay_buffers(tdk: &TdkLocked) -> (Netlist, Vec<NetId>, Vec<Net
         // either. The attacker needs no key knowledge for this.
         let mux_cell = info.tdb_mux;
         let branch = out.cell(mux_cell).inputs()[0];
-        let readers: Vec<(CellId, usize)> = out
-            .net(out.cell(mux_cell).output())
-            .fanout()
-            .to_vec();
+        let readers: Vec<(CellId, usize)> = out.net(out.cell(mux_cell).output()).fanout().to_vec();
         for (cell, pin) in readers {
             out.rewire_input(cell, pin, branch).expect("valid pin");
         }

@@ -94,7 +94,12 @@ impl<'a> SatAttack<'a> {
     /// Panics if the locked view's non-key inputs do not align with the
     /// oracle's inputs, or the netlists are cyclic.
     pub fn run(&self) -> SatAttackResult {
-        let mut session = MiterSession::new(self.locked, &self.key_inputs, &self.ignored_inputs, self.oracle);
+        let mut session = MiterSession::new(
+            self.locked,
+            &self.key_inputs,
+            &self.ignored_inputs,
+            self.oracle,
+        );
         let mut dips = Vec::new();
         let mut iterations = 0;
         while let Some(dip) = session.find_dip() {
@@ -167,8 +172,7 @@ impl<'a> MiterSession<'a> {
         oracle: &'a Netlist,
     ) -> Self {
         let view = CombView::new(locked);
-        let locked_program =
-            EvalProgram::compile(locked).expect("locked netlist must be acyclic");
+        let locked_program = EvalProgram::compile(locked).expect("locked netlist must be acyclic");
         let oracle = ComboOracle::new(oracle);
         let mut role = vec![Role::Data; view.num_inputs()];
         for (i, net) in view.input_nets().iter().enumerate() {
@@ -231,7 +235,11 @@ impl<'a> MiterSession<'a> {
             SatResult::Sat => Some(
                 self.data_ix
                     .iter()
-                    .map(|&i| self.solver.value(self.ports1.input_vars[i]).unwrap_or(false))
+                    .map(|&i| {
+                        self.solver
+                            .value(self.ports1.input_vars[i])
+                            .unwrap_or(false)
+                    })
                     .collect(),
             ),
         }
@@ -251,7 +259,11 @@ impl<'a> MiterSession<'a> {
     /// Constrains both key copies to agree with `response` on `data`.
     pub fn add_io_constraint(&mut self, data: &[bool], response: &[bool]) {
         for copy_ix in 0..2 {
-            let key_vars = if copy_ix == 0 { &self.ports1 } else { &self.ports2 };
+            let key_vars = if copy_ix == 0 {
+                &self.ports1
+            } else {
+                &self.ports2
+            };
             let mut pins: Vec<Option<Var>> = vec![None; self.role.len()];
             for &i in &self.key_ix {
                 pins[i] = Some(key_vars.input_vars[i]);
@@ -285,7 +297,11 @@ impl<'a> MiterSession<'a> {
             SatResult::Sat => Some(
                 self.key_ix
                     .iter()
-                    .map(|&i| self.solver.value(self.ports1.input_vars[i]).unwrap_or(false))
+                    .map(|&i| {
+                        self.solver
+                            .value(self.ports1.input_vars[i])
+                            .unwrap_or(false)
+                    })
                     .collect(),
             ),
         }

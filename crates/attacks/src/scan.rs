@@ -314,8 +314,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let hybrid = XorLock::new(2).lock(&view, &mut rng).unwrap();
             keys.extend(hybrid.key_inputs.iter().copied());
-            let results =
-                scan_hypothesis_attack(&hybrid.netlist, &keys, &original, 24, &mut rng);
+            let results = scan_hypothesis_attack(&hybrid.netlist, &keys, &original, 24, &mut rng);
             let Some(&(site, resolution)) = results.first() else {
                 // A key-gate landed on the GK's own select net, destroying
                 // the locator's structural pattern — also a (accidental)
@@ -337,8 +336,7 @@ mod tests {
                     .collect();
                 let oracle_chip = ComboOracle::new(&original);
                 (0..16).all(|_| {
-                    let data: Vec<bool> =
-                        (0..data_positions.len()).map(|_| rng.gen()).collect();
+                    let data: Vec<bool> = (0..data_positions.len()).map(|_| rng.gen()).collect();
                     let expect = oracle_chip.query(&data);
                     let got = eval_with_patched_gk(
                         &hybrid.netlist,
@@ -348,7 +346,9 @@ mod tests {
                         site,
                         resolution == GkResolution::Buffer,
                     );
-                    got.iter().zip(&expect).all(|(g, e)| g.to_bool() == Some(*e))
+                    got.iter()
+                        .zip(&expect)
+                        .all(|(g, e)| g.to_bool() == Some(*e))
                 })
             };
             assert!(confirm, "seed {seed}: resolution must generalize");

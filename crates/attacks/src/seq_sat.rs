@@ -62,7 +62,11 @@ pub fn seq_sat_attack(
 ) -> SeqSatResult {
     let view = CombView::new(locked);
     let n_po = locked.output_ports().len();
-    assert_eq!(n_po, oracle.output_ports().len(), "output widths must align");
+    assert_eq!(
+        n_po,
+        oracle.output_ports().len(),
+        "output widths must align"
+    );
     // Partition locked PIs into data and key (pseudo inputs excluded: this
     // attacker has no scan access).
     let n_pi = locked.input_nets().len();
@@ -279,10 +283,7 @@ mod tests {
                     di += 1;
                 }
             }
-            assert_eq!(
-                s_lock.step(&locked.netlist, &full),
-                s_orig.step(&nl, &data)
-            );
+            assert_eq!(s_lock.step(&locked.netlist, &full), s_orig.step(&nl, &data));
         }
     }
 
@@ -295,13 +296,7 @@ mod tests {
         let locked = GkEncryptor::new(2)
             .encrypt(&nl, &lib, &clock, &mut rng)
             .unwrap();
-        let result = seq_sat_attack(
-            &locked.attack_view,
-            &locked.attack_key_inputs,
-            &nl,
-            3,
-            64,
-        );
+        let result = seq_sat_attack(&locked.attack_view, &locked.attack_key_inputs, &nl, 3, 64);
         assert_eq!(result.iterations, 0);
         assert!(matches!(
             result.outcome,

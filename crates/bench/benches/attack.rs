@@ -1,10 +1,10 @@
 //! Microbenchmarks for the attacks: the SAT attack cracking XOR
 //! locking, bouncing off GK locking, and the removal-attack analyses.
 
-use glitchlock_bench::harness::Criterion;
-use glitchlock_bench::{criterion_group, criterion_main};
 use glitchlock_attacks::removal::{locate_point_function, signal_skew};
 use glitchlock_attacks::SatAttack;
+use glitchlock_bench::harness::Criterion;
+use glitchlock_bench::{criterion_group, criterion_main};
 use glitchlock_circuits::{generate, tiny};
 use glitchlock_core::locking::{LockScheme, SarLock, XorLock};
 use glitchlock_core::GkEncryptor;
@@ -29,9 +29,7 @@ fn bench_attacks(c: &mut Criterion) {
     let mut group = c.benchmark_group("attack");
     group.bench_function("sat_attack_xor8", |b| {
         b.iter(|| {
-            black_box(
-                SatAttack::new(&xor_locked.netlist, xor_locked.key_inputs.clone(), &nl).run(),
-            )
+            black_box(SatAttack::new(&xor_locked.netlist, xor_locked.key_inputs.clone(), &nl).run())
         })
     });
     group.bench_function("sat_attack_gk4_unsat", |b| {
@@ -48,9 +46,7 @@ fn bench_attacks(c: &mut Criterion) {
     });
     group.bench_function("sat_attack_sarlock5", |b| {
         b.iter(|| {
-            black_box(
-                SatAttack::new(&sar_locked.netlist, sar_locked.key_inputs.clone(), &nl).run(),
-            )
+            black_box(SatAttack::new(&sar_locked.netlist, sar_locked.key_inputs.clone(), &nl).run())
         })
     });
     group.bench_function("signal_skew_1000", |b| {
@@ -62,7 +58,12 @@ fn bench_attacks(c: &mut Criterion) {
     group.bench_function("locate_point_function", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(12);
-            black_box(locate_point_function(&sar_locked.netlist, 1000, 0.1, &mut rng))
+            black_box(locate_point_function(
+                &sar_locked.netlist,
+                1000,
+                0.1,
+                &mut rng,
+            ))
         })
     });
     group.finish();

@@ -18,10 +18,13 @@ use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 use std::path::Path;
 
+/// A `(primary inputs, flip-flop state)` pattern pair for one lane.
+type PatternRow = (Vec<Logic>, Vec<Logic>);
+
 /// One pre-drawn batch of [`LANES`] random definite patterns, held both
 /// row-major (for the scalar engine) and transposed (for the packed one).
 struct Batch {
-    rows: Vec<(Vec<Logic>, Vec<Logic>)>,
+    rows: Vec<PatternRow>,
     pi_words: Vec<PackedLogic>,
     q_words: Vec<PackedLogic>,
 }
@@ -29,7 +32,7 @@ struct Batch {
 fn draw_batch(netlist: &Netlist, rng: &mut StdRng) -> Batch {
     let n_pi = netlist.input_nets().len();
     let n_ff = netlist.dff_cells().len();
-    let rows: Vec<(Vec<Logic>, Vec<Logic>)> = (0..LANES)
+    let rows: Vec<PatternRow> = (0..LANES)
         .map(|_| {
             (
                 (0..n_pi).map(|_| Logic::from_bool(rng.gen())).collect(),
@@ -37,7 +40,7 @@ fn draw_batch(netlist: &Netlist, rng: &mut StdRng) -> Batch {
             )
         })
         .collect();
-    let transpose = |pick: fn(&(Vec<Logic>, Vec<Logic>)) -> &Vec<Logic>, width: usize| {
+    let transpose = |pick: fn(&PatternRow) -> &Vec<Logic>, width: usize| {
         (0..width)
             .map(|i| {
                 let mut w = PackedLogic::X;

@@ -61,7 +61,11 @@ fn main() {
     for (profile, (std_oh, cus_oh)) in profiles.iter().zip(rows) {
         match (std_oh, cus_oh) {
             (Some((sc, sa)), Some((cc, ca))) => {
-                let reduction = if sa > 0.0 { (1.0 - ca / sa) * 100.0 } else { 0.0 };
+                let reduction = if sa > 0.0 {
+                    (1.0 - ca / sa) * 100.0
+                } else {
+                    0.0
+                };
                 red_sum += reduction;
                 n += 1;
                 println!(
@@ -73,7 +77,10 @@ fn main() {
         }
     }
     if n > 0 {
-        println!("\naverage area-overhead reduction: {:.1}%", red_sum / n as f64);
+        println!(
+            "\naverage area-overhead reduction: {:.1}%",
+            red_sum / n as f64
+        );
     }
     println!("\nThis reproduces the paper's prediction: dedicated delay cells make");
     println!("the GK overhead substantially smaller than library-composed chains.");

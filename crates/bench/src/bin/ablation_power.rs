@@ -65,11 +65,7 @@ fn main() {
     // The full-size profiles simulate too; keep to the smaller ones plus
     // tiny for a quick sweep.
     let mut profiles = vec![tiny(9)];
-    profiles.extend(
-        iwls2005_profiles()
-            .into_iter()
-            .filter(|p| p.cells <= 1000),
-    );
+    profiles.extend(iwls2005_profiles().into_iter().filter(|p| p.cells <= 1000));
     // Original + locked timed simulations per benchmark, fanned out.
     let rows = parallel_map(&profiles, |profile| {
         let locked = lock_profile(profile, 8, 0x9034 + profile.cells as u64).ok()?;

@@ -52,7 +52,11 @@ fn main() {
     for (profile, (per_gk, shared)) in profiles.iter().zip(rows) {
         match (per_gk, shared) {
             (Some((sc, sa, sk)), Some((hc, ha, hk))) => {
-                let saved = if sa > 0.0 { (1.0 - ha / sa) * 100.0 } else { 0.0 };
+                let saved = if sa > 0.0 {
+                    (1.0 - ha / sa) * 100.0
+                } else {
+                    0.0
+                };
                 println!(
                     "{:<8} | {sc:5.2}/{sa:5.2} ({sk:>2}) | {hc:5.2}/{ha:5.2} ({hk:>2}) | {saved:4.1}%",
                     profile.name

@@ -74,7 +74,9 @@ fn fig7() {
         let x = nl.net_by_name("x").unwrap();
         let key = nl.net_by_name("key").unwrap();
         let mut stim = Stimulus::new();
-        stim.set(x, Logic::One).set(key, Logic::Zero).set_ff(ff, Logic::Zero);
+        stim.set(x, Logic::One)
+            .set(key, Logic::Zero)
+            .set_ff(ff, Logic::Zero);
         if let Some(t) = trigger {
             stim.rise(t, key);
         }

@@ -22,7 +22,15 @@ fn main() {
     println!(" synthetic IWLS2005-calibrated benchmarks — see EXPERIMENTS.md)\n");
     println!(
         "{:<8} {:>6} {:>6} | {:>8} {:>9} {:>12} | paper: {:>8} {:>9} {:>12}",
-        "Bench.", "Cell", "FF", "Ava. FF", "Cov. (%)", "Ava. FF [4]", "Ava. FF", "Cov. (%)", "Ava. FF [4]"
+        "Bench.",
+        "Cell",
+        "FF",
+        "Ava. FF",
+        "Cov. (%)",
+        "Ava. FF [4]",
+        "Ava. FF",
+        "Cov. (%)",
+        "Ava. FF [4]"
     );
     let mut cov_sum = 0.0;
     let mut paper_cov_sum = 0.0;
@@ -45,15 +53,7 @@ fn main() {
         paper_cov_sum += paper.4;
         println!(
             "{:<8} {:>6} {:>6} | {:>8} {:>9.2} {:>12} | paper: {:>8} {:>9.2} {:>12}",
-            profile.name,
-            stats.cells,
-            stats.dffs,
-            available,
-            cov,
-            group,
-            paper.3,
-            paper.4,
-            paper.5
+            profile.name, stats.cells, stats.dffs, available, cov, group, paper.3, paper.4, paper.5
         );
     }
     println!(

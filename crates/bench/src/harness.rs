@@ -65,7 +65,9 @@ impl Criterion {
 
     fn run_one(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
         let mut b = Bencher {
-            mode: Mode::Warmup(Duration::from_millis(WARMUP_MS.min(measure_budget().as_millis() as u64))),
+            mode: Mode::Warmup(Duration::from_millis(
+                WARMUP_MS.min(measure_budget().as_millis() as u64),
+            )),
             total: Duration::ZERO,
             iters: 0,
         };

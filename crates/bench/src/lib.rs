@@ -51,12 +51,48 @@ pub const PAPER_TABLE2: &[(
     Option<(f64, f64)>,
 )] = &[
     ("s1238", Some((22.87, 38.51)), None, None, None),
-    ("s5378", Some((10.06, 9.12)), Some((17.29, 16.93)), Some((33.03, 37.91)), Some((21.68, 19.65))),
-    ("s9234", Some((8.81, 8.54)), Some((19.90, 20.49)), Some((38.34, 42.37)), Some((21.53, 21.78))),
-    ("s13207", Some((6.77, 5.79)), Some((15.09, 11.10)), Some((29.97, 23.10)), Some((13.65, 11.08))),
-    ("s15850", Some((15.44, 9.30)), Some((28.41, 21.23)), Some((54.59, 42.76)), Some((33.11, 25.46))),
-    ("s38417", Some((0.74, 1.71)), Some((2.17, 0.66)), Some((4.22, 4.32)), Some((2.20, 0.66))),
-    ("s38584", Some((1.69, 1.80)), Some((2.93, 2.92)), Some((5.64, 6.20)), Some((3.20, 3.26))),
+    (
+        "s5378",
+        Some((10.06, 9.12)),
+        Some((17.29, 16.93)),
+        Some((33.03, 37.91)),
+        Some((21.68, 19.65)),
+    ),
+    (
+        "s9234",
+        Some((8.81, 8.54)),
+        Some((19.90, 20.49)),
+        Some((38.34, 42.37)),
+        Some((21.53, 21.78)),
+    ),
+    (
+        "s13207",
+        Some((6.77, 5.79)),
+        Some((15.09, 11.10)),
+        Some((29.97, 23.10)),
+        Some((13.65, 11.08)),
+    ),
+    (
+        "s15850",
+        Some((15.44, 9.30)),
+        Some((28.41, 21.23)),
+        Some((54.59, 42.76)),
+        Some((33.11, 25.46)),
+    ),
+    (
+        "s38417",
+        Some((0.74, 1.71)),
+        Some((2.17, 0.66)),
+        Some((4.22, 4.32)),
+        Some((2.20, 0.66)),
+    ),
+    (
+        "s38584",
+        Some((1.69, 1.80)),
+        Some((2.93, 2.92)),
+        Some((5.64, 6.20)),
+        Some((3.20, 3.26)),
+    ),
 ];
 
 /// Locks a benchmark profile with `n_gks` GKs under the paper's default GK

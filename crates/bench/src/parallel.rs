@@ -68,12 +68,12 @@ mod tests {
     fn handles_empty_and_single() {
         let empty: Vec<u32> = vec![];
         assert!(parallel_map(&empty, |&x| x).is_empty());
-        assert_eq!(parallel_map(&[7u32], |&x| x + 1), vec![8]);
+        assert_eq!(parallel_map(&[7u32], |&x| x + 1), [8]);
     }
 
     #[test]
     fn borrows_surrounding_state() {
-        let base = vec![10u64, 20, 30];
+        let base = [10u64, 20, 30];
         let items = [0usize, 1, 2];
         let out = parallel_map(&items, |&i| base[i] + 1);
         assert_eq!(out, vec![11, 21, 31]);

@@ -130,9 +130,9 @@ pub fn generate(profile: &Profile) -> Netlist {
     // Depth budget from the clock period.
     let period = profile.clock_period.as_ps();
     let max_depth = ((period - SETUP_PS - CLK_TO_Q_PS - 100) / AVG_GATE_DELAY_PS).max(4) as usize;
-    let feasible_depth =
-        ((period.saturating_sub(SETUP_PS + CLK_TO_Q_PS + GK_HEADROOM_PS)) / AVG_GATE_DELAY_PS)
-            .max(2) as usize;
+    let feasible_depth = ((period.saturating_sub(SETUP_PS + CLK_TO_Q_PS + GK_HEADROOM_PS))
+        / AVG_GATE_DELAY_PS)
+        .max(2) as usize;
     let deep_min = (max_depth * 3 / 4).max(feasible_depth + 1);
 
     // Layered cloud: layer 0 = sources, layers 1..=max_depth hold gates.
@@ -305,7 +305,8 @@ pub fn generate(profile: &Profile) -> Netlist {
     );
 
     let _ = (feasible_depth, deep_min);
-    nl.validate().expect("generated netlist is structurally valid");
+    nl.validate()
+        .expect("generated netlist is structurally valid");
     nl
 }
 
@@ -326,7 +327,11 @@ mod tests {
 
     #[test]
     fn generated_counts_are_exact() {
-        for p in [tiny(1), profile_by_name("s1238").unwrap(), profile_by_name("s5378").unwrap()] {
+        for p in [
+            tiny(1),
+            profile_by_name("s1238").unwrap(),
+            profile_by_name("s5378").unwrap(),
+        ] {
             let nl = generate(&p);
             let st = nl.stats();
             assert_eq!(st.cells, p.cells, "{}", p.name);

@@ -117,10 +117,7 @@ mod tests {
         );
         // G2=1, G3=1, G6=1: G11=NAND(1,1)=0, G16=NAND(1,0)=1, G10=1,
         // G19=1 -> G22=0, G23=0.
-        assert_eq!(
-            nl.eval_comb(&[Zero, One, One, One, Zero]),
-            vec![Zero, Zero]
-        );
+        assert_eq!(nl.eval_comb(&[Zero, One, One, One, Zero]), vec![Zero, Zero]);
         // G1=1, G3=1: G10=0 -> G22=NAND(0, G16)=1.
         let out = nl.eval_comb(&[One, Zero, One, Zero, Zero]);
         assert_eq!(out[0], One);

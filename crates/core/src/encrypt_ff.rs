@@ -33,7 +33,12 @@ pub fn group_by_output_cone(netlist: &Netlist, candidates: &[CellId]) -> Vec<FfG
         .into_iter()
         .map(|(outputs, ffs)| FfGroup { outputs, ffs })
         .collect();
-    v.sort_by(|a, b| b.ffs.len().cmp(&a.ffs.len()).then(a.outputs.cmp(&b.outputs)));
+    v.sort_by(|a, b| {
+        b.ffs
+            .len()
+            .cmp(&a.ffs.len())
+            .then(a.outputs.cmp(&b.outputs))
+    });
     v
 }
 

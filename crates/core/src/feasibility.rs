@@ -169,9 +169,7 @@ pub fn analyze_feasibility_with(
             Verdict::GlitchTooShort
         } else if !timing.eq3_ok() {
             Verdict::Eq3Violated
-        } else if raw_window.is_none()
-            || raw_window.is_some_and(|w| w.width() < WINDOW_MARGIN)
-        {
+        } else if raw_window.is_none() || raw_window.is_some_and(|w| w.width() < WINDOW_MARGIN) {
             Verdict::WindowEmpty
         } else if window.is_none() || window.is_some_and(|w| w.width() < WINDOW_MARGIN) {
             Verdict::TriggerTooEarly

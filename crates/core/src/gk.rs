@@ -300,7 +300,10 @@ mod tests {
             .pulse_after(Logic::One, Ps::from_ns(4), Ps::from_ns(10))
             .expect("glitch must appear");
         assert!(
-            (end - start).as_ps().abs_diff(gk.l_glitch_falling().as_ps()) <= 2
+            (end - start)
+                .as_ps()
+                .abs_diff(gk.l_glitch_falling().as_ps())
+                <= 2
         );
         assert_eq!(start, Ps::from_ns(4) + gk.d_react);
     }
@@ -343,7 +346,8 @@ mod tests {
         // Chase the GK with a delay cell slower than the glitch.
         let slow = nl.add_gate(GateKind::Buf, &[gk.y]).unwrap();
         let slow_cell = nl.net(slow).driver().unwrap();
-        nl.bind_lib(slow_cell, lib.by_name("DLY8X1").unwrap()).unwrap();
+        nl.bind_lib(slow_cell, lib.by_name("DLY8X1").unwrap())
+            .unwrap();
         nl.mark_output(slow, "y");
         let mut stim = Stimulus::new();
         stim.set(x, Logic::One).set(key, Logic::Zero);

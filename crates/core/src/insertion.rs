@@ -209,8 +209,7 @@ impl GkEncryptor {
                             mid
                         }
                     };
-                    let correct_trigger =
-                        snap(window.midpoint(), window.lo, window.hi);
+                    let correct_trigger = snap(window.midpoint(), window.lo, window.hi);
                     let wrong_trigger = entry
                         .timing
                         .off_glitch_window()
@@ -272,8 +271,15 @@ impl GkEncryptor {
             let first = &group[0];
             let k1 = work.add_input(format!("gk{g}_k1"));
             let k2 = work.add_input(format!("gk{g}_k2"));
-            let keygen =
-                build_keygen(&mut work, library, k1, k2, first.trig_a, first.trig_b, Ps(40))?;
+            let keygen = build_keygen(
+                &mut work,
+                library,
+                k1,
+                k2,
+                first.trig_a,
+                first.trig_b,
+                Ps(40),
+            )?;
             let (k1v, k2v) = first.correct.bits();
             correct_key.push(KeyBit::Const(k1v));
             correct_key.push(KeyBit::Const(k2v));
@@ -298,8 +304,7 @@ impl GkEncryptor {
         work.validate()?;
         // The attacker's view drops the KEYGENs *and* their (k1,k2) pins;
         // each GK's key pin becomes the design key input (paper Sec. VI).
-        let attack_view =
-            promote_to_inputs_dropping(&work, &promote, &keygen_cells, &key_inputs)?;
+        let attack_view = promote_to_inputs_dropping(&work, &promote, &keygen_cells, &key_inputs)?;
         let attack_key_inputs = promote
             .iter()
             .map(|(_, name)| {
@@ -375,11 +380,7 @@ pub fn classify_violations(
 ) -> ViolationClassification {
     let report = analyze(&locked.netlist, library, clock);
     let gk_ffs: HashSet<CellId> = locked.gks.iter().map(|g| g.target_ff).collect();
-    let keygen_ffs: HashSet<CellId> = locked
-        .gks
-        .iter()
-        .map(|g| g.keygen.toggle_ff)
-        .collect();
+    let keygen_ffs: HashSet<CellId> = locked.gks.iter().map(|g| g.keygen.toggle_ff).collect();
     let mut out = ViolationClassification::default();
     for check in report.checks() {
         if check.met() {
@@ -531,7 +532,10 @@ mod tests {
             locked.netlist.stats().dffs,
             locked.original.stats().dffs + 2
         );
-        assert_eq!(locked.attack_view.stats().dffs, locked.original.stats().dffs);
+        assert_eq!(
+            locked.attack_view.stats().dffs,
+            locked.original.stats().dffs
+        );
     }
 
     #[test]
@@ -592,7 +596,7 @@ mod tests {
         let mut po_bad = 0;
         let mut state_bad = 0;
         #[allow(clippy::needless_range_loop)] // c also indexes states[c+1]
-    for c in 0..cycles {
+        for c in 0..cycles {
             let mut oracle = glitchlock_netlist::SeqState::from_values(
                 &locked.original,
                 trace.states[c].clone(),

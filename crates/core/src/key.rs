@@ -161,7 +161,11 @@ pub struct ParseKeyError {
 
 impl fmt::Display for ParseKeyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "bad key token {:?} (expected 0, 1, R@<ps>, or F@<ps>)", self.token)
+        write!(
+            f,
+            "bad key token {:?} (expected 0, 1, R@<ps>, or F@<ps>)",
+            self.token
+        )
     }
 }
 
@@ -172,7 +176,9 @@ impl std::str::FromStr for KeyBit {
 
     /// Parses `0`, `1`, `R@<ps>` (rising) or `F@<ps>` (falling).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let bad = || ParseKeyError { token: s.to_string() };
+        let bad = || ParseKeyError {
+            token: s.to_string(),
+        };
         match s.trim() {
             "0" => Ok(KeyBit::Const(false)),
             "1" => Ok(KeyBit::Const(true)),

@@ -198,7 +198,10 @@ mod tests {
     fn constant_selections_are_glitchless() {
         let (nl, kg) = harness(Ps::from_ns(2), Ps::from_ns(4));
         let lib = lib();
-        for (sel, expect) in [(KeygenSelect::Const0, Logic::Zero), (KeygenSelect::Const1, Logic::One)] {
+        for (sel, expect) in [
+            (KeygenSelect::Const0, Logic::Zero),
+            (KeygenSelect::Const1, Logic::One),
+        ] {
             let (k1v, k2v) = sel.bits();
             let mut stim = Stimulus::new();
             stim.set(kg.k1, Logic::from_bool(k1v))
@@ -258,8 +261,7 @@ mod tests {
         let mut nl = Netlist::new("kg");
         let k1 = nl.add_input("k1");
         let k2 = nl.add_input("k2");
-        let err = build_keygen(&mut nl, &lib, k1, k2, Ps(100), Ps::from_ns(4), Ps(30))
-            .unwrap_err();
+        let err = build_keygen(&mut nl, &lib, k1, k2, Ps(100), Ps::from_ns(4), Ps(30)).unwrap_err();
         assert!(matches!(err, CoreError::Delay(_)));
     }
 }

@@ -47,4 +47,4 @@ pub mod withholding;
 pub use error::CoreError;
 pub use insertion::{GkEncryptor, GkLocked};
 pub use key::{KeyBit, KeyVector, Transition};
-pub use locking::{Locked, LockScheme};
+pub use locking::{LockScheme, Locked};

@@ -102,8 +102,9 @@ mod tests {
             let mut key = half.clone();
             key.extend(half);
             for bits in 0u8..8 {
-                let data: Vec<Logic> =
-                    (0..3).map(|i| Logic::from_bool(bits >> i & 1 == 1)).collect();
+                let data: Vec<Logic> = (0..3)
+                    .map(|i| Logic::from_bool(bits >> i & 1 == 1))
+                    .collect();
                 assert_eq!(eval(&locked, &data, &key), nl.eval_comb(&data));
             }
         }
@@ -118,8 +119,9 @@ mod tests {
         key[4] = !key[4]; // perturb K_b only
         let mismatches = (0u8..8)
             .filter(|&bits| {
-                let data: Vec<Logic> =
-                    (0..3).map(|i| Logic::from_bool(bits >> i & 1 == 1)).collect();
+                let data: Vec<Logic> = (0..3)
+                    .map(|i| Logic::from_bool(bits >> i & 1 == 1))
+                    .collect();
                 eval(&locked, &data, &key) != nl.eval_comb(&data)
             })
             .count();

@@ -119,8 +119,7 @@ pub(crate) fn lockable_nets(netlist: &Netlist) -> Vec<NetId> {
                 .unwrap_or(false)
         })
         .filter(|(id, n)| {
-            !n.fanout().is_empty()
-                || netlist.output_ports().iter().any(|&(po, _)| po == *id)
+            !n.fanout().is_empty() || netlist.output_ports().iter().any(|&(po, _)| po == *id)
         })
         .map(|(id, _)| id)
         .collect()

@@ -145,8 +145,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let locked = MuxLock::new(2).lock(&nl, &mut rng).unwrap();
         for bits in 0u8..4 {
-            let data: Vec<Logic> =
-                (0..2).map(|i| Logic::from_bool(bits >> i & 1 == 1)).collect();
+            let data: Vec<Logic> = (0..2)
+                .map(|i| Logic::from_bool(bits >> i & 1 == 1))
+                .collect();
             let expect = nl.eval_comb(&data);
             let inputs = locked.assemble_inputs(&data, &locked.correct_key);
             assert_eq!(locked.netlist.eval_comb(&inputs), expect, "bits {bits:02b}");

@@ -97,8 +97,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let locked = SarLock::new(3).lock(&nl, &mut rng).unwrap();
         for bits in 0u8..8 {
-            let data: Vec<Logic> =
-                (0..3).map(|i| Logic::from_bool(bits >> i & 1 == 1)).collect();
+            let data: Vec<Logic> = (0..3)
+                .map(|i| Logic::from_bool(bits >> i & 1 == 1))
+                .collect();
             assert_eq!(
                 eval(&locked, &data, &locked.correct_key),
                 nl.eval_comb(&data),
@@ -116,8 +117,9 @@ mod tests {
         wrong[1] = !wrong[1];
         let mismatches: Vec<u8> = (0u8..8)
             .filter(|&bits| {
-                let data: Vec<Logic> =
-                    (0..3).map(|i| Logic::from_bool(bits >> i & 1 == 1)).collect();
+                let data: Vec<Logic> = (0..3)
+                    .map(|i| Logic::from_bool(bits >> i & 1 == 1))
+                    .collect();
                 eval(&locked, &data, &wrong) != nl.eval_comb(&data)
             })
             .collect();

@@ -90,14 +90,22 @@ impl Tdk {
             // Functional key-gate: XOR (correct k1 = 0) or XNOR (k1 = 1).
             let k1 = netlist.add_input(format!("tdk{i}_k1"));
             let use_xnor: bool = rng.gen();
-            let kind = if use_xnor { GateKind::Xnor } else { GateKind::Xor };
+            let kind = if use_xnor {
+                GateKind::Xnor
+            } else {
+                GateKind::Xor
+            };
             let xored = netlist.add_gate(kind, &[d, k1])?;
             // TDB: fast buffer vs slow chain, muxed by k2.
             let fast = netlist.add_gate(GateKind::Buf, &[xored])?;
             let (slow, slow_cells, _) =
                 compose_delay(&mut netlist, library, xored, self.slow_extra, Ps(60))?;
             let fast_is_in1: bool = rng.gen();
-            let (in0, in1) = if fast_is_in1 { (slow, fast) } else { (fast, slow) };
+            let (in0, in1) = if fast_is_in1 {
+                (slow, fast)
+            } else {
+                (fast, slow)
+            };
             let k2 = netlist.add_input(format!("tdk{i}_k2"));
             let y = netlist.add_gate(GateKind::Mux2, &[in0, in1, k2])?;
             let tdb_mux = netlist.net(y).driver().expect("mux drives y");
@@ -167,7 +175,9 @@ mod tests {
         let lv = CombView::new(&tdk.locked.netlist);
         // Locked comb view inputs: data PIs + key PIs + FF Qs.
         for pat in 0u8..16 {
-            let data: Vec<Logic> = (0..4).map(|i| Logic::from_bool(pat >> i & 1 == 1)).collect();
+            let data: Vec<Logic> = (0..4)
+                .map(|i| Logic::from_bool(pat >> i & 1 == 1))
+                .collect();
             // original inputs: a, b, q1, q2
             let expect = ov.eval(&nl, &data);
             // locked inputs in net order: a, b, then tdk keys interleaved,

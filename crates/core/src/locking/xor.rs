@@ -39,7 +39,11 @@ impl LockScheme for XorLock {
         for (i, &site) in sites.iter().take(self.n_bits).enumerate() {
             let key = netlist.add_input(format!("key{i}"));
             let use_xnor: bool = rng.gen();
-            let kind = if use_xnor { GateKind::Xnor } else { GateKind::Xor };
+            let kind = if use_xnor {
+                GateKind::Xnor
+            } else {
+                GateKind::Xor
+            };
             splice_on_net(&mut netlist, site, kind, &[key])?;
             key_inputs.push(key);
             correct_key.push(use_xnor);
@@ -83,7 +87,9 @@ mod tests {
         let locked = XorLock::new(4).lock(&nl, &mut rng).unwrap();
         assert_eq!(locked.key_width(), 4);
         for bits in 0u8..8 {
-            let data: Vec<Logic> = (0..3).map(|i| Logic::from_bool(bits >> i & 1 == 1)).collect();
+            let data: Vec<Logic> = (0..3)
+                .map(|i| Logic::from_bool(bits >> i & 1 == 1))
+                .collect();
             let expect = nl.eval_comb(&data);
             let inputs = locked.assemble_inputs(&data, &locked.correct_key);
             assert_eq!(locked.netlist.eval_comb(&inputs), expect, "bits {bits:03b}");
@@ -98,13 +104,17 @@ mod tests {
         let mut wrong = locked.correct_key.clone();
         wrong[0] = !wrong[0];
         let corrupted = (0u8..8).any(|bits| {
-            let data: Vec<Logic> =
-                (0..3).map(|i| Logic::from_bool(bits >> i & 1 == 1)).collect();
+            let data: Vec<Logic> = (0..3)
+                .map(|i| Logic::from_bool(bits >> i & 1 == 1))
+                .collect();
             let expect = nl.eval_comb(&data);
             let inputs = locked.assemble_inputs(&data, &wrong);
             locked.netlist.eval_comb(&inputs) != expect
         });
-        assert!(corrupted, "flipping a key bit must corrupt at least one pattern");
+        assert!(
+            corrupted,
+            "flipping a key bit must corrupt at least one pattern"
+        );
     }
 
     #[test]

@@ -114,12 +114,12 @@ pub fn promote_to_inputs_dropping(
             .map_err(|e| CoreError::Netlist(e.to_string()))?;
     }
     for (net, name) in netlist.output_ports() {
-        let n = map[net.index()].ok_or_else(|| {
-            CoreError::Netlist(format!("output {name} reads a dropped cone"))
-        })?;
+        let n = map[net.index()]
+            .ok_or_else(|| CoreError::Netlist(format!("output {name} reads a dropped cone")))?;
         out.mark_output(n, name.clone());
     }
-    out.validate().map_err(|e| CoreError::Netlist(e.to_string()))?;
+    out.validate()
+        .map_err(|e| CoreError::Netlist(e.to_string()))?;
     // Dead logic left behind by the drops is swept.
     glitchlock_synth::sweep_sequential(&out).map_err(|e| CoreError::Netlist(e.to_string()))
 }
@@ -168,7 +168,10 @@ mod tests {
         assert_eq!(view.stats().gates, 1, "inverter swept");
         // y = k AND a now.
         assert_eq!(view.eval_comb(&[Logic::One, Logic::One]), vec![Logic::One]);
-        assert_eq!(view.eval_comb(&[Logic::One, Logic::Zero]), vec![Logic::Zero]);
+        assert_eq!(
+            view.eval_comb(&[Logic::One, Logic::Zero]),
+            vec![Logic::Zero]
+        );
     }
 
     #[test]

@@ -117,9 +117,7 @@ impl GkTiming {
     /// with the complete glitch out of the way (Figs. 7(b)/(c)).
     pub fn off_glitch_window(&self) -> Option<TriggerWindow> {
         let lo1 = self.lb().saturating_sub(self.d_react);
-        let hi = self
-            .ub()
-            .saturating_sub(self.l_glitch + self.d_react);
+        let hi = self.ub().saturating_sub(self.l_glitch + self.d_react);
         // The glitch value must also exist (data ready) before it fires.
         let lo = lo1.max(self.t_arrival + self.d_ready);
         (lo < hi).then_some(TriggerWindow { lo, hi })
@@ -246,5 +244,63 @@ mod tests {
         t.t_j = Ps::from_ns(1);
         assert_eq!(t.lb(), Ps::from_ns(2));
         assert_eq!(t.ub(), Ps::from_ns(8));
+    }
+
+    #[test]
+    fn eq3_holds_exactly_at_both_bounds() {
+        // Eq. (3) bounds are inclusive: total == LB and total == UB pass,
+        // one picosecond outside either fails.
+        assert!(fig9(Ps::from_ns(1), Ps::ZERO).eq3_ok(), "total == LB");
+        assert!(!fig9(Ps(999), Ps::ZERO).eq3_ok(), "total == LB - 1");
+        assert!(fig9(Ps::from_ns(7), Ps::ZERO).eq3_ok(), "total == UB");
+        assert!(!fig9(Ps(7001), Ps::ZERO).eq3_ok(), "total == UB + 1");
+    }
+
+    #[test]
+    fn eq4_holds_exactly_at_both_bounds() {
+        let t = fig9(Ps::from_ns(1), Ps::ZERO);
+        assert!(t.eq4_ok(Ps::ZERO), "total == LB");
+        assert!(t.eq4_ok(Ps::from_ns(6)), "total == UB");
+        assert!(!t.eq4_ok(Ps(6001)), "total == UB + 1");
+        assert!(!fig9(Ps(500), Ps::ZERO).eq4_ok(Ps(499)), "total == LB - 1");
+    }
+
+    #[test]
+    fn zero_width_on_glitch_window_is_none() {
+        // T_arrival + D_ready == hi makes lo == hi; the open interval is
+        // empty even though Eq. (3) is still satisfied at the boundary.
+        let t = fig9(Ps::from_ns(4), Ps::from_ns(3));
+        assert!(t.eq3_ok(), "total == UB is Eq.(3)-legal");
+        assert!(t.on_glitch_window().is_none(), "but no strict trigger time");
+    }
+
+    #[test]
+    fn zero_width_off_glitch_window_is_none() {
+        // Data ready exactly at hi = UB - L: (4ns, 4ns) is empty.
+        let t = fig9(Ps::from_ns(2), Ps::from_ns(2));
+        assert!(t.off_glitch_window().is_none());
+    }
+
+    #[test]
+    fn minimal_glitch_covers_one_point_but_window_is_empty() {
+        // With L exactly setup + hold there is a single covering trigger
+        // (closed-bound cover at 7ns) but the open window (7ns, 7ns) is
+        // empty — the insertion flow rightly rejects such a GK.
+        let mut t = fig9(Ps::from_ns(1), Ps::ZERO);
+        t.l_glitch = Ps::from_ns(2);
+        assert!(t.glitch_covers_window(Ps::from_ns(7)));
+        assert!(t.on_glitch_window().is_none());
+    }
+
+    #[test]
+    fn glitch_cover_is_closed_at_both_ends() {
+        let t = fig9(Ps::from_ns(1), Ps::ZERO);
+        // Earliest legal trigger: end == capture + hold exactly.
+        assert!(t.glitch_covers_window(Ps::from_ns(6)));
+        // Latest legal trigger: start + setup == capture exactly.
+        assert!(t.glitch_covers_window(Ps::from_ns(7)));
+        // One picosecond outside either end fails.
+        assert!(!t.glitch_covers_window(Ps(5999)));
+        assert!(!t.glitch_covers_window(Ps(7001)));
     }
 }

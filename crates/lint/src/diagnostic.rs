@@ -1,0 +1,379 @@
+//! The diagnostic model: codes, severities, locations, and the registry of
+//! every code the built-in passes can emit.
+
+use glitchlock_netlist::NetlistError;
+use std::fmt;
+
+/// How serious a diagnostic is (after the runner applied its levels).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Suspicious but not necessarily wrong; never fails a run by itself.
+    Warning,
+    /// A defect: denied by default, fails `glk lint`.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Per-code reporting policy, mirroring compiler lint levels.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Level {
+    /// Drop the diagnostic entirely.
+    Allow,
+    /// Report as a warning.
+    Warn,
+    /// Report as an error and fail the run.
+    Deny,
+}
+
+/// Where in the netlist a diagnostic points: a cell, a net, both, or
+/// neither (design-wide findings). Names, not ids, so reports stay readable
+/// after the netlist is dropped.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Location {
+    /// Offending cell name, if any.
+    pub cell: Option<String>,
+    /// Offending net name, if any.
+    pub net: Option<String>,
+}
+
+impl Location {
+    /// A design-wide diagnostic with no anchor.
+    pub fn none() -> Self {
+        Location::default()
+    }
+
+    /// Anchored at a cell.
+    pub fn cell(name: impl Into<String>) -> Self {
+        Location {
+            cell: Some(name.into()),
+            net: None,
+        }
+    }
+
+    /// Anchored at a net.
+    pub fn net(name: impl Into<String>) -> Self {
+        Location {
+            cell: None,
+            net: Some(name.into()),
+        }
+    }
+
+    /// Anchored at a cell and the net it concerns.
+    pub fn cell_net(cell: impl Into<String>, net: impl Into<String>) -> Self {
+        Location {
+            cell: Some(cell.into()),
+            net: Some(net.into()),
+        }
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.cell, &self.net) {
+            (Some(c), Some(n)) => write!(f, "cell {c} / net {n}"),
+            (Some(c), None) => write!(f, "cell {c}"),
+            (None, Some(n)) => write!(f, "net {n}"),
+            (None, None) => write!(f, "design"),
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Stable kebab-case code (see [`CODES`]).
+    pub code: &'static str,
+    /// Severity after level resolution ([`Severity::Error`] = denied).
+    pub severity: Severity,
+    /// Cell/net anchor.
+    pub location: Location,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// Optional remediation hint.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// A new diagnostic with no suggestion.
+    pub fn new(
+        code: &'static str,
+        severity: Severity,
+        location: Location,
+        message: impl Into<String>,
+    ) -> Self {
+        debug_assert!(
+            code_info(code).is_some(),
+            "diagnostic code {code:?} is not registered"
+        );
+        Diagnostic {
+            code,
+            severity,
+            location,
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// Attaches a remediation hint.
+    pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Self {
+        self.suggestion = Some(suggestion.into());
+        self
+    }
+
+    /// Wraps a netlist construction/parse error as a diagnostic so malformed
+    /// input files surface through the same reporters as netlist findings.
+    pub fn from_netlist_error(err: &NetlistError, source: &str) -> Self {
+        let code = match err {
+            NetlistError::Parse { .. } => PARSE_ERROR,
+            _ => MALFORMED_NETLIST,
+        };
+        Diagnostic::new(
+            code,
+            Severity::Error,
+            Location::none(),
+            format!("{source}: {err}"),
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] at {}: {}",
+            self.severity, self.code, self.location, self.message
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, " (hint: {s})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Registry entry for one diagnostic code.
+#[derive(Clone, Copy, Debug)]
+pub struct CodeInfo {
+    /// The stable code string.
+    pub code: &'static str,
+    /// Default severity (and thus default level: `Error` ⇒ deny,
+    /// `Warning` ⇒ warn).
+    pub default_severity: Severity,
+    /// One-line summary for `--help`-style listings and docs.
+    pub summary: &'static str,
+}
+
+// Structural codes.
+/// A read (or output) net with no driver.
+pub const UNDRIVEN_NET: &str = "undriven-net";
+/// Two cells drive the same net.
+pub const MULTIPLE_DRIVERS: &str = "multiple-drivers";
+/// A primary output with no driver.
+pub const DANGLING_OUTPUT: &str = "dangling-output";
+/// The combinational logic contains a cycle.
+pub const COMBINATIONAL_LOOP: &str = "combinational-loop";
+/// Two structurally identical gates.
+pub const DUPLICATE_GATE: &str = "duplicate-gate";
+/// A cone of cells that cannot reach any primary output.
+pub const DEAD_CONE: &str = "dead-cone";
+// Locking-security codes.
+/// A GK motif whose key signal is an exposed primary input.
+pub const GK_ISOLATABLE: &str = "gk-isolatable";
+/// A GK motif with a removed or broken XNOR/XOR branch.
+pub const GK_BRANCH_MISSING: &str = "gk-branch-missing";
+/// A key input that drives nothing.
+pub const UNUSED_KEY_BIT: &str = "unused-key-bit";
+/// A key input with provably no influence on any observable point.
+pub const CONSTANT_KEY_BIT: &str = "constant-key-bit";
+/// A withheld LUT whose truth table does not cover its input space.
+pub const WITHHOLDING_COVERAGE_HOLE: &str = "withholding-coverage-hole";
+// Timing-window codes.
+/// A GK whose Eq. (3)/(5) trigger window is violated or empty.
+pub const GK_WINDOW_VIOLATED: &str = "gk-window-violated";
+/// A GK glitch too short to cover setup + hold.
+pub const GK_GLITCH_TOO_SHORT: &str = "gk-glitch-too-short";
+/// A GK window that closes before the KEYGEN's earliest trigger.
+pub const KEYGEN_TRIGGER_FLOOR: &str = "keygen-trigger-floor";
+/// A true setup violation (not explained by any GK/KEYGEN).
+pub const SETUP_VIOLATED: &str = "setup-violated";
+/// A true hold violation (not explained by any GK/KEYGEN).
+pub const HOLD_VIOLATED: &str = "hold-violated";
+/// Setup met, but with less slack than the configured margin.
+pub const SETUP_MARGIN_ERODED: &str = "setup-margin-eroded";
+/// Hold met, but with less slack than the configured margin.
+pub const HOLD_MARGIN_ERODED: &str = "hold-margin-eroded";
+// Input-format codes.
+/// The input file failed to parse.
+pub const PARSE_ERROR: &str = "parse-error";
+/// The input parsed but is structurally unusable.
+pub const MALFORMED_NETLIST: &str = "malformed-netlist";
+
+/// Every code the built-in passes (and the input front-end) can emit.
+pub const CODES: &[CodeInfo] = &[
+    CodeInfo {
+        code: UNDRIVEN_NET,
+        default_severity: Severity::Error,
+        summary: "a net is read but never driven",
+    },
+    CodeInfo {
+        code: MULTIPLE_DRIVERS,
+        default_severity: Severity::Error,
+        summary: "two cells drive the same net",
+    },
+    CodeInfo {
+        code: DANGLING_OUTPUT,
+        default_severity: Severity::Error,
+        summary: "a primary output has no driver",
+    },
+    CodeInfo {
+        code: COMBINATIONAL_LOOP,
+        default_severity: Severity::Error,
+        summary: "the combinational logic contains a cycle",
+    },
+    CodeInfo {
+        code: DUPLICATE_GATE,
+        default_severity: Severity::Warning,
+        summary: "two gates compute the same function of the same nets",
+    },
+    CodeInfo {
+        code: DEAD_CONE,
+        default_severity: Severity::Warning,
+        summary: "a cell cone cannot influence any primary output",
+    },
+    CodeInfo {
+        code: GK_ISOLATABLE,
+        default_severity: Severity::Warning,
+        summary: "a GK's key signal is an exposed primary input a removal attacker can isolate",
+    },
+    CodeInfo {
+        code: GK_BRANCH_MISSING,
+        default_severity: Severity::Error,
+        summary: "a GK motif lost one of its XNOR/XOR branches",
+    },
+    CodeInfo {
+        code: UNUSED_KEY_BIT,
+        default_severity: Severity::Warning,
+        summary: "a key input drives nothing and would be stripped by resynthesis",
+    },
+    CodeInfo {
+        code: CONSTANT_KEY_BIT,
+        default_severity: Severity::Warning,
+        summary: "a key input provably never influences an observable point",
+    },
+    CodeInfo {
+        code: WITHHOLDING_COVERAGE_HOLE,
+        default_severity: Severity::Error,
+        summary: "a withheld LUT's table does not cover its input space",
+    },
+    CodeInfo {
+        code: GK_WINDOW_VIOLATED,
+        default_severity: Severity::Error,
+        summary: "a GK's trigger window (Eqs. (3)/(5)) is violated or unreachable",
+    },
+    CodeInfo {
+        code: GK_GLITCH_TOO_SHORT,
+        default_severity: Severity::Error,
+        summary: "a GK glitch is shorter than setup + hold",
+    },
+    CodeInfo {
+        code: KEYGEN_TRIGGER_FLOOR,
+        default_severity: Severity::Error,
+        summary: "a GK window closes before the KEYGEN's earliest producible trigger",
+    },
+    CodeInfo {
+        code: SETUP_VIOLATED,
+        default_severity: Severity::Error,
+        summary: "a flip-flop violates setup and no GK/KEYGEN explains it",
+    },
+    CodeInfo {
+        code: HOLD_VIOLATED,
+        default_severity: Severity::Error,
+        summary: "a flip-flop violates hold and no GK/KEYGEN explains it",
+    },
+    CodeInfo {
+        code: SETUP_MARGIN_ERODED,
+        default_severity: Severity::Warning,
+        summary: "setup met with less slack than the configured margin",
+    },
+    CodeInfo {
+        code: HOLD_MARGIN_ERODED,
+        default_severity: Severity::Warning,
+        summary: "hold met with less slack than the configured margin",
+    },
+    CodeInfo {
+        code: PARSE_ERROR,
+        default_severity: Severity::Error,
+        summary: "the input file failed to parse",
+    },
+    CodeInfo {
+        code: MALFORMED_NETLIST,
+        default_severity: Severity::Error,
+        summary: "the input is structurally unusable",
+    },
+];
+
+/// Looks a code up in the registry.
+pub fn code_info(code: &str) -> Option<&'static CodeInfo> {
+    CODES.iter().find(|c| c.code == code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_codes_are_unique_and_kebab_case() {
+        for (i, a) in CODES.iter().enumerate() {
+            assert!(
+                a.code.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{} is not kebab-case",
+                a.code
+            );
+            for b in &CODES[i + 1..] {
+                assert_ne!(a.code, b.code, "duplicate code");
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats_read_well() {
+        let d = Diagnostic::new(
+            UNDRIVEN_NET,
+            Severity::Error,
+            Location::net("n42"),
+            "net n42 is read but never driven",
+        )
+        .with_suggestion("drive it or remove the readers");
+        let s = d.to_string();
+        assert!(s.contains("error[undriven-net]"));
+        assert!(s.contains("net n42"));
+        assert!(s.contains("hint"));
+    }
+
+    #[test]
+    fn netlist_errors_map_to_diagnostics() {
+        let e = NetlistError::Parse {
+            line: 3,
+            msg: "bad token".into(),
+        };
+        let d = Diagnostic::from_netlist_error(&e, "x.bench");
+        assert_eq!(d.code, PARSE_ERROR);
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("line 3"));
+        let e = NetlistError::InputWidthMismatch {
+            expected: 2,
+            got: 1,
+        };
+        assert_eq!(
+            Diagnostic::from_netlist_error(&e, "x").code,
+            MALFORMED_NETLIST
+        );
+    }
+}

@@ -1,0 +1,336 @@
+//! `glitchlock-lint` — static analysis for netlists and glitch-key locking.
+//!
+//! The crate audits a netlist the way a removal attacker (or a grumpy
+//! tape-out reviewer) would, without simulating it:
+//!
+//! * **Structural lints** ([`structural`]) — undriven/multiply-driven nets,
+//!   dangling outputs, combinational loops, duplicate gates, dead cones.
+//! * **Locking-security lints** ([`locking`]) — structural GK-signature
+//!   detection (the XNOR/XOR/MUX motif of Fig. 3), isolatable or
+//!   branch-stripped GKs, unused/provably-constant key bits, and withheld-LUT
+//!   coverage holes.
+//! * **Timing-window lints** ([`timing`]) — re-verification of the paper's
+//!   Eqs. (1)–(6) against `glitchlock-sta` arrival times: glitch length,
+//!   trigger windows, the KEYGEN trigger floor, and setup/hold margins eroded
+//!   by synthesis passes.
+//!
+//! The entry point is a [`LintRunner`] configured with per-code
+//! [`Level`]s, fed a [`LintContext`]:
+//!
+//! ```rust
+//! use glitchlock_lint::{LintContext, LintRunner};
+//! use glitchlock_netlist::{GateKind, Netlist};
+//! use glitchlock_stdcell::Library;
+//!
+//! let mut nl = Netlist::new("toy");
+//! let a = nl.add_input("a");
+//! let g = nl.add_gate(GateKind::Inv, &[a]).unwrap();
+//! nl.mark_output(g, "y");
+//! let library = Library::cl013g_like();
+//! let ctx = LintContext::new(&nl, &library);
+//! let report = LintRunner::new().run(&ctx);
+//! assert_eq!(report.denied(), 0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod diagnostic;
+pub mod locking;
+pub mod report;
+pub mod structural;
+pub mod timing;
+
+pub use diagnostic::{code_info, CodeInfo, Diagnostic, Level, Location, Severity, CODES};
+pub use report::{render_json, render_text};
+
+use glitchlock_core::gk::GkDesign;
+use glitchlock_core::withholding::Lut;
+use glitchlock_netlist::Netlist;
+use glitchlock_sta::ClockModel;
+use glitchlock_stdcell::{Library, Ps};
+use std::collections::HashMap;
+
+/// Everything a lint pass may look at.
+///
+/// Only the netlist and the library are mandatory; the rest defaults to the
+/// paper's experimental configuration (3ns clock, 1ns glitches, `gk` key
+/// prefix) and can be overridden with the builder methods.
+pub struct LintContext<'a> {
+    /// The netlist under audit.
+    pub netlist: &'a Netlist,
+    /// The standard-cell library its cells are bound against.
+    pub library: &'a Library,
+    /// Clock model for the timing lints.
+    pub clock: ClockModel,
+    /// The GK design whose windows the timing lints re-verify.
+    pub design: GkDesign,
+    /// Setup/hold slack below this margin is reported as eroded.
+    pub margin: Ps,
+    /// Primary inputs whose name starts with this prefix are key bits.
+    pub key_prefix: String,
+    /// Withheld LUTs to audit for coverage holes, if any.
+    pub luts: Vec<Lut>,
+}
+
+impl<'a> LintContext<'a> {
+    /// A context with the paper-default clock (3ns), GK design, zero margin,
+    /// and the `gk` key prefix.
+    pub fn new(netlist: &'a Netlist, library: &'a Library) -> Self {
+        LintContext {
+            netlist,
+            library,
+            clock: ClockModel::new(Ps::from_ns(3)),
+            design: GkDesign::paper_default(),
+            margin: Ps(0),
+            key_prefix: "gk".to_string(),
+            luts: Vec::new(),
+        }
+    }
+
+    /// Overrides the clock model.
+    pub fn with_clock(mut self, clock: ClockModel) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Overrides the GK design (glitch length, scheme, tolerance).
+    pub fn with_design(mut self, design: GkDesign) -> Self {
+        self.design = design;
+        self
+    }
+
+    /// Sets the setup/hold erosion margin.
+    pub fn with_margin(mut self, margin: Ps) -> Self {
+        self.margin = margin;
+        self
+    }
+
+    /// Overrides the key-input name prefix.
+    pub fn with_key_prefix(mut self, prefix: impl Into<String>) -> Self {
+        self.key_prefix = prefix.into();
+        self
+    }
+
+    /// Supplies withheld LUTs for coverage auditing.
+    pub fn with_luts(mut self, luts: Vec<Lut>) -> Self {
+        self.luts = luts;
+        self
+    }
+}
+
+/// One static-analysis pass.
+pub trait LintPass {
+    /// Stable pass name for reports.
+    fn name(&self) -> &'static str;
+    /// Codes this pass can emit (subset of [`CODES`]).
+    fn codes(&self) -> &'static [&'static str];
+    /// Runs the pass, appending findings to `out`. Severities assigned here
+    /// are defaults; the runner re-resolves them against its levels.
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// The result of a [`LintRunner::run`] call.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Surviving diagnostics (allowed codes dropped), errors first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Number of deny-level (error) diagnostics.
+    pub fn denied(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warn-level diagnostics.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Whether the run is clean at deny level.
+    pub fn is_clean(&self) -> bool {
+        self.denied() == 0
+    }
+
+    /// Diagnostics carrying the given code.
+    pub fn with_code(&self, code: &str) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code == code).collect()
+    }
+}
+
+/// Runs a battery of passes with per-code allow/warn/deny levels.
+pub struct LintRunner {
+    passes: Vec<Box<dyn LintPass>>,
+    levels: HashMap<String, Level>,
+    all: Option<Level>,
+}
+
+impl Default for LintRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LintRunner {
+    /// A runner loaded with the full built-in battery.
+    pub fn new() -> Self {
+        LintRunner {
+            passes: vec![
+                Box::new(structural::StructuralPass),
+                Box::new(locking::LockingPass),
+                Box::new(timing::TimingPass),
+            ],
+            levels: HashMap::new(),
+            all: None,
+        }
+    }
+
+    /// An empty runner; add passes with [`LintRunner::with_pass`].
+    pub fn empty() -> Self {
+        LintRunner {
+            passes: Vec::new(),
+            levels: HashMap::new(),
+            all: None,
+        }
+    }
+
+    /// Appends a pass to the battery.
+    pub fn with_pass(mut self, pass: Box<dyn LintPass>) -> Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Sets the level for one code, or for every code with `"all"`.
+    pub fn set_level(&mut self, code: &str, level: Level) {
+        if code == "all" {
+            self.all = Some(level);
+        } else {
+            self.levels.insert(code.to_string(), level);
+        }
+    }
+
+    /// Resolves the effective level of a code: per-code override, then the
+    /// `all` override, then the registry default (`Error` ⇒ deny,
+    /// `Warning` ⇒ warn). Unregistered codes deny, to be safe.
+    pub fn level_of(&self, code: &str) -> Level {
+        if let Some(&l) = self.levels.get(code) {
+            return l;
+        }
+        if let Some(l) = self.all {
+            return l;
+        }
+        match code_info(code).map(|c| c.default_severity) {
+            Some(Severity::Warning) => Level::Warn,
+            _ => Level::Deny,
+        }
+    }
+
+    /// Runs every pass over `ctx`, applies the levels, and returns the report
+    /// with errors ordered before warnings (stable within each severity).
+    pub fn run(&self, ctx: &LintContext<'_>) -> LintReport {
+        let mut raw = Vec::new();
+        for pass in &self.passes {
+            pass.run(ctx, &mut raw);
+        }
+        self.finish(raw)
+    }
+
+    /// Applies level resolution and ordering to externally produced
+    /// diagnostics (e.g. parse errors from the input front-end).
+    pub fn finish(&self, raw: Vec<Diagnostic>) -> LintReport {
+        let mut diagnostics: Vec<Diagnostic> = raw
+            .into_iter()
+            .filter_map(|mut d| match self.level_of(d.code) {
+                Level::Allow => None,
+                Level::Warn => {
+                    d.severity = Severity::Warning;
+                    Some(d)
+                }
+                Level::Deny => {
+                    d.severity = Severity::Error;
+                    Some(d)
+                }
+            })
+            .collect();
+        diagnostics.sort_by_key(|d| std::cmp::Reverse(d.severity));
+        LintReport { diagnostics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitchlock_netlist::GateKind;
+
+    fn toy() -> Netlist {
+        let mut nl = Netlist::new("toy");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::Nand, &[a, b]).unwrap();
+        nl.mark_output(g, "y");
+        nl
+    }
+
+    #[test]
+    fn clean_netlist_is_clean() {
+        let nl = toy();
+        let library = Library::cl013g_like();
+        let report = LintRunner::new().run(&LintContext::new(&nl, &library));
+        assert!(report.is_clean(), "diagnostics: {:?}", report.diagnostics);
+        assert_eq!(report.warnings(), 0);
+    }
+
+    #[test]
+    fn levels_resolve_in_priority_order() {
+        let mut runner = LintRunner::empty();
+        // Defaults.
+        assert_eq!(runner.level_of(diagnostic::UNDRIVEN_NET), Level::Deny);
+        assert_eq!(runner.level_of(diagnostic::DUPLICATE_GATE), Level::Warn);
+        // "all" override.
+        runner.set_level("all", Level::Deny);
+        assert_eq!(runner.level_of(diagnostic::DUPLICATE_GATE), Level::Deny);
+        // Per-code beats "all".
+        runner.set_level(diagnostic::DUPLICATE_GATE, Level::Allow);
+        assert_eq!(runner.level_of(diagnostic::DUPLICATE_GATE), Level::Allow);
+        assert_eq!(runner.level_of(diagnostic::UNDRIVEN_NET), Level::Deny);
+    }
+
+    #[test]
+    fn finish_applies_levels_and_orders_errors_first() {
+        let mut runner = LintRunner::empty();
+        runner.set_level(diagnostic::DEAD_CONE, Level::Deny);
+        runner.set_level(diagnostic::UNDRIVEN_NET, Level::Allow);
+        let raw = vec![
+            Diagnostic::new(
+                diagnostic::DUPLICATE_GATE,
+                Severity::Warning,
+                Location::none(),
+                "w",
+            ),
+            Diagnostic::new(
+                diagnostic::UNDRIVEN_NET,
+                Severity::Error,
+                Location::none(),
+                "dropped",
+            ),
+            Diagnostic::new(
+                diagnostic::DEAD_CONE,
+                Severity::Warning,
+                Location::none(),
+                "promoted",
+            ),
+        ];
+        let report = runner.finish(raw);
+        assert_eq!(report.diagnostics.len(), 2);
+        assert_eq!(report.diagnostics[0].code, diagnostic::DEAD_CONE);
+        assert_eq!(report.diagnostics[0].severity, Severity::Error);
+        assert_eq!(report.denied(), 1);
+        assert_eq!(report.warnings(), 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Human-readable and JSON renderers for lint reports.
+
+use crate::{LintReport, Severity};
+use std::fmt::Write as _;
+
+/// Renders a report the way a compiler prints diagnostics: one line per
+/// finding, indented hints, and a summary line.
+pub fn render_text(report: &LintReport) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        let _ = writeln!(
+            out,
+            "{}[{}] at {}: {}",
+            d.severity, d.code, d.location, d.message
+        );
+        if let Some(s) = &d.suggestion {
+            let _ = writeln!(out, "    hint: {s}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "lint: {} error(s), {} warning(s)",
+        report.denied(),
+        report.warnings()
+    );
+    out
+}
+
+/// Renders a report as a JSON object:
+///
+/// ```json
+/// {"errors": 1, "warnings": 0, "diagnostics": [
+///   {"code": "...", "severity": "error", "cell": null, "net": "n1",
+///    "message": "...", "suggestion": null}
+/// ]}
+/// ```
+pub fn render_json(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"errors\": {}, \"warnings\": {}, \"diagnostics\": [",
+        report.denied(),
+        report.warnings()
+    ));
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let severity = match d.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        let _ = write!(
+            out,
+            "{{\"code\": {}, \"severity\": {}, \"cell\": {}, \"net\": {}, \"message\": {}, \"suggestion\": {}}}",
+            json_str(d.code),
+            json_str(severity),
+            json_opt(&d.location.cell),
+            json_opt(&d.location.net),
+            json_str(&d.message),
+            json_opt(&d.suggestion),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+fn json_opt(s: &Option<String>) -> String {
+    match s {
+        Some(s) => json_str(s),
+        None => "null".to_string(),
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{diagnostic, Diagnostic, Location};
+
+    fn sample() -> LintReport {
+        LintReport {
+            diagnostics: vec![
+                Diagnostic::new(
+                    diagnostic::UNDRIVEN_NET,
+                    Severity::Error,
+                    Location::net("n\"1"),
+                    "net has no driver",
+                )
+                .with_suggestion("drive it"),
+                Diagnostic::new(
+                    diagnostic::DUPLICATE_GATE,
+                    Severity::Warning,
+                    Location::cell_net("g3", "w7"),
+                    "same function as g2",
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn text_report_lists_findings_and_summary() {
+        let text = render_text(&sample());
+        assert!(text.contains("error[undriven-net]"));
+        assert!(text.contains("hint: drive it"));
+        assert!(text.contains("warning[duplicate-gate]"));
+        assert!(text.contains("1 error(s), 1 warning(s)"));
+    }
+
+    #[test]
+    fn json_report_is_well_formed_and_escaped() {
+        let json = render_json(&sample());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"errors\": 1"));
+        assert!(json.contains("\"warnings\": 1"));
+        // The quote inside the net name must be escaped.
+        assert!(json.contains("n\\\"1"));
+        assert!(json.contains("\"suggestion\": null"));
+        // Balanced braces/brackets (cheap well-formedness proxy given no
+        // string contains structural characters once escaped).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        assert_eq!(json_str("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_str("a\u{1}b"), "\"a\\u0001b\"");
+    }
+}

@@ -91,6 +91,12 @@ pub fn parse_with_bindings(
                 line,
                 msg: "missing closing parenthesis".into(),
             })?;
+            if close < open {
+                return Err(NetlistError::Parse {
+                    line,
+                    msg: format!("closing parenthesis before the opening one in {rhs:?}"),
+                });
+            }
             let func = rhs[..open].trim().to_ascii_uppercase();
             let args: Vec<String> = rhs[open + 1..close]
                 .split(',')
@@ -161,7 +167,10 @@ pub fn parse_with_bindings(
         };
         let produced = if kind == GateKind::Dff {
             if arg_nets.len() != 1 {
-                return Err(parse_err(format!("DFF takes 1 input, got {}", arg_nets.len())));
+                return Err(parse_err(format!(
+                    "DFF takes 1 input, got {}",
+                    arg_nets.len()
+                )));
             }
             nl.add_dff_named(arg_nets[0], format!("{}_ff", g.target))
                 .map_err(|e| parse_err(e.to_string()))?
@@ -169,7 +178,10 @@ pub fn parse_with_bindings(
             // .bench MUX argument order is (sel, in0, in1); ours is
             // [in0, in1, sel].
             if arg_nets.len() != 3 {
-                return Err(parse_err(format!("MUX takes 3 inputs, got {}", arg_nets.len())));
+                return Err(parse_err(format!(
+                    "MUX takes 3 inputs, got {}",
+                    arg_nets.len()
+                )));
             }
             nl.add_gate_named(
                 kind,
@@ -184,8 +196,7 @@ pub fn parse_with_bindings(
         };
         // Alias: the produced fresh net replaces the placeholder target net.
         // Rewire every reader of the placeholder onto the produced net.
-        let readers: Vec<(crate::CellId, usize)> =
-            nl.net(target_net).fanout().to_vec();
+        let readers: Vec<(crate::CellId, usize)> = nl.net(target_net).fanout().to_vec();
         for (cell, pin) in readers {
             nl.rewire_input(cell, pin, produced)
                 .map_err(|e| NetlistError::Parse {
@@ -199,11 +210,10 @@ pub fn parse_with_bindings(
                 msg: format!("unknown library cell {lib_name:?} in $lib pragma"),
             })?;
             let cell = nl.net(produced).driver().expect("gate drives its net");
-            nl.bind_lib(cell, id)
-                .map_err(|e| NetlistError::Parse {
-                    line: g.line,
-                    msg: e.to_string(),
-                })?;
+            nl.bind_lib(cell, id).map_err(|e| NetlistError::Parse {
+                line: g.line,
+                msg: e.to_string(),
+            })?;
         }
         nets.insert(g.target.clone(), produced);
     }

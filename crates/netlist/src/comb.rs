@@ -116,12 +116,7 @@ impl CombView {
             let (pi, qs) = words.split_at(self.num_pi);
             program.eval(pi, Some(qs), &mut buf);
             for lane in 0..chunk.len() {
-                results.push(
-                    self.outputs
-                        .iter()
-                        .map(|n| buf.net(*n).get(lane))
-                        .collect(),
-                );
+                results.push(self.outputs.iter().map(|n| buf.net(*n).get(lane)).collect());
             }
         }
         results

@@ -146,7 +146,7 @@ impl fmt::Display for GateKind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use Logic::{One, X, Zero};
+    use Logic::{One, Zero, X};
 
     #[test]
     fn nary_gates_fold_correctly() {

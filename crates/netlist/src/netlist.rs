@@ -225,7 +225,11 @@ impl Netlist {
 
     /// Adds a constant cell.
     pub fn add_const(&mut self, value: bool) -> NetId {
-        let kind = if value { GateKind::Const1 } else { GateKind::Const0 };
+        let kind = if value {
+            GateKind::Const1
+        } else {
+            GateKind::Const0
+        };
         self.add_gate(kind, &[]).expect("constants have arity 0")
     }
 
@@ -234,7 +238,13 @@ impl Netlist {
         self.outputs.push((net, name.into()));
     }
 
-    fn push_cell(&mut self, kind: GateKind, inputs: Vec<NetId>, output: NetId, name: String) -> CellId {
+    fn push_cell(
+        &mut self,
+        kind: GateKind,
+        inputs: Vec<NetId>,
+        output: NetId,
+        name: String,
+    ) -> CellId {
         self.topo_cache.take();
         let id = CellId::from_index(self.cells.len());
         self.cells.push(Cell {
@@ -567,7 +577,10 @@ impl Netlist {
             self.inputs.len()
         );
         let values = self.eval_nets(inputs, None);
-        self.outputs.iter().map(|&(n, _)| values[n.index()]).collect()
+        self.outputs
+            .iter()
+            .map(|&(n, _)| values[n.index()])
+            .collect()
     }
 
     /// Evaluates every net given primary-input values and (optionally)

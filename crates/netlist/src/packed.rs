@@ -110,9 +110,7 @@ impl PackedLogic {
     pub fn and(self, rhs: Self) -> Self {
         PackedLogic {
             val: self.val & rhs.val,
-            known: (self.known & rhs.known)
-                | (self.known & !self.val)
-                | (rhs.known & !rhs.val),
+            known: (self.known & rhs.known) | (self.known & !self.val) | (rhs.known & !rhs.val),
         }
     }
 
@@ -536,7 +534,7 @@ pub fn unpack_lane(words: &[PackedLogic], lane: usize) -> Vec<Logic> {
 mod tests {
     use super::*;
     use crate::GateKind;
-    use Logic::{One, X, Zero};
+    use Logic::{One, Zero, X};
 
     /// Every binary PackedLogic op agrees with the scalar op lane by lane
     /// for all 9 level combinations.
@@ -660,16 +658,13 @@ mod tests {
         let nl = full_adder();
         let program = EvalProgram::compile(&nl).unwrap();
         // Force the a^b node to 1 and check sum = !cin, regardless of a/b.
-        let axb_net = nl.net_by_name("g3_3").map_or_else(
-            || {
-                // Fall back: find the first XOR cell's output.
-                nl.cells()
-                    .find(|(_, c)| c.kind() == GateKind::Xor)
-                    .map(|(_, c)| c.output())
-                    .unwrap()
-            },
-            |n| n,
-        );
+        let axb_net = nl.net_by_name("g3_3").unwrap_or_else(|| {
+            // Fall back: find the first XOR cell's output.
+            nl.cells()
+                .find(|(_, c)| c.kind() == GateKind::Xor)
+                .map(|(_, c)| c.output())
+                .unwrap()
+        });
         let mut buf = program.scratch();
         let inputs = [PackedLogic::ZERO, PackedLogic::ZERO, PackedLogic::ONE];
         program.eval_forced(&inputs, None, &[(axb_net, PackedLogic::ONE)], &mut buf);
@@ -727,7 +722,11 @@ mod tests {
                     break;
                 };
                 for (i, &b) in p.iter().enumerate() {
-                    assert_eq!(chunk[i].get(lane), Logic::from_bool(b), "c{ci} l{lane} i{i}");
+                    assert_eq!(
+                        chunk[i].get(lane),
+                        Logic::from_bool(b),
+                        "c{ci} l{lane} i{i}"
+                    );
                 }
             }
         }

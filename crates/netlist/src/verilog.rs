@@ -39,7 +39,12 @@ pub fn emit(netlist: &Netlist) -> String {
         ports.push(port.clone());
         po_decls.push((port, *net));
     }
-    let _ = writeln!(out, "module {} ({});", sanitize(netlist.name()), ports.join(", "));
+    let _ = writeln!(
+        out,
+        "module {} ({});",
+        sanitize(netlist.name()),
+        ports.join(", ")
+    );
     let input_names: Vec<String> = netlist
         .input_nets()
         .iter()
@@ -115,7 +120,13 @@ pub fn emit(netlist: &Netlist) -> String {
 fn sanitize(name: &str) -> String {
     let mut s: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if s.is_empty() || s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         s.insert(0, 'm');
@@ -184,6 +195,12 @@ pub fn parse(src: &str) -> Result<Netlist, NetlistError> {
                     line: start_line,
                     msg: "missing closing parenthesis".into(),
                 })?;
+                if close < open {
+                    return Err(NetlistError::Parse {
+                        line: start_line,
+                        msg: format!("closing parenthesis before the opening one in {rest:?}"),
+                    });
+                }
                 let args = split_names(&rest[open + 1..close]);
                 insts.push(Inst {
                     line: start_line,
@@ -239,7 +256,10 @@ pub fn parse(src: &str) -> Result<Netlist, NetlistError> {
             "const1" => nl.add_gate(GateKind::Const1, &arg_nets),
             "dff" => {
                 if arg_nets.len() != 1 {
-                    return Err(perr(format!("dff takes (q, d), got {} ports", inst.args.len())));
+                    return Err(perr(format!(
+                        "dff takes (q, d), got {} ports",
+                        inst.args.len()
+                    )));
                 }
                 nl.add_dff(arg_nets[0])
             }
@@ -249,7 +269,8 @@ pub fn parse(src: &str) -> Result<Netlist, NetlistError> {
         // Alias placeholder target to the produced net.
         let readers: Vec<(crate::CellId, usize)> = nl.net(target_net).fanout().to_vec();
         for (cell, pin) in readers {
-            nl.rewire_input(cell, pin, produced).map_err(|e| perr(e.to_string()))?;
+            nl.rewire_input(cell, pin, produced)
+                .map_err(|e| perr(e.to_string()))?;
         }
         nets.insert(target.clone(), produced);
     }
@@ -336,11 +357,9 @@ mod tests {
 
     #[test]
     fn parse_handles_multiline_statements() {
-        let src = "module m (a,\n b, y);\n input a, b;\n output y;\n and u0 (y,\n   a, b);\nendmodule";
+        let src =
+            "module m (a,\n b, y);\n input a, b;\n output y;\n and u0 (y,\n   a, b);\nendmodule";
         let nl = parse(src).unwrap();
-        assert_eq!(
-            nl.eval_comb(&[Logic::One, Logic::One]),
-            vec![Logic::One]
-        );
+        assert_eq!(nl.eval_comb(&[Logic::One, Logic::One]), vec![Logic::One]);
     }
 }

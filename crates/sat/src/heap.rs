@@ -119,7 +119,9 @@ mod tests {
         for i in 0..4 {
             h.insert(Var(i), &activity);
         }
-        let order: Vec<u32> = std::iter::from_fn(|| h.pop_max(&activity)).map(|v| v.0).collect();
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop_max(&activity))
+            .map(|v| v.0)
+            .collect();
         assert_eq!(order, vec![1, 3, 2, 0]);
         assert!(h.is_empty());
     }

@@ -294,9 +294,7 @@ impl Solver {
                     }
                     debug_assert_eq!(cl.lits[1], !p);
                     let first = cl.lits[0];
-                    if first != w.blocker
-                        && Self::lit_value_in(assigns, first) == Assign::True
-                    {
+                    if first != w.blocker && Self::lit_value_in(assigns, first) == Assign::True {
                         ws[j] = Watcher {
                             cref: w.cref,
                             blocker: first,
@@ -708,10 +706,7 @@ mod tests {
         let mut s = Solver::new();
         let a = s.new_var();
         let _ = s.new_var();
-        assert_eq!(
-            s.solve_with(&[Lit::pos(a), Lit::neg(a)]),
-            SatResult::Unsat
-        );
+        assert_eq!(s.solve_with(&[Lit::pos(a), Lit::neg(a)]), SatResult::Unsat);
         assert_eq!(s.solve(), SatResult::Sat);
     }
 
@@ -776,7 +771,10 @@ mod tests {
             );
             if got == SatResult::Sat {
                 let model = s.model();
-                assert!(f.eval(&model), "model must satisfy the formula (round {round})");
+                assert!(
+                    f.eval(&model),
+                    "model must satisfy the formula (round {round})"
+                );
             }
         }
     }

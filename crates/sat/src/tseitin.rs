@@ -290,11 +290,9 @@ mod tests {
             for (i, &ov) in enc.output_vars.iter().enumerate() {
                 let got = solver.value(ov);
                 match expect[i].to_bool() {
-                    Some(b) => assert_eq!(
-                        got,
-                        Some(b),
-                        "output {i} mismatch for input bits {bits:b}"
-                    ),
+                    Some(b) => {
+                        assert_eq!(got, Some(b), "output {i} mismatch for input bits {bits:b}")
+                    }
                     None => panic!("X in fully-driven combinational circuit"),
                 }
             }
@@ -382,7 +380,9 @@ mod tests {
         nl.mark_output(y, "y");
         let view = CombView::new(&nl);
         let enc = encode_comb(&nl, &view);
-        assert!(enc.var_of(NetId::from_index(999).min(NetId::from_index(1))).is_some());
+        assert!(enc
+            .var_of(NetId::from_index(999).min(NetId::from_index(1)))
+            .is_some());
         // A fabricated out-of-range id yields None rather than panicking.
         assert!(enc.var_of(NetId::from_index(10_000)).is_none());
     }

@@ -25,7 +25,11 @@ impl ActivityReport {
     /// Relative dynamic-power proxy against a baseline run (1.0 = equal).
     pub fn relative_to(&self, baseline: &ActivityReport) -> f64 {
         if baseline.weighted_toggles == 0 {
-            return if self.weighted_toggles == 0 { 1.0 } else { f64::INFINITY };
+            return if self.weighted_toggles == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
         }
         self.weighted_toggles as f64 / baseline.weighted_toggles as f64
     }
@@ -161,8 +165,11 @@ mod tests {
         let mut nl = Netlist::new("g");
         let a = nl.add_input("a");
         let slow = nl.add_gate(GateKind::Buf, &[a]).unwrap();
-        nl.bind_lib(nl.net(slow).driver().unwrap(), lib.by_name("DLY4X1").unwrap())
-            .unwrap();
+        nl.bind_lib(
+            nl.net(slow).driver().unwrap(),
+            lib.by_name("DLY4X1").unwrap(),
+        )
+        .unwrap();
         let y = nl.add_gate(GateKind::Xor, &[a, slow]).unwrap();
         nl.mark_output(y, "y");
         let mut stim = Stimulus::new();

@@ -133,10 +133,16 @@ mod tests {
         let ff = CellId::from_index(0);
         let clk = ClockSpec::new(Ps::from_ns(8)).with_skew(ff, Ps::from_ns(1));
         let edges = clk.edges_for(ff, Ps::from_ns(26));
-        assert_eq!(edges, vec![Ps::from_ns(9), Ps::from_ns(17), Ps::from_ns(25)]);
+        assert_eq!(
+            edges,
+            vec![Ps::from_ns(9), Ps::from_ns(17), Ps::from_ns(25)]
+        );
         let other = CellId::from_index(1);
         assert_eq!(clk.skew_of(other), Ps::ZERO);
-        assert_eq!(clk.edges_for(other, Ps::from_ns(16)), vec![Ps::from_ns(8), Ps::from_ns(16)]);
+        assert_eq!(
+            clk.edges_for(other, Ps::from_ns(16)),
+            vec![Ps::from_ns(8), Ps::from_ns(16)]
+        );
     }
 
     #[test]
@@ -144,7 +150,8 @@ mod tests {
         let cfg = SimConfig::ideal().with_delay_model(DelayModel::Inertial);
         assert!(cfg.ideal_gates);
         assert_eq!(cfg.delay_model, DelayModel::Inertial);
-        let cfg = SimConfig::default().with_clock(ClockSpec::new(Ps::from_ns(4)).with_first_edge(Ps::from_ns(2)));
+        let cfg = SimConfig::default()
+            .with_clock(ClockSpec::new(Ps::from_ns(4)).with_first_edge(Ps::from_ns(2)));
         assert_eq!(cfg.clock.period, Ps::from_ns(4));
         assert_eq!(cfg.clock.first_edge, Ps::from_ns(2));
     }

@@ -60,7 +60,11 @@ impl SimResult {
 
     /// Violations at one flip-flop.
     pub fn violations_of(&self, ff: CellId) -> Vec<Violation> {
-        self.violations.iter().copied().filter(|v| v.ff == ff).collect()
+        self.violations
+            .iter()
+            .copied()
+            .filter(|v| v.ff == ff)
+            .collect()
     }
 
     /// The simulation horizon.
@@ -165,8 +169,7 @@ impl<'a> Simulator<'a> {
         let mut values = nl.eval_nets(&initial_inputs, Some(&initial_q));
         let mut projected = values.clone();
         let mut gen = vec![0u64; n_nets];
-        let mut waveforms: Vec<Waveform> =
-            values.iter().map(|&v| Waveform::constant(v)).collect();
+        let mut waveforms: Vec<Waveform> = values.iter().map(|&v| Waveform::constant(v)).collect();
 
         let mut heap: BinaryHeap<Event> = BinaryHeap::new();
         let mut seq = 0u64;
@@ -183,7 +186,16 @@ impl<'a> Simulator<'a> {
         for (t, net, v) in stimulus.sorted_events() {
             // External stimulus always carries the live generation (bumped
             // lazily below at schedule time for internal nets only).
-            push(&mut heap, t, 0, EventKind::NetChange { net, value: v, gen: u64::MAX });
+            push(
+                &mut heap,
+                t,
+                0,
+                EventKind::NetChange {
+                    net,
+                    value: v,
+                    gen: u64::MAX,
+                },
+            );
         }
         for &ff in nl.dff_cells() {
             for edge in self.config.clock.edges_for(ff, until) {
@@ -199,7 +211,11 @@ impl<'a> Simulator<'a> {
                 break;
             }
             match ev.kind {
-                EventKind::NetChange { net, value, gen: evgen } => {
+                EventKind::NetChange {
+                    net,
+                    value,
+                    gen: evgen,
+                } => {
                     if evgen != u64::MAX && evgen != gen[net.index()] {
                         continue; // cancelled by inertial replacement
                     }
@@ -395,7 +411,10 @@ mod tests {
         stim.set(a, Zero).pulse(Ps(2000), Ps(100), a, One);
         let cfg = SimConfig::new().with_delay_model(DelayModel::Inertial);
         let res = Simulator::new(&nl, &lib, cfg).run(&stim, Ps(6000));
-        assert!(res.waveform(y).changes().is_empty(), "pulse must be swallowed");
+        assert!(
+            res.waveform(y).changes().is_empty(),
+            "pulse must be swallowed"
+        );
     }
 
     #[test]

@@ -99,7 +99,10 @@ mod tests {
         stim.set(n, Logic::Zero)
             .pulse(Ps(100), Ps(50), n, Logic::One);
         let ev = stim.sorted_events();
-        assert_eq!(ev, vec![(Ps(100), n, Logic::One), (Ps(150), n, Logic::Zero)]);
+        assert_eq!(
+            ev,
+            vec![(Ps(100), n, Logic::One), (Ps(150), n, Logic::Zero)]
+        );
     }
 
     #[test]

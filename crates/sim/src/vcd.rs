@@ -116,10 +116,7 @@ mod tests {
         assert!(vcd.contains("$var wire 1 ! a $end"));
         // The second selected net uses the next identifier and its
         // netlist-internal name.
-        assert!(vcd.contains(&format!(
-            "$var wire 1 \" {} $end",
-            nl.net(y).name()
-        )));
+        assert!(vcd.contains(&format!("$var wire 1 \" {} $end", nl.net(y).name())));
         assert!(vcd.contains("$enddefinitions $end"));
     }
 

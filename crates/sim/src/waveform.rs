@@ -154,7 +154,7 @@ impl fmt::Display for Waveform {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use Logic::{One, X, Zero};
+    use Logic::{One, Zero, X};
 
     fn pulse_wave() -> Waveform {
         let mut w = Waveform::constant(Zero);
@@ -216,7 +216,10 @@ mod tests {
             vec![(Ps(3000), Ps(6000))]
         );
         assert!(w.pulses_shorter_than(One, Ps(3000), Ps(10_000)).is_empty());
-        assert_eq!(w.pulse_after(One, Ps(1000), Ps(10_000)), Some((Ps(3000), Ps(6000))));
+        assert_eq!(
+            w.pulse_after(One, Ps(1000), Ps(10_000)),
+            Some((Ps(3000), Ps(6000)))
+        );
         assert_eq!(w.pulse_after(One, Ps(6001), Ps(10_000)), None);
     }
 

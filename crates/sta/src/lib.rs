@@ -177,6 +177,16 @@ impl TimingReport {
         v
     }
 
+    /// The `k` worst hold endpoints, most negative hold slack first — the
+    /// min-delay counterpart of [`TimingReport::worst_endpoints`], used by
+    /// post-`holdfix` audits to rank eroded margins.
+    pub fn worst_hold_endpoints(&self, k: usize) -> Vec<&FfCheck> {
+        let mut v: Vec<&FfCheck> = self.checks.iter().collect();
+        v.sort_by_key(|c| c.slack_hold);
+        v.truncate(k);
+        v
+    }
+
     /// Traces the max-arrival path ending at `ff`'s D pin (capture
     /// flip-flop last), following worst-arrival predecessors — the per-
     /// endpoint equivalent of [`TimingReport::critical_path`].
@@ -452,6 +462,32 @@ mod tests {
         assert_eq!(worst[0].ff, nl.dff_cells()[1], "slow FF is worst");
         let one = report.worst_endpoints(1);
         assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn worst_hold_endpoints_sorted_by_hold_slack() {
+        let lib = lib();
+        let mut nl = Netlist::new("h");
+        let a = nl.add_input("a");
+        // Fast endpoint: direct input capture (smallest hold slack).
+        let qf = nl.add_dff(a).unwrap();
+        // Slower endpoint through a delay cell.
+        let s = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+        nl.bind_lib(nl.net(s).driver().unwrap(), lib.by_name("DLY4X1").unwrap())
+            .unwrap();
+        let qs = nl.add_dff(s).unwrap();
+        nl.mark_output(qf, "f");
+        nl.mark_output(qs, "s");
+        let report = analyze(&nl, &lib, &ClockModel::new(Ps::from_ns(2)));
+        let worst = report.worst_hold_endpoints(2);
+        assert_eq!(worst.len(), 2);
+        assert!(worst[0].slack_hold <= worst[1].slack_hold);
+        assert_eq!(
+            worst[0].ff,
+            nl.dff_cells()[0],
+            "direct-capture FF has least hold slack"
+        );
+        assert_eq!(report.worst_hold_endpoints(1).len(), 1);
     }
 
     #[test]

@@ -19,8 +19,8 @@
 
 #![deny(missing_docs)]
 
-mod library;
 pub mod liberty;
+mod library;
 mod time;
 
 pub use library::{LibCell, Library, SeqTiming};

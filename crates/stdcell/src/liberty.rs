@@ -33,7 +33,10 @@ pub fn emit(library: &Library, name: &str) -> String {
             let _ = writeln!(out, "    pin ({pin}) {{ direction : input; }}");
         }
         if let Some(seq) = cell.seq() {
-            let _ = writeln!(out, "    ff (IQ, IQN) {{ clocked_on : \"CK\"; next_state : \"D\"; }}");
+            let _ = writeln!(
+                out,
+                "    ff (IQ, IQN) {{ clocked_on : \"CK\"; next_state : \"D\"; }}"
+            );
             let _ = writeln!(out, "    pin (CK) {{ direction : input; clock : true; }}");
             let _ = writeln!(
                 out,
@@ -51,7 +54,10 @@ pub fn emit(library: &Library, name: &str) -> String {
             let _ = writeln!(
                 out,
                 "    pin (Y) {{ direction : output; function : \"{func}\"; {} }}",
-                timing_block(cell.delay(), pins.first().map(String::as_str).unwrap_or("A"))
+                timing_block(
+                    cell.delay(),
+                    pins.first().map(String::as_str).unwrap_or("A")
+                )
             );
         }
         let _ = writeln!(out, "  }}");
@@ -80,8 +86,17 @@ fn input_pins(kind: GateKind) -> Vec<String> {
     match kind {
         GateKind::Dff => vec!["D".to_string()],
         GateKind::Mux2 => vec!["A".into(), "B".into(), "S".into()],
-        GateKind::Mux4 => vec!["A".into(), "B".into(), "C".into(), "D".into(), "S0".into(), "S1".into()],
-        _ => (0..n).map(|i| ((b'A' + i as u8) as char).to_string()).collect(),
+        GateKind::Mux4 => vec![
+            "A".into(),
+            "B".into(),
+            "C".into(),
+            "D".into(),
+            "S0".into(),
+            "S1".into(),
+        ],
+        _ => (0..n)
+            .map(|i| ((b'A' + i as u8) as char).to_string())
+            .collect(),
     }
 }
 

@@ -324,7 +324,10 @@ mod tests {
         ] {
             let id = lib.default_cell(kind);
             assert_eq!(lib.cell(id).kind(), kind);
-            assert!(!lib.cell(id).is_delay_cell(), "default must not be a DLY cell");
+            assert!(
+                !lib.cell(id).is_delay_cell(),
+                "default must not be a DLY cell"
+            );
         }
     }
 

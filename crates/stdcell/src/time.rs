@@ -9,9 +9,7 @@ use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
 /// All timing arithmetic in the project uses integer picoseconds so the
 /// window inequalities of the paper (Eqs. (3)–(6)) are exact. The paper's
 /// nanosecond examples map via [`Ps::from_ns`].
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct Ps(pub u64);
 
 impl Ps {
@@ -117,9 +115,7 @@ impl fmt::Display for Ps {
 ///
 /// Stored as an integer so workspace-wide area sums are exact; display
 /// converts back to µm².
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct AreaMilliUm2(pub u64);
 
 impl AreaMilliUm2 {

@@ -115,7 +115,10 @@ pub fn plan_chain(library: &Library, target: Ps, tolerance: Ps) -> Result<ChainP
     for t in lo..=hi {
         if let Some((count, _)) = dp[t as usize] {
             let dev = t.abs_diff(target.as_ps());
-            if best.map(|(bc, bd, _)| (count, dev) < (bc, bd)).unwrap_or(true) {
+            if best
+                .map(|(bc, bd, _)| (count, dev) < (bc, bd))
+                .unwrap_or(true)
+            {
                 best = Some((count, dev, t));
             }
         }
@@ -177,6 +180,41 @@ pub fn compose_delay(
     Ok((net, cells, plan))
 }
 
+/// Walks a delay chain **backwards** from `net` through single-input
+/// buffer-function drivers, returning `(source net, chain cells in
+/// source→sink order, total chain delay)`.
+///
+/// This is the inverse of [`compose_delay`]: given the net a chain drives,
+/// it recovers where the chain taps its signal and how much delay the chain
+/// adds — the measurement a removal attacker (or a post-synthesis audit)
+/// makes when reverse-engineering a GK branch or a KEYGEN trigger. A net
+/// whose driver is not a buffer is its own trivial chain (empty, zero
+/// delay).
+pub fn trace_delay_chain(
+    netlist: &Netlist,
+    library: &Library,
+    net: NetId,
+) -> (NetId, Vec<CellId>, Ps) {
+    let mut cells = Vec::new();
+    let mut total = Ps::ZERO;
+    let mut at = net;
+    while let Some(driver) = netlist.net(at).driver() {
+        let cell = netlist.cell(driver);
+        if cell.kind() != GateKind::Buf {
+            break;
+        }
+        cells.push(driver);
+        total += library.cell_delay(netlist, driver);
+        at = cell.inputs()[0];
+        if cells.len() > netlist.cell_count() {
+            // Defensive: a malformed (cyclic) buffer loop must not hang us.
+            break;
+        }
+    }
+    cells.reverse();
+    (at, cells, total)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,7 +237,11 @@ mod tests {
             let plan = plan_chain(&lib, Ps::from_ns(ns), Ps::ZERO).unwrap();
             assert_eq!(plan.achieved, Ps::from_ns(ns), "{ns}ns");
             // Dedicated delay cells keep chains short.
-            assert!(plan.len() <= (ns as usize).max(1) + 1, "{ns}ns used {}", plan.len());
+            assert!(
+                plan.len() <= (ns as usize).max(1) + 1,
+                "{ns}ns used {}",
+                plan.len()
+            );
         }
     }
 
@@ -248,10 +290,44 @@ mod tests {
     }
 
     #[test]
+    fn trace_inverts_compose() {
+        let lib = lib();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let (out, cells, plan) = compose_delay(&mut nl, &lib, a, Ps::from_ns(2), Ps(10)).unwrap();
+        // Give the chain a sink so fanout-dependent delays match compose's
+        // single-load assumption.
+        let y = nl.add_gate(GateKind::Inv, &[out]).unwrap();
+        nl.mark_output(y, "y");
+        let (source, traced, total) = trace_delay_chain(&nl, &lib, out);
+        assert_eq!(source, a);
+        assert_eq!(traced, cells, "source→sink order");
+        assert_eq!(total, plan.achieved);
+    }
+
+    #[test]
+    fn trace_of_non_chain_net_is_trivial() {
+        let lib = lib();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_gate(GateKind::Inv, &[a]).unwrap();
+        nl.mark_output(y, "y");
+        let (source, cells, total) = trace_delay_chain(&nl, &lib, y);
+        assert_eq!(source, y);
+        assert!(cells.is_empty());
+        assert_eq!(total, Ps::ZERO);
+    }
+
+    #[test]
     fn plans_prefer_fewer_cells_for_equal_accuracy() {
         let lib = lib();
         let plan = plan_chain(&lib, Ps::from_ns(2), Ps::ZERO).unwrap();
-        assert_eq!(plan.len(), 1, "one DLY8 beats two DLY4: got {:?}", plan.cells);
+        assert_eq!(
+            plan.len(),
+            1,
+            "one DLY8 beats two DLY4: got {:?}",
+            plan.cells
+        );
     }
 }
 

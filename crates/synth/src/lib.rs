@@ -23,7 +23,7 @@ mod overhead;
 mod passes;
 mod resize;
 
-pub use chain::{compose_delay, plan_chain, ChainPlan};
+pub use chain::{compose_delay, plan_chain, trace_delay_chain, ChainPlan};
 pub use error::SynthError;
 pub use holdfix::{fix_hold, HoldFixReport};
 pub use overhead::Overhead;

@@ -43,8 +43,7 @@ impl Overhead {
         if self.area_before.0 == 0 {
             return 0.0;
         }
-        (self.area_after.0 as f64 - self.area_before.0 as f64) / self.area_before.0 as f64
-            * 100.0
+        (self.area_after.0 as f64 - self.area_before.0 as f64) / self.area_before.0 as f64 * 100.0
     }
 }
 

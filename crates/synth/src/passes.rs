@@ -338,7 +338,14 @@ fn fold(
                 0 => Ok(Repr::Const(!controlling ^ invert_out)),
                 1 => {
                     if invert_out {
-                        fold(Inv, &[Repr::Net(nets[0])], out, cse, inverted_from, const_nets)
+                        fold(
+                            Inv,
+                            &[Repr::Net(nets[0])],
+                            out,
+                            cse,
+                            inverted_from,
+                            const_nets,
+                        )
                     } else {
                         Ok(Repr::Net(nets[0]))
                     }
@@ -366,7 +373,14 @@ fn fold(
                 0 => Ok(Repr::Const(parity)),
                 1 => {
                     if parity {
-                        fold(Inv, &[Repr::Net(nets[0])], out, cse, inverted_from, const_nets)
+                        fold(
+                            Inv,
+                            &[Repr::Net(nets[0])],
+                            out,
+                            cse,
+                            inverted_from,
+                            const_nets,
+                        )
                     } else {
                         Ok(Repr::Net(nets[0]))
                     }
@@ -404,8 +418,22 @@ fn fold(
         }
         Mux4 => {
             // Reduce via two levels of Mux2 folding.
-            let lo = fold(Mux2, &[ins[0], ins[1], ins[4]], out, cse, inverted_from, const_nets)?;
-            let hi = fold(Mux2, &[ins[2], ins[3], ins[4]], out, cse, inverted_from, const_nets)?;
+            let lo = fold(
+                Mux2,
+                &[ins[0], ins[1], ins[4]],
+                out,
+                cse,
+                inverted_from,
+                const_nets,
+            )?;
+            let hi = fold(
+                Mux2,
+                &[ins[2], ins[3], ins[4]],
+                out,
+                cse,
+                inverted_from,
+                const_nets,
+            )?;
             fold(Mux2, &[lo, hi, ins[5]], out, cse, inverted_from, const_nets)
         }
     }
@@ -483,10 +511,7 @@ mod tests {
         nl.mark_output(y, "y");
         let opt = optimize(&nl).unwrap();
         assert_eq!(opt.stats().gates, 0);
-        assert_eq!(
-            opt.eval_comb(&[Logic::Zero, Logic::One]),
-            vec![Logic::One]
-        );
+        assert_eq!(opt.eval_comb(&[Logic::Zero, Logic::One]), vec![Logic::One]);
     }
 
     #[test]

@@ -124,7 +124,8 @@ mod tests {
         let a = nl.add_input("a");
         let dly = nl.add_gate(GateKind::Buf, &[a]).unwrap();
         let dly_cell = nl.net(dly).driver().unwrap();
-        nl.bind_lib(dly_cell, lib.by_name("DLY4X1").unwrap()).unwrap();
+        nl.bind_lib(dly_cell, lib.by_name("DLY4X1").unwrap())
+            .unwrap();
         for i in 0..6 {
             let b = nl.add_gate(GateKind::Buf, &[dly]).unwrap();
             nl.mark_output(b, format!("o{i}"));

@@ -69,9 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut attack = SatAttack::new(&stripped, keys, &original);
     attack.ignored_inputs = stale;
     let sat = attack.run();
-    println!(
-        "TDK [12]        | n/a (timing key)       | TDB stripped, resynth, |",
-    );
+    println!("TDK [12]        | n/a (timing key)       | TDB stripped, resynth, |",);
     println!(
         "                |                        |  then SAT: {:>3} DIPs    | BROKEN (strip+SAT)",
         sat.iterations

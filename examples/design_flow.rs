@@ -21,7 +21,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "s5378".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "s5378".to_string());
     let profile = profile_by_name(&name)
         .ok_or_else(|| format!("unknown benchmark {name:?} (try s1238, s5378, …)"))?;
     let lib = Library::cl013g_like();
@@ -31,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== 1. synthesize (generate) {name} ==");
     let nl = generate(&profile);
     let st = nl.stats();
-    println!("   cells {} | gates {} | FFs {} | PIs {} | POs {}", st.cells, st.gates, st.dffs, st.inputs, st.outputs);
+    println!(
+        "   cells {} | gates {} | FFs {} | PIs {} | POs {}",
+        st.cells, st.gates, st.dffs, st.inputs, st.outputs
+    );
 
     println!("\n== 2. sign-off STA at {} ==", profile.clock_period);
     let sta = analyze(&nl, &lib, &clock);
@@ -49,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.coverage_pct()
     );
     let group = select_encrypt_ff(&nl, &available);
-    println!("   Encrypt-FF group (same output cone): {} FFs", group.len());
+    println!(
+        "   Encrypt-FF group (same output cone): {} FFs",
+        group.len()
+    );
 
     println!("\n== 4. insert 4 GKs (8 key inputs) ==");
     let locked = GkEncryptor::new(4).encrypt(&nl, &lib, &clock, &mut rng)?;

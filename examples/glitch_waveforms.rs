@@ -61,7 +61,15 @@ fn fig6() -> Result<(), Box<dyn std::error::Error>> {
     let mut nl = Netlist::new("fig6");
     let k1 = nl.add_input("k1");
     let k2 = nl.add_input("k2");
-    let kg = build_keygen(&mut nl, &lib, k1, k2, Ps::from_ns(3), Ps::from_ns(6), Ps(40))?;
+    let kg = build_keygen(
+        &mut nl,
+        &lib,
+        k1,
+        k2,
+        Ps::from_ns(3),
+        Ps::from_ns(6),
+        Ps(40),
+    )?;
     // Dummy load matching a GK key pin.
     for i in 0..3 {
         let s = nl.add_gate(GateKind::Buf, &[kg.key_out])?;

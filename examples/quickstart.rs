@@ -31,8 +31,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Conventional XOR/XNOR locking [9] -------------------------------
     let xor_locked = XorLock::new(4).lock(&original, &mut rng)?;
-    println!("\n[XOR lock] inserted 4 key-gates, key = {:?}", xor_locked.correct_key);
-    let result = SatAttack::new(&xor_locked.netlist, xor_locked.key_inputs.clone(), &original).run();
+    println!(
+        "\n[XOR lock] inserted 4 key-gates, key = {:?}",
+        xor_locked.correct_key
+    );
+    let result = SatAttack::new(
+        &xor_locked.netlist,
+        xor_locked.key_inputs.clone(),
+        &original,
+    )
+    .run();
     match &result.outcome {
         SatOutcome::KeyRecovered { key } => println!(
             "[XOR lock] SAT attack SUCCEEDED in {} DIP iterations, key = {key:?}",

@@ -11,11 +11,20 @@
 //! glk attack      <locked.bench> <oracle.bench> [--key-prefix P]
 //! glk sim         <in.bench> [--cycles N] [--period-ns N] [--vcd out.vcd] [--seed S]
 //! glk verify      <locked.bench> <oracle.bench> --key 0,1,… [--cycles N]
+//! glk lint        <in.bench> [--format json|text] [--deny codes|all] [--warn …]
+//!                 [--allow …] [--period-ns N] [--glitch-ps L] [--margin-ps N]
+//!                 [--key-prefix P]
+//! glk synth       <in.bench> <out.bench> [--optimize] [--holdfix] [--resize N]
+//!                 [--period-ns N] [--no-lint]
 //! glk lib         [out.lib] [--custom]
 //! ```
 //!
 //! `lock-gk` writes `<out-prefix>.locked.bench` (with KEYGENs),
 //! `<out-prefix>.attack.bench` (the attacker's view) and prints the key.
+//! Both `lock-gk` and `synth` finish with a lint audit of the produced
+//! netlist, so every locked or resynthesized design leaves the flow checked;
+//! `glk lint` runs the same battery standalone and exits nonzero when any
+//! deny-level diagnostic fires.
 
 use glitchlock::attacks::sat_attack::SatOutcome;
 use glitchlock::attacks::SatAttack;
@@ -23,6 +32,7 @@ use glitchlock::core::feasibility::analyze_feasibility;
 use glitchlock::core::gk::{GkDesign, GkScheme};
 use glitchlock::core::locking::{LockScheme, XorLock};
 use glitchlock::core::GkEncryptor;
+use glitchlock::lint::{self, Diagnostic, Level, LintContext, LintRunner};
 use glitchlock::netlist::{bench_format, Logic, Netlist};
 use glitchlock::sim::{ClockSpec, SimConfig, Simulator, Stimulus};
 use glitchlock::sta::{analyze, ClockModel};
@@ -104,6 +114,8 @@ fn run() -> Result<(), String> {
         "attack" => cmd_attack(&args),
         "sim" => cmd_sim(&args),
         "verify" => cmd_verify(&args),
+        "lint" => cmd_lint(&args),
+        "synth" => cmd_synth(&args),
         "lib" => cmd_lib(&args),
         other => Err(format!("unknown subcommand {other:?}")),
     }
@@ -121,9 +133,8 @@ fn load(path: &str) -> Result<Netlist, String> {
 /// Saves a `.bench` file with binding pragmas.
 fn save(path: &str, netlist: &Netlist) -> Result<(), String> {
     let lib = Library::cl013g_like().with_gk_delay_macros();
-    let text = bench_format::emit_with_bindings(netlist, &|id| {
-        Some(lib.cell(id).name().to_string())
-    });
+    let text =
+        bench_format::emit_with_bindings(netlist, &|id| Some(lib.cell(id).name().to_string()));
     std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))
 }
 
@@ -138,7 +149,10 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     let nl = load(&need(args, 0, "input .bench")?)?;
     let st = nl.stats();
     println!("design   {}", nl.name());
-    println!("cells    {} ({} gates + {} flip-flops)", st.cells, st.gates, st.dffs);
+    println!(
+        "cells    {} ({} gates + {} flip-flops)",
+        st.cells, st.gates, st.dffs
+    );
     println!("inputs   {}", st.inputs);
     println!("outputs  {}", st.outputs);
     println!("nets     {}", st.nets);
@@ -214,7 +228,10 @@ fn cmd_lock_xor(args: &Args) -> Result<(), String> {
         .map(|&b| if b { '1' } else { '0' })
         .collect();
     println!("locked with {bits} XOR/XNOR key-gates -> {out}");
-    println!("key inputs : {}", names(&locked.netlist, &locked.key_inputs));
+    println!(
+        "key inputs : {}",
+        names(&locked.netlist, &locked.key_inputs)
+    );
     println!("correct key: {key}");
     Ok(())
 }
@@ -238,10 +255,16 @@ fn cmd_lock_gk(args: &Args) -> Result<(), String> {
     let attack_path = format!("{prefix}.attack.bench");
     save(&locked_path, &locked.netlist)?;
     save(&attack_path, &locked.attack_view)?;
-    println!("locked with {n_gks} GKs ({} key inputs)", locked.key_width());
+    println!(
+        "locked with {n_gks} GKs ({} key inputs)",
+        locked.key_width()
+    );
     println!("manufactured netlist -> {locked_path}");
     println!("attacker's view      -> {attack_path}");
-    println!("key inputs : {}", names(&locked.netlist, &locked.key_inputs));
+    println!(
+        "key inputs : {}",
+        names(&locked.netlist, &locked.key_inputs)
+    );
     println!("correct key: {}", locked.correct_key);
     if let Some(bools) = locked.correct_key.as_bools() {
         let compact: String = bools.iter().map(|&b| if b { '1' } else { '0' }).collect();
@@ -253,7 +276,7 @@ fn cmd_lock_gk(args: &Args) -> Result<(), String> {
             gk.gk.scheme, gk.correct, gk.window.lo, gk.window.hi
         );
     }
-    Ok(())
+    lint_audit(&locked.netlist, period)
 }
 
 fn cmd_attack(args: &Args) -> Result<(), String> {
@@ -396,7 +419,15 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
         .copied()
         .zip(key.bits().iter().copied())
         .collect();
-    let trace = timed_trace(&locked, &lib, period, &keyed, &inputs, &data_inputs, &tracked);
+    let trace = timed_trace(
+        &locked,
+        &lib,
+        period,
+        &keyed,
+        &inputs,
+        &data_inputs,
+        &tracked,
+    );
     let mut bad = 0;
     #[allow(clippy::needless_range_loop)] // c also indexes trace.states[c+1]
     for c in 0..cycles {
@@ -417,6 +448,151 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
     } else {
         println!("KEY REJECTED: transitions diverge from the oracle.");
         Err("verification failed".into())
+    }
+}
+
+/// Collects every value given to a repeatable flag, splitting on commas,
+/// so both `--deny a,b` and `--deny a --deny b` work.
+fn flag_values(args: &Args, name: &str) -> Vec<String> {
+    args.flags
+        .iter()
+        .filter(|(n, _)| n == name)
+        .filter_map(|(_, v)| v.as_deref())
+        .flat_map(|v| v.split(','))
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Configures a [`LintRunner`] from `--allow`/`--warn`/`--deny` flags.
+fn lint_runner_from_flags(args: &Args) -> Result<LintRunner, String> {
+    let mut runner = LintRunner::new();
+    for (flag, level) in [
+        ("allow", Level::Allow),
+        ("warn", Level::Warn),
+        ("deny", Level::Deny),
+    ] {
+        for code in flag_values(args, flag) {
+            if code != "all" && lint::code_info(&code).is_none() {
+                return Err(format!("--{flag}: unknown diagnostic code {code:?}"));
+            }
+            runner.set_level(&code, level);
+        }
+    }
+    Ok(runner)
+}
+
+/// `glk lint <in.bench> [--format json|text] [--deny codes|all] [--warn …]
+/// [--allow …] [--period-ns N] [--glitch-ps L] [--margin-ps N]
+/// [--key-prefix P]`
+///
+/// Runs the full static-analysis battery; exits nonzero when any deny-level
+/// diagnostic survives. Parse failures are reported through the same
+/// diagnostic pipeline instead of aborting, so `--format json` consumers
+/// always get a well-formed report.
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    let path = need(args, 0, "input .bench")?;
+    let json = match args.flag("format").unwrap_or("text") {
+        "json" => true,
+        "text" => false,
+        other => return Err(format!("--format expects json or text, got {other:?}")),
+    };
+    let runner = lint_runner_from_flags(args)?;
+    let lib = Library::cl013g_like().with_gk_delay_macros();
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    let report = match bench_format::parse_with_bindings(&text, &path, &|name| lib.by_name(name)) {
+        Ok(nl) => {
+            let design = GkDesign {
+                l_glitch: Ps(args.num("glitch-ps", 1000u64)?),
+                ..GkDesign::paper_default()
+            };
+            let ctx = LintContext::new(&nl, &lib)
+                .with_clock(ClockModel::new(Ps::from_ns(args.num("period-ns", 3u64)?)))
+                .with_design(design)
+                .with_margin(Ps(args.num("margin-ps", 0u64)?))
+                .with_key_prefix(args.flag("key-prefix").unwrap_or("gk"));
+            runner.run(&ctx)
+        }
+        Err(e) => runner.finish(vec![Diagnostic::from_netlist_error(&e, &path)]),
+    };
+    let rendered = if json {
+        lint::render_json(&report)
+    } else {
+        lint::render_text(&report)
+    };
+    print!("{rendered}");
+    if !rendered.ends_with('\n') {
+        println!();
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("{} deny-level diagnostic(s)", report.denied()))
+    }
+}
+
+/// End-of-flow audit shared by `lock-gk` and `synth`: runs the default
+/// battery over the produced netlist and fails the command on any
+/// deny-level finding, so broken netlists never leave the flow silently.
+fn lint_audit(nl: &Netlist, period: Ps) -> Result<(), String> {
+    let lib = Library::cl013g_like().with_gk_delay_macros();
+    let ctx = LintContext::new(nl, &lib).with_clock(ClockModel::new(period));
+    let report = LintRunner::new().run(&ctx);
+    if report.diagnostics.is_empty() {
+        println!("lint audit: clean");
+    } else {
+        print!("{}", lint::render_text(&report));
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "lint audit found {} deny-level diagnostic(s)",
+            report.denied()
+        ))
+    }
+}
+
+/// `glk synth <in.bench> <out.bench> [--optimize] [--holdfix] [--resize N]
+/// [--period-ns N] [--no-lint]`
+///
+/// Applies the selected synthesis passes in a fixed order (optimize, resize,
+/// holdfix — holdfix last so its padding is not resized away) and audits the
+/// result with the lint battery unless `--no-lint` is given.
+fn cmd_synth(args: &Args) -> Result<(), String> {
+    use glitchlock::synth::{fix_hold, optimize_sequential, upsize_high_fanout};
+
+    let mut nl = load(&need(args, 0, "input .bench")?)?;
+    let out = need(args, 1, "output .bench")?;
+    let period = Ps::from_ns(args.num("period-ns", 3u64)?);
+    let lib = Library::cl013g_like().with_gk_delay_macros();
+    if args.has("optimize") {
+        let before = nl.stats().cells;
+        nl = optimize_sequential(&nl).map_err(|e| e.to_string())?;
+        println!("optimize: {} -> {} cells", before, nl.stats().cells);
+    }
+    if args.has("resize") {
+        let threshold = args.num("resize", 8usize)?;
+        let rep = upsize_high_fanout(&mut nl, &lib, threshold);
+        println!(
+            "resize: upsized {} of {} cells (fanout >= {threshold})",
+            rep.upsized, rep.examined
+        );
+    }
+    if args.has("holdfix") {
+        let rep =
+            fix_hold(&mut nl, &lib, &ClockModel::new(period), 8).map_err(|e| e.to_string())?;
+        println!(
+            "holdfix: {} -> {} hold violations, {} delay cells added",
+            rep.violations_before, rep.violations_after, rep.cells_added
+        );
+    }
+    save(&out, &nl)?;
+    println!("synthesized netlist -> {out}");
+    if args.has("no-lint") {
+        Ok(())
+    } else {
+        lint_audit(&nl, period)
     }
 }
 

@@ -19,6 +19,9 @@
 //!   baselines (XOR/XNOR, MUX, TDK, SARLock, Anti-SAT).
 //! * [`attacks`] — SAT attack, removal attacks, TCF-based timed SAT attack,
 //!   and the enhanced (locate-replace-SAT) removal attack.
+//! * [`lint`] — static-analysis passes over netlists and locked designs:
+//!   structural defects, removal-attack signatures, and timing-window
+//!   re-verification (`glk lint`).
 //!
 //! ## Quickstart
 //!
@@ -48,6 +51,7 @@
 pub use glitchlock_attacks as attacks;
 pub use glitchlock_circuits as circuits;
 pub use glitchlock_core as core;
+pub use glitchlock_lint as lint;
 pub use glitchlock_netlist as netlist;
 pub use glitchlock_sat as sat;
 pub use glitchlock_sim as sim;

@@ -52,7 +52,11 @@ fn lock_gk_then_attack_round_trip() {
         .args(["--gks", "2", "--seed", "7"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("locked with 2 GKs (4 key inputs)"));
     let attack_file = format!("{}.attack.bench", prefix.display());
@@ -86,7 +90,12 @@ fn lock_xor_then_attack_cracks() {
         .output()
         .unwrap();
     assert!(out.status.success());
-    let out = glk().arg("attack").arg(&locked).arg(&bench).output().unwrap();
+    let out = glk()
+        .arg("attack")
+        .arg(&locked)
+        .arg(&bench)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("CRACKED"), "{text}");
@@ -163,7 +172,11 @@ fn sim_writes_vcd() {
 
 #[test]
 fn errors_are_reported() {
-    let out = glk().arg("stats").arg("/nonexistent.bench").output().unwrap();
+    let out = glk()
+        .arg("stats")
+        .arg("/nonexistent.bench")
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("glk:"));

@@ -2,6 +2,9 @@
 //! verification stack (BMC equivalence, timing simulation, STA) catches
 //! what it claims to catch.
 
+mod common;
+
+use common::inject_gate_swap;
 use glitchlock::netlist::{GateKind, Netlist};
 use glitchlock::sat::equiv::{bounded_equiv, EquivResult};
 use glitchlock::sta::{analyze, ClockModel};
@@ -9,75 +12,6 @@ use glitchlock::stdcell::{Library, Ps};
 use glitchlock_circuits::{generate, tiny};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-
-/// Rebuilds `netlist` with one gate's function swapped (a stuck-design
-/// "manufacturing defect"). Returns the faulty copy and whether the chosen
-/// gate was combinationally live.
-fn inject_gate_swap(netlist: &Netlist, rng: &mut StdRng) -> Netlist {
-    // Collect swappable gates (binary, function-changing swaps) inside the
-    // combinational cones of the primary outputs, so the fault is at least
-    // structurally observable.
-    let mut observable = std::collections::HashSet::new();
-    for po in netlist.output_nets() {
-        observable.extend(glitchlock::netlist::fanin_cone(netlist, po));
-    }
-    let candidates: Vec<_> = netlist
-        .cells()
-        .filter(|(id, c)| {
-            observable.contains(id)
-                && matches!(
-                    c.kind(),
-                    GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor
-                )
-        })
-        .map(|(id, _)| id)
-        .collect();
-    assert!(!candidates.is_empty(), "need a swappable gate");
-    let victim = candidates[rng.gen_range(0..candidates.len())];
-    let swapped_kind = match netlist.cell(victim).kind() {
-        GateKind::And => GateKind::Or,
-        GateKind::Or => GateKind::And,
-        GateKind::Nand => GateKind::Nor,
-        GateKind::Nor => GateKind::Nand,
-        _ => unreachable!(),
-    };
-    // Rebuild with the victim's kind swapped.
-    let mut out = Netlist::new(netlist.name());
-    let mut map = vec![None; netlist.net_count()];
-    for &pi in netlist.input_nets() {
-        map[pi.index()] = Some(out.add_input(netlist.net(pi).name()));
-    }
-    let mut ff_map = Vec::new();
-    for &ff in netlist.dff_cells() {
-        let cell = netlist.cell(ff);
-        let d = out.add_net(format!("{}_d", cell.name()));
-        let q = out.add_dff_named(d, cell.name()).unwrap();
-        map[cell.output().index()] = Some(q);
-        ff_map.push((ff, out.net(q).driver().unwrap()));
-    }
-    for cell_id in netlist.topo_order().unwrap() {
-        let cell = netlist.cell(cell_id);
-        if map[cell.output().index()].is_some() {
-            continue;
-        }
-        let ins: Vec<_> = cell
-            .inputs()
-            .iter()
-            .map(|n| map[n.index()].unwrap())
-            .collect();
-        let kind = if cell_id == victim { swapped_kind } else { cell.kind() };
-        let y = out.add_gate_named(kind, &ins, cell.name()).unwrap();
-        map[cell.output().index()] = Some(y);
-    }
-    for (old_ff, new_ff) in ff_map {
-        let d = map[netlist.cell(old_ff).inputs()[0].index()].unwrap();
-        out.rewire_input(new_ff, 0, d).unwrap();
-    }
-    for (po, name) in netlist.output_ports() {
-        out.mark_output(map[po.index()].unwrap(), name.clone());
-    }
-    out
-}
 
 #[test]
 fn bmc_detects_injected_gate_swaps_or_proves_them_benign() {
@@ -98,8 +32,7 @@ fn bmc_detects_injected_gate_swaps_or_proves_them_benign() {
                 let mut sb = SeqState::reset(&faulty);
                 let mut diverged = false;
                 for cycle in &inputs {
-                    let iv: Vec<Logic> =
-                        cycle.iter().map(|&b| Logic::from_bool(b)).collect();
+                    let iv: Vec<Logic> = cycle.iter().map(|&b| Logic::from_bool(b)).collect();
                     if sa.step(&nl, &iv) != sb.step(&faulty, &iv) {
                         diverged = true;
                     }
@@ -153,7 +86,8 @@ fn sta_flags_injected_slow_cells() {
     if nl.cell(victim).kind() == GateKind::Dff {
         return; // direct FF-to-FF path: nothing to rebind
     }
-    nl.bind_lib(victim, lib.by_name("DLY8X1").unwrap()).unwrap_or(());
+    nl.bind_lib(victim, lib.by_name("DLY8X1").unwrap())
+        .unwrap_or(());
     let report = analyze(&nl, &lib, &clock);
     // DLY8 only binds to Buf-kind cells; if the victim wasn't a buffer the
     // binding silently resolves to a mismatched cell — guard by checking
@@ -170,8 +104,8 @@ fn simulator_monitors_catch_injected_race() {
     // Injecting a transition inside a flip-flop's setup window must be
     // reported — the mechanism the GK flow's "false violation"
     // classification depends on.
-    use glitchlock::sim::{ClockSpec, SimConfig, Simulator, Stimulus, ViolationKind};
     use glitchlock::netlist::Logic;
+    use glitchlock::sim::{ClockSpec, SimConfig, Simulator, Stimulus, ViolationKind};
     let lib = Library::cl013g_like();
     let mut nl = Netlist::new("race");
     let a = nl.add_input("a");

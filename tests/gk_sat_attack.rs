@@ -50,12 +50,8 @@ fn sat_attack_reports_unsat_at_first_iteration_against_gk() {
         let locked = GkEncryptor::new(3)
             .encrypt(&nl, &lib, &clock, &mut rng)
             .expect("tiny profile hosts 3 GKs");
-        let result = SatAttack::new(
-            &locked.attack_view,
-            locked.attack_key_inputs.clone(),
-            &nl,
-        )
-        .run();
+        let result =
+            SatAttack::new(&locked.attack_view, locked.attack_key_inputs.clone(), &nl).run();
         assert_eq!(result.iterations, 0, "seed {seed}: no DIP may exist");
         assert!(
             matches!(result.outcome, SatOutcome::NoDipAtFirstIteration { .. }),
@@ -87,7 +83,12 @@ fn arbitrary_recovered_key_fails_in_the_timing_domain() {
         .key_inputs
         .iter()
         .enumerate()
-        .map(|(i, &n)| (n, KeyBit::Const(arbitrary_key.get(i / 2).copied().unwrap_or(false))))
+        .map(|(i, &n)| {
+            (
+                n,
+                KeyBit::Const(arbitrary_key.get(i / 2).copied().unwrap_or(false)),
+            )
+        })
         .collect();
     let cycles = 10;
     let n_in = nl.input_nets().len();
@@ -137,12 +138,8 @@ fn correct_key_vs_wrong_key_corruptibility() {
     let tracked = nl.dff_cells().to_vec();
 
     let run = |key_bits: Vec<KeyBit>| {
-        let key_nets: Vec<(NetId, KeyBit)> = locked
-            .key_inputs
-            .iter()
-            .copied()
-            .zip(key_bits)
-            .collect();
+        let key_nets: Vec<(NetId, KeyBit)> =
+            locked.key_inputs.iter().copied().zip(key_bits).collect();
         let trace = timed_trace(
             &locked.netlist,
             &lib,
@@ -154,7 +151,7 @@ fn correct_key_vs_wrong_key_corruptibility() {
         );
         let mut bad = 0;
         #[allow(clippy::needless_range_loop)] // c also indexes states[c+1]
-    for c in 0..cycles {
+        for c in 0..cycles {
             let mut oracle = SeqState::from_values(&nl, trace.states[c].clone());
             let _ = oracle.step(&nl, &inputs[c]);
             if trace.states[c + 1] != oracle.values() {

@@ -37,7 +37,8 @@ fn assert_packed_matches_scalar(netlist: &Netlist, patterns: &[Vec<Logic>]) {
             for (i, &expect) in scalar.iter().enumerate() {
                 let got = buf.net(glitchlock_netlist::NetId::from_index(i)).get(lane);
                 assert_eq!(
-                    got, expect,
+                    got,
+                    expect,
                     "net {i} lane {lane} pattern {p:?} in {}",
                     netlist.name()
                 );

@@ -32,7 +32,10 @@ fn random_comb_netlist(n_inputs: usize, gates: &[(u8, Vec<usize>)]) -> Option<Ne
         if srcs.len() < arity || nets.is_empty() {
             return None;
         }
-        let ins: Vec<_> = srcs[..arity].iter().map(|&s| nets[s % nets.len()]).collect();
+        let ins: Vec<_> = srcs[..arity]
+            .iter()
+            .map(|&s| nets[s % nets.len()])
+            .collect();
         let y = nl.add_gate(kind, &ins).ok()?;
         nets.push(y);
     }
@@ -109,9 +112,17 @@ fn tseitin_agrees_with_evaluation() {
             .zip(&input_bools)
             .map(|(&v, &b)| Lit::with_sign(v, !b))
             .collect();
-        assert_eq!(solver.solve_with(&assumptions), SatResult::Sat, "case {case}");
+        assert_eq!(
+            solver.solve_with(&assumptions),
+            SatResult::Sat,
+            "case {case}"
+        );
         for (i, &ov) in enc.output_vars.iter().enumerate() {
-            assert_eq!(solver.value(ov), expect[i].to_bool(), "case {case} output {i}");
+            assert_eq!(
+                solver.value(ov),
+                expect[i].to_bool(),
+                "case {case} output {i}"
+            );
         }
     }
 }

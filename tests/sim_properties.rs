@@ -29,7 +29,10 @@ fn random_comb_netlist(n_inputs: usize, gates: &[(u8, Vec<usize>)]) -> Option<Ne
         if srcs.len() < arity || nets.is_empty() {
             return None;
         }
-        let ins: Vec<_> = srcs[..arity].iter().map(|&s| nets[s % nets.len()]).collect();
+        let ins: Vec<_> = srcs[..arity]
+            .iter()
+            .map(|&s| nets[s % nets.len()])
+            .collect();
         let y = nl.add_gate(kind, &ins).ok()?;
         nets.push(y);
     }
