@@ -51,3 +51,19 @@ if "$GLK" lint "$WORK/bad.bench" --format json; then
     echo "lint accepted a malformed netlist" >&2
     exit 1
 fi
+
+# Differential-fuzzing gate: 500 seeded cases through the full referee
+# registry; any engine disagreement fails the build with a shrunk
+# reproducer. Deterministic: --seed 7 --cases 500 is bit-for-bit stable.
+"$GLK" fuzz --seed 7 --cases 500
+
+# Negative check: a deliberately broken referee input (the reference
+# evaluator computing XNOR as XOR) must be caught, shrunk, and persisted —
+# proving the fuzz loop detects real semantic divergences end to end.
+if "$GLK" fuzz --seed 7 --cases 200 --referee scalar-vs-packed \
+    --inject xnor-flip --corpus "$WORK/fuzz-corpus" > "$WORK/fuzz-inject.out"; then
+    echo "fuzz missed an injected XNOR fault" >&2
+    exit 1
+fi
+grep -q 'reproducer -> ' "$WORK/fuzz-inject.out"
+ls "$WORK/fuzz-corpus"/*.case > /dev/null

@@ -62,6 +62,36 @@ pub fn profile_by_name(name: &str) -> Option<Profile> {
     iwls2005_profiles().into_iter().find(|p| p.name == name)
 }
 
+/// A caller-parameterized profile for fuzzing and scripted sweeps.
+///
+/// The knobs are clamped into ranges [`generate`] can always satisfy, so
+/// any argument combination yields a profile that generates without
+/// panicking: at least one flip-flop and a handful of gates, a clock slow
+/// enough that shallow layers stay GK-feasible, and coverage in `[0, 1]`.
+pub fn custom_profile(
+    cells: usize,
+    ffs: usize,
+    inputs: usize,
+    outputs: usize,
+    clock_period: Ps,
+    coverage_target: f64,
+    seed: u64,
+) -> Profile {
+    let ffs = ffs.max(1);
+    Profile {
+        name: "custom",
+        cells: cells.max(ffs + 8),
+        ffs,
+        inputs: inputs.max(2),
+        outputs: outputs.max(1),
+        // Below ~2ns even layer-1 gates lack GK headroom and the feasible
+        // pool can come up empty; clamp to the generator's safe floor.
+        clock_period: clock_period.max(Ps::from_ns(2)),
+        coverage_target: coverage_target.clamp(0.0, 1.0),
+        seed,
+    }
+}
+
 /// A small profile for fast tests.
 pub fn tiny(seed: u64) -> Profile {
     Profile {
@@ -377,6 +407,19 @@ mod tests {
         for o in out {
             assert!(o.is_known());
         }
+    }
+
+    #[test]
+    fn custom_profile_clamps_degenerate_knobs() {
+        // Pathological arguments still generate: zero flip-flops, fewer
+        // cells than flip-flops, a clock too fast for any GK window.
+        let p = custom_profile(0, 0, 0, 0, Ps(100), 7.0, 9);
+        assert!(p.cells > p.ffs);
+        assert!(p.ffs >= 1 && p.inputs >= 2 && p.outputs >= 1);
+        assert!(p.clock_period >= Ps::from_ns(2));
+        assert!((0.0..=1.0).contains(&p.coverage_target));
+        let nl = generate(&p);
+        assert_eq!(nl.stats().dffs, p.ffs);
     }
 
     #[test]

@@ -24,5 +24,5 @@
 mod generate;
 mod iscas;
 
-pub use generate::{generate, iwls2005_profiles, profile_by_name, tiny, Profile};
+pub use generate::{custom_profile, generate, iwls2005_profiles, profile_by_name, tiny, Profile};
 pub use iscas::{c17, s27, C17_BENCH, S27_BENCH};

@@ -1,0 +1,134 @@
+//! The persistent regression corpus.
+//!
+//! Every shrunk failure is written as a pair of files under a corpus
+//! directory (the repository keeps one at `tests/corpus/`):
+//!
+//! * `<stem>.case` — the recipe in its text form, prefixed with comment
+//!   headers naming the referee and the failure message;
+//! * `<stem>.bench` — the materialized original netlist, so a human can
+//!   eyeball the reproducer without running the fuzzer.
+//!
+//! `tests/fuzz_regressions.rs` replays every `.case` file through the full
+//! referee registry on each CI run, so once a divergence is caught it can
+//! never silently return.
+
+use crate::recipe::Recipe;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One loaded corpus case.
+#[derive(Clone, Debug)]
+pub struct CorpusEntry {
+    /// File stem (sorted load order).
+    pub name: String,
+    /// Path of the `.case` file.
+    pub path: PathBuf,
+    /// Referee named in the header, when present.
+    pub referee: Option<String>,
+    /// The recipe itself.
+    pub recipe: Recipe,
+}
+
+/// Writes `<stem>.case` (+ `<stem>.bench`) into `dir`, creating it if
+/// needed. Returns the `.case` path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_case(
+    dir: &Path,
+    stem: &str,
+    recipe: &Recipe,
+    referee: &str,
+    message: &str,
+    bench_text: &str,
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let case_path = dir.join(format!("{stem}.case"));
+    let mut text = String::new();
+    text.push_str(&format!("# referee: {referee}\n"));
+    for line in message.lines() {
+        text.push_str(&format!("# message: {line}\n"));
+    }
+    text.push_str(&recipe.to_text());
+    fs::write(&case_path, text)?;
+    fs::write(dir.join(format!("{stem}.bench")), bench_text)?;
+    Ok(case_path)
+}
+
+/// Loads every `.case` file in `dir`, sorted by file name for
+/// deterministic replay order. A missing directory is an empty corpus.
+///
+/// # Errors
+///
+/// Fails on unreadable files or unparsable recipes (naming the file).
+pub fn load_corpus(dir: &Path) -> Result<Vec<CorpusEntry>, String> {
+    let mut paths: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "case"))
+            .collect(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("reading {}: {e}", dir.display())),
+    };
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text =
+            fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let recipe =
+            Recipe::from_text(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
+        let referee = text
+            .lines()
+            .find_map(|l| l.strip_prefix("# referee:").map(|r| r.trim().to_string()));
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        out.push(CorpusEntry {
+            name,
+            path,
+            referee,
+            recipe,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recipe::random_recipe;
+
+    #[test]
+    fn save_then_load_round_trips() {
+        let dir = std::env::temp_dir().join("glitchlock-fuzz-corpus-test");
+        let _ = fs::remove_dir_all(&dir);
+        let r = random_recipe(11);
+        let path = save_case(
+            &dir,
+            "t-11",
+            &r,
+            "wrong-key",
+            "line one\nline two",
+            "# bench",
+        )
+        .expect("save");
+        assert!(path.ends_with("t-11.case"));
+        let loaded = load_corpus(&dir).expect("load");
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].name, "t-11");
+        assert_eq!(loaded[0].referee.as_deref(), Some("wrong-key"));
+        assert_eq!(loaded[0].recipe, r);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_corpus() {
+        let dir = std::env::temp_dir().join("glitchlock-fuzz-no-such-dir");
+        let _ = fs::remove_dir_all(&dir);
+        assert!(load_corpus(&dir).expect("empty").is_empty());
+    }
+}

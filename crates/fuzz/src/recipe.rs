@@ -1,0 +1,507 @@
+//! Compact, replayable case recipes.
+//!
+//! A [`Recipe`] is the *genotype* of a fuzz case: a seed plus a structured
+//! description of the netlist to build and the lock to apply. Recipes have
+//! a stable line-oriented text form so every failing case can be persisted
+//! under `tests/corpus/`, replayed bit-for-bit, and hand-edited while
+//! debugging. The interpretation of a recipe is *total*: any gate source
+//! index is reduced modulo the nets available at that point, so the
+//! shrinker may drop arbitrary genes without ever producing an invalid
+//! case.
+
+use glitchlock_netlist::GateKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// One combinational gate gene: a kind plus source indices into the net
+/// pool (primary inputs, then flip-flop outputs, then earlier gates).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GateGene {
+    /// Gate function.
+    pub kind: GateKind,
+    /// Raw source indices; reduced modulo the pool size at materialization.
+    pub srcs: Vec<usize>,
+}
+
+/// How to build the netlist under test.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NetlistGene {
+    /// An explicit gate-level genome (the shrinkable form).
+    Gates {
+        /// Primary-input count (at least 1 after materialization).
+        n_inputs: usize,
+        /// Flip-flop count.
+        n_ffs: usize,
+        /// Combinational gates in creation order.
+        gates: Vec<GateGene>,
+        /// D-pin tap per flip-flop (pool index, reduced modulo pool size).
+        ff_taps: Vec<usize>,
+        /// Primary-output taps (pool indices).
+        po_taps: Vec<usize>,
+    },
+    /// A `circuits::generate` profile (layered cloud, STA-calibrated taps):
+    /// the realistic sequential shape GK insertion needs.
+    Profile {
+        /// Target cell count.
+        cells: usize,
+        /// Flip-flop count.
+        ffs: usize,
+        /// Primary inputs.
+        inputs: usize,
+        /// Primary outputs.
+        outputs: usize,
+        /// Sign-off clock period in nanoseconds.
+        period_ns: u64,
+        /// GK-feasible coverage calibration in `[0, 1]`.
+        coverage: f64,
+        /// Generation seed (independent of the case seed).
+        seed: u64,
+    },
+}
+
+/// Which locking scheme to apply to the materialized netlist.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockGene {
+    /// Leave the design unlocked.
+    None,
+    /// XOR/XNOR key-gates.
+    Xor {
+        /// Key width.
+        bits: usize,
+    },
+    /// MUX key-gates with decoy inputs.
+    Mux {
+        /// Key width.
+        bits: usize,
+    },
+    /// SARLock point-function block.
+    SarLock {
+        /// Key width (uses the first `bits` primary inputs).
+        bits: usize,
+    },
+    /// Anti-SAT block (`2n` key bits).
+    AntiSat {
+        /// AND-tree width.
+        n: usize,
+    },
+    /// Tunable-delay key-gates (functional + delay key bit per gate).
+    Tdk {
+        /// TDK gate count.
+        n: usize,
+    },
+    /// Glitch key-gates with KEYGEN (the paper's scheme).
+    Gk {
+        /// GK count.
+        n_gks: usize,
+        /// Mix inverter-steady and buffer-steady schemes.
+        mix: bool,
+        /// Share KEYGENs between GKs with identical trigger plans.
+        share: bool,
+        /// Designed glitch length in picoseconds (delay profile knob).
+        glitch_ps: u64,
+    },
+}
+
+/// A fully replayable fuzz case.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Recipe {
+    /// Seed for everything derived at materialization time (lock placement,
+    /// referee patterns). The netlist genome is explicit, not seeded.
+    pub seed: u64,
+    /// The netlist to build.
+    pub netlist: NetlistGene,
+    /// The lock to apply.
+    pub lock: LockGene,
+}
+
+/// Gate kinds a [`GateGene`] may use, with their recipe-text spellings.
+const GENE_KINDS: &[(GateKind, &str)] = &[
+    (GateKind::Buf, "buf"),
+    (GateKind::Inv, "inv"),
+    (GateKind::And, "and"),
+    (GateKind::Nand, "nand"),
+    (GateKind::Or, "or"),
+    (GateKind::Nor, "nor"),
+    (GateKind::Xor, "xor"),
+    (GateKind::Xnor, "xnor"),
+    (GateKind::Mux2, "mux2"),
+    (GateKind::Mux4, "mux4"),
+    (GateKind::Const0, "const0"),
+    (GateKind::Const1, "const1"),
+];
+
+/// Recipe-text name of a gene gate kind.
+pub fn kind_name(kind: GateKind) -> Option<&'static str> {
+    GENE_KINDS
+        .iter()
+        .find(|&&(k, _)| k == kind)
+        .map(|&(_, n)| n)
+}
+
+/// Gene gate kind for a recipe-text name.
+pub fn kind_from_name(name: &str) -> Option<GateKind> {
+    GENE_KINDS
+        .iter()
+        .find(|&&(_, n)| n == name)
+        .map(|&(k, _)| k)
+}
+
+/// Parses the next whitespace token of a recipe line, or fails with the
+/// pre-rendered error message.
+fn take<T: std::str::FromStr>(
+    tok: &mut std::str::SplitWhitespace<'_>,
+    msg: String,
+) -> Result<T, String> {
+    tok.next().and_then(|t| t.parse().ok()).ok_or(msg)
+}
+
+impl Recipe {
+    /// Serializes to the stable corpus text form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "seed {}", self.seed);
+        match &self.netlist {
+            NetlistGene::Gates {
+                n_inputs,
+                n_ffs,
+                gates,
+                ff_taps,
+                po_taps,
+            } => {
+                let _ = writeln!(out, "netlist gates");
+                let _ = writeln!(out, "inputs {n_inputs}");
+                let _ = writeln!(out, "ffs {n_ffs}");
+                for g in gates {
+                    let _ = write!(out, "gate {}", kind_name(g.kind).expect("gene kind"));
+                    for s in &g.srcs {
+                        let _ = write!(out, " {s}");
+                    }
+                    out.push('\n');
+                }
+                for t in ff_taps {
+                    let _ = writeln!(out, "fftap {t}");
+                }
+                for t in po_taps {
+                    let _ = writeln!(out, "po {t}");
+                }
+            }
+            NetlistGene::Profile {
+                cells,
+                ffs,
+                inputs,
+                outputs,
+                period_ns,
+                coverage,
+                seed,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "netlist profile {cells} {ffs} {inputs} {outputs} {period_ns} {coverage} {seed}"
+                );
+            }
+        }
+        match self.lock {
+            LockGene::None => {
+                let _ = writeln!(out, "lock none");
+            }
+            LockGene::Xor { bits } => {
+                let _ = writeln!(out, "lock xor {bits}");
+            }
+            LockGene::Mux { bits } => {
+                let _ = writeln!(out, "lock mux {bits}");
+            }
+            LockGene::SarLock { bits } => {
+                let _ = writeln!(out, "lock sarlock {bits}");
+            }
+            LockGene::AntiSat { n } => {
+                let _ = writeln!(out, "lock antisat {n}");
+            }
+            LockGene::Tdk { n } => {
+                let _ = writeln!(out, "lock tdk {n}");
+            }
+            LockGene::Gk {
+                n_gks,
+                mix,
+                share,
+                glitch_ps,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "lock gk {n_gks} mix={} share={} glitch={glitch_ps}",
+                    mix as u8, share as u8
+                );
+            }
+        }
+        out
+    }
+
+    /// Parses the corpus text form. Lines starting with `#` are comments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<Recipe, String> {
+        let mut seed = None;
+        let mut netlist = None;
+        let mut lock = None;
+        // Gates-gene accumulators, live once `netlist gates` is seen.
+        let mut gates_mode = false;
+        let mut n_inputs = 0usize;
+        let mut n_ffs = 0usize;
+        let mut gates = Vec::new();
+        let mut ff_taps = Vec::new();
+        let mut po_taps = Vec::new();
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut tok = line.split_whitespace();
+            let head = tok.next().expect("non-empty line has a token");
+            let err = |what: &str| format!("line {}: {what}: {line:?}", lineno + 1);
+            match head {
+                "seed" => seed = Some(take(&mut tok, err("seed expects an integer"))?),
+                "netlist" => match tok.next() {
+                    Some("gates") => gates_mode = true,
+                    Some("profile") => {
+                        let msg =
+                            "profile expects: cells ffs inputs outputs period_ns coverage seed";
+                        netlist = Some(NetlistGene::Profile {
+                            cells: take(&mut tok, err(msg))?,
+                            ffs: take(&mut tok, err(msg))?,
+                            inputs: take(&mut tok, err(msg))?,
+                            outputs: take(&mut tok, err(msg))?,
+                            period_ns: take(&mut tok, err(msg))?,
+                            coverage: take(&mut tok, err(msg))?,
+                            seed: take(&mut tok, err(msg))?,
+                        });
+                    }
+                    _ => return Err(err("netlist expects 'gates' or 'profile'")),
+                },
+                "inputs" if gates_mode => {
+                    n_inputs = take(&mut tok, err("inputs expects a count"))?;
+                }
+                "ffs" if gates_mode => n_ffs = take(&mut tok, err("ffs expects a count"))?,
+                "gate" if gates_mode => {
+                    let kind = tok
+                        .next()
+                        .and_then(kind_from_name)
+                        .ok_or_else(|| err("unknown gate kind"))?;
+                    let srcs: Result<Vec<usize>, _> = tok.map(|t| t.parse()).collect();
+                    gates.push(GateGene {
+                        kind,
+                        srcs: srcs.map_err(|_| err("gate sources must be integers"))?,
+                    });
+                }
+                "fftap" if gates_mode => {
+                    ff_taps.push(take(&mut tok, err("fftap expects an index"))?);
+                }
+                "po" if gates_mode => po_taps.push(take(&mut tok, err("po expects an index"))?),
+                "lock" => {
+                    let scheme = tok.next().ok_or_else(|| err("lock expects a scheme"))?;
+                    lock = Some(match scheme {
+                        "none" => LockGene::None,
+                        "xor" => LockGene::Xor {
+                            bits: take(&mut tok, err("xor expects a key width"))?,
+                        },
+                        "mux" => LockGene::Mux {
+                            bits: take(&mut tok, err("mux expects a key width"))?,
+                        },
+                        "sarlock" => LockGene::SarLock {
+                            bits: take(&mut tok, err("sarlock expects a key width"))?,
+                        },
+                        "antisat" => LockGene::AntiSat {
+                            n: take(&mut tok, err("antisat expects a width"))?,
+                        },
+                        "tdk" => LockGene::Tdk {
+                            n: take(&mut tok, err("tdk expects a gate count"))?,
+                        },
+                        "gk" => {
+                            let n_gks = take(&mut tok, err("gk expects a GK count"))?;
+                            let mut mix = false;
+                            let mut share = false;
+                            let mut glitch_ps = 1000;
+                            for opt in tok.by_ref() {
+                                match opt.split_once('=') {
+                                    Some(("mix", v)) => mix = v != "0",
+                                    Some(("share", v)) => share = v != "0",
+                                    Some(("glitch", v)) => {
+                                        glitch_ps = v
+                                            .parse()
+                                            .map_err(|_| err("glitch expects picoseconds"))?
+                                    }
+                                    _ => return Err(err("unknown gk option")),
+                                }
+                            }
+                            LockGene::Gk {
+                                n_gks,
+                                mix,
+                                share,
+                                glitch_ps,
+                            }
+                        }
+                        _ => return Err(err("unknown lock scheme")),
+                    });
+                }
+                _ => return Err(err("unknown directive")),
+            }
+        }
+        if gates_mode {
+            netlist = Some(NetlistGene::Gates {
+                n_inputs,
+                n_ffs,
+                gates,
+                ff_taps,
+                po_taps,
+            });
+        }
+        Ok(Recipe {
+            seed: seed.ok_or("missing 'seed' line")?,
+            netlist: netlist.ok_or("missing 'netlist' line")?,
+            lock: lock.unwrap_or(LockGene::None),
+        })
+    }
+}
+
+/// Draws a structured random recipe. Deterministic in `seed`; the genome is
+/// written out explicitly so shrinking never needs to re-derive it.
+pub fn random_recipe(seed: u64) -> Recipe {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let netlist = if rng.gen_bool(0.8) {
+        random_gates_gene(&mut rng)
+    } else {
+        NetlistGene::Profile {
+            cells: rng.gen_range(40..121),
+            ffs: rng.gen_range(4..15),
+            inputs: rng.gen_range(4..11),
+            outputs: rng.gen_range(2..9),
+            period_ns: rng.gen_range(3..5),
+            coverage: rng.gen_range(0.3..0.9),
+            seed: rng.gen(),
+        }
+    };
+    let n_inputs = match &netlist {
+        NetlistGene::Gates { n_inputs, .. } => *n_inputs,
+        NetlistGene::Profile { inputs, .. } => *inputs,
+    };
+    let lock = match rng.gen_range(0u32..100) {
+        0..=14 => LockGene::None,
+        15..=34 => LockGene::Xor {
+            bits: rng.gen_range(1..7),
+        },
+        35..=49 => LockGene::Mux {
+            bits: rng.gen_range(1..5),
+        },
+        50..=59 => LockGene::SarLock {
+            bits: rng.gen_range(2usize..5).min(n_inputs.max(1)),
+        },
+        60..=69 => LockGene::AntiSat {
+            n: rng.gen_range(2usize..4).min(n_inputs.max(1)),
+        },
+        70..=79 => LockGene::Tdk {
+            n: rng.gen_range(1..4),
+        },
+        _ => {
+            let mix = rng.gen_bool(0.3);
+            LockGene::Gk {
+                n_gks: rng.gen_range(1..4),
+                mix,
+                share: !mix && rng.gen_bool(0.3),
+                glitch_ps: *[800u64, 1000, 1200]
+                    .get(rng.gen_range(0usize..3))
+                    .expect("index in range"),
+            }
+        }
+    };
+    Recipe {
+        seed,
+        netlist,
+        lock,
+    }
+}
+
+fn random_gates_gene(rng: &mut StdRng) -> NetlistGene {
+    let n_inputs = rng.gen_range(2..9);
+    let n_ffs = rng.gen_range(0..6);
+    let n_gates = rng.gen_range(5..41);
+    let mut gates = Vec::with_capacity(n_gates);
+    for g in 0..n_gates {
+        let pool = n_inputs + n_ffs + g;
+        let kind = match rng.gen_range(0u32..100) {
+            0..=9 => GateKind::Inv,
+            10..=14 => GateKind::Buf,
+            15..=29 => GateKind::And,
+            30..=44 => GateKind::Nand,
+            45..=56 => GateKind::Or,
+            57..=68 => GateKind::Nor,
+            69..=81 => GateKind::Xor,
+            82..=91 => GateKind::Xnor,
+            92..=97 => GateKind::Mux2,
+            _ => GateKind::Mux4,
+        };
+        let arity = kind
+            .fixed_arity()
+            .unwrap_or_else(|| if rng.gen_bool(0.25) { 3 } else { 2 });
+        let srcs = (0..arity).map(|_| rng.gen_range(0..pool)).collect();
+        gates.push(GateGene { kind, srcs });
+    }
+    let pool = n_inputs + n_ffs + n_gates;
+    let ff_taps = (0..n_ffs).map(|_| rng.gen_range(0..pool)).collect();
+    let po_taps = (0..rng.gen_range(1..5))
+        .map(|_| rng.gen_range(0..pool))
+        .collect();
+    NetlistGene::Gates {
+        n_inputs,
+        n_ffs,
+        gates,
+        ff_taps,
+        po_taps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_round_trip_is_identity() {
+        for seed in 0..40 {
+            let r = random_recipe(seed);
+            let parsed = Recipe::from_text(&r.to_text()).expect("own output parses");
+            assert_eq!(r, parsed, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_recipes_are_deterministic() {
+        assert_eq!(random_recipe(7), random_recipe(7));
+        assert_ne!(random_recipe(7), random_recipe(8));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# a reproducer\nseed 3\n\nnetlist gates\ninputs 2\nffs 0\ngate xnor 0 1\npo 2\n# trailing note\nlock xor 1\n";
+        let r = Recipe::from_text(text).unwrap();
+        assert_eq!(r.seed, 3);
+        assert_eq!(r.lock, LockGene::Xor { bits: 1 });
+        match r.netlist {
+            NetlistGene::Gates { ref gates, .. } => {
+                assert_eq!(gates.len(), 1);
+                assert_eq!(gates[0].kind, GateKind::Xnor);
+            }
+            _ => panic!("expected gates gene"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_position() {
+        let e = Recipe::from_text("seed 1\nnetlist gates\ngate frobnicate 0\n").unwrap_err();
+        assert!(e.contains("line 3"), "{e}");
+        assert!(
+            Recipe::from_text("netlist gates\n").is_err(),
+            "missing seed"
+        );
+    }
+}

@@ -1,0 +1,464 @@
+//! Delta-debugging shrinker.
+//!
+//! Given a failing recipe and an oracle ("does this recipe still fail the
+//! same referee?"), the shrinker searches for a smaller recipe that keeps
+//! failing: profile genes are first re-expressed as explicit gate genomes,
+//! then gates are removed ddmin-style (each removed gate is *bypassed* to
+//! its first source so downstream structure survives), then flip-flops,
+//! inputs and outputs are dropped, and finally the lock is simplified.
+//! Every candidate is judged by the oracle, so correctness never depends
+//! on the rewrites preserving semantics — only the final recipe matters.
+
+use crate::materialize::{genes_from_netlist, materialize};
+use crate::recipe::{GateGene, LockGene, NetlistGene, Recipe};
+use glitchlock_stdcell::Library;
+use std::collections::HashSet;
+
+/// Bounds and accounts for oracle calls during one shrink run.
+struct Oracle<'a> {
+    check: &'a mut dyn FnMut(&Recipe) -> bool,
+    budget: usize,
+    spent: usize,
+}
+
+impl Oracle<'_> {
+    fn still_fails(&mut self, r: &Recipe) -> bool {
+        if self.spent >= self.budget {
+            return false;
+        }
+        self.spent += 1;
+        (self.check)(r)
+    }
+
+    fn exhausted(&self) -> bool {
+        self.spent >= self.budget
+    }
+}
+
+/// Shrinks `recipe` while `still_fails` keeps returning `true`, spending at
+/// most `budget` oracle calls. Returns the smallest failing recipe found
+/// (at worst the input itself) and the number of oracle calls spent.
+pub fn shrink(
+    recipe: &Recipe,
+    library: &Library,
+    still_fails: &mut dyn FnMut(&Recipe) -> bool,
+    budget: usize,
+) -> (Recipe, usize) {
+    let mut oracle = Oracle {
+        check: still_fails,
+        budget,
+        spent: 0,
+    };
+    let mut best = recipe.clone();
+
+    // Re-express the netlist as an explicit gate genome (mod-reduced
+    // sources, repaired arities) so every later pass can edit it.
+    if let Some(canon) = canonical(&best, library) {
+        if canon != best && oracle.still_fails(&canon) {
+            best = canon;
+        }
+    }
+    if best.lock != LockGene::None {
+        let cand = Recipe {
+            lock: LockGene::None,
+            ..best.clone()
+        };
+        if oracle.still_fails(&cand) {
+            best = cand;
+        }
+    }
+    loop {
+        let before = best.clone();
+        best = ddmin_gates(best, &mut oracle);
+        best = drop_ffs(best, &mut oracle);
+        best = drop_inputs(best, &mut oracle);
+        best = drop_outputs(best, &mut oracle);
+        best = reduce_lock(best, &mut oracle);
+        if best == before || oracle.exhausted() {
+            break;
+        }
+    }
+    (best, oracle.spent)
+}
+
+/// The recipe with its netlist re-derived as an explicit gate genome.
+fn canonical(recipe: &Recipe, library: &Library) -> Option<Recipe> {
+    let case = materialize(recipe, library);
+    genes_from_netlist(&case.netlist, recipe.lock, recipe.seed)
+}
+
+/// Destructures a gates gene, if that is what the recipe holds.
+#[allow(clippy::type_complexity)]
+fn gates_of(r: &Recipe) -> Option<(usize, usize, &[GateGene], &[usize], &[usize])> {
+    match &r.netlist {
+        NetlistGene::Gates {
+            n_inputs,
+            n_ffs,
+            gates,
+            ff_taps,
+            po_taps,
+        } => Some((*n_inputs, *n_ffs, gates, ff_taps, po_taps)),
+        NetlistGene::Profile { .. } => None,
+    }
+}
+
+/// Rebuilds the gene with the gates in `remove` bypassed: every reference
+/// to a removed gate is redirected to that gate's (remapped) first source,
+/// so the surviving cone keeps its shape.
+fn remove_gates(
+    n_inputs: usize,
+    n_ffs: usize,
+    gates: &[GateGene],
+    ff_taps: &[usize],
+    po_taps: &[usize],
+    remove: &HashSet<usize>,
+) -> NetlistGene {
+    let base = n_inputs + n_ffs;
+    let mut map: Vec<usize> = (0..base + gates.len()).collect();
+    let mut kept = Vec::with_capacity(gates.len() - remove.len());
+    for (j, gate) in gates.iter().enumerate() {
+        let old = base + j;
+        let pool = old.max(1);
+        if remove.contains(&j) {
+            map[old] = gate.srcs.first().map_or(0, |&s| map[s % pool]);
+        } else {
+            let srcs = gate.srcs.iter().map(|&s| map[s % pool]).collect();
+            map[old] = base + kept.len();
+            kept.push(GateGene {
+                kind: gate.kind,
+                srcs,
+            });
+        }
+    }
+    let remap = |t: &usize| map[*t % map.len()];
+    NetlistGene::Gates {
+        n_inputs,
+        n_ffs,
+        gates: kept,
+        ff_taps: ff_taps.iter().map(remap).collect(),
+        po_taps: po_taps.iter().map(remap).collect(),
+    }
+}
+
+fn with_netlist(r: &Recipe, netlist: NetlistGene) -> Recipe {
+    Recipe {
+        netlist,
+        ..r.clone()
+    }
+}
+
+/// Classic ddmin over the gate list: try dropping chunks of half the
+/// genome, halving the chunk until single gates.
+fn ddmin_gates(mut best: Recipe, oracle: &mut Oracle<'_>) -> Recipe {
+    let Some((_, _, gates, _, _)) = gates_of(&best) else {
+        return best;
+    };
+    let mut chunk = gates.len().div_ceil(2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut start = 0;
+        loop {
+            let Some((ni, nf, gates, ff, po)) = gates_of(&best) else {
+                return best;
+            };
+            if start >= gates.len() || oracle.exhausted() {
+                break;
+            }
+            chunk = chunk.min(gates.len());
+            let remove: HashSet<usize> = (start..(start + chunk).min(gates.len())).collect();
+            let cand = with_netlist(&best, remove_gates(ni, nf, gates, ff, po, &remove));
+            if oracle.still_fails(&cand) {
+                best = cand;
+                removed_any = true;
+                // Indices shifted; keep scanning from the same position.
+            } else {
+                start += chunk;
+            }
+        }
+        if oracle.exhausted() || (chunk == 1 && !removed_any) {
+            return best;
+        }
+        if !removed_any {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}
+
+/// Tries removing flip-flops one at a time (references collapse to pool
+/// index 0, i.e. the first primary input).
+fn drop_ffs(mut best: Recipe, oracle: &mut Oracle<'_>) -> Recipe {
+    loop {
+        let Some((_, nf, ..)) = gates_of(&best) else {
+            return best;
+        };
+        if nf == 0 || oracle.exhausted() {
+            return best;
+        }
+        let mut improved = false;
+        for i in (0..nf).rev() {
+            let Some((ni2, nf2, gates2, ff2, po2)) = gates_of(&best) else {
+                return best;
+            };
+            if i >= nf2 {
+                continue;
+            }
+            let removed = ni2 + i;
+            let remap = |t: &usize| {
+                let t = *t % (ni2 + nf2 + gates2.len());
+                match t.cmp(&removed) {
+                    std::cmp::Ordering::Less => t,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => t - 1,
+                }
+            };
+            let mut new_ff: Vec<usize> = ff2.to_vec();
+            new_ff.remove(i);
+            let cand = with_netlist(
+                &best,
+                NetlistGene::Gates {
+                    n_inputs: ni2,
+                    n_ffs: nf2 - 1,
+                    gates: gates2
+                        .iter()
+                        .map(|g| GateGene {
+                            kind: g.kind,
+                            srcs: g.srcs.iter().map(&remap).collect(),
+                        })
+                        .collect(),
+                    ff_taps: new_ff.iter().map(&remap).collect(),
+                    po_taps: po2.iter().map(&remap).collect(),
+                },
+            );
+            if oracle.still_fails(&cand) {
+                best = cand;
+                improved = true;
+            }
+            if oracle.exhausted() {
+                return best;
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// Tries removing primary inputs (always keeping at least one).
+fn drop_inputs(mut best: Recipe, oracle: &mut Oracle<'_>) -> Recipe {
+    loop {
+        let Some((ni, ..)) = gates_of(&best) else {
+            return best;
+        };
+        if ni <= 1 || oracle.exhausted() {
+            return best;
+        }
+        let mut improved = false;
+        for i in (0..ni).rev() {
+            let Some((ni2, nf2, gates2, ff2, po2)) = gates_of(&best) else {
+                return best;
+            };
+            if ni2 <= 1 || i >= ni2 {
+                continue;
+            }
+            let remap = |t: &usize| {
+                let t = *t % (ni2 + nf2 + gates2.len());
+                match t.cmp(&i) {
+                    std::cmp::Ordering::Less => t,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => t - 1,
+                }
+            };
+            let cand = with_netlist(
+                &best,
+                NetlistGene::Gates {
+                    n_inputs: ni2 - 1,
+                    n_ffs: nf2,
+                    gates: gates2
+                        .iter()
+                        .map(|g| GateGene {
+                            kind: g.kind,
+                            srcs: g.srcs.iter().map(&remap).collect(),
+                        })
+                        .collect(),
+                    ff_taps: ff2.iter().map(&remap).collect(),
+                    po_taps: po2.iter().map(&remap).collect(),
+                },
+            );
+            if oracle.still_fails(&cand) {
+                best = cand;
+                improved = true;
+            }
+            if oracle.exhausted() {
+                return best;
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// Tries removing primary outputs (always keeping at least one).
+fn drop_outputs(mut best: Recipe, oracle: &mut Oracle<'_>) -> Recipe {
+    loop {
+        let Some(n_po) = gates_of(&best).map(|(.., po)| po.len()) else {
+            return best;
+        };
+        if n_po <= 1 || oracle.exhausted() {
+            return best;
+        }
+        let mut improved = false;
+        for i in (0..n_po).rev() {
+            let Some((ni2, nf2, gates2, ff2, po2)) = gates_of(&best) else {
+                return best;
+            };
+            if po2.len() <= 1 || i >= po2.len() {
+                continue;
+            }
+            let mut new_po = po2.to_vec();
+            new_po.remove(i);
+            let cand = with_netlist(
+                &best,
+                NetlistGene::Gates {
+                    n_inputs: ni2,
+                    n_ffs: nf2,
+                    gates: gates2.to_vec(),
+                    ff_taps: ff2.to_vec(),
+                    po_taps: new_po,
+                },
+            );
+            if oracle.still_fails(&cand) {
+                best = cand;
+                improved = true;
+            }
+            if oracle.exhausted() {
+                return best;
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// Simplifies the lock: fewer key bits / GKs, default options.
+fn reduce_lock(mut best: Recipe, oracle: &mut Oracle<'_>) -> Recipe {
+    loop {
+        if oracle.exhausted() {
+            return best;
+        }
+        let next = match best.lock {
+            LockGene::None => return best,
+            LockGene::Xor { bits } if bits > 1 => LockGene::Xor { bits: bits - 1 },
+            LockGene::Mux { bits } if bits > 1 => LockGene::Mux { bits: bits - 1 },
+            LockGene::SarLock { bits } if bits > 1 => LockGene::SarLock { bits: bits - 1 },
+            LockGene::AntiSat { n } if n > 1 => LockGene::AntiSat { n: n - 1 },
+            LockGene::Tdk { n } if n > 1 => LockGene::Tdk { n: n - 1 },
+            LockGene::Gk {
+                n_gks,
+                mix,
+                share,
+                glitch_ps,
+            } if mix || share || glitch_ps != 1000 || n_gks > 1 => {
+                if mix || share {
+                    LockGene::Gk {
+                        n_gks,
+                        mix: false,
+                        share: false,
+                        glitch_ps,
+                    }
+                } else if glitch_ps != 1000 {
+                    LockGene::Gk {
+                        n_gks,
+                        mix,
+                        share,
+                        glitch_ps: 1000,
+                    }
+                } else {
+                    LockGene::Gk {
+                        n_gks: n_gks - 1,
+                        mix,
+                        share,
+                        glitch_ps,
+                    }
+                }
+            }
+            _ => return best,
+        };
+        let cand = Recipe {
+            lock: next,
+            ..best.clone()
+        };
+        if oracle.still_fails(&cand) {
+            best = cand;
+        } else {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::materialize::materialize;
+    use crate::recipe::random_recipe;
+    use glitchlock_netlist::GateKind;
+
+    fn lib() -> Library {
+        Library::cl013g_like().with_gk_delay_macros()
+    }
+
+    /// Oracle: the materialized netlist contains at least one XNOR gate —
+    /// a stand-in for "the XNOR-flip injection makes a referee fail".
+    fn has_xnor(r: &Recipe, library: &Library) -> bool {
+        materialize(r, library)
+            .netlist
+            .cells()
+            .any(|(_, c)| c.kind() == GateKind::Xnor)
+    }
+
+    #[test]
+    fn shrinks_xnor_witness_to_a_handful_of_gates() {
+        let library = lib();
+        let mut tried = 0;
+        for seed in 0..60 {
+            let r = random_recipe(seed);
+            if !has_xnor(&r, &library) {
+                continue;
+            }
+            tried += 1;
+            let (small, spent) = shrink(&r, &library, &mut |c| has_xnor(c, &library), 400);
+            assert!(spent <= 400);
+            assert!(
+                has_xnor(&small, &library),
+                "seed {seed}: shrink lost the witness"
+            );
+            let case = materialize(&small, &library);
+            assert!(
+                case.netlist.stats().gates <= 10,
+                "seed {seed}: shrunk case still has {} gates",
+                case.netlist.stats().gates
+            );
+            if tried >= 5 {
+                break;
+            }
+        }
+        assert!(tried >= 3, "too few XNOR-bearing seeds exercised");
+    }
+
+    #[test]
+    fn shrink_never_loses_the_failure() {
+        let library = lib();
+        // Oracle: the case has at least 2 flip-flops.
+        let oracle = |r: &Recipe| materialize(r, &library).netlist.stats().dffs >= 2;
+        for seed in 0..20 {
+            let r = random_recipe(seed);
+            if !oracle(&r) {
+                continue;
+            }
+            let (small, _) = shrink(&r, &library, &mut { oracle }, 200);
+            assert!(oracle(&small), "seed {seed}");
+            assert_eq!(materialize(&small, &library).netlist.stats().dffs, 2);
+        }
+    }
+}

@@ -218,6 +218,13 @@ pub fn parse_with_bindings(
         nets.insert(g.target.clone(), produced);
     }
 
+    // Restore declared signal names: the placeholder-and-rewire scheme above
+    // leaves each produced net with a `<target>_g_<n>`-style fresh name, which
+    // would otherwise grow on every emit → parse round trip.
+    for g in &gates {
+        nl.rename_net(nets[&g.target], g.target.clone());
+    }
+
     for (line, name) in &outputs {
         let net = nets.get(name).ok_or_else(|| NetlistError::Parse {
             line: *line,
@@ -270,8 +277,24 @@ pub fn emit_with_bindings(
     for &i in netlist.input_nets() {
         let _ = writeln!(out, "INPUT({})", netlist.net(i).name());
     }
+    // A primary output whose port name differs from its net name gets a BUFF
+    // alias line so the port name survives a round trip (`.bench` has no
+    // separate port-naming construct). Names that would collide with an
+    // existing signal fall back to the internal net name.
+    let mut alias_lines: Vec<String> = Vec::new();
+    let mut used_aliases: Vec<&str> = Vec::new();
     for (net, name) in netlist.output_ports() {
-        let _ = writeln!(out, "OUTPUT({})", po_alias(netlist, *net, name));
+        let src = netlist.net(*net).name();
+        let collides = name.is_empty()
+            || used_aliases.contains(&name.as_str())
+            || netlist.net_by_name(name).is_some_and(|id| id != *net);
+        if name == src || collides {
+            let _ = writeln!(out, "OUTPUT({src})");
+        } else {
+            alias_lines.push(format!("{name} = BUFF({src})"));
+            used_aliases.push(name);
+            let _ = writeln!(out, "OUTPUT({name})");
+        }
     }
     for (_, cell) in netlist.cells() {
         let kind = cell.kind();
@@ -304,11 +327,10 @@ pub fn emit_with_bindings(
             .unwrap_or_default();
         let _ = writeln!(out, "{target} = {func}({}){pragma}", args.join(", "));
     }
+    for line in &alias_lines {
+        let _ = writeln!(out, "{line}");
+    }
     out
-}
-
-fn po_alias<'a>(netlist: &'a Netlist, net: crate::NetId, _name: &'a str) -> &'a str {
-    netlist.net(net).name()
 }
 
 #[cfg(test)]

@@ -148,6 +148,16 @@ impl Netlist {
         self.by_name.get(name).copied()
     }
 
+    /// Renames a net. The new name wins any by-name lookup; the old name
+    /// keeps resolving to `id` unless another net claims it later. Parsers
+    /// use this to restore declared signal names after forward-reference
+    /// placeholder rewiring, so emit → parse → emit is name-stable.
+    pub fn rename_net(&mut self, id: NetId, name: impl Into<String>) {
+        let name = name.into();
+        self.nets[id.index()].name = name.clone();
+        self.by_name.insert(name, id);
+    }
+
     /// Adds a primary input and returns the net it drives.
     pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
         let name = name.into();

@@ -30,9 +30,16 @@ pub fn emit(netlist: &Netlist) -> String {
     let mut po_decls = Vec::new();
     for (i, (net, name)) in netlist.output_ports().iter().enumerate() {
         // Primary outputs get dedicated port wires driven by buf if the
-        // internal net name differs from the port name.
+        // internal net name differs from the port name. A port name that
+        // already names a *different* net would make the alias buf a second
+        // driver, so such ports fall back to the internal net name.
+        let src = netlist.net(*net).name();
+        let collides = netlist.net_by_name(name).is_some_and(|id| id != *net)
+            || po_decls.iter().any(|(p, _)| p == name);
         let port = if name.is_empty() {
             format!("po{i}")
+        } else if collides {
+            src.to_string()
         } else {
             name.clone()
         };
@@ -273,6 +280,13 @@ pub fn parse(src: &str) -> Result<Netlist, NetlistError> {
                 .map_err(|e| perr(e.to_string()))?;
         }
         nets.insert(target.clone(), produced);
+    }
+    // Restore declared signal names (see `bench_format::parse`): keeps
+    // emit → parse → emit name-stable and PO aliases convergent.
+    for inst in &insts {
+        if let Some(target) = inst.args.first() {
+            nl.rename_net(nets[target], target.clone());
+        }
     }
     for o in &outputs {
         let net = nets.get(o).copied().ok_or_else(|| NetlistError::Parse {

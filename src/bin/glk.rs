@@ -17,6 +17,9 @@
 //! glk synth       <in.bench> <out.bench> [--optimize] [--holdfix] [--resize N]
 //!                 [--period-ns N] [--no-lint]
 //! glk lib         [out.lib] [--custom]
+//! glk fuzz        [--seed S] [--cases N] [--time-budget SECS] [--referee NAME]…
+//!                 [--corpus DIR] [--inject none|xnor-flip] [--shrink-budget N]
+//!                 [--max-failures N] [--list-referees]
 //! ```
 //!
 //! `lock-gk` writes `<out-prefix>.locked.bench` (with KEYGENs),
@@ -117,6 +120,7 @@ fn run() -> Result<(), String> {
         "lint" => cmd_lint(&args),
         "synth" => cmd_synth(&args),
         "lib" => cmd_lib(&args),
+        "fuzz" => cmd_fuzz(&args),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -613,6 +617,80 @@ fn cmd_lib(args: &Args) -> Result<(), String> {
         None => print!("{text}"),
     }
     Ok(())
+}
+
+/// `glk fuzz [--seed S] [--cases N] [--time-budget SECS] [--referee NAME]…
+/// [--corpus DIR] [--inject none|xnor-flip] [--shrink-budget N]
+/// [--max-failures N] [--list-referees]`
+///
+/// Runs the differential fuzzer: every case is generated from a seed chain
+/// (`--seed S --cases N` is bit-for-bit reproducible), judged by the
+/// referee registry, and any disagreement is shrunk to a minimal
+/// reproducer. With `--corpus DIR` the reproducer is persisted as a
+/// `.case` + `.bench` pair. Exits nonzero when any referee failed.
+/// Wall-clock only goes to stderr, so stdout stays deterministic.
+fn cmd_fuzz(args: &Args) -> Result<(), String> {
+    use glitchlock::fuzz::{registry, run_fuzz, FuzzConfig, Inject};
+
+    if args.has("list-referees") {
+        for r in registry() {
+            println!("{:<18} {}", r.name, r.about);
+        }
+        return Ok(());
+    }
+    let inject_name = args.flag("inject").unwrap_or("none");
+    let inject = Inject::from_name(inject_name)
+        .ok_or_else(|| format!("--inject expects none or xnor-flip, got {inject_name:?}"))?;
+    let config = FuzzConfig {
+        seed: args.num("seed", 1u64)?,
+        cases: args.num("cases", 100usize)?,
+        time_budget: args
+            .flag("time-budget")
+            .map(|v| {
+                v.parse::<u64>()
+                    .map(std::time::Duration::from_secs)
+                    .map_err(|_| format!("--time-budget expects seconds, got {v:?}"))
+            })
+            .transpose()?,
+        referees: flag_values(args, "referee"),
+        inject,
+        corpus_dir: args.flag("corpus").map(std::path::PathBuf::from),
+        shrink_budget: args.num("shrink-budget", 300usize)?,
+        max_failures: args.num("max-failures", 3usize)?,
+    };
+    let lib = Library::cl013g_like().with_gk_delay_macros();
+    let report = run_fuzz(&config, &lib)?;
+    println!(
+        "fuzz: seed {} | {} case(s) run",
+        config.seed, report.cases_run
+    );
+    for (name, passes) in &report.passes {
+        println!(
+            "  {name:<18} {passes:>5} pass  {:>5} skip",
+            report.skips.get(name).copied().unwrap_or(0)
+        );
+    }
+    eprintln!("fuzz: wall-clock {:.1}s", report.elapsed.as_secs_f64());
+    if report.failures.is_empty() {
+        println!("all referees agree on every case");
+        return Ok(());
+    }
+    for f in &report.failures {
+        println!();
+        println!(
+            "FAILURE case {} (seed {:#018x}) referee {}",
+            f.index, f.case_seed, f.referee
+        );
+        println!("  {}", f.message);
+        if let Some(path) = &f.corpus_path {
+            println!("  reproducer -> {}", path.display());
+        }
+        println!("  shrunk recipe ({} oracle calls):", f.shrink_spent);
+        for line in f.shrunk.to_text().lines() {
+            println!("    {line}");
+        }
+    }
+    Err(format!("{} referee failure(s)", report.failures.len()))
 }
 
 fn names(nl: &Netlist, nets: &[glitchlock::netlist::NetId]) -> String {

@@ -22,6 +22,10 @@
 //! * [`lint`] — static-analysis passes over netlists and locked designs:
 //!   structural defects, removal-attack signatures, and timing-window
 //!   re-verification (`glk lint`).
+//! * [`fuzz`] — deterministic differential fuzzing: recipe-driven netlist
+//!   and lock generation, a registry of referee oracles cross-checking
+//!   every engine pair, delta-debugging shrinking, and a persistent
+//!   regression corpus (`glk fuzz`).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +55,7 @@
 pub use glitchlock_attacks as attacks;
 pub use glitchlock_circuits as circuits;
 pub use glitchlock_core as core;
+pub use glitchlock_fuzz as fuzz;
 pub use glitchlock_lint as lint;
 pub use glitchlock_netlist as netlist;
 pub use glitchlock_sat as sat;

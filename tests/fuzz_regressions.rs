@@ -1,0 +1,107 @@
+//! Replays every case in `tests/corpus/` through the full referee registry.
+//!
+//! The corpus holds minimal reproducers: hand-minimized seed cases plus
+//! anything `glk fuzz` shrinks out of a real divergence. Once a case lands
+//! here, every CI run re-judges it with all referees, so a fixed bug can
+//! never silently regress.
+//!
+//! Each `.case` file is paired with a `.bench` snapshot of its materialized
+//! original netlist; `corpus_benches_match_their_recipes` keeps the pair in
+//! sync (regenerate with
+//! `cargo test --test fuzz_regressions regenerate -- --ignored`).
+
+use glitchlock::fuzz::{
+    load_corpus, materialize, registry, CorpusEntry, Inject, RefereeCtx, Verdict,
+};
+use glitchlock::netlist::bench_format;
+use glitchlock::stdcell::Library;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus() -> Vec<CorpusEntry> {
+    let entries = load_corpus(&corpus_dir()).expect("corpus parses");
+    assert!(entries.len() >= 3, "seed corpus went missing: {entries:?}");
+    entries
+}
+
+#[test]
+fn every_corpus_case_passes_every_referee() {
+    let library = Library::cl013g_like().with_gk_delay_macros();
+    for entry in corpus() {
+        let case = materialize(&entry.recipe, &library);
+        let ctx = RefereeCtx {
+            case: &case,
+            library: &library,
+            inject: Inject::None,
+        };
+        for referee in registry() {
+            let verdict = referee.run(&ctx);
+            assert!(
+                !matches!(verdict, Verdict::Fail(_)),
+                "corpus case {} fails referee {}: {verdict:?}",
+                entry.name,
+                referee.name
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_case_named_referee_actually_runs() {
+    // The header's referee must exist and must not skip the case outright:
+    // a seed case that its own referee cannot judge guards nothing.
+    let library = Library::cl013g_like().with_gk_delay_macros();
+    for entry in corpus() {
+        let name = entry.referee.as_deref().expect("seed cases name a referee");
+        let referee = registry()
+            .into_iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("case {} names unknown referee {name}", entry.name));
+        let case = materialize(&entry.recipe, &library);
+        let ctx = RefereeCtx {
+            case: &case,
+            library: &library,
+            inject: Inject::None,
+        };
+        assert_eq!(
+            referee.run(&ctx),
+            Verdict::Pass,
+            "case {} does not exercise its own referee {name}",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn corpus_benches_match_their_recipes() {
+    let library = Library::cl013g_like().with_gk_delay_macros();
+    for entry in corpus() {
+        let bench_path = entry.path.with_extension("bench");
+        let on_disk = std::fs::read_to_string(&bench_path)
+            .unwrap_or_else(|e| panic!("missing {}: {e}", bench_path.display()));
+        let case = materialize(&entry.recipe, &library);
+        assert_eq!(
+            on_disk,
+            bench_format::emit(&case.netlist),
+            "{} is stale; regenerate with \
+             `cargo test --test fuzz_regressions regenerate -- --ignored`",
+            bench_path.display()
+        );
+    }
+}
+
+/// Rewrites every `.bench` snapshot from its `.case` recipe.
+#[test]
+#[ignore = "maintenance tool: rewrites the corpus .bench snapshots"]
+fn regenerate() {
+    let library = Library::cl013g_like().with_gk_delay_macros();
+    for entry in corpus() {
+        let case = materialize(&entry.recipe, &library);
+        let bench_path = entry.path.with_extension("bench");
+        std::fs::write(&bench_path, bench_format::emit(&case.netlist)).expect("write bench");
+        println!("wrote {}", bench_path.display());
+    }
+}

@@ -74,6 +74,69 @@ fn draw_netlist(rng: &mut StdRng, max_inputs: usize, max_gates: usize) -> (usize
     }
 }
 
+/// Draws a valid random *sequential* netlist: flip-flops whose D pins are
+/// rewired across the whole pool once it exists, so state can feed logic
+/// that feeds state (feedback loops through the registers).
+fn draw_seq_netlist(rng: &mut StdRng) -> (usize, Netlist) {
+    loop {
+        let n_inputs = rng.gen_range(1usize..5);
+        let n_ffs = rng.gen_range(1usize..4);
+        let mut nl = Netlist::new("randseq");
+        let mut nets: Vec<_> = (0..n_inputs)
+            .map(|i| nl.add_input(format!("i{i}")))
+            .collect();
+        let mut ffs = Vec::new();
+        for i in 0..n_ffs {
+            let q = nl.add_dff_named(nets[0], format!("f{i}")).unwrap();
+            ffs.push(nl.net(q).driver().unwrap());
+            nets.push(q);
+        }
+        for (kind_ix, srcs) in gate_recipe(rng, 20) {
+            let kind = match kind_ix % 8 {
+                0 => GateKind::And,
+                1 => GateKind::Or,
+                2 => GateKind::Nand,
+                3 => GateKind::Nor,
+                4 => GateKind::Xor,
+                5 => GateKind::Xnor,
+                6 => GateKind::Inv,
+                _ => GateKind::Buf,
+            };
+            let arity = kind.fixed_arity().unwrap_or(2);
+            let ins: Vec<_> = srcs
+                .iter()
+                .cycle()
+                .take(arity)
+                .map(|&s| nets[s % nets.len()])
+                .collect();
+            let y = nl.add_gate(kind, &ins).unwrap();
+            nets.push(y);
+        }
+        for &ff in &ffs {
+            let d = nets[rng.gen_range(0..nets.len())];
+            nl.rewire_input(ff, 0, d).unwrap();
+        }
+        for (i, &n) in nets.iter().rev().take(2).enumerate() {
+            nl.mark_output(n, format!("o{i}"));
+        }
+        if nl.validate().is_ok() {
+            return (n_inputs, nl);
+        }
+    }
+}
+
+/// Steps two netlists from reset under the same random stimulus and
+/// demands identical primary-output sequences.
+fn assert_same_stepping(a: &Netlist, b: &Netlist, rng: &mut StdRng, cycles: usize) {
+    let n_inputs = a.input_nets().len();
+    let mut sa = SeqState::reset(a);
+    let mut sb = SeqState::reset(b);
+    for c in 0..cycles {
+        let inputs: Vec<Logic> = (0..n_inputs).map(|_| Logic::from_bool(rng.gen())).collect();
+        assert_eq!(sa.step(a, &inputs), sb.step(b, &inputs), "cycle {c}");
+    }
+}
+
 /// `optimize` preserves combinational behaviour on random circuits.
 #[test]
 fn optimize_preserves_combinational_behaviour() {
@@ -218,6 +281,33 @@ fn sequential_stepping_is_deterministic() {
         for _ in 0..4 {
             assert_eq!(a.step(&nl, &inputs), b.step(&nl, &inputs), "case {case}");
         }
+    }
+}
+
+/// Random sequential netlists with register feedback survive a `.bench`
+/// round trip with their stepping behaviour intact.
+#[test]
+fn sequential_bench_round_trip_preserves_stepping() {
+    let mut rng = StdRng::seed_from_u64(0x5eb1);
+    for case in 0..48 {
+        let (_, nl) = draw_seq_netlist(&mut rng);
+        let re = bench_format::parse(&bench_format::emit(&nl)).unwrap();
+        assert_eq!(nl.dff_cells().len(), re.dff_cells().len(), "case {case}");
+        assert_same_stepping(&nl, &re, &mut rng, 10);
+    }
+}
+
+/// `sweep_sequential` may restructure and drop dead state, but the
+/// observable output sequence from reset must not change.
+#[test]
+fn sweep_preserves_sequential_behaviour() {
+    use glitchlock::synth::sweep_sequential;
+    let mut rng = StdRng::seed_from_u64(0x53e9);
+    for case in 0..48 {
+        let (_, nl) = draw_seq_netlist(&mut rng);
+        let swept = sweep_sequential(&nl).unwrap();
+        assert!(swept.stats().cells <= nl.stats().cells, "case {case}");
+        assert_same_stepping(&nl, &swept, &mut rng, 10);
     }
 }
 

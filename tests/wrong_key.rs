@@ -1,0 +1,232 @@
+//! Wrong-key corruption for every locker, via the packed evaluator.
+//!
+//! A lock is only a lock if wrong keys corrupt: for each scheme we check
+//! that (a) the correct key reproduces the original design exactly over an
+//! exhaustive combinational sweep (primary inputs × free flip-flop state,
+//! compared on both primary outputs and next-state D pins), and (b) every
+//! single-bit key flip produces a visible difference on at least one swept
+//! pattern.
+//!
+//! TDK is the documented exception: its key interleaves `[k1 (functional),
+//! k2 (delay)]` per gate. `k1` flips corrupt statically like an XOR key,
+//! but `k2` only selects between a fast buffer and a slow delay chain —
+//! identical in zero-delay semantics — so a `k2` flip must be *statically
+//! inert* here, with its corruption living purely in the timing domain
+//! (covered by the event-driven tests in `crates/core`). Glitch key-gates
+//! are likewise timing-domain and are checked through `timed_trace`.
+
+use glitchlock::circuits::{c17, custom_profile, generate, s27};
+use glitchlock::core::gk::GkDesign;
+use glitchlock::core::insertion::timed_trace;
+use glitchlock::core::locking::{AntiSat, LockScheme, Locked, MuxLock, SarLock, Tdk, XorLock};
+use glitchlock::core::{GkEncryptor, KeyVector};
+use glitchlock::netlist::{EvalProgram, Logic, NetId, Netlist, PackedLogic, SeqState, LANES};
+use glitchlock::sta::{analyze, ClockModel};
+use glitchlock::stdcell::{Library, Ps};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Exhaustive packed sweep: every (data-input × free-state) pattern, with
+/// optional key nets pinned. Returns `(po, dff_d)` per pattern.
+fn sweep(nl: &Netlist, key: Option<(&[NetId], &[bool])>) -> Vec<(Vec<Logic>, Vec<Logic>)> {
+    let program = EvalProgram::compile(nl).expect("compiles");
+    let data: Vec<NetId> = nl
+        .input_nets()
+        .iter()
+        .copied()
+        .filter(|n| key.is_none_or(|(keys, _)| !keys.contains(n)))
+        .collect();
+    let n_ff = nl.dff_cells().len();
+    let width = data.len() + n_ff;
+    assert!(width <= 14, "sweep would be too wide: {width}");
+    let total = 1usize << width;
+    let mut buf = program.scratch();
+    let mut out = Vec::with_capacity(total);
+    let bit_of = |pattern: usize, bit: usize| Logic::from_bool(pattern >> bit & 1 == 1);
+    for base in (0..total).step_by(LANES) {
+        let lanes = LANES.min(total - base);
+        let word = |bit: usize| {
+            let vals: Vec<Logic> = (0..lanes).map(|l| bit_of(base + l, bit)).collect();
+            PackedLogic::from_lanes(&vals)
+        };
+        let in_words: Vec<PackedLogic> = nl
+            .input_nets()
+            .iter()
+            .map(|n| {
+                if let Some((keys, vals)) = key {
+                    if let Some(ix) = keys.iter().position(|k| k == n) {
+                        return PackedLogic::splat(Logic::from_bool(vals[ix]));
+                    }
+                }
+                word(data.iter().position(|d| d == n).expect("data input"))
+            })
+            .collect();
+        let q_words: Vec<PackedLogic> = (0..n_ff).map(|f| word(data.len() + f)).collect();
+        program.eval(&in_words, Some(&q_words), &mut buf);
+        let po = program.outputs(&buf);
+        let dd = program.dff_d(&buf);
+        for l in 0..lanes {
+            out.push((
+                po.iter().map(|w| w.get(l)).collect(),
+                dd.iter().map(|w| w.get(l)).collect(),
+            ));
+        }
+    }
+    out
+}
+
+/// Checks a statically-keyed lock: correct key ≡ original; per-bit flips
+/// corrupt exactly where `expect_corrupt` says they must.
+fn check_static(original: &Netlist, locked: &Locked, expect_corrupt: &dyn Fn(usize) -> bool) {
+    assert_eq!(
+        original.dff_cells().len(),
+        locked.netlist.dff_cells().len(),
+        "static lockers must not add state"
+    );
+    let baseline = sweep(original, None);
+    let keyed = sweep(
+        &locked.netlist,
+        Some((&locked.key_inputs, &locked.correct_key)),
+    );
+    assert_eq!(baseline, keyed, "correct key must reproduce the original");
+    for bit in 0..locked.correct_key.len() {
+        let mut bad_key = locked.correct_key.clone();
+        bad_key[bit] = !bad_key[bit];
+        let corrupted = sweep(&locked.netlist, Some((&locked.key_inputs, &bad_key)));
+        assert_eq!(
+            corrupted != baseline,
+            expect_corrupt(bit),
+            "key bit {bit} ({})",
+            locked.netlist.net(locked.key_inputs[bit]).name()
+        );
+    }
+}
+
+fn lib() -> Library {
+    Library::cl013g_like().with_gk_delay_macros()
+}
+
+#[test]
+fn xor_lock_every_bit_corrupts() {
+    let nl = s27();
+    let mut rng = StdRng::seed_from_u64(1);
+    let locked = XorLock::new(4).lock(&nl, &mut rng).unwrap();
+    check_static(&nl, &locked, &|_| true);
+}
+
+#[test]
+fn mux_lock_every_bit_corrupts() {
+    let nl = s27();
+    let mut rng = StdRng::seed_from_u64(3);
+    let locked = MuxLock::new(3).lock(&nl, &mut rng).unwrap();
+    check_static(&nl, &locked, &|_| true);
+}
+
+#[test]
+fn sarlock_every_bit_corrupts() {
+    let nl = c17();
+    let mut rng = StdRng::seed_from_u64(1);
+    let locked = SarLock::new(4).lock(&nl, &mut rng).unwrap();
+    check_static(&nl, &locked, &|_| true);
+}
+
+#[test]
+fn antisat_every_bit_corrupts() {
+    let nl = c17();
+    let mut rng = StdRng::seed_from_u64(1);
+    let locked = AntiSat::new(3).lock(&nl, &mut rng).unwrap();
+    check_static(&nl, &locked, &|_| true);
+}
+
+#[test]
+fn tdk_functional_bits_corrupt_and_delay_bits_are_statically_inert() {
+    let nl = s27();
+    let mut rng = StdRng::seed_from_u64(1);
+    let tdk = Tdk::new(2)
+        .lock_with_library(&nl, &lib(), &mut rng)
+        .unwrap();
+    // Key order per TDK gate is [k1 (functional), k2 (delay)]: even bits
+    // must corrupt the zero-delay function, odd bits must not (their
+    // corruption is a timing-domain effect).
+    check_static(&nl, &tdk.locked, &|bit| bit % 2 == 0);
+}
+
+#[test]
+fn gk_every_key_bit_flip_corrupts_the_timed_trace() {
+    let library = lib();
+    let profile = custom_profile(60, 6, 6, 3, Ps::from_ns(6), 0.6, 12345);
+    let nl = generate(&profile);
+    let mut rng = StdRng::seed_from_u64(9);
+    let gk = GkEncryptor {
+        design: GkDesign::paper_default(),
+        ..GkEncryptor::new(2)
+    }
+    .encrypt(
+        &nl,
+        &library,
+        &ClockModel::new(profile.clock_period),
+        &mut rng,
+    )
+    .unwrap();
+    let period = gk.clock_period;
+    // The locked netlist never passes STA wholesale (glitch paths toggle
+    // inside the capture window by design); the timed trace needs the
+    // *data* paths clean, i.e. the original design meeting timing.
+    assert!(
+        analyze(&nl, &library, &ClockModel::new(period)).all_met(),
+        "pick a roomier profile: the base design must meet timing"
+    );
+
+    let data_inputs: Vec<NetId> = gk
+        .netlist
+        .input_nets()
+        .iter()
+        .copied()
+        .filter(|n| !gk.key_inputs.contains(n))
+        .collect();
+    let tracked: Vec<_> = gk.netlist.dff_cells()[..nl.dff_cells().len()].to_vec();
+    let cycles = 6usize;
+    let mut stim_rng = StdRng::seed_from_u64(0x6b6b);
+    let inputs: Vec<Vec<Logic>> = (0..cycles)
+        .map(|_| {
+            (0..data_inputs.len())
+                .map(|_| Logic::from_bool(stim_rng.gen()))
+                .collect()
+        })
+        .collect();
+    let bad_cycles = |key: &KeyVector| -> usize {
+        let keyed: Vec<_> = gk
+            .key_inputs
+            .iter()
+            .copied()
+            .zip(key.bits().iter().copied())
+            .collect();
+        let trace = timed_trace(
+            &gk.netlist,
+            &library,
+            period,
+            &keyed,
+            &inputs,
+            &data_inputs,
+            &tracked,
+        );
+        (0..cycles)
+            .filter(|&c| {
+                let mut o = SeqState::from_values(&nl, trace.states[c].clone());
+                let po = o.step(&nl, &inputs[c]);
+                trace.po[c] != po || trace.states[c + 1] != o.values()
+            })
+            .count()
+    };
+
+    assert_eq!(bad_cycles(&gk.correct_key), 0, "correct key must be clean");
+    let n_bits = gk.correct_key.len();
+    for bit in 0..n_bits {
+        let mut k = gk.correct_key.clone();
+        k.flip_const(bit);
+        assert!(
+            bad_cycles(&k) > 0,
+            "flipping GK key bit {bit} must corrupt at least one cycle"
+        );
+    }
+}
