@@ -67,3 +67,16 @@ if "$GLK" fuzz --seed 7 --cases 200 --referee scalar-vs-packed \
 fi
 grep -q 'reproducer -> ' "$WORK/fuzz-inject.out"
 ls "$WORK/fuzz-corpus"/*.case > /dev/null
+
+# Observability gate: a traced hybrid attack and a traced fuzz batch must
+# produce schema-valid traces with every expected probe firing (dead-probe
+# detection — an instrumentation refactor that disconnects a site fails
+# here, not in a dashboard).
+"$GLK" lock-gk "$WORK/s27.bench" "$WORK/hybrid" --gks 2 --xor-bits 3 --seed 7 \
+    --trace "$WORK/lock.jsonl"
+"$GLK" trace-check "$WORK/lock.jsonl" --sites lock-gk
+"$GLK" attack "$WORK/hybrid.attack.bench" "$WORK/s27.bench" \
+    --trace "$WORK/attack.jsonl" --metrics
+"$GLK" trace-check "$WORK/attack.jsonl" --sites attack
+"$GLK" fuzz --seed 7 --cases 200 --trace "$WORK/fuzz.jsonl"
+"$GLK" trace-check "$WORK/fuzz.jsonl" --sites fuzz

@@ -17,6 +17,7 @@
 
 use crate::sat_attack::MiterSession;
 use glitchlock_netlist::{NetId, Netlist};
+use glitchlock_obs::{self as obs, names};
 use rand::Rng;
 
 /// Result of an AppSAT run.
@@ -73,9 +74,14 @@ impl AppSat {
         oracle: &Netlist,
         rng: &mut R,
     ) -> AppSatResult {
+        let _span = obs::span("attack.appsat");
+        let round_counter = obs::counter(names::APPSAT_ROUNDS);
+        let dip_counter = obs::counter(names::APPSAT_DIPS);
+        let probe_counter = obs::counter(names::APPSAT_PROBES);
         let mut session = MiterSession::new(locked, key_inputs, &[], oracle);
         let mut dip_iterations = 0;
         loop {
+            round_counter.incr();
             // A burst of exact DIP rounds.
             let mut exhausted = false;
             for _ in 0..self.dips_per_round {
@@ -90,6 +96,11 @@ impl AppSat {
                     }
                     Some(dip) => {
                         dip_iterations += 1;
+                        dip_counter.incr();
+                        obs::event("dip", "appsat")
+                            .u64("iter", dip_iterations as u64)
+                            .str_with("pattern", || crate::sat_attack::bits(&dip))
+                            .emit();
                         let response = session.query_oracle(&dip);
                         session.add_io_constraint(&dip, &response);
                     }
@@ -112,8 +123,15 @@ impl AppSat {
                     failing.push((data, expect));
                 }
             }
+            probe_counter.add(self.probes as u64);
             let error_rate = errors as f64 / self.probes as f64;
             if exhausted || error_rate <= self.settle_error_rate {
+                obs::gauge_set("appsat.error_rate", error_rate);
+                obs::event("result", "appsat")
+                    .str("outcome", if exhausted { "exhausted" } else { "settled" })
+                    .u64("dip_iterations", dip_iterations as u64)
+                    .f64("error_rate", error_rate)
+                    .emit();
                 return AppSatResult {
                     key,
                     error_rate,

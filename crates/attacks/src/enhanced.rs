@@ -12,6 +12,7 @@ use crate::removal::{locate_gk_candidates, GkSite};
 use crate::sat_attack::{SatAttack, SatAttackResult};
 use glitchlock_core::withholding::{Lut, OpaqueRegion};
 use glitchlock_netlist::{CellId, GateKind, NetId, Netlist};
+use glitchlock_obs::{self as obs, names};
 use std::collections::HashSet;
 
 /// Result of the enhanced removal attack.
@@ -140,14 +141,23 @@ pub fn enhanced_removal_attack(
     opaque: &[OpaqueRegion],
     max_iterations: usize,
 ) -> EnhancedOutcome {
+    let _span = obs::span("attack.enhanced");
+    obs::incr(names::ENHANCED_RUNS);
     let sites = locate_gk_candidates(attack_view);
     if sites.is_empty() {
+        obs::event("result", "enhanced_removal")
+            .str("outcome", "nothing-located")
+            .emit();
         return EnhancedOutcome::NothingLocated;
     }
     // Withholding check: is any located GK fed by an opaque region?
     for site in &sites {
         for region in opaque {
             if region.input == site.x {
+                obs::event("result", "enhanced_removal")
+                    .str("outcome", "infeasible-withheld")
+                    .u64("lut_arity", region.arity as u64)
+                    .emit();
                 return EnhancedOutcome::Infeasible {
                     candidate_functions: Lut::candidate_function_count(region.arity),
                     lut_arity: region.arity,
@@ -160,6 +170,10 @@ pub fn enhanced_removal_attack(
     attack.ignored_inputs = stale;
     attack.max_iterations = max_iterations;
     let sat = attack.run();
+    obs::event("result", "enhanced_removal")
+        .str("outcome", "modelled")
+        .u64("sites", sites.len() as u64)
+        .emit();
     EnhancedOutcome::Modelled {
         sat,
         modelled,

@@ -1,6 +1,7 @@
 //! The attack oracle: a functionally correct chip with the right key.
 
 use glitchlock_netlist::{CombView, EvalProgram, Logic, Netlist, PackedLogic, LANES};
+use glitchlock_obs::{self as obs, names};
 
 /// An activated chip the attacker can query: combinational view of the
 /// original design, scan access assumed (flip-flop Q pins drivable, D pins
@@ -46,6 +47,7 @@ impl<'a> ComboOracle<'a> {
     ///
     /// Panics on width mismatch.
     pub fn query(&self, inputs: &[bool]) -> Vec<bool> {
+        obs::incr(names::ORACLE_QUERIES);
         let logic: Vec<Logic> = inputs.iter().map(|&b| Logic::from_bool(b)).collect();
         self.view
             .eval(self.netlist, &logic)
@@ -63,6 +65,7 @@ impl<'a> ComboOracle<'a> {
     ///
     /// Panics on width mismatch.
     pub fn query_many(&self, patterns: &[impl AsRef<[bool]>]) -> Vec<Vec<bool>> {
+        obs::add(names::ORACLE_QUERIES, patterns.len() as u64);
         let width = self.view.num_inputs();
         let mut buf = self.program.scratch();
         let mut results = Vec::with_capacity(patterns.len());

@@ -18,6 +18,7 @@ use glitchlock_core::locking::TdkLocked;
 use glitchlock_netlist::{
     CellId, CombView, EvalProgram, GateKind, Logic, NetId, Netlist, PackedLogic, LANES,
 };
+use glitchlock_obs::{self as obs, names};
 use rand::Rng;
 use std::collections::HashSet;
 
@@ -79,6 +80,7 @@ pub fn signal_skew<R: Rng>(netlist: &Netlist, samples: usize, rng: &mut R) -> Sk
         }
         done += lanes;
     }
+    obs::add(names::REMOVAL_SKEW_SAMPLES, samples as u64);
     SkewReport {
         probs: ones.iter().map(|&o| o as f64 / samples as f64).collect(),
         samples,
@@ -122,6 +124,11 @@ pub fn locate_point_function<R: Rng>(
             found.push(net_id);
         }
     }
+    obs::add(names::REMOVAL_CANDIDATES, found.len() as u64);
+    obs::event("result", "locate_point_function")
+        .u64("candidates", found.len() as u64)
+        .u64("samples", samples as u64)
+        .emit();
     found
 }
 
@@ -232,6 +239,10 @@ pub fn locate_gk_candidates(netlist: &Netlist) -> Vec<GkSite> {
             y: cell.output(),
         });
     }
+    obs::add(names::REMOVAL_GK_SITES, sites.len() as u64);
+    obs::event("result", "locate_gk_candidates")
+        .u64("sites", sites.len() as u64)
+        .emit();
     sites
 }
 
@@ -264,6 +275,7 @@ pub fn strip_tdk_delay_buffers(tdk: &TdkLocked) -> (Netlist, Vec<NetId>, Vec<Net
         let y = out.cell(mux_cell).output();
         out.rewire_output_po(y, branch);
     }
+    obs::add(names::REMOVAL_TDK_STRIPPED, tdk.tdks.len() as u64);
     // Re-synthesize: dead muxes and slow chains disappear; the delay-key
     // inputs survive as dangling primary inputs.
     let resynth = glitchlock_synth::optimize_sequential(&out).expect("optimize succeeds");

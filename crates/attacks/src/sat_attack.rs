@@ -13,7 +13,14 @@
 
 use crate::oracle::ComboOracle;
 use glitchlock_netlist::{CombView, EvalProgram, Logic, NetId, Netlist, PackedLogic, LANES};
+use glitchlock_obs::{self as obs, names};
 use glitchlock_sat::{encode_comb_into, Lit, SatResult, Solver, SolverStats, Var};
+use std::time::Instant;
+
+/// Renders a pattern as a `0`/`1` string for trace events (index 0 first).
+pub(crate) fn bits(pattern: &[bool]) -> String {
+    pattern.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
 
 /// How the attack ended.
 #[derive(Clone, Debug, PartialEq)]
@@ -94,6 +101,9 @@ impl<'a> SatAttack<'a> {
     /// Panics if the locked view's non-key inputs do not align with the
     /// oracle's inputs, or the netlists are cyclic.
     pub fn run(&self) -> SatAttackResult {
+        let _span = obs::span("attack.sat");
+        let iter_counter = obs::counter(names::SAT_ITERATIONS);
+        let dip_counter = obs::counter(names::SAT_DIPS);
         let mut session = MiterSession::new(
             self.locked,
             &self.key_inputs,
@@ -105,6 +115,11 @@ impl<'a> SatAttack<'a> {
         while let Some(dip) = session.find_dip() {
             iterations += 1;
             if iterations > self.max_iterations {
+                obs::event("result", "sat_attack")
+                    .str("outcome", "iteration-limit")
+                    .u64("iterations", self.max_iterations as u64)
+                    .u64("dips", dips.len() as u64)
+                    .emit();
                 return SatAttackResult {
                     outcome: SatOutcome::IterationLimit,
                     iterations: self.max_iterations,
@@ -112,26 +127,47 @@ impl<'a> SatAttack<'a> {
                     stats: session.stats(),
                 };
             }
+            iter_counter.incr();
+            dip_counter.incr();
+            obs::event("dip", "sat")
+                .u64("iter", iterations as u64)
+                .str_with("pattern", || bits(&dip))
+                .emit();
             let response = session.query_oracle(&dip);
             session.add_io_constraint(&dip, &response);
             dips.push(dip);
         }
 
         // Extract a surviving key from the accumulated constraints.
-        let outcome = match session.extract_key() {
+        let (outcome, outcome_name) = match session.extract_key() {
             None => {
-                // The constraints themselves became unsatisfiable: cannot
-                // happen with a consistent oracle; treat as exhausted.
-                SatOutcome::IterationLimit
+                // The constraints themselves became unsatisfiable: the
+                // attack view cannot reproduce the oracle under any key
+                // (GK's static inverter does exactly this), so the attack
+                // is exhausted without a key.
+                (SatOutcome::IterationLimit, "constraints-exhausted")
             }
             Some(key) => {
                 if iterations == 0 {
-                    SatOutcome::NoDipAtFirstIteration { arbitrary_key: key }
+                    (
+                        SatOutcome::NoDipAtFirstIteration { arbitrary_key: key },
+                        "no-dip-at-first-iteration",
+                    )
                 } else {
-                    SatOutcome::KeyRecovered { key }
+                    (SatOutcome::KeyRecovered { key }, "key-recovered")
                 }
             }
         };
+        obs::event("result", "sat_attack")
+            .str("outcome", outcome_name)
+            .u64("iterations", iterations as u64)
+            .u64("dips", dips.len() as u64)
+            .str_with("key", || match &outcome {
+                SatOutcome::KeyRecovered { key }
+                | SatOutcome::NoDipAtFirstIteration { arbitrary_key: key } => bits(key),
+                SatOutcome::IterationLimit => String::new(),
+            })
+            .emit();
         SatAttackResult {
             outcome,
             iterations,
@@ -230,7 +266,8 @@ impl<'a> MiterSession<'a> {
     /// Searches for a distinguishing input pattern; `None` means the miter
     /// is unsatisfiable under the accumulated constraints.
     pub fn find_dip(&mut self) -> Option<Vec<bool>> {
-        match self.solver.solve_with(&[Lit::pos(self.miter_gate)]) {
+        let gate = Lit::pos(self.miter_gate);
+        match self.timed_solve(Some(gate), "find_dip") {
             SatResult::Unsat => None,
             SatResult::Sat => Some(
                 self.data_ix
@@ -292,7 +329,7 @@ impl<'a> MiterSession<'a> {
     /// A key satisfying every recorded IO constraint, or `None` when the
     /// constraints are contradictory.
     pub fn extract_key(&mut self) -> Option<Vec<bool>> {
-        match self.solver.solve() {
+        match self.timed_solve(None, "extract_key") {
             SatResult::Unsat => None,
             SatResult::Sat => Some(
                 self.key_ix
@@ -356,6 +393,39 @@ impl<'a> MiterSession<'a> {
     /// Number of data inputs (DIP width).
     pub fn data_width(&self) -> usize {
         self.data_ix.len()
+    }
+
+    /// Runs the solver with telemetry: per-call wall time, cumulative
+    /// call/variable/clause counters, and (when tracing) a `solver-call`
+    /// event recording CNF growth.
+    fn timed_solve(&mut self, assumption: Option<Lit>, site: &str) -> SatResult {
+        let started = Instant::now();
+        let result = match assumption {
+            Some(lit) => self.solver.solve_with(&[lit]),
+            None => self.solver.solve(),
+        };
+        let dur = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let collector = obs::current();
+        collector.counter(names::SAT_SOLVER_CALLS).incr();
+        collector.hist(names::SAT_SOLVER_NS).observe(dur);
+        let vars = u64::from(self.solver.num_vars());
+        let clauses = self.solver.num_clauses() as u64;
+        collector.gauge(names::SAT_VARS).set(vars as f64);
+        collector.gauge(names::SAT_CLAUSES).set(clauses as f64);
+        obs::event("solver-call", site)
+            .str(
+                "result",
+                if result == SatResult::Sat {
+                    "sat"
+                } else {
+                    "unsat"
+                },
+            )
+            .u64("vars", vars)
+            .u64("clauses", clauses)
+            .u64("dur_ns", dur)
+            .emit();
+        result
     }
 
     /// Solver statistics.

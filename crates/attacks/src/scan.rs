@@ -21,6 +21,7 @@
 use crate::oracle::ComboOracle;
 use crate::removal::{locate_gk_candidates, GkSite};
 use glitchlock_netlist::{CombView, EvalProgram, Logic, NetId, Netlist, PackedLogic, LANES};
+use glitchlock_obs::{self as obs, names};
 use rand::Rng;
 
 /// The attacker's conclusion for one located GK.
@@ -70,6 +71,10 @@ pub fn scan_hypothesis_attack<R: Rng>(
     // inside the compiled program: one unforced pass reads the GK's data
     // input `x`, then `eval_forced` replays the batch with `y` held at `x`
     // (buffer) or `!x` (inverter) — 64 patterns per pass.
+    let _span = obs::span("attack.scan");
+    obs::add(names::SCAN_SITES, sites.len() as u64);
+    let sample_counter = obs::counter(names::SCAN_SAMPLES);
+    let resolved_counter = obs::counter(names::SCAN_RESOLVED);
     let program = EvalProgram::compile(locked_view).expect("locked view is acyclic");
     let n_pi = locked_view.input_nets().len();
     sites
@@ -113,11 +118,26 @@ pub fn scan_hypothesis_attack<R: Rng>(
                 }
                 done += lanes;
             }
+            sample_counter.add(done as u64);
             let resolution = match (buf_ok, inv_ok) {
                 (true, false) => GkResolution::Buffer,
                 (false, true) => GkResolution::Inverter,
                 _ => GkResolution::Inconsistent,
             };
+            if resolution != GkResolution::Inconsistent {
+                resolved_counter.incr();
+            }
+            obs::event("probe", "scan_site")
+                .u64("samples", done as u64)
+                .str(
+                    "resolution",
+                    match resolution {
+                        GkResolution::Buffer => "buffer",
+                        GkResolution::Inverter => "inverter",
+                        GkResolution::Inconsistent => "inconsistent",
+                    },
+                )
+                .emit();
             (site, resolution)
         })
         .collect()

@@ -14,6 +14,7 @@
 
 use crate::oracle::ComboOracle;
 use glitchlock_netlist::{CombView, NetId, Netlist};
+use glitchlock_obs::{self as obs, names};
 use glitchlock_sat::{encode_comb_into, Lit, SatResult, Solver, Var};
 
 /// Outcome of the sequential attack.
@@ -159,20 +160,33 @@ pub fn seq_sat_attack(
         outs
     };
 
+    let _span = obs::span("attack.seqsat");
+    let iter_counter = obs::counter(names::SEQSAT_ITERATIONS);
+    let call_counter = obs::counter(names::SEQSAT_SOLVER_CALLS);
     let mut sequences = Vec::new();
     let mut iterations = 0;
     loop {
+        call_counter.incr();
         match solver.solve_with(&[Lit::pos(gate)]) {
             SatResult::Unsat => break,
             SatResult::Sat => {
                 iterations += 1;
                 if iterations > max_iterations {
+                    obs::event("result", "seq_sat")
+                        .str("outcome", "iteration-limit")
+                        .u64("iterations", max_iterations as u64)
+                        .emit();
                     return SeqSatResult {
                         outcome: SeqSatOutcome::IterationLimit,
                         sequences,
                         iterations: max_iterations,
                     };
                 }
+                iter_counter.incr();
+                obs::event("dip", "seq_sat")
+                    .u64("iter", iterations as u64)
+                    .u64("frames", data.len() as u64)
+                    .emit();
                 let seq: Vec<Vec<bool>> = data
                     .iter()
                     .map(|frame| {
@@ -211,6 +225,7 @@ pub fn seq_sat_attack(
             }
         }
     }
+    call_counter.incr();
     let outcome = match solver.solve() {
         SatResult::Unsat => SeqSatOutcome::IterationLimit,
         SatResult::Sat => {
@@ -225,6 +240,17 @@ pub fn seq_sat_attack(
             }
         }
     };
+    obs::event("result", "seq_sat")
+        .str(
+            "outcome",
+            match &outcome {
+                SeqSatOutcome::KeyRecovered { .. } => "key-recovered",
+                SeqSatOutcome::NoDistinguishingSequence { .. } => "no-distinguishing-sequence",
+                SeqSatOutcome::IterationLimit => "iteration-limit",
+            },
+        )
+        .u64("iterations", iterations as u64)
+        .emit();
     SeqSatResult {
         outcome,
         sequences,

@@ -14,6 +14,7 @@
 //! enhanced (timing-aware) SAT attack has no constraint to learn from.
 
 use glitchlock_netlist::{CellId, Logic, Netlist};
+use glitchlock_obs::{self as obs, names};
 use glitchlock_sta::ClockModel;
 use glitchlock_stdcell::{Library, Ps};
 
@@ -82,7 +83,10 @@ pub fn tcf_frame(
             (ff, capture)
         })
         .collect();
-    TcfFrame { captures }
+    let frame = TcfFrame { captures };
+    obs::incr(names::TCF_FRAMES);
+    obs::add(names::TCF_UNDEFINED, frame.undefined_count() as u64);
+    frame
 }
 
 /// Outcome of attempting a TCF-based (timing-aware) SAT attack.
@@ -111,6 +115,17 @@ pub fn tcf_attack_feasibility(
 ) -> TcfAttackOutcome {
     let frame = tcf_frame(netlist, library, clock, inputs, dff_q);
     let undefined = frame.undefined_count();
+    obs::event("result", "tcf_feasibility")
+        .str(
+            "outcome",
+            if undefined == 0 {
+                "reduces-to-plain-sat"
+            } else {
+                "cannot-model"
+            },
+        )
+        .u64("undefined_captures", undefined as u64)
+        .emit();
     if undefined == 0 {
         TcfAttackOutcome::ReducesToPlainSat
     } else {

@@ -158,4 +158,5 @@ fn main() {
         println!("\nwrote {}", path.display());
     }
     print!("\n{json}");
+    println!("\n{}", glitchlock_obs::global().report().render_text());
 }

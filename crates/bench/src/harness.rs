@@ -6,6 +6,7 @@
 //! (override both with `GLITCHLOCK_BENCH_MS`). Reported numbers are the
 //! mean ns/iteration over the measured window.
 
+use glitchlock_obs as obs;
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
@@ -91,6 +92,12 @@ impl Criterion {
             sample.ns_per_iter,
             sample.per_sec(),
             sample.iters
+        );
+        // Publish under the shared metric namespace so traced bench runs
+        // and `--metrics` reports are comparable by name.
+        obs::gauge_set(
+            &format!("bench.{}.ns_per_iter", sample.id),
+            sample.ns_per_iter,
         );
         self.samples.push(sample);
     }

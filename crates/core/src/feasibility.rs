@@ -13,6 +13,7 @@
 use crate::gk::GkDesign;
 use crate::windows::{GkTiming, TriggerWindow};
 use glitchlock_netlist::{CellId, GateKind, Netlist};
+use glitchlock_obs::{self as obs, names};
 use glitchlock_sta::{analyze, ClockModel, TimingReport};
 use glitchlock_stdcell::{Library, Ps};
 
@@ -176,6 +177,26 @@ pub fn analyze_feasibility_with(
         } else {
             Verdict::Feasible
         };
+        if verdict == Verdict::Feasible {
+            obs::incr(names::LOCK_GK_FEASIBLE);
+        } else {
+            obs::incr(names::LOCK_GK_REJECTED);
+        }
+        obs::event("placement", netlist.net(netlist.cell(ff).output()).name())
+            .str(
+                "verdict",
+                match verdict {
+                    Verdict::OnCriticalPath => "on-critical-path",
+                    Verdict::GlitchTooShort => "glitch-too-short",
+                    Verdict::Eq3Violated => "eq3-violated",
+                    Verdict::WindowEmpty => "window-empty",
+                    Verdict::TriggerTooEarly => "trigger-too-early",
+                    Verdict::Feasible => "feasible",
+                },
+            )
+            .u64("window_lo_ps", window.map_or(0, |w| w.lo.as_ps()))
+            .u64("window_hi_ps", window.map_or(0, |w| w.hi.as_ps()))
+            .emit();
         entries.push(FfFeasibility {
             ff,
             verdict,

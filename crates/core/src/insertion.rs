@@ -17,6 +17,7 @@ use crate::util::promote_to_inputs_dropping;
 use crate::windows::TriggerWindow;
 use crate::CoreError;
 use glitchlock_netlist::{CellId, Logic, NetId, Netlist};
+use glitchlock_obs::{self as obs, names};
 use glitchlock_sim::{ClockSpec, SimConfig, Simulator, Stimulus};
 use glitchlock_sta::{analyze, ClockModel};
 use glitchlock_stdcell::{Library, Ps};
@@ -146,6 +147,7 @@ impl GkEncryptor {
         clock: &ClockModel,
         rng: &mut R,
     ) -> Result<GkLocked, CoreError> {
+        let _span = obs::span("lock.gk");
         let mut work = original.clone();
         let sta = analyze(&work, library, clock);
         let feas = analyze_feasibility_with(&work, library, clock, &self.design, &sta);
@@ -314,6 +316,21 @@ impl GkEncryptor {
             })
             .collect();
 
+        let collector = obs::current();
+        collector.counter(names::LOCK_DESIGNS).incr();
+        collector
+            .counter(names::LOCK_GK_INSERTED)
+            .add(gks.len() as u64);
+        let n_keygens = key_inputs.len() as u64 / 2;
+        collector.counter(names::LOCK_GK_KEYGENS).add(n_keygens);
+        collector
+            .counter(names::LOCK_KEYBITS)
+            .add(key_inputs.len() as u64);
+        obs::event("result", "lock_gk")
+            .u64("gks", gks.len() as u64)
+            .u64("keygens", n_keygens)
+            .u64("key_width", key_inputs.len() as u64)
+            .emit();
         Ok(GkLocked {
             netlist: work,
             original: original.clone(),

@@ -59,6 +59,7 @@ impl LockScheme for AntiSat {
         netlist.validate()?;
         let mut correct_key = shared.clone();
         correct_key.extend(shared);
+        crate::locking::record_lock("lock_antisat", key_inputs.len());
         Ok(Locked {
             netlist,
             original: original.clone(),

@@ -24,6 +24,7 @@ pub use xor::XorLock;
 
 use crate::CoreError;
 use glitchlock_netlist::{NetId, Netlist};
+use glitchlock_obs::{self as obs, names};
 use rand::RngCore;
 
 /// A combinationally-keyed locked design (static key bits).
@@ -123,6 +124,18 @@ pub(crate) fn lockable_nets(netlist: &Netlist) -> Vec<NetId> {
         })
         .map(|(id, _)| id)
         .collect()
+}
+
+/// Records one completed lock in the obs registry: bumps the shared
+/// scheme counters and (when tracing) emits a `result` event naming the
+/// scheme and its key width.
+pub(crate) fn record_lock(scheme: &str, key_bits: usize) {
+    let collector = obs::current();
+    collector.counter(names::LOCK_DESIGNS).incr();
+    collector.counter(names::LOCK_KEYBITS).add(key_bits as u64);
+    obs::event("result", scheme)
+        .u64("key_width", key_bits as u64)
+        .emit();
 }
 
 #[cfg(test)]

@@ -60,6 +60,7 @@ impl LockScheme for SarLock {
         let flipped = netlist.add_gate(GateKind::Xor, &[po_net, flip])?;
         netlist.rewire_output_po(po_net, flipped);
         netlist.validate()?;
+        crate::locking::record_lock("lock_sarlock", key_inputs.len());
         Ok(Locked {
             netlist,
             original: original.clone(),

@@ -122,6 +122,7 @@ impl Tdk {
             });
         }
         netlist.validate()?;
+        crate::locking::record_lock("lock_tdk", key_inputs.len());
         Ok(TdkLocked {
             locked: Locked {
                 netlist,

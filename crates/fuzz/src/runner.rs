@@ -13,6 +13,7 @@ use crate::referees::{registry, Referee, RefereeCtx, Verdict};
 use crate::reference::Inject;
 use crate::shrink::shrink;
 use glitchlock_netlist::bench_format;
+use glitchlock_obs::{self as obs, names};
 use glitchlock_stdcell::Library;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -165,6 +166,12 @@ pub fn select_referees(filter: &[String]) -> Result<Vec<Referee>, String> {
 /// names) or corpus I/O failures; referee disagreements are *not* errors —
 /// they are reported in [`FuzzReport::failures`].
 pub fn run_fuzz(config: &FuzzConfig, library: &Library) -> Result<FuzzReport, String> {
+    let _span = obs::span("fuzz.run");
+    let collector = obs::current();
+    let case_counter = collector.counter(names::FUZZ_CASES);
+    let verdict_counter = collector.counter(names::FUZZ_VERDICTS);
+    let pass_counter = collector.counter(names::FUZZ_PASSES);
+    let skip_counter = collector.counter(names::FUZZ_SKIPS);
     let referees = select_referees(&config.referees)?;
     let started = Instant::now();
     let mut report = FuzzReport::default();
@@ -184,6 +191,7 @@ pub fn run_fuzz(config: &FuzzConfig, library: &Library) -> Result<FuzzReport, St
         let seed = case_seed(config.seed, index);
         let recipe = random_recipe(seed);
         report.cases_run += 1;
+        case_counter.incr();
         let Some(case) = try_materialize(&recipe, library) else {
             let record =
                 shrink_and_record(config, library, index, seed, &recipe, None, "materialize")?;
@@ -199,11 +207,16 @@ pub fn run_fuzz(config: &FuzzConfig, library: &Library) -> Result<FuzzReport, St
             match judge(referee, &ctx) {
                 Verdict::Pass => {
                     *report.passes.get_mut(referee.name).expect("seeded") += 1;
+                    verdict_counter.incr();
+                    pass_counter.incr();
                 }
                 Verdict::Skip(_) => {
                     *report.skips.get_mut(referee.name).expect("seeded") += 1;
+                    verdict_counter.incr();
+                    skip_counter.incr();
                 }
                 Verdict::Fail(message) => {
+                    verdict_counter.incr();
                     let record = shrink_and_record(
                         config,
                         library,
@@ -220,6 +233,19 @@ pub fn run_fuzz(config: &FuzzConfig, library: &Library) -> Result<FuzzReport, St
         }
     }
     report.elapsed = started.elapsed();
+    for failure in &report.failures {
+        obs::incr(names::FUZZ_FAILURES);
+        obs::add(names::FUZZ_SHRINK_STEPS, failure.shrink_spent as u64);
+        obs::event("result", "fuzz_failure")
+            .str("referee", failure.referee.clone())
+            .str_with("case_seed", || format!("{:016x}", failure.case_seed))
+            .str("message", failure.message.clone())
+            .emit();
+    }
+    let secs = report.elapsed.as_secs_f64();
+    if secs > 0.0 {
+        obs::gauge_set(names::FUZZ_CASES_PER_SEC, report.cases_run as f64 / secs);
+    }
     Ok(report)
 }
 

@@ -1,6 +1,7 @@
 //! The arena-based gate-level netlist.
 
 use crate::{CellId, GateKind, LibCellId, Logic, NetId, NetlistError};
+use glitchlock_obs::{self as obs, names};
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
@@ -621,6 +622,11 @@ impl Netlist {
             in_buf.extend(c.inputs.iter().map(|n| values[n.index()]));
             values[c.output.index()] = c.kind.eval(&in_buf);
         }
+        // One combinational cell evaluated per topo entry: the same
+        // per-pattern count the packed engine reports per lane, so packed
+        // and scalar `eval.gate_evals` agree pattern for pattern.
+        obs::add(names::EVAL_GATE_EVALS, order.len() as u64);
+        obs::incr(names::EVAL_SCALAR_PASSES);
         values
     }
 }

@@ -19,6 +19,7 @@
 //! "known zero" without masking.
 
 use crate::{GateKind, Logic, NetId, Netlist, NetlistError};
+use glitchlock_obs::{self as obs, names};
 
 /// Patterns evaluated per word.
 pub const LANES: usize = 64;
@@ -194,6 +195,11 @@ struct Instr {
 #[derive(Clone, Debug)]
 pub struct PackedBuf {
     nets: Vec<PackedLogic>,
+    // Probe handles resolved once per scratch allocation so the eval hot
+    // loop pays two relaxed atomic adds per 64-pattern pass, not registry
+    // lookups.
+    gate_evals: obs::Counter,
+    passes: obs::Counter,
 }
 
 impl PackedBuf {
@@ -321,8 +327,11 @@ impl EvalProgram {
 
     /// Allocates scratch space sized for this program.
     pub fn scratch(&self) -> PackedBuf {
+        let collector = obs::current();
         PackedBuf {
             nets: vec![PackedLogic::X; self.n_nets],
+            gate_evals: collector.counter(names::EVAL_GATE_EVALS),
+            passes: collector.counter(names::EVAL_PACKED_PASSES),
         }
     }
 
@@ -341,6 +350,8 @@ impl EvalProgram {
             let word = self.apply(instr, &buf.nets);
             buf.nets[instr.out as usize] = word;
         }
+        buf.passes.incr();
+        buf.gate_evals.add(self.instrs.len() as u64 * LANES as u64);
     }
 
     /// Like [`EvalProgram::eval`], but skips every instruction whose output
@@ -365,13 +376,17 @@ impl EvalProgram {
             skip[net.index()] = true;
             buf.nets[net.index()] = word;
         }
+        let mut executed = 0u64;
         for instr in &self.instrs {
             if skip[instr.out as usize] {
                 continue;
             }
             let word = self.apply(instr, &buf.nets);
             buf.nets[instr.out as usize] = word;
+            executed += 1;
         }
+        buf.passes.incr();
+        buf.gate_evals.add(executed * LANES as u64);
     }
 
     fn load(&self, inputs: &[PackedLogic], dff_q: Option<&[PackedLogic]>, buf: &mut PackedBuf) {

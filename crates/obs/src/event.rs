@@ -1,0 +1,149 @@
+//! Structured trace events and their JSONL encoding.
+//!
+//! Every event serializes to one JSON object per line with a fixed field
+//! order: `kind`, `name`, `ts`, then the typed payload fields in insertion
+//! order. Fixed ordering keeps golden traces byte-diffable.
+
+use std::fmt::Write as _;
+
+/// A typed event field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+/// One structured trace record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Event class: `span`, `counter`, `gauge`, `hist`, `dip`,
+    /// `solver-call`, `probe`, `placement`, `result`, …
+    pub kind: String,
+    /// Event name within the kind (probe site, span name, metric name).
+    pub name: String,
+    /// Monotonic nanoseconds since the collector's epoch.
+    pub ts: u64,
+    /// Typed payload, serialized in insertion order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl Event {
+    /// A new event stamped with `ts`.
+    pub fn new(kind: impl Into<String>, name: impl Into<String>, ts: u64) -> Self {
+        Event {
+            kind: kind.into(),
+            name: name.into(),
+            ts,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a payload field.
+    pub fn push(&mut self, key: impl Into<String>, value: FieldValue) {
+        self.fields.push((key.into(), value));
+    }
+
+    /// The single-line JSON encoding (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(64);
+        s.push_str("{\"kind\":");
+        write_json_str(&mut s, &self.kind);
+        s.push_str(",\"name\":");
+        write_json_str(&mut s, &self.name);
+        let _ = write!(s, ",\"ts\":{}", self.ts);
+        for (k, v) in &self.fields {
+            s.push(',');
+            write_json_str(&mut s, k);
+            s.push(':');
+            match v {
+                FieldValue::U64(n) => {
+                    let _ = write!(s, "{n}");
+                }
+                FieldValue::I64(n) => {
+                    let _ = write!(s, "{n}");
+                }
+                FieldValue::F64(x) => write_json_f64(&mut s, *x),
+                FieldValue::Bool(b) => s.push_str(if *b { "true" } else { "false" }),
+                FieldValue::Str(t) => write_json_str(&mut s, t),
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Writes `text` as a JSON string literal (quotes + escapes) onto `out`.
+pub fn write_json_str(out: &mut String, text: &str) {
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes a finite `f64` as JSON (integral values without a fraction;
+/// non-finite values as `null`, which JSON cannot represent).
+pub fn write_json_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 9.0e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_has_fixed_field_order() {
+        let mut e = Event::new("dip", "sat", 42);
+        e.push("iter", FieldValue::U64(3));
+        e.push("pattern", FieldValue::Str("0b01".into()));
+        assert_eq!(
+            e.to_jsonl(),
+            r#"{"kind":"dip","name":"sat","ts":42,"iter":3,"pattern":"0b01"}"#
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut e = Event::new("result", "x\"y", 0);
+        e.push("msg", FieldValue::Str("a\nb\\c".into()));
+        assert_eq!(
+            e.to_jsonl(),
+            r#"{"kind":"result","name":"x\"y","ts":0,"msg":"a\nb\\c"}"#
+        );
+    }
+
+    #[test]
+    fn floats_render_compactly() {
+        let mut s = String::new();
+        write_json_f64(&mut s, 3.0);
+        s.push(' ');
+        write_json_f64(&mut s, 0.5);
+        s.push(' ');
+        write_json_f64(&mut s, f64::NAN);
+        assert_eq!(s, "3 0.5 null");
+    }
+}

@@ -1,0 +1,154 @@
+//! The canonical metric-name registry.
+//!
+//! Every instrumentation site in the workspace registers under one of
+//! these names, so bench snapshots, live `--metrics` reports, and traced
+//! runs are comparable by string equality. [`expected_sites`] lists, per
+//! CLI domain, the probes that any healthy run of that domain must fire
+//! at least once — `glk trace-check --sites <domain>` fails when one
+//! reads zero (dead-probe detection).
+
+/// DIP-eliminating iterations of the oracle-guided SAT attack.
+pub const SAT_ITERATIONS: &str = "sat.iterations";
+/// Distinguishing input patterns found.
+pub const SAT_DIPS: &str = "sat.dips";
+/// CDCL solver invocations (find-DIP + key extraction).
+pub const SAT_SOLVER_CALLS: &str = "sat.solver.calls";
+/// Per-call solver wall time (histogram).
+pub const SAT_SOLVER_NS: &str = "sat.solver.ns";
+/// CNF variable count after the last solver call (gauge).
+pub const SAT_VARS: &str = "sat.vars";
+/// CNF clause count after the last solver call (gauge).
+pub const SAT_CLAUSES: &str = "sat.clauses";
+
+/// AppSAT rounds (DIP burst + probe batch).
+pub const APPSAT_ROUNDS: &str = "appsat.rounds";
+/// AppSAT DIPs added.
+pub const APPSAT_DIPS: &str = "appsat.dips";
+/// AppSAT random probe patterns evaluated.
+pub const APPSAT_PROBES: &str = "appsat.probes";
+
+/// Sequential (unrolled) SAT attack iterations.
+pub const SEQSAT_ITERATIONS: &str = "seqsat.iterations";
+/// Sequential SAT solver invocations.
+pub const SEQSAT_SOLVER_CALLS: &str = "seqsat.solver.calls";
+
+/// Patterns sampled by the removal attack's signal-skew scan.
+pub const REMOVAL_SKEW_SAMPLES: &str = "removal.skew.samples";
+/// Point-function candidates located by skew.
+pub const REMOVAL_CANDIDATES: &str = "removal.candidates";
+/// Structural GK sites located (MUX+XOR/XNOR motif).
+pub const REMOVAL_GK_SITES: &str = "removal.gk_sites";
+/// TDK delay buffers stripped.
+pub const REMOVAL_TDK_STRIPPED: &str = "removal.tdk_stripped";
+
+/// GK sites probed by the scan-chain hypothesis attack.
+pub const SCAN_SITES: &str = "scan.sites";
+/// Scan patterns evaluated against buffer/inverter hypotheses.
+pub const SCAN_SAMPLES: &str = "scan.samples";
+/// Sites resolved to a consistent buffer/inverter model.
+pub const SCAN_RESOLVED: &str = "scan.resolved";
+
+/// Timed characteristic-function frames built.
+pub const TCF_FRAMES: &str = "tcf.frames";
+/// Frames whose capture is undefined (glitch-masked).
+pub const TCF_UNDEFINED: &str = "tcf.undefined";
+
+/// Enhanced (locate-replace-SAT) attack runs.
+pub const ENHANCED_RUNS: &str = "enhanced.runs";
+
+/// Oracle queries answered (scalar + packed lanes).
+pub const ORACLE_QUERIES: &str = "oracle.queries";
+
+/// Gate evaluations: packed adds `instrs × 64` per pass, scalar adds the
+/// combinational-cell count per pass, so the two paths agree pattern for
+/// pattern.
+pub const EVAL_GATE_EVALS: &str = "eval.gate_evals";
+/// 64-lane packed evaluation passes.
+pub const EVAL_PACKED_PASSES: &str = "eval.packed_passes";
+/// Scalar (`eval_nets`) evaluation passes.
+pub const EVAL_SCALAR_PASSES: &str = "eval.scalar_passes";
+
+/// Heap events popped by the event-driven simulator.
+pub const SIM_EVENTS: &str = "sim.events";
+/// Net value changes applied (waveform edges).
+pub const SIM_NET_CHANGES: &str = "sim.net_changes";
+/// Events swallowed by inertial cancellation.
+pub const SIM_CANCELLED: &str = "sim.cancelled";
+/// Clock edges sampled.
+pub const SIM_CLOCK_EDGES: &str = "sim.clock_edges";
+/// Glitch pulses observed (consecutive edges closer than the observation
+/// window).
+pub const SIM_GLITCHES: &str = "sim.glitches";
+/// Setup/hold violations recorded.
+pub const SIM_VIOLATIONS: &str = "sim.violations";
+
+/// Designs locked (any scheme, GK included).
+pub const LOCK_DESIGNS: &str = "lock.designs";
+/// Key bits inserted across schemes.
+pub const LOCK_KEYBITS: &str = "lock.keybits";
+/// GK candidate sites accepted by the Eqs. (1)–(6) window checks.
+pub const LOCK_GK_FEASIBLE: &str = "lock.gk.sites.feasible";
+/// GK candidate sites rejected, any verdict.
+pub const LOCK_GK_REJECTED: &str = "lock.gk.sites.rejected";
+/// Glitch key-gates actually inserted.
+pub const LOCK_GK_INSERTED: &str = "lock.gk.inserted";
+/// KEYGEN macros built (≤ inserted when shared).
+pub const LOCK_GK_KEYGENS: &str = "lock.gk.keygens";
+
+/// Fuzz cases executed.
+pub const FUZZ_CASES: &str = "fuzz.cases";
+/// Referee verdicts returned (pass + skip + fail).
+pub const FUZZ_VERDICTS: &str = "fuzz.verdicts";
+/// Referee passes.
+pub const FUZZ_PASSES: &str = "fuzz.passes";
+/// Referee skips.
+pub const FUZZ_SKIPS: &str = "fuzz.skips";
+/// Failures recorded (after shrinking).
+pub const FUZZ_FAILURES: &str = "fuzz.failures";
+/// Shrink-oracle calls spent minimizing failures.
+pub const FUZZ_SHRINK_STEPS: &str = "fuzz.shrink_steps";
+/// Throughput gauge (volatile; excluded from determinism checks).
+pub const FUZZ_CASES_PER_SEC: &str = "fuzz.cases_per_sec";
+
+/// Probes that must be non-zero after any healthy run of the domain.
+/// `None` for unknown domains.
+pub fn expected_sites(domain: &str) -> Option<&'static [&'static str]> {
+    match domain {
+        // The exact SAT attack queries the oracle one DIP at a time, so
+        // only the scalar evaluation path fires (packed is for batches).
+        "attack" => Some(&[
+            SAT_ITERATIONS,
+            SAT_DIPS,
+            SAT_SOLVER_CALLS,
+            ORACLE_QUERIES,
+            EVAL_GATE_EVALS,
+            EVAL_SCALAR_PASSES,
+        ]),
+        "sim" => Some(&[
+            SIM_EVENTS,
+            SIM_NET_CHANGES,
+            SIM_CLOCK_EDGES,
+            EVAL_SCALAR_PASSES,
+        ]),
+        "lock-gk" => Some(&[
+            LOCK_DESIGNS,
+            LOCK_GK_FEASIBLE,
+            LOCK_GK_INSERTED,
+            LOCK_GK_KEYGENS,
+        ]),
+        "fuzz" => Some(&[
+            FUZZ_CASES,
+            FUZZ_VERDICTS,
+            FUZZ_PASSES,
+            LOCK_DESIGNS,
+            EVAL_GATE_EVALS,
+            EVAL_SCALAR_PASSES,
+            EVAL_PACKED_PASSES,
+            SIM_EVENTS,
+        ]),
+        _ => None,
+    }
+}
+
+/// Every domain [`expected_sites`] knows about.
+pub const DOMAINS: [&str; 4] = ["attack", "sim", "lock-gk", "fuzz"];

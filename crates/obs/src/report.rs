@@ -1,0 +1,136 @@
+//! End-of-run metrics reports, renderable as aligned text or JSON.
+
+use crate::event::{write_json_f64, write_json_str};
+use crate::metrics::MetricValue;
+use std::fmt::Write as _;
+
+/// A deterministic (name-ordered) snapshot of every registered metric.
+#[derive(Clone, Debug)]
+pub struct MetricsReport {
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsReport {
+    /// Wraps a registry snapshot.
+    pub fn new(entries: Vec<(String, MetricValue)>) -> Self {
+        MetricsReport { entries }
+    }
+
+    /// The snapshot entries in name order.
+    pub fn entries(&self) -> &[(String, MetricValue)] {
+        &self.entries
+    }
+
+    /// The value of a counter, when registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            MetricValue::Counter(c) if n == name => Some(*c),
+            _ => None,
+        })
+    }
+
+    /// Human-readable multi-line rendering.
+    pub fn render_text(&self) -> String {
+        if self.entries.is_empty() {
+            return "metrics: (none registered)\n".to_string();
+        }
+        let width = self.entries.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::from("metrics:\n");
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "  {name:<width$}  counter  {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "  {name:<width$}  gauge    {v:.3}");
+                }
+                MetricValue::Hist {
+                    count,
+                    sum,
+                    min,
+                    max,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "  {name:<width$}  hist     count={count} sum={sum}ns min={min}ns max={max}ns"
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Single-line JSON rendering: `{"metrics":{name:{...},...}}` with
+    /// names in deterministic (sorted) order.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"metrics\":{");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(&mut out, name);
+            out.push(':');
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "{{\"kind\":\"counter\",\"value\":{v}}}");
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str("{\"kind\":\"gauge\",\"value\":");
+                    write_json_f64(&mut out, *v);
+                    out.push('}');
+                }
+                MetricValue::Hist {
+                    count,
+                    sum,
+                    min,
+                    max,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"kind\":\"hist\",\"count\":{count},\"sum_ns\":{sum},\"min_ns\":{min},\"max_ns\":{max}}}"
+                    );
+                }
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn json_rendering_parses_back() {
+        let report = MetricsReport::new(vec![
+            ("a.count".to_string(), MetricValue::Counter(7)),
+            ("b.rate".to_string(), MetricValue::Gauge(2.5)),
+            (
+                "c.ns".to_string(),
+                MetricValue::Hist {
+                    count: 2,
+                    sum: 30,
+                    min: 10,
+                    max: 20,
+                },
+            ),
+        ]);
+        let v = json::parse(&report.render_json()).expect("valid json");
+        let metrics = v.get("metrics").expect("metrics key");
+        assert_eq!(
+            metrics.get("a.count").and_then(|m| m.get("value")),
+            Some(&json::Value::Num(7.0))
+        );
+        assert_eq!(report.counter("a.count"), Some(7));
+    }
+
+    #[test]
+    fn text_rendering_mentions_every_metric() {
+        let report = MetricsReport::new(vec![("sat.dips".to_string(), MetricValue::Counter(3))]);
+        let text = report.render_text();
+        assert!(text.contains("sat.dips"));
+        assert!(text.contains('3'));
+    }
+}

@@ -1,0 +1,171 @@
+//! Trace schema validation and golden-trace normalization.
+//!
+//! The trace schema is deliberately small: every line is a JSON object
+//! with a string `kind`, a string `name`, and a non-negative numeric `ts`
+//! (nanoseconds, non-decreasing within a file). Metric lines (`kind` =
+//! `counter` | `gauge` | `hist`) additionally carry `value` (or `count`
+//! for histograms), which is what dead-probe detection reads.
+
+use crate::json::{self, Value};
+use std::collections::BTreeMap;
+
+/// Keys that hold wall-clock-dependent values on *every* line.
+const VOLATILE_KEYS: [&str; 5] = ["ts", "dur_ns", "sum_ns", "min_ns", "max_ns"];
+
+/// Aggregate view of a validated trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSummary {
+    /// Validated line count.
+    pub lines: usize,
+    /// Line count per `kind`.
+    pub kinds: BTreeMap<String, usize>,
+    /// Final metric values by name: counter/gauge `value`s, histogram
+    /// `count`s.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// Validates one trace line against the schema.
+///
+/// # Errors
+///
+/// Returns a message describing the first schema violation.
+pub fn validate_line(line: &str) -> Result<Value, String> {
+    let v = json::parse(line)?;
+    if !matches!(v, Value::Obj(_)) {
+        return Err("line is not a JSON object".to_string());
+    }
+    match v.get("kind").and_then(Value::as_str) {
+        Some(k) if !k.is_empty() => {}
+        _ => return Err("missing or non-string `kind`".to_string()),
+    }
+    if v.get("name").and_then(Value::as_str).is_none() {
+        return Err("missing or non-string `name`".to_string());
+    }
+    match v.get("ts").and_then(Value::as_num) {
+        Some(ts) if ts >= 0.0 => {}
+        _ => return Err("missing, non-numeric, or negative `ts`".to_string()),
+    }
+    Ok(v)
+}
+
+/// Validates a whole JSONL trace: every line parses against the schema
+/// and timestamps never decrease.
+///
+/// # Errors
+///
+/// Returns `"line N: reason"` for the first offending line.
+pub fn check_trace(text: &str) -> Result<TraceSummary, String> {
+    let mut summary = TraceSummary::default();
+    let mut last_ts = 0.0f64;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = validate_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let kind = v.get("kind").and_then(Value::as_str).expect("validated");
+        let name = v.get("name").and_then(Value::as_str).expect("validated");
+        let ts = v.get("ts").and_then(Value::as_num).expect("validated");
+        if ts < last_ts {
+            return Err(format!(
+                "line {}: ts went backwards ({ts} after {last_ts})",
+                i + 1
+            ));
+        }
+        last_ts = ts;
+        summary.lines += 1;
+        *summary.kinds.entry(kind.to_string()).or_insert(0) += 1;
+        let metric_value = match kind {
+            "counter" | "gauge" => v.get("value").and_then(Value::as_num),
+            "hist" => v.get("count").and_then(Value::as_num),
+            _ => None,
+        };
+        if let Some(value) = metric_value {
+            summary.metrics.insert(name.to_string(), value);
+        }
+    }
+    Ok(summary)
+}
+
+/// True when `name` names a timing-derived metric whose *value* is
+/// volatile (nanosecond histograms/gauges, rates, elapsed clocks).
+pub fn volatile_metric(name: &str) -> bool {
+    name.ends_with("_ns")
+        || name.ends_with(".ns")
+        || name.ends_with("per_sec")
+        || name.ends_with("ns_per_iter")
+        || name.contains("elapsed")
+}
+
+/// Normalizes one validated trace line for golden comparison: zeroes
+/// timestamp/duration keys everywhere and the `value`/`count` of
+/// timing-derived metrics, then re-renders canonically (sorted keys).
+///
+/// # Errors
+///
+/// Propagates schema violations from [`validate_line`].
+pub fn normalize_for_golden(line: &str) -> Result<String, String> {
+    let mut v = validate_line(line)?;
+    let name = v
+        .get("name")
+        .and_then(Value::as_str)
+        .expect("validated")
+        .to_string();
+    for key in VOLATILE_KEYS {
+        if let Some(slot) = v.get_mut(key) {
+            *slot = Value::Num(0.0);
+        }
+    }
+    if volatile_metric(&name) {
+        for key in ["value", "count"] {
+            if let Some(slot) = v.get_mut(key) {
+                *slot = Value::Num(0.0);
+            }
+        }
+    }
+    Ok(v.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_schema_lines_and_summarizes() {
+        let text = "\
+{\"kind\":\"dip\",\"name\":\"sat\",\"ts\":10,\"iter\":1}\n\
+{\"kind\":\"counter\",\"name\":\"sat.dips\",\"ts\":20,\"value\":1}\n";
+        let s = check_trace(text).expect("valid");
+        assert_eq!(s.lines, 2);
+        assert_eq!(s.kinds.get("dip"), Some(&1));
+        assert_eq!(s.metrics.get("sat.dips"), Some(&1.0));
+    }
+
+    #[test]
+    fn rejects_missing_fields_and_time_travel() {
+        assert!(validate_line("{\"name\":\"x\",\"ts\":1}").is_err());
+        assert!(validate_line("{\"kind\":\"x\",\"ts\":1}").is_err());
+        assert!(validate_line("{\"kind\":\"x\",\"name\":\"y\"}").is_err());
+        assert!(validate_line("not json").is_err());
+        let back = "\
+{\"kind\":\"a\",\"name\":\"n\",\"ts\":10}\n\
+{\"kind\":\"a\",\"name\":\"n\",\"ts\":5}\n";
+        assert!(check_trace(back).is_err());
+    }
+
+    #[test]
+    fn normalization_zeroes_volatile_fields_only() {
+        let line =
+            "{\"kind\":\"span\",\"name\":\"attack.sat\",\"ts\":123456,\"dur_ns\":999,\"iters\":4}";
+        let n = normalize_for_golden(line).expect("valid");
+        assert_eq!(
+            n,
+            "{\"dur_ns\":0,\"iters\":4,\"kind\":\"span\",\"name\":\"attack.sat\",\"ts\":0}"
+        );
+        let hist = "{\"kind\":\"hist\",\"name\":\"sat.solver.ns\",\"ts\":5,\"count\":3,\"sum_ns\":7,\"min_ns\":1,\"max_ns\":4}";
+        let n = normalize_for_golden(hist).expect("valid");
+        assert!(n.contains("\"count\":0"), "{n}");
+        let stable = "{\"kind\":\"counter\",\"name\":\"sat.dips\",\"ts\":5,\"value\":7}";
+        let n = normalize_for_golden(stable).expect("valid");
+        assert!(n.contains("\"value\":7"), "{n}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Event sinks: where trace lines go.
+
+use crate::event::Event;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Receives serialized events. Implementations must be cheap when unused —
+/// the collector checks its tracing flag before building events, so a
+/// sink only ever sees lines the user asked for.
+pub trait Sink: Send {
+    /// Consumes one event.
+    fn emit(&self, event: &Event);
+    /// Flushes buffered output (end of run).
+    fn flush(&self);
+}
+
+impl<S: Sink + Send + Sync + ?Sized> Sink for std::sync::Arc<S> {
+    fn emit(&self, event: &Event) {
+        (**self).emit(event);
+    }
+
+    fn flush(&self) {
+        (**self).flush();
+    }
+}
+
+/// Discards everything (tracing disabled).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn emit(&self, _event: &Event) {}
+    fn flush(&self) {}
+}
+
+/// Appends one JSON line per event to a file.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error message when the file cannot be created.
+    pub fn create(path: &Path) -> Result<Self, String> {
+        let file =
+            File::create(path).map_err(|e| format!("creating trace {}: {e}", path.display()))?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let mut w = self.writer.lock().expect("sink poisoned");
+        let _ = writeln!(w, "{}", event.to_jsonl());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("sink poisoned").flush();
+    }
+}
+
+/// Collects events in memory (tests).
+#[derive(Debug, Default)]
+pub struct MemSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemSink {
+    /// All events emitted so far.
+    pub fn drain(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("sink poisoned"))
+    }
+}
+
+impl Sink for MemSink {
+    fn emit(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("sink poisoned")
+            .push(event.clone());
+    }
+
+    fn flush(&self) {}
+}

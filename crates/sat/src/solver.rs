@@ -141,6 +141,12 @@ impl Solver {
         self.assigns.len() as u32
     }
 
+    /// Number of live (non-deleted) clauses, learnt ones included. Attack
+    /// telemetry reads this to report CNF growth per iteration.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.deleted).count()
+    }
+
     /// Search statistics so far.
     pub fn stats(&self) -> SolverStats {
         SolverStats {

@@ -2,6 +2,7 @@
 
 use crate::{DelayModel, SimConfig, Stimulus, Waveform};
 use glitchlock_netlist::{CellId, Logic, NetId, Netlist};
+use glitchlock_obs::{self as obs, names};
 use glitchlock_stdcell::{Library, Ps};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
@@ -205,11 +206,18 @@ impl<'a> Simulator<'a> {
 
         let mut samples: HashMap<CellId, Vec<(Ps, Logic)>> = HashMap::new();
         let mut in_buf: Vec<Logic> = Vec::with_capacity(8);
+        // Local accumulators, published to the obs registry once per run
+        // so the event loop pays zero atomic traffic.
+        let mut n_events = 0u64;
+        let mut n_cancelled = 0u64;
+        let mut n_changes = 0u64;
+        let mut n_edges = 0u64;
 
         while let Some(ev) = heap.pop() {
             if ev.time > until {
                 break;
             }
+            n_events += 1;
             match ev.kind {
                 EventKind::NetChange {
                     net,
@@ -217,6 +225,7 @@ impl<'a> Simulator<'a> {
                     gen: evgen,
                 } => {
                     if evgen != u64::MAX && evgen != gen[net.index()] {
+                        n_cancelled += 1;
                         continue; // cancelled by inertial replacement
                     }
                     if evgen == u64::MAX {
@@ -227,6 +236,7 @@ impl<'a> Simulator<'a> {
                         continue;
                     }
                     values[net.index()] = value;
+                    n_changes += 1;
                     waveforms[net.index()].push(ev.time, value);
                     // Propagate to combinational sinks.
                     let fanout: Vec<(CellId, usize)> = nl.net(net).fanout().to_vec();
@@ -252,6 +262,7 @@ impl<'a> Simulator<'a> {
                     }
                 }
                 EventKind::ClockEdge { ff } => {
+                    n_edges += 1;
                     let cell = nl.cell(ff);
                     let d_net = cell.inputs()[0];
                     let d = values[d_net.index()];
@@ -272,6 +283,17 @@ impl<'a> Simulator<'a> {
         }
 
         let violations = self.collect_violations(&waveforms, until);
+        let collector = obs::current();
+        collector.counter(names::SIM_EVENTS).add(n_events);
+        collector.counter(names::SIM_CANCELLED).add(n_cancelled);
+        collector.counter(names::SIM_NET_CHANGES).add(n_changes);
+        collector.counter(names::SIM_CLOCK_EDGES).add(n_edges);
+        collector
+            .counter(names::SIM_VIOLATIONS)
+            .add(violations.len() as u64);
+        collector
+            .counter(names::SIM_GLITCHES)
+            .add(count_glitch_pulses(&waveforms, OBS_GLITCH_WINDOW));
         SimResult {
             waveforms,
             samples,
@@ -347,6 +369,25 @@ impl<'a> Simulator<'a> {
         out.sort_by_key(|v| (v.edge, v.change_at));
         out
     }
+}
+
+/// Observation window for glitch counting: two transitions on the same
+/// net closer than this count as one glitch pulse. Matches the paper's
+/// default glitch length scale (l_glitch ~ 1 ns).
+const OBS_GLITCH_WINDOW: Ps = Ps(1000);
+
+/// Counts short pulses (pairs of consecutive transitions within `window`)
+/// across all waveforms — the `sim.glitches` probe.
+fn count_glitch_pulses(waveforms: &[Waveform], window: Ps) -> u64 {
+    let mut pulses = 0u64;
+    for wave in waveforms {
+        for pair in wave.changes().windows(2) {
+            if pair[1].0.saturating_sub(pair[0].0) <= window {
+                pulses += 1;
+            }
+        }
+    }
+    pulses
 }
 
 #[cfg(test)]

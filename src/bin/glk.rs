@@ -2,25 +2,7 @@
 //!
 //! Operates on ISCAS `.bench` netlists:
 //!
-//! ```text
-//! glk stats       <in.bench>
-//! glk sta         <in.bench> [--period-ns N]
-//! glk feasibility <in.bench> [--period-ns N] [--glitch-ps L]
-//! glk lock-xor    <in.bench> <out.bench> [--bits N] [--seed S]
-//! glk lock-gk     <in.bench> <out-prefix> [--gks N] [--period-ns N] [--seed S] [--mix|--share]
-//! glk attack      <locked.bench> <oracle.bench> [--key-prefix P]
-//! glk sim         <in.bench> [--cycles N] [--period-ns N] [--vcd out.vcd] [--seed S]
-//! glk verify      <locked.bench> <oracle.bench> --key 0,1,… [--cycles N]
-//! glk lint        <in.bench> [--format json|text] [--deny codes|all] [--warn …]
-//!                 [--allow …] [--period-ns N] [--glitch-ps L] [--margin-ps N]
-//!                 [--key-prefix P]
-//! glk synth       <in.bench> <out.bench> [--optimize] [--holdfix] [--resize N]
-//!                 [--period-ns N] [--no-lint]
-//! glk lib         [out.lib] [--custom]
-//! glk fuzz        [--seed S] [--cases N] [--time-budget SECS] [--referee NAME]…
-//!                 [--corpus DIR] [--inject none|xnor-flip] [--shrink-budget N]
-//!                 [--max-failures N] [--list-referees]
-//! ```
+//! See [`USAGE`] (printed by `glk help`) for the full subcommand list.
 //!
 //! `lock-gk` writes `<out-prefix>.locked.bench` (with KEYGENs),
 //! `<out-prefix>.attack.bench` (the attacker's view) and prints the key.
@@ -28,6 +10,13 @@
 //! netlist, so every locked or resynthesized design leaves the flow checked;
 //! `glk lint` runs the same battery standalone and exits nonzero when any
 //! deny-level diagnostic fires.
+//!
+//! `attack`, `sim`, `lock-gk` and `fuzz` accept the observability flags
+//! `--trace out.jsonl` (structured JSON-lines event trace), `--metrics`
+//! (end-of-run metrics report) and `--metrics-format json|text`;
+//! `glk trace-check` validates a trace against the schema and, with
+//! `--sites <domain>`, fails on dead probes (expected metrics that read
+//! zero).
 
 use glitchlock::attacks::sat_attack::SatOutcome;
 use glitchlock::attacks::SatAttack;
@@ -37,12 +26,46 @@ use glitchlock::core::locking::{LockScheme, XorLock};
 use glitchlock::core::GkEncryptor;
 use glitchlock::lint::{self, Diagnostic, Level, LintContext, LintRunner};
 use glitchlock::netlist::{bench_format, Logic, Netlist};
+use glitchlock::obs;
 use glitchlock::sim::{ClockSpec, SimConfig, Simulator, Stimulus};
 use glitchlock::sta::{analyze, ClockModel};
 use glitchlock::stdcell::{Library, Ps};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::process::ExitCode;
+
+/// Full usage text, printed by `glk help` (and with any usage error).
+const USAGE: &str = "\
+usage: glk <subcommand> …
+
+  glk stats       <in.bench>
+  glk sta         <in.bench> [--period-ns N]
+  glk feasibility <in.bench> [--period-ns N] [--glitch-ps L]
+  glk lock-xor    <in.bench> <out.bench> [--bits N] [--seed S]
+  glk lock-gk     <in.bench> <out-prefix> [--gks N] [--xor-bits N] [--period-ns N]
+                  [--seed S] [--mix|--share] [OBS]
+  glk attack      <locked.bench> <oracle.bench> [--key-prefix P] [OBS]
+  glk sim         <in.bench> [--cycles N] [--period-ns N] [--vcd out.vcd]
+                  [--seed S] [OBS]
+  glk verify      <locked.bench> <oracle.bench> --key 0,1,… [--cycles N]
+                  [--period-ns N] [--key-prefix P] [--seed S]
+  glk lint        <in.bench> [--format json|text] [--deny codes|all] [--warn …]
+                  [--allow …] [--period-ns N] [--glitch-ps L] [--margin-ps N]
+                  [--key-prefix P]
+  glk synth       <in.bench> <out.bench> [--optimize] [--holdfix] [--resize N]
+                  [--period-ns N] [--no-lint]
+  glk lib         [out.lib] [--custom]
+  glk fuzz        [--seed S] [--cases N] [--time-budget SECS] [--referee NAME]…
+                  [--corpus DIR] [--inject none|xnor-flip] [--shrink-budget N]
+                  [--max-failures N] [--list-referees] [OBS]
+  glk trace-check <trace.jsonl> [--sites attack|sim|lock-gk|fuzz]
+  glk help
+
+OBS (observability) flags, accepted where marked:
+  --trace out.jsonl         write a structured JSON-lines event trace
+  --metrics                 print an end-of-run metrics report
+  --metrics-format json|text  report format (default text; json is one line)
+";
 
 fn main() -> ExitCode {
     match run() {
@@ -105,7 +128,7 @@ impl Args {
 fn run() -> Result<(), String> {
     let mut argv = std::env::args().skip(1);
     let Some(cmd) = argv.next() else {
-        return Err("usage: glk <stats|sta|feasibility|lock-xor|lock-gk|attack|sim> …".into());
+        return Err(format!("missing subcommand (try `glk help`)\n{USAGE}"));
     };
     let args = Args::parse(argv);
     match cmd.as_str() {
@@ -113,16 +136,130 @@ fn run() -> Result<(), String> {
         "sta" => cmd_sta(&args),
         "feasibility" => cmd_feasibility(&args),
         "lock-xor" => cmd_lock_xor(&args),
-        "lock-gk" => cmd_lock_gk(&args),
-        "attack" => cmd_attack(&args),
-        "sim" => cmd_sim(&args),
+        "lock-gk" => with_obs(&args, || cmd_lock_gk(&args)),
+        "attack" => with_obs(&args, || cmd_attack(&args)),
+        "sim" => with_obs(&args, || cmd_sim(&args)),
         "verify" => cmd_verify(&args),
         "lint" => cmd_lint(&args),
         "synth" => cmd_synth(&args),
         "lib" => cmd_lib(&args),
-        "fuzz" => cmd_fuzz(&args),
-        other => Err(format!("unknown subcommand {other:?}")),
+        "fuzz" => with_obs(&args, || cmd_fuzz(&args)),
+        "trace-check" => cmd_trace_check(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?} (try `glk help`)")),
     }
+}
+
+/// How `--metrics` output is rendered.
+enum MetricsFormat {
+    Text,
+    Json,
+}
+
+/// Observability flags shared by `attack`, `sim`, `lock-gk` and `fuzz`:
+/// parses `--trace`/`--metrics`/`--metrics-format`, installs the JSONL
+/// sink on the global collector up front, and after the command body runs
+/// flushes metric lines into the trace and prints the requested report.
+struct ObsCli {
+    metrics: Option<MetricsFormat>,
+    tracing: bool,
+}
+
+impl ObsCli {
+    fn from_args(args: &Args) -> Result<ObsCli, String> {
+        let tracing = match args.flag("trace") {
+            Some(path) => {
+                let sink = obs::JsonlSink::create(std::path::Path::new(path))
+                    .map_err(|e| format!("opening trace file {path}: {e}"))?;
+                obs::global().set_sink(Box::new(sink));
+                true
+            }
+            None => {
+                if args.has("trace") {
+                    return Err("--trace expects an output path".into());
+                }
+                false
+            }
+        };
+        let metrics = if args.has("metrics") {
+            Some(match args.flag("metrics-format").unwrap_or("text") {
+                "text" => MetricsFormat::Text,
+                "json" => MetricsFormat::Json,
+                other => {
+                    return Err(format!(
+                        "--metrics-format expects json or text, got {other:?}"
+                    ))
+                }
+            })
+        } else {
+            None
+        };
+        Ok(ObsCli { metrics, tracing })
+    }
+
+    fn finish(self) {
+        let collector = obs::global();
+        if self.tracing {
+            collector.finish();
+        }
+        match self.metrics {
+            Some(MetricsFormat::Text) => print!("{}", collector.report().render_text()),
+            Some(MetricsFormat::Json) => println!("{}", collector.report().render_json()),
+            None => {}
+        }
+    }
+}
+
+/// Runs a command body under the observability flags: the trace sink is
+/// live before the body starts, and metric lines / the report are emitted
+/// even when the body fails (a failing fuzz run still writes its trace).
+fn with_obs(args: &Args, body: impl FnOnce() -> Result<(), String>) -> Result<(), String> {
+    let obs_cli = ObsCli::from_args(args)?;
+    let result = body();
+    obs_cli.finish();
+    result
+}
+
+/// `glk trace-check <trace.jsonl> [--sites attack|sim|lock-gk|fuzz]`
+///
+/// Validates every line of a trace against the schema (kind/name/ts,
+/// monotone timestamps) and summarizes it. With `--sites`, additionally
+/// requires every probe that a healthy run of the domain must fire to
+/// read non-zero — dead-probe detection for CI.
+fn cmd_trace_check(args: &Args) -> Result<(), String> {
+    use glitchlock::obs::names;
+
+    let path = need(args, 0, "trace .jsonl")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    let summary = obs::schema::check_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: {} schema-valid line(s)", summary.lines);
+    for (kind, count) in &summary.kinds {
+        println!("  kind {kind:<12} {count:>6}");
+    }
+    if let Some(domain) = args.flag("sites") {
+        let sites = names::expected_sites(domain).ok_or_else(|| {
+            format!(
+                "--sites expects one of {:?}, got {domain:?}",
+                names::DOMAINS
+            )
+        })?;
+        let dead: Vec<&str> = sites
+            .iter()
+            .copied()
+            .filter(|site| summary.metrics.get(*site).copied().unwrap_or(0.0) <= 0.0)
+            .collect();
+        if !dead.is_empty() {
+            return Err(format!(
+                "dead probe(s) for domain {domain}: {} (expected non-zero)",
+                dead.join(", ")
+            ));
+        }
+        println!("all {} expected {domain} probe(s) fired", sites.len());
+    }
+    Ok(())
 }
 
 /// Loads a `.bench` file, resolving `# $lib=` binding pragmas against the
@@ -244,16 +381,34 @@ fn cmd_lock_gk(args: &Args) -> Result<(), String> {
     let nl = load(&need(args, 0, "input .bench")?)?;
     let prefix = need(args, 1, "output prefix")?;
     let n_gks = args.num("gks", 4usize)?;
+    let xor_bits = args.num("xor-bits", 0usize)?;
     let period = Ps::from_ns(args.num("period-ns", 3u64)?);
     let seed = args.num("seed", 1u64)?;
     let lib = Library::cl013g_like();
     let mut rng = StdRng::seed_from_u64(seed);
+    // --xor-bits composes the paper's hybrid (Sec. VI): conventional
+    // XOR/XNOR key-gates first, then GKs on top. The SAT attack on the
+    // attacker's view then runs real DIP iterations for the XOR bits
+    // while the GK bits stay statically unlearnable.
+    let (base, xor_key) = if xor_bits > 0 {
+        let xl = XorLock::new(xor_bits)
+            .lock(&nl, &mut rng)
+            .map_err(|e| e.to_string())?;
+        let key: String = xl
+            .correct_key
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
+        (xl.netlist, Some(key))
+    } else {
+        (nl, None)
+    };
     let locked = GkEncryptor {
         mix_schemes: args.has("mix"),
         share_keygens: args.has("share"),
         ..GkEncryptor::new(n_gks)
     }
-    .encrypt(&nl, &lib, &ClockModel::new(period), &mut rng)
+    .encrypt(&base, &lib, &ClockModel::new(period), &mut rng)
     .map_err(|e| e.to_string())?;
     let locked_path = format!("{prefix}.locked.bench");
     let attack_path = format!("{prefix}.attack.bench");
@@ -263,6 +418,9 @@ fn cmd_lock_gk(args: &Args) -> Result<(), String> {
         "locked with {n_gks} GKs ({} key inputs)",
         locked.key_width()
     );
+    if let Some(key) = &xor_key {
+        println!("hybrid XOR pre-lock: {xor_bits} key-gates, correct key {key}");
+    }
     println!("manufactured netlist -> {locked_path}");
     println!("attacker's view      -> {attack_path}");
     println!(

@@ -26,6 +26,9 @@
 //!   and lock generation, a registry of referee oracles cross-checking
 //!   every engine pair, delta-debugging shrinking, and a persistent
 //!   regression corpus (`glk fuzz`).
+//! * [`obs`] — dependency-free structured tracing and metrics: typed
+//!   counters/gauges/histograms, JSON-lines event sinks, end-of-run
+//!   reports, and the trace schema behind `glk … --trace/--metrics`.
 //!
 //! ## Quickstart
 //!
@@ -58,6 +61,7 @@ pub use glitchlock_core as core;
 pub use glitchlock_fuzz as fuzz;
 pub use glitchlock_lint as lint;
 pub use glitchlock_netlist as netlist;
+pub use glitchlock_obs as obs;
 pub use glitchlock_sat as sat;
 pub use glitchlock_sim as sim;
 pub use glitchlock_sta as sta;

@@ -183,3 +183,174 @@ fn errors_are_reported() {
     let out = glk().arg("frob").output().unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn help_lists_every_subcommand() {
+    let out = glk().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for sub in [
+        "stats",
+        "sta",
+        "feasibility",
+        "lock-xor",
+        "lock-gk",
+        "attack",
+        "sim",
+        "verify",
+        "lint",
+        "synth",
+        "lib",
+        "fuzz",
+        "trace-check",
+        "help",
+    ] {
+        assert!(
+            text.contains(&format!("glk {sub}")),
+            "missing {sub}: {text}"
+        );
+    }
+    assert!(text.contains("--trace"));
+    assert!(text.contains("--metrics"));
+
+    // The no-subcommand usage error carries the same full listing.
+    let out = glk().output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("glk trace-check"), "{err}");
+    assert!(err.contains("glk fuzz"), "{err}");
+}
+
+/// Every trace line must be a JSON object with string `kind`/`name` and a
+/// numeric `ts`.
+fn assert_schema_valid(trace: &std::path::Path) {
+    let text = std::fs::read_to_string(trace).unwrap();
+    assert!(!text.trim().is_empty(), "trace is empty");
+    for (i, line) in text.lines().enumerate() {
+        glitchlock::obs::schema::validate_line(line)
+            .unwrap_or_else(|e| panic!("line {}: {e}", i + 1));
+    }
+}
+
+#[test]
+fn attack_supports_trace_and_metrics() {
+    let dir = tempdir();
+    let bench = write_s27(&dir);
+    let prefix = dir.join("s27obs");
+    let out = glk()
+        .arg("lock-gk")
+        .arg(&bench)
+        .arg(&prefix)
+        .args(["--gks", "2", "--xor-bits", "3", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let attack_file = format!("{}.attack.bench", prefix.display());
+
+    let trace = dir.join("attack-cli.jsonl");
+    let out = glk()
+        .arg("attack")
+        .arg(&attack_file)
+        .arg(&bench)
+        .arg("--trace")
+        .arg(&trace)
+        .args(["--metrics"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_schema_valid(&trace);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("metrics:"), "{text}");
+    assert!(text.contains("sat.iterations"), "{text}");
+
+    // JSON metrics round-trip: the last stdout line is one JSON object.
+    let out = glk()
+        .arg("attack")
+        .arg(&attack_file)
+        .arg(&bench)
+        .args(["--metrics", "--metrics-format", "json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.lines().last().unwrap();
+    let v = glitchlock::obs::json::parse(line).expect("json metrics parse");
+    assert!(v.get("metrics").is_some(), "{line}");
+
+    // trace-check accepts the trace and its domain probes.
+    let out = glk()
+        .arg("trace-check")
+        .arg(&trace)
+        .args(["--sites", "attack"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn sim_and_fuzz_support_trace_flags() {
+    let dir = tempdir();
+    let bench = write_s27(&dir);
+
+    let sim_trace = dir.join("sim-cli.jsonl");
+    let out = glk()
+        .arg("sim")
+        .arg(&bench)
+        .args(["--cycles", "4"])
+        .arg("--trace")
+        .arg(&sim_trace)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_schema_valid(&sim_trace);
+
+    let fuzz_trace = dir.join("fuzz-cli.jsonl");
+    let out = glk()
+        .arg("fuzz")
+        .args(["--seed", "7", "--cases", "10"])
+        .arg("--trace")
+        .arg(&fuzz_trace)
+        .args(["--metrics"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_schema_valid(&fuzz_trace);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fuzz.cases"), "{text}");
+
+    // Dead-probe detection: a sim trace cannot satisfy the attack domain.
+    let out = glk()
+        .arg("trace-check")
+        .arg(&sim_trace)
+        .args(["--sites", "attack"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("dead probe"), "{err}");
+
+    // Unknown domains and invalid traces are rejected.
+    let out = glk()
+        .arg("trace-check")
+        .arg(&sim_trace)
+        .args(["--sites", "nonsense"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let bogus = dir.join("bogus.jsonl");
+    std::fs::write(&bogus, "not json\n").unwrap();
+    let out = glk().arg("trace-check").arg(&bogus).output().unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,203 @@
+//! Determinism tests for the observability layer: the same seed must
+//! produce identical non-volatile metrics across runs, and the packed and
+//! scalar evaluation paths must agree on `eval.gate_evals` semantics.
+
+use glitchlock::netlist::{EvalProgram, Logic, Netlist, PackedLogic, LANES};
+use glitchlock::obs::{self, json, names, schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::Arc;
+
+fn glk() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_glk"))
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("glk-obs-det-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Extracts the stable (non-volatile) metrics from a `--metrics-format
+/// json` report: counter/gauge values and histogram counts, with
+/// timing-derived metrics dropped entirely.
+fn stable_metrics(stdout: &str) -> BTreeMap<String, f64> {
+    let line = stdout
+        .lines()
+        .rev()
+        .find(|l| l.starts_with('{'))
+        .expect("json metrics line on stdout");
+    let v = json::parse(line).expect("metrics line parses");
+    let json::Value::Obj(metrics) = v.get("metrics").expect("metrics key").clone() else {
+        panic!("metrics is not an object");
+    };
+    let mut out = BTreeMap::new();
+    for (name, entry) in metrics {
+        if schema::volatile_metric(&name) {
+            continue;
+        }
+        let value = entry
+            .get("value")
+            .or_else(|| entry.get("count"))
+            .and_then(json::Value::as_num)
+            .unwrap_or_else(|| panic!("metric {name} has no value/count"));
+        out.insert(name, value);
+    }
+    out
+}
+
+fn run_twice(build: impl Fn() -> Command) -> (BTreeMap<String, f64>, BTreeMap<String, f64>) {
+    let run = || {
+        let out = build().output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        stable_metrics(&String::from_utf8_lossy(&out.stdout))
+    };
+    (run(), run())
+}
+
+#[test]
+fn attack_metrics_are_deterministic_across_runs() {
+    let dir = tempdir("attack");
+    let bench = dir.join("s27.bench");
+    std::fs::write(&bench, glitchlock_circuits::S27_BENCH).unwrap();
+    let prefix = dir.join("s27h");
+    let out = glk()
+        .arg("lock-gk")
+        .arg(&bench)
+        .arg(&prefix)
+        .args(["--gks", "2", "--xor-bits", "3", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let attack_file = format!("{}.attack.bench", prefix.display());
+
+    let (a, b) = run_twice(|| {
+        let mut c = glk();
+        c.arg("attack").arg(&attack_file).arg(&bench).args([
+            "--metrics",
+            "--metrics-format",
+            "json",
+        ]);
+        c
+    });
+    assert!(!a.is_empty());
+    assert_eq!(a, b);
+    assert_eq!(a.get(names::SAT_ITERATIONS), Some(&1.0));
+    assert_eq!(a.get(names::SAT_DIPS), Some(&1.0));
+}
+
+#[test]
+fn fuzz_metrics_are_deterministic_across_runs() {
+    let (a, b) = run_twice(|| {
+        let mut c = glk();
+        c.arg("fuzz").args(["--seed", "5", "--cases", "40"]).args([
+            "--metrics",
+            "--metrics-format",
+            "json",
+        ]);
+        c
+    });
+    assert!(!a.is_empty());
+    assert_eq!(a, b);
+    assert_eq!(a.get(names::FUZZ_CASES), Some(&40.0));
+    // Every verdict is a pass, skip, or failure-triggering fail.
+    let verdicts = a.get(names::FUZZ_VERDICTS).copied().unwrap_or(0.0);
+    let passes = a.get(names::FUZZ_PASSES).copied().unwrap_or(0.0);
+    let skips = a.get(names::FUZZ_SKIPS).copied().unwrap_or(0.0);
+    assert_eq!(verdicts, passes + skips);
+}
+
+/// Builds one random definite pattern batch for `netlist`, row-major and
+/// transposed.
+#[allow(clippy::type_complexity)]
+fn pattern_batch(
+    netlist: &Netlist,
+    seed: u64,
+) -> (
+    Vec<(Vec<Logic>, Vec<Logic>)>,
+    Vec<PackedLogic>,
+    Vec<PackedLogic>,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_pi = netlist.input_nets().len();
+    let n_ff = netlist.dff_cells().len();
+    let rows: Vec<(Vec<Logic>, Vec<Logic>)> = (0..LANES)
+        .map(|_| {
+            (
+                (0..n_pi).map(|_| Logic::from_bool(rng.gen())).collect(),
+                (0..n_ff).map(|_| Logic::from_bool(rng.gen())).collect(),
+            )
+        })
+        .collect();
+    let transpose = |pick: fn(&(Vec<Logic>, Vec<Logic>)) -> &Vec<Logic>, width: usize| {
+        (0..width)
+            .map(|i| {
+                let mut w = PackedLogic::X;
+                for (lane, row) in rows.iter().enumerate() {
+                    w.set(lane, pick(row)[i]);
+                }
+                w
+            })
+            .collect::<Vec<_>>()
+    };
+    let pi_words = transpose(|r| &r.0, n_pi);
+    let q_words = transpose(|r| &r.1, n_ff);
+    (rows, pi_words, q_words)
+}
+
+#[test]
+fn packed_and_scalar_gate_eval_counters_agree() {
+    // Evaluating the same LANES patterns through the scalar engine (one
+    // pass per pattern) and the packed engine (one 64-lane pass) must
+    // account for the same number of gate evaluations.
+    let netlist = glitchlock_circuits::s27();
+    let program = EvalProgram::compile(&netlist).expect("acyclic");
+    let (rows, pi_words, q_words) = pattern_batch(&netlist, 0xd1f7);
+
+    let scalar = Arc::new(obs::Collector::new());
+    obs::scoped(&scalar, || {
+        for (pi, qs) in &rows {
+            netlist.eval_nets(pi, Some(qs));
+        }
+    });
+
+    let packed = Arc::new(obs::Collector::new());
+    obs::scoped(&packed, || {
+        // scratch() resolves its counter handles from the current
+        // collector, so it must be called inside the scope.
+        let mut buf = program.scratch();
+        program.eval(&pi_words, Some(&q_words), &mut buf);
+    });
+
+    let scalar_evals = scalar.counter(names::EVAL_GATE_EVALS).get();
+    let packed_evals = packed.counter(names::EVAL_GATE_EVALS).get();
+    assert!(scalar_evals > 0);
+    assert_eq!(scalar_evals, packed_evals);
+    assert_eq!(
+        scalar.counter(names::EVAL_SCALAR_PASSES).get(),
+        LANES as u64
+    );
+    assert_eq!(packed.counter(names::EVAL_PACKED_PASSES).get(), 1);
+}
+
+#[test]
+fn scoped_runs_leave_the_global_registry_untouched() {
+    let before = obs::global().counter(names::EVAL_GATE_EVALS).get();
+    let mine = Arc::new(obs::Collector::new());
+    obs::scoped(&mine, || {
+        let netlist = glitchlock_circuits::s27();
+        netlist.eval_nets(
+            &vec![Logic::Zero; netlist.input_nets().len()],
+            Some(&vec![Logic::Zero; netlist.dff_cells().len()]),
+        );
+    });
+    assert!(mine.counter(names::EVAL_GATE_EVALS).get() > 0);
+    assert_eq!(obs::global().counter(names::EVAL_GATE_EVALS).get(), before);
+}

@@ -1,0 +1,127 @@
+//! Golden-trace test: a fixed-seed hybrid GK+XOR lock of s27 followed by
+//! a traced SAT attack must reproduce the committed normalized trace
+//! byte for byte.
+//!
+//! Normalization ([`glitchlock::obs::schema::normalize_for_golden`])
+//! zeroes wall-clock-dependent fields (timestamps, durations, nanosecond
+//! histograms) and re-renders each line canonically; everything else —
+//! event kinds and order, DIP patterns, solver statistics, metric
+//! counters — is compared exactly. Regenerate after an intentional
+//! instrumentation change with:
+//!
+//! ```text
+//! GLK_UPDATE_GOLDEN=1 cargo test --test obs_golden
+//! ```
+
+use glitchlock::obs::{json, schema};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn glk() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_glk"))
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("glk-obs-golden-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs the fixed scenario and returns the normalized trace text.
+fn traced_attack_normalized(dir: &Path) -> String {
+    let bench = dir.join("s27.bench");
+    std::fs::write(&bench, glitchlock_circuits::S27_BENCH).unwrap();
+    let prefix = dir.join("s27h");
+    let out = glk()
+        .arg("lock-gk")
+        .arg(&bench)
+        .arg(&prefix)
+        .args(["--gks", "2", "--xor-bits", "3", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "lock-gk failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let trace = dir.join("attack.jsonl");
+    let out = glk()
+        .arg("attack")
+        .arg(format!("{}.attack.bench", prefix.display()))
+        .arg(&bench)
+        .arg("--trace")
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "attack failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let mut normalized = String::new();
+    for (i, line) in text.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+        let n = schema::normalize_for_golden(line)
+            .unwrap_or_else(|e| panic!("trace line {}: {e}", i + 1));
+        normalized.push_str(&n);
+        normalized.push('\n');
+    }
+    normalized
+}
+
+#[test]
+fn attack_trace_matches_golden() {
+    let dir = tempdir("attack");
+    let normalized = traced_attack_normalized(&dir);
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/obs_attack_s27.jsonl");
+
+    if std::env::var("GLK_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(golden_path.parent().unwrap()).unwrap();
+        std::fs::write(&golden_path, &normalized).unwrap();
+        eprintln!("regenerated {}", golden_path.display());
+    }
+    let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with \
+             GLK_UPDATE_GOLDEN=1 cargo test --test obs_golden",
+            golden_path.display()
+        )
+    });
+    assert_eq!(
+        normalized, golden,
+        "normalized trace diverged from the committed golden file; if the \
+         instrumentation change is intentional, regenerate with \
+         GLK_UPDATE_GOLDEN=1 cargo test --test obs_golden"
+    );
+
+    // The scenario must exercise the full event vocabulary: at least five
+    // distinct kinds, including a real DIP iteration and solver calls.
+    let mut kinds = BTreeSet::new();
+    for line in normalized.lines() {
+        let v = json::parse(line).unwrap();
+        kinds.insert(
+            v.get("kind")
+                .and_then(json::Value::as_str)
+                .unwrap()
+                .to_string(),
+        );
+    }
+    for required in ["span", "counter", "dip", "solver-call", "result"] {
+        assert!(
+            kinds.contains(required),
+            "missing kind {required:?}: {kinds:?}"
+        );
+    }
+    assert!(kinds.len() >= 5, "{kinds:?}");
+}
+
+#[test]
+fn golden_scenario_is_reproducible_in_one_session() {
+    // Two independent end-to-end runs (fresh temp dirs, fresh processes)
+    // normalize to identical bytes — the premise of the golden file.
+    let a = traced_attack_normalized(&tempdir("repro-a"));
+    let b = traced_attack_normalized(&tempdir("repro-b"));
+    assert_eq!(a, b);
+}
