@@ -80,3 +80,36 @@ ls "$WORK/fuzz-corpus"/*.case > /dev/null
 "$GLK" trace-check "$WORK/attack.jsonl" --sites attack
 "$GLK" fuzz --seed 7 --cases 200 --trace "$WORK/fuzz.jsonl"
 "$GLK" trace-check "$WORK/fuzz.jsonl" --sites fuzz
+
+# Campaign gate: the orchestrator's determinism contract, end to end.
+# The report must be a pure function of the spec — identical bytes for
+# --jobs 4 vs --jobs 1, and for a halted-then-resumed run — and the
+# campaign trace must fire every expected probe.
+cat > "$WORK/campaign.spec" <<'EOF'
+bench s27
+locker xor 3
+locker sarlock 3
+locker gk 1
+attack sat
+attack removal
+seeds 1 2
+max-iters 64
+samples 256
+EOF
+"$GLK" campaign --spec "$WORK/campaign.spec" --jobs 4 --out "$WORK/camp-par" \
+    --trace "$WORK/campaign.jsonl"
+"$GLK" trace-check "$WORK/campaign.jsonl" --sites campaign
+"$GLK" campaign --spec "$WORK/campaign.spec" --jobs 1 --out "$WORK/camp-ser"
+cmp "$WORK/camp-par.report.txt" "$WORK/camp-ser.report.txt"
+cmp "$WORK/camp-par.report.json" "$WORK/camp-ser.report.json"
+
+# Kill-and-resume: halt after 2 retired jobs, resume, and demand a report
+# byte-identical to the uninterrupted run with no job journaled twice.
+"$GLK" campaign --spec "$WORK/campaign.spec" --jobs 2 --halt-after 2 \
+    --out "$WORK/camp-res"
+"$GLK" campaign --spec "$WORK/campaign.spec" --jobs 2 --resume \
+    --out "$WORK/camp-res"
+cmp "$WORK/camp-res.report.txt" "$WORK/camp-par.report.txt"
+cmp "$WORK/camp-res.report.json" "$WORK/camp-par.report.json"
+test "$(tail -n +2 "$WORK/camp-res.journal.jsonl" | grep -o '"id":"[^"]*"' \
+    | sort | uniq -d | wc -l)" -eq 0

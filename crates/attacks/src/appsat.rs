@@ -15,6 +15,7 @@
 //! returns looks perfect in the static view — the probes measure zero
 //! error — and is still useless on the timed chip.
 
+use crate::cancel::CancelToken;
 use crate::sat_attack::MiterSession;
 use glitchlock_netlist::{NetId, Netlist};
 use glitchlock_obs::{self as obs, names};
@@ -33,6 +34,9 @@ pub struct AppSatResult {
     /// True when the miter became UNSAT (exact convergence) rather than an
     /// early approximate settle.
     pub exact: bool,
+    /// True when the run was stopped by a [`CancelToken`] before settling;
+    /// `key` and `error_rate` then reflect the last completed round.
+    pub cancelled: bool,
 }
 
 /// Configuration of the approximate attack.
@@ -74,6 +78,23 @@ impl AppSat {
         oracle: &Netlist,
         rng: &mut R,
     ) -> AppSatResult {
+        self.run_with_cancel(locked, key_inputs, oracle, rng, None)
+    }
+
+    /// [`AppSat::run`] with a cooperative [`CancelToken`], polled once per
+    /// round (DIP burst + probe batch).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`AppSat::run`].
+    pub fn run_with_cancel<R: Rng>(
+        &self,
+        locked: &Netlist,
+        key_inputs: &[NetId],
+        oracle: &Netlist,
+        rng: &mut R,
+        cancel: Option<&CancelToken>,
+    ) -> AppSatResult {
         let _span = obs::span("attack.appsat");
         let round_counter = obs::counter(names::APPSAT_ROUNDS);
         let dip_counter = obs::counter(names::APPSAT_DIPS);
@@ -81,6 +102,20 @@ impl AppSat {
         let mut session = MiterSession::new(locked, key_inputs, &[], oracle);
         let mut dip_iterations = 0;
         loop {
+            if cancel.is_some_and(|c| c.is_cancelled()) {
+                let key = session.extract_key().unwrap_or_default();
+                obs::event("result", "appsat")
+                    .str("outcome", "cancelled")
+                    .u64("dip_iterations", dip_iterations as u64)
+                    .emit();
+                return AppSatResult {
+                    key,
+                    error_rate: 1.0,
+                    dip_iterations,
+                    exact: false,
+                    cancelled: true,
+                };
+            }
             round_counter.incr();
             // A burst of exact DIP rounds.
             let mut exhausted = false;
@@ -137,6 +172,7 @@ impl AppSat {
                     error_rate,
                     dip_iterations,
                     exact: exhausted && error_rate == 0.0,
+                    cancelled: false,
                 };
             }
             for (data, expect) in failing {

@@ -1,0 +1,80 @@
+//! Cooperative cancellation for long-running attack loops.
+//!
+//! A [`CancelToken`] is a cheaply clonable flag plus an optional deadline.
+//! The campaign orchestrator hands one to every job: the pool can flip the
+//! flag from outside (campaign shutdown, per-job wall-clock timeout), and
+//! the attack loops poll [`CancelToken::is_cancelled`] once per DIP
+//! iteration — the natural quantum, since a single solver call cannot be
+//! interrupted anyway. A cancelled attack returns a distinct `Cancelled`
+//! outcome instead of fabricating a key.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared cancellation flag with an optional wall-clock deadline.
+///
+/// Clones share the flag: cancelling any clone cancels them all. The
+/// deadline is fixed at construction and also trips
+/// [`CancelToken::is_cancelled`] once passed, so a token doubles as a
+/// per-job timeout without any watcher thread.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that additionally reports cancelled once `timeout` has
+    /// elapsed from now.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Instant::now().checked_add(timeout),
+        }
+    }
+
+    /// Requests cancellation on this token and every clone of it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True when [`CancelToken::cancel`] was called or the deadline has
+    /// passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled());
+        c.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_trips_without_cancel() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        assert!(t.is_cancelled());
+        let far = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+    }
+}

@@ -52,6 +52,7 @@
 #![deny(missing_docs)]
 
 pub mod appsat;
+pub mod cancel;
 pub mod enhanced;
 pub mod oracle;
 pub mod removal;
@@ -60,6 +61,7 @@ pub mod scan;
 pub mod seq_sat;
 pub mod tcf;
 
+pub use cancel::CancelToken;
 pub use enhanced::{enhanced_removal_attack, EnhancedOutcome};
 pub use oracle::ComboOracle;
 pub use sat_attack::{SatAttack, SatAttackResult, SatOutcome};

@@ -11,6 +11,7 @@
 //! GK's static function is key-independent, so no DIP exists and the attack
 //! is invalid from the start (paper Secs. V-A, VI).
 
+use crate::cancel::CancelToken;
 use crate::oracle::ComboOracle;
 use glitchlock_netlist::{CombView, EvalProgram, Logic, NetId, Netlist, PackedLogic, LANES};
 use glitchlock_obs::{self as obs, names};
@@ -41,6 +42,9 @@ pub enum SatOutcome {
     },
     /// Gave up after the iteration budget.
     IterationLimit,
+    /// Stopped early because the attached [`CancelToken`] fired (campaign
+    /// timeout or external shutdown). No key claim is made.
+    Cancelled,
 }
 
 /// The attack transcript.
@@ -80,6 +84,9 @@ pub struct SatAttack<'a> {
     pub oracle: &'a Netlist,
     /// DIP iteration budget.
     pub max_iterations: usize,
+    /// Optional cooperative cancellation: polled before every DIP
+    /// iteration (a single solver call is never interrupted).
+    pub cancel: Option<CancelToken>,
 }
 
 impl<'a> SatAttack<'a> {
@@ -91,6 +98,7 @@ impl<'a> SatAttack<'a> {
             ignored_inputs: Vec::new(),
             oracle,
             max_iterations: 4096,
+            cancel: None,
         }
     }
 
@@ -112,7 +120,21 @@ impl<'a> SatAttack<'a> {
         );
         let mut dips = Vec::new();
         let mut iterations = 0;
-        while let Some(dip) = session.find_dip() {
+        loop {
+            if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                obs::event("result", "sat_attack")
+                    .str("outcome", "cancelled")
+                    .u64("iterations", iterations as u64)
+                    .u64("dips", dips.len() as u64)
+                    .emit();
+                return SatAttackResult {
+                    outcome: SatOutcome::Cancelled,
+                    iterations,
+                    dips,
+                    stats: session.stats(),
+                };
+            }
+            let Some(dip) = session.find_dip() else { break };
             iterations += 1;
             if iterations > self.max_iterations {
                 obs::event("result", "sat_attack")
@@ -165,7 +187,7 @@ impl<'a> SatAttack<'a> {
             .str_with("key", || match &outcome {
                 SatOutcome::KeyRecovered { key }
                 | SatOutcome::NoDipAtFirstIteration { arbitrary_key: key } => bits(key),
-                SatOutcome::IterationLimit => String::new(),
+                SatOutcome::IterationLimit | SatOutcome::Cancelled => String::new(),
             })
             .emit();
         SatAttackResult {
@@ -635,6 +657,21 @@ mod tests {
             result.outcome,
             SatOutcome::NoDipAtFirstIteration { .. }
         ));
+        assert_eq!(result.iterations, 0);
+        assert!(result.dips.is_empty());
+    }
+
+    #[test]
+    fn pre_cancelled_attack_returns_cancelled_without_solving() {
+        let nl = test_circuit();
+        let mut rng = StdRng::seed_from_u64(25);
+        let locked = XorLock::new(4).lock(&nl, &mut rng).unwrap();
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        let mut attack = SatAttack::new(&locked.netlist, locked.key_inputs.clone(), &nl);
+        attack.cancel = Some(token);
+        let result = attack.run();
+        assert_eq!(result.outcome, SatOutcome::Cancelled);
         assert_eq!(result.iterations, 0);
         assert!(result.dips.is_empty());
     }

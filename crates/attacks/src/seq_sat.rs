@@ -12,6 +12,7 @@
 //! every time frame, so removing the scan assumption does not revive the
 //! attack.
 
+use crate::cancel::CancelToken;
 use crate::oracle::ComboOracle;
 use glitchlock_netlist::{CombView, NetId, Netlist};
 use glitchlock_obs::{self as obs, names};
@@ -32,6 +33,9 @@ pub enum SeqSatOutcome {
     },
     /// Iteration budget exhausted.
     IterationLimit,
+    /// Stopped early by a [`CancelToken`] (campaign timeout or external
+    /// shutdown).
+    Cancelled,
 }
 
 /// Result of [`seq_sat_attack`].
@@ -60,6 +64,23 @@ pub fn seq_sat_attack(
     oracle: &Netlist,
     depth: usize,
     max_iterations: usize,
+) -> SeqSatResult {
+    seq_sat_attack_with_cancel(locked, key_inputs, oracle, depth, max_iterations, None)
+}
+
+/// [`seq_sat_attack`] with a cooperative [`CancelToken`], polled before
+/// every distinguishing-sequence iteration.
+///
+/// # Panics
+///
+/// Same contract as [`seq_sat_attack`].
+pub fn seq_sat_attack_with_cancel(
+    locked: &Netlist,
+    key_inputs: &[NetId],
+    oracle: &Netlist,
+    depth: usize,
+    max_iterations: usize,
+    cancel: Option<&CancelToken>,
 ) -> SeqSatResult {
     let view = CombView::new(locked);
     let n_po = locked.output_ports().len();
@@ -166,6 +187,17 @@ pub fn seq_sat_attack(
     let mut sequences = Vec::new();
     let mut iterations = 0;
     loop {
+        if cancel.is_some_and(|c| c.is_cancelled()) {
+            obs::event("result", "seq_sat")
+                .str("outcome", "cancelled")
+                .u64("iterations", iterations as u64)
+                .emit();
+            return SeqSatResult {
+                outcome: SeqSatOutcome::Cancelled,
+                sequences,
+                iterations,
+            };
+        }
         call_counter.incr();
         match solver.solve_with(&[Lit::pos(gate)]) {
             SatResult::Unsat => break,
@@ -247,6 +279,7 @@ pub fn seq_sat_attack(
                 SeqSatOutcome::KeyRecovered { .. } => "key-recovered",
                 SeqSatOutcome::NoDistinguishingSequence { .. } => "no-distinguishing-sequence",
                 SeqSatOutcome::IterationLimit => "iteration-limit",
+                SeqSatOutcome::Cancelled => "cancelled",
             },
         )
         .u64("iterations", iterations as u64)

@@ -55,6 +55,7 @@ fn main() {
             SatOutcome::NoDipAtFirstIteration { .. } => "UNSAT@iter1",
             SatOutcome::KeyRecovered { .. } => "CRACKED(!)",
             SatOutcome::IterationLimit => "limit",
+            SatOutcome::Cancelled => "cancelled",
         };
         format!(
             "{:<8} {:>6} {:>10} | {:>12} {:>10} {:>8.2?}",
@@ -87,6 +88,7 @@ fn main() {
             SatOutcome::KeyRecovered { .. } => "CRACKED",
             SatOutcome::NoDipAtFirstIteration { .. } => "no dip?",
             SatOutcome::IterationLimit => "limit",
+            SatOutcome::Cancelled => "cancelled",
         };
         format!(
             "{:<8} {:>10} | {:>12} {:>10} {:>8.2?}",

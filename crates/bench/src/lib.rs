@@ -18,7 +18,11 @@
 #![deny(missing_docs)]
 
 pub mod harness;
-pub mod parallel;
+/// The scoped-thread fan-out the experiment binaries use; it lives in
+/// `glitchlock-jobs` now (the campaign pool is built on it) and is
+/// re-exported here so `glitchlock_bench::parallel::parallel_map` keeps
+/// working.
+pub use glitchlock_jobs::pool as parallel;
 
 use glitchlock_core::gk::GkDesign;
 use glitchlock_core::GkLocked;

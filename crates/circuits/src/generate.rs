@@ -57,9 +57,31 @@ pub fn iwls2005_profiles() -> Vec<Profile> {
     ]
 }
 
-/// Looks a profile up by benchmark name.
+/// Small ISCAS'89 profiles (s298, s344) used by the campaign conformance
+/// suite alongside the handwritten `s27`. They are below the size range of
+/// the paper's Table I, so cell/FF counts are taken from the original
+/// ISCAS'89 descriptions and coverage is set mid-range.
+pub fn iscas89_small_profiles() -> Vec<Profile> {
+    let p = |name, cells, ffs, inputs, outputs| Profile {
+        name,
+        cells,
+        ffs,
+        inputs,
+        outputs,
+        clock_period: Ps::from_ns(3),
+        coverage_target: 0.62,
+        seed: 0x5EED_0000 + cells as u64,
+    };
+    vec![p("s298", 133, 14, 3, 6), p("s344", 175, 15, 9, 11)]
+}
+
+/// Looks a profile up by benchmark name (Table I set plus the small
+/// ISCAS'89 circuits).
 pub fn profile_by_name(name: &str) -> Option<Profile> {
-    iwls2005_profiles().into_iter().find(|p| p.name == name)
+    iwls2005_profiles()
+        .into_iter()
+        .chain(iscas89_small_profiles())
+        .find(|p| p.name == name)
 }
 
 /// A caller-parameterized profile for fuzzing and scripted sweeps.
@@ -353,6 +375,19 @@ mod tests {
         assert_eq!(s5378.cells, 775);
         assert_eq!(s5378.ffs, 163);
         assert!(profile_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn small_iscas89_profiles_resolve_and_generate() {
+        for name in ["s298", "s344"] {
+            let p = profile_by_name(name).unwrap();
+            let nl = generate(&p);
+            let st = nl.stats();
+            assert_eq!(st.cells, p.cells, "{name}");
+            assert_eq!(st.dffs, p.ffs, "{name}");
+            assert_eq!(st.inputs, p.inputs, "{name}");
+            assert_eq!(st.outputs, p.outputs, "{name}");
+        }
     }
 
     #[test]

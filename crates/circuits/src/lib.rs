@@ -24,5 +24,8 @@
 mod generate;
 mod iscas;
 
-pub use generate::{custom_profile, generate, iwls2005_profiles, profile_by_name, tiny, Profile};
+pub use generate::{
+    custom_profile, generate, iscas89_small_profiles, iwls2005_profiles, profile_by_name, tiny,
+    Profile,
+};
 pub use iscas::{c17, s27, C17_BENCH, S27_BENCH};

@@ -1,0 +1,281 @@
+//! The JSON-lines checkpoint journal.
+//!
+//! One header line pins the journal to a spec fingerprint; every retired
+//! job appends one self-contained record line, flushed immediately so a
+//! killed campaign loses at most the line being written. `--resume` loads
+//! the journal, skips every recorded job (including failed and timed-out
+//! ones — re-running those is a new campaign, not a resume), and appends
+//! the rest. A torn final line (the kill raced a write) is tolerated;
+//! corruption anywhere else, or a spec-hash mismatch, is an error.
+
+use glitchlock_obs::json::{self, Value};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Journal schema version.
+pub const SCHEMA: u64 = 1;
+
+/// One retired job, as journaled.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobRecord {
+    /// The job id (`bench/lockerW/attack/sSEED`).
+    pub id: String,
+    /// `ok` | `skipped` | `timed-out` | `failed`.
+    pub status: String,
+    /// Outcome class (see `crate::job` for the vocabulary).
+    pub verdict: String,
+    /// Free-form detail (match rates, bypassed nets, errors).
+    pub detail: String,
+    /// Attack iterations (DIPs, candidates, or sites — attack-specific).
+    pub iterations: u64,
+    /// Key inputs in the attacked view.
+    pub key_bits: u64,
+    /// Attempts consumed (journal-only; excluded from reports).
+    pub attempts: u64,
+    /// Wall-clock milliseconds (journal-only; excluded from reports).
+    pub wall_ms: u64,
+    /// Deterministic obs metrics captured by the job's scoped collector
+    /// (counters and gauges; histograms and throughput gauges excluded).
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl JobRecord {
+    /// Renders the record as one canonical JSON object.
+    pub fn to_json(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("id".to_string(), Value::Str(self.id.clone()));
+        obj.insert("status".to_string(), Value::Str(self.status.clone()));
+        obj.insert("verdict".to_string(), Value::Str(self.verdict.clone()));
+        obj.insert("detail".to_string(), Value::Str(self.detail.clone()));
+        obj.insert("iterations".to_string(), Value::Num(self.iterations as f64));
+        obj.insert("key_bits".to_string(), Value::Num(self.key_bits as f64));
+        obj.insert("attempts".to_string(), Value::Num(self.attempts as f64));
+        obj.insert("wall_ms".to_string(), Value::Num(self.wall_ms as f64));
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::Num(*v)))
+            .collect();
+        obj.insert("metrics".to_string(), Value::Obj(metrics));
+        Value::Obj(obj)
+    }
+
+    /// Parses a record from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or mistyped field.
+    pub fn from_json(v: &Value) -> Result<JobRecord, String> {
+        let text = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("record missing string `{key}`"))
+        };
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_num)
+                .map(|n| n as u64)
+                .ok_or_else(|| format!("record missing number `{key}`"))
+        };
+        let mut metrics = BTreeMap::new();
+        match v.get("metrics") {
+            Some(Value::Obj(map)) => {
+                for (k, mv) in map {
+                    let n = mv
+                        .as_num()
+                        .ok_or_else(|| format!("metric `{k}` is not a number"))?;
+                    metrics.insert(k.clone(), n);
+                }
+            }
+            _ => return Err("record missing object `metrics`".to_string()),
+        }
+        Ok(JobRecord {
+            id: text("id")?,
+            status: text("status")?,
+            verdict: text("verdict")?,
+            detail: text("detail")?,
+            iterations: num("iterations")?,
+            key_bits: num("key_bits")?,
+            attempts: num("attempts")?,
+            wall_ms: num("wall_ms")?,
+            metrics,
+        })
+    }
+}
+
+fn header_line(spec_hash: &str) -> String {
+    let mut obj = BTreeMap::new();
+    obj.insert("kind".to_string(), Value::Str("campaign-journal".into()));
+    obj.insert("schema".to_string(), Value::Num(SCHEMA as f64));
+    obj.insert("spec_hash".to_string(), Value::Str(spec_hash.to_string()));
+    Value::Obj(obj).to_string()
+}
+
+/// Append-only journal writer; every line is flushed as written.
+pub struct JournalWriter {
+    file: Mutex<File>,
+}
+
+impl JournalWriter {
+    /// Creates (truncates) a journal and writes the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors as strings.
+    pub fn create(path: &Path, spec_hash: &str) -> Result<JournalWriter, String> {
+        let mut file = File::create(path).map_err(|e| format!("create {path:?}: {e}"))?;
+        writeln!(file, "{}", header_line(spec_hash)).map_err(|e| e.to_string())?;
+        file.flush().map_err(|e| e.to_string())?;
+        Ok(JournalWriter {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Reopens an existing journal for appending (after [`load`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors as strings.
+    pub fn append_to(path: &Path) -> Result<JournalWriter, String> {
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("open {path:?} for append: {e}"))?;
+        Ok(JournalWriter {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Appends one record line and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors as strings.
+    pub fn append(&self, record: &JobRecord) -> Result<(), String> {
+        let mut file = self.file.lock().expect("journal mutex");
+        writeln!(file, "{}", record.to_json()).map_err(|e| e.to_string())?;
+        file.flush().map_err(|e| e.to_string())
+    }
+}
+
+/// Loads a journal for resuming: verifies the header against `spec_hash`
+/// and returns the recorded jobs keyed by id. A torn (unparseable or
+/// half-written) **final** line is dropped; damage anywhere else is an
+/// error.
+///
+/// # Errors
+///
+/// I/O errors, a missing/foreign header, a spec-hash mismatch, or a
+/// corrupt non-final line.
+pub fn load(path: &Path, spec_hash: &str) -> Result<BTreeMap<String, JobRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    let lines: Vec<&str> = text.lines().collect();
+    let Some((&header, records)) = lines.split_first() else {
+        return Err(format!("journal {path:?} is empty"));
+    };
+    let header = json::parse(header).map_err(|e| format!("journal header: {e}"))?;
+    if header.get("kind").and_then(Value::as_str) != Some("campaign-journal") {
+        return Err(format!("{path:?} is not a campaign journal"));
+    }
+    if header.get("schema").and_then(Value::as_num) != Some(SCHEMA as f64) {
+        return Err(format!("journal {path:?} has an unsupported schema"));
+    }
+    let found = header
+        .get("spec_hash")
+        .and_then(Value::as_str)
+        .unwrap_or("");
+    if found != spec_hash {
+        return Err(format!(
+            "journal {path:?} belongs to spec {found}, not {spec_hash} — \
+             refusing to resume across specs"
+        ));
+    }
+    let mut out = BTreeMap::new();
+    for (i, line) in records.iter().enumerate() {
+        let parsed = json::parse(line).and_then(|v| JobRecord::from_json(&v));
+        match parsed {
+            Ok(rec) => {
+                out.insert(rec.id.clone(), rec);
+            }
+            Err(e) if i + 1 == records.len() => {
+                // Torn tail from a killed run: the job re-runs on resume.
+                let _ = e;
+            }
+            Err(e) => return Err(format!("journal line {}: {e}", i + 2)),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: &str) -> JobRecord {
+        JobRecord {
+            id: id.to_string(),
+            status: "ok".to_string(),
+            verdict: "key-recovered".to_string(),
+            detail: String::new(),
+            iterations: 5,
+            key_bits: 4,
+            attempts: 1,
+            wall_ms: 12,
+            metrics: [("sat.dips".to_string(), 5.0)].into_iter().collect(),
+        }
+    }
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("glk-journal-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("journal.jsonl")
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let rec = record("s27/xor4/sat/s1");
+        let back = JobRecord::from_json(&rec.to_json()).expect("parses");
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn journal_round_trips_and_tolerates_torn_tail() {
+        let path = temp("tear");
+        let writer = JournalWriter::create(&path, "abc123").unwrap();
+        writer.append(&record("a")).unwrap();
+        writer.append(&record("b")).unwrap();
+        drop(writer);
+        // Simulate a kill mid-write.
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(file, "{{\"id\":\"c\",\"status").unwrap();
+        drop(file);
+        let loaded = load(&path, "abc123").expect("loads");
+        assert_eq!(loaded.len(), 2);
+        assert!(loaded.contains_key("a") && loaded.contains_key("b"));
+    }
+
+    #[test]
+    fn load_rejects_wrong_spec_hash_and_corrupt_middle() {
+        let path = temp("hash");
+        let writer = JournalWriter::create(&path, "abc123").unwrap();
+        writer.append(&record("a")).unwrap();
+        drop(writer);
+        assert!(load(&path, "zzz999").is_err());
+
+        let path = temp("middle");
+        std::fs::write(
+            &path,
+            format!(
+                "{}\nnot json\n{}\n",
+                header_line("h"),
+                record("a").to_json()
+            ),
+        )
+        .unwrap();
+        assert!(load(&path, "h").is_err());
+    }
+}

@@ -1,0 +1,435 @@
+//! The worker pool: scoped fan-out plus a supervised work-stealing pool
+//! with per-job wall-clock timeouts and bounded retry.
+//!
+//! [`parallel_map`] is the tiny rayon stand-in the experiment runners have
+//! always used (it moved here from `glitchlock-bench`, which re-exports
+//! it). [`run_pool`] is the campaign engine on top of the same
+//! no-external-deps philosophy: each worker owns a deque seeded
+//! round-robin, pops its own front and steals other workers' backs, and
+//! supervises every attempt on a fresh thread so a panicking or hung job
+//! costs one attempt, never the pool.
+
+use glitchlock_attacks::CancelToken;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Number of worker threads to use: `GLITCHLOCK_THREADS` if set, otherwise
+/// the machine's available parallelism (at least 1).
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("GLITCHLOCK_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on a scoped worker pool and returns results
+/// in input order. Workers claim indices from a shared counter, so uneven
+/// per-item cost (s1238 vs s38584) load-balances naturally.
+///
+/// `f` runs on plain scoped threads: panics in `f` propagate, and borrows
+/// of surrounding state are fine as long as they are `Sync`.
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = worker_count().min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let ix = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(ix) else { break };
+                let out = f(item);
+                done.lock().expect("result mutex").push((ix, out));
+            });
+        }
+    });
+    let mut pairs = done.into_inner().expect("result mutex");
+    pairs.sort_by_key(|&(ix, _)| ix);
+    assert_eq!(pairs.len(), items.len(), "every item produces one result");
+    pairs.into_iter().map(|(_, u)| u).collect()
+}
+
+/// What one job attempt reports back to the pool.
+#[derive(Debug)]
+pub enum Attempt<T> {
+    /// The attempt finished; no retry regardless of the payload's meaning.
+    Done(T),
+    /// The attempt failed transiently; the pool re-runs it (with backoff)
+    /// while the retry budget lasts.
+    Retry(String),
+}
+
+/// The pool's final word on one job.
+#[derive(Debug)]
+pub enum JobTermination<T> {
+    /// An attempt returned [`Attempt::Done`].
+    Finished {
+        /// The job's payload.
+        value: T,
+        /// Attempts consumed, including the successful one.
+        attempts: usize,
+    },
+    /// The last allowed attempt still returned [`Attempt::Retry`] (or
+    /// panicked).
+    Failed {
+        /// The final attempt's error.
+        error: String,
+        /// Attempts consumed.
+        attempts: usize,
+    },
+    /// An attempt blew through its wall-clock budget *and* ignored the
+    /// cooperative cancel; its thread was abandoned. Timeouts are not
+    /// retried — a second attempt would hang just as long.
+    TimedOut {
+        /// Attempts consumed.
+        attempts: usize,
+    },
+    /// The pool halted before this job was claimed.
+    NotRun,
+}
+
+/// Pool tuning.
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Worker threads (clamped to the job count; at least 1).
+    pub workers: usize,
+    /// Per-attempt wall-clock budget. `None` disables supervision
+    /// timeouts (attempts still see a never-expiring [`CancelToken`]).
+    pub timeout: Option<Duration>,
+    /// Re-runs allowed after a [`Attempt::Retry`] or panic.
+    pub retries: usize,
+    /// Sleep before retry `n` is `backoff * n` (linear backoff).
+    pub backoff: Duration,
+    /// When set and cancelled, workers stop claiming new jobs; unclaimed
+    /// jobs terminate as [`JobTermination::NotRun`].
+    pub halt: Option<CancelToken>,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: worker_count(),
+            timeout: None,
+            retries: 1,
+            backoff: Duration::from_millis(20),
+            halt: None,
+        }
+    }
+}
+
+/// Extra supervision slack past the cooperative deadline: the attempt's
+/// [`CancelToken`] expires first, giving well-behaved jobs time to notice
+/// and return through the normal path before the supervisor gives up.
+const HARD_GRACE: Duration = Duration::from_millis(250);
+
+enum AttemptResult<T> {
+    Done(T),
+    Retry(String),
+    Hung,
+}
+
+fn run_one_attempt<T, F>(
+    job: usize,
+    attempt: usize,
+    timeout: Option<Duration>,
+    run: &Arc<F>,
+) -> AttemptResult<T>
+where
+    T: Send + 'static,
+    F: Fn(usize, usize, CancelToken) -> Attempt<T> + Send + Sync + 'static,
+{
+    let token = match timeout {
+        Some(t) => CancelToken::with_deadline(t),
+        None => CancelToken::new(),
+    };
+    let (tx, rx) = mpsc::channel();
+    let run = Arc::clone(run);
+    let job_token = token.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("glk-job-{job}"))
+        .spawn(move || {
+            let out = catch_unwind(AssertUnwindSafe(|| run(job, attempt, job_token)));
+            let _ = tx.send(out);
+        })
+        .expect("spawn job thread");
+    let received = match timeout {
+        None => rx.recv().ok(),
+        Some(t) => match rx.recv_timeout(t + HARD_GRACE) {
+            Ok(v) => Some(v),
+            Err(RecvTimeoutError::Timeout) => {
+                // The deadline token has already expired; insist, then
+                // give one more grace period for a cooperative exit.
+                token.cancel();
+                rx.recv_timeout(HARD_GRACE).ok()
+            }
+            Err(RecvTimeoutError::Disconnected) => None,
+        },
+    };
+    match received {
+        Some(outcome) => {
+            let _ = handle.join();
+            match outcome {
+                Ok(Attempt::Done(v)) => AttemptResult::Done(v),
+                Ok(Attempt::Retry(e)) => AttemptResult::Retry(e),
+                Err(panic) => AttemptResult::Retry(panic_message(&panic)),
+            }
+        }
+        // The job ignored the cancel: abandon the thread (it parks on a
+        // dead channel when it eventually finishes) and move on.
+        None => AttemptResult::Hung,
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked".to_string()
+    }
+}
+
+fn run_with_retries<T, F>(job: usize, config: &PoolConfig, run: &Arc<F>) -> JobTermination<T>
+where
+    T: Send + 'static,
+    F: Fn(usize, usize, CancelToken) -> Attempt<T> + Send + Sync + 'static,
+{
+    let mut attempt = 0;
+    loop {
+        match run_one_attempt(job, attempt, config.timeout, run) {
+            AttemptResult::Done(value) => {
+                return JobTermination::Finished {
+                    value,
+                    attempts: attempt + 1,
+                }
+            }
+            AttemptResult::Hung => {
+                return JobTermination::TimedOut {
+                    attempts: attempt + 1,
+                }
+            }
+            AttemptResult::Retry(error) => {
+                if attempt >= config.retries {
+                    return JobTermination::Failed {
+                        error,
+                        attempts: attempt + 1,
+                    };
+                }
+                attempt += 1;
+                std::thread::sleep(config.backoff * attempt as u32);
+            }
+        }
+    }
+}
+
+/// Runs jobs `0..n_jobs` on a work-stealing pool.
+///
+/// `run(job, attempt, token)` executes one attempt — on a **fresh spawned
+/// thread**, so thread-local state (like a scoped obs collector) must be
+/// established inside the closure. `on_done(job, termination)` is called
+/// exactly once per job, from whichever worker retired it (serialize
+/// shared state yourself); halted-away jobs are reported as
+/// [`JobTermination::NotRun`] after the pool drains.
+pub fn run_pool<T, F, D>(n_jobs: usize, config: &PoolConfig, run: Arc<F>, on_done: D)
+where
+    T: Send + 'static,
+    F: Fn(usize, usize, CancelToken) -> Attempt<T> + Send + Sync + 'static,
+    D: Fn(usize, JobTermination<T>) + Sync,
+{
+    if n_jobs == 0 {
+        return;
+    }
+    let workers = config.workers.clamp(1, n_jobs);
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for job in 0..n_jobs {
+        queues[job % workers]
+            .lock()
+            .expect("queue mutex")
+            .push_back(job);
+    }
+    let claim = |own: usize| -> Option<usize> {
+        if let Some(job) = queues[own].lock().expect("queue mutex").pop_front() {
+            return Some(job);
+        }
+        for other in (0..workers).filter(|&w| w != own) {
+            if let Some(job) = queues[other].lock().expect("queue mutex").pop_back() {
+                return Some(job);
+            }
+        }
+        None
+    };
+    std::thread::scope(|scope| {
+        for own in 0..workers {
+            let run = &run;
+            let on_done = &on_done;
+            let claim = &claim;
+            scope.spawn(move || loop {
+                if config.halt.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    break;
+                }
+                let Some(job) = claim(own) else { break };
+                let termination = run_with_retries(job, config, run);
+                on_done(job, termination);
+            });
+        }
+    });
+    // Anything still queued was halted away.
+    for q in &queues {
+        let mut q = q.lock().expect("queue mutex");
+        while let Some(job) = q.pop_front() {
+            on_done(job, JobTermination::NotRun);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * 3);
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], |&x| x + 1), [8]);
+    }
+
+    #[test]
+    fn borrows_surrounding_state() {
+        let base = [10u64, 20, 30];
+        let items = [0usize, 1, 2];
+        let out = parallel_map(&items, |&i| base[i] + 1);
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn pool_runs_every_job_once() {
+        let config = PoolConfig {
+            workers: 4,
+            ..PoolConfig::default()
+        };
+        let done = Mutex::new(vec![0u32; 20]);
+        run_pool(
+            20,
+            &config,
+            Arc::new(|job, _attempt, _token| Attempt::Done(job * 2)),
+            |job, term| {
+                let JobTermination::Finished { value, attempts } = term else {
+                    panic!("job {job} did not finish");
+                };
+                assert_eq!(value, job * 2);
+                assert_eq!(attempts, 1);
+                done.lock().unwrap()[job] += 1;
+            },
+        );
+        assert!(done.lock().unwrap().iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn pool_retries_then_fails_when_budget_runs_out() {
+        let config = PoolConfig {
+            workers: 2,
+            retries: 2,
+            backoff: Duration::from_millis(1),
+            ..PoolConfig::default()
+        };
+        let attempts_seen = Mutex::new(Vec::new());
+        run_pool(
+            1,
+            &config,
+            Arc::new(|_job, attempt, _token| {
+                Attempt::<()>::Retry(format!("attempt {attempt} failed"))
+            }),
+            |_job, term| {
+                let JobTermination::Failed { error, attempts } = term else {
+                    panic!("expected failure");
+                };
+                assert_eq!(attempts, 3);
+                assert_eq!(error, "attempt 2 failed");
+                attempts_seen.lock().unwrap().push(attempts);
+            },
+        );
+        assert_eq!(*attempts_seen.lock().unwrap(), [3]);
+    }
+
+    #[test]
+    fn pool_catches_panics_as_retryable() {
+        let config = PoolConfig {
+            workers: 1,
+            retries: 1,
+            backoff: Duration::from_millis(1),
+            ..PoolConfig::default()
+        };
+        let outcome = Mutex::new(None);
+        run_pool(
+            1,
+            &config,
+            Arc::new(|_job, attempt, _token| {
+                if attempt == 0 {
+                    panic!("flaky");
+                }
+                Attempt::Done(attempt)
+            }),
+            |_job, term| {
+                *outcome.lock().unwrap() = Some(match term {
+                    JobTermination::Finished { value, attempts } => (value, attempts),
+                    other => panic!("unexpected termination: {other:?}"),
+                });
+            },
+        );
+        assert_eq!(*outcome.lock().unwrap(), Some((1, 2)));
+    }
+
+    #[test]
+    fn halt_token_leaves_unclaimed_jobs_not_run() {
+        let halt = CancelToken::new();
+        let config = PoolConfig {
+            workers: 1,
+            halt: Some(halt.clone()),
+            ..PoolConfig::default()
+        };
+        let finished = Mutex::new(0usize);
+        let not_run = Mutex::new(0usize);
+        let halt_for_job = halt.clone();
+        run_pool(
+            5,
+            &config,
+            Arc::new(move |job, _attempt, _token| {
+                if job == 1 {
+                    halt_for_job.cancel();
+                }
+                Attempt::Done(job)
+            }),
+            |_job, term| match term {
+                JobTermination::Finished { .. } => *finished.lock().unwrap() += 1,
+                JobTermination::NotRun => *not_run.lock().unwrap() += 1,
+                other => panic!("unexpected termination: {other:?}"),
+            },
+        );
+        assert_eq!(*finished.lock().unwrap(), 2);
+        assert_eq!(*not_run.lock().unwrap(), 3);
+    }
+}

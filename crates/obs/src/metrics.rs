@@ -84,6 +84,24 @@ impl Histogram {
         self.0.lock().expect("histogram poisoned").count
     }
 
+    /// Folds another histogram's aggregate into this one (used when a
+    /// scoped per-job registry is merged back into its parent).
+    pub fn absorb(&self, count: u64, sum: u64, min: u64, max: u64) {
+        if count == 0 {
+            return;
+        }
+        let mut h = self.0.lock().expect("histogram poisoned");
+        if h.count == 0 {
+            h.min = min;
+            h.max = max;
+        } else {
+            h.min = h.min.min(min);
+            h.max = h.max.max(max);
+        }
+        h.count += count;
+        h.sum += sum;
+    }
+
     fn snapshot(&self) -> MetricValue {
         let h = self.0.lock().expect("histogram poisoned");
         MetricValue::Hist {
@@ -170,6 +188,26 @@ impl Registry {
         }
     }
 
+    /// Folds a snapshot (typically from a scoped per-job registry) into
+    /// this registry: counters add, gauges last-write-win, histograms
+    /// merge their aggregates. Kind collisions follow the
+    /// [`Registry::counter`] rule — the snapshot value is dropped rather
+    /// than panicking.
+    pub fn merge_snapshot(&self, snapshot: &[(String, MetricValue)]) {
+        for (name, value) in snapshot {
+            match value {
+                MetricValue::Counter(v) => self.counter(name).add(*v),
+                MetricValue::Gauge(v) => self.gauge(name).set(*v),
+                MetricValue::Hist {
+                    count,
+                    sum,
+                    min,
+                    max,
+                } => self.hist(name).absorb(*count, *sum, *min, *max),
+            }
+        }
+    }
+
     /// All registered metrics in name order.
     pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
         let map = self.inner.lock().expect("registry poisoned");
@@ -217,6 +255,33 @@ mod tests {
         let g = r.gauge("x");
         g.set(9.0);
         assert_eq!(r.snapshot()[0].1, MetricValue::Counter(1));
+    }
+
+    #[test]
+    fn merge_snapshot_adds_counters_and_merges_hists() {
+        let a = Registry::default();
+        a.counter("c").add(3);
+        a.gauge("g").set(2.0);
+        a.hist("h").observe(10);
+        let b = Registry::default();
+        b.counter("c").add(4);
+        b.gauge("g").set(9.0);
+        b.hist("h").observe(2);
+        b.hist("h").observe(20);
+        a.merge_snapshot(&b.snapshot());
+        let got: std::collections::BTreeMap<String, MetricValue> =
+            a.snapshot().into_iter().collect();
+        assert_eq!(got["c"], MetricValue::Counter(7));
+        assert_eq!(got["g"], MetricValue::Gauge(9.0));
+        assert_eq!(
+            got["h"],
+            MetricValue::Hist {
+                count: 3,
+                sum: 32,
+                min: 2,
+                max: 20
+            }
+        );
     }
 
     #[test]

@@ -95,6 +95,19 @@ pub const LOCK_GK_INSERTED: &str = "lock.gk.inserted";
 /// KEYGEN macros built (≤ inserted when shared).
 pub const LOCK_GK_KEYGENS: &str = "lock.gk.keygens";
 
+/// Campaign jobs expanded from the spec and handed to the pool.
+pub const JOBS_SCHEDULED: &str = "jobs.scheduled";
+/// Campaign jobs that ran to completion (any verdict, including skips).
+pub const JOBS_COMPLETED: &str = "jobs.completed";
+/// Job attempts beyond the first (bounded-retry re-executions).
+pub const JOBS_RETRIES: &str = "jobs.retries";
+/// Jobs killed at their per-job wall-clock timeout.
+pub const JOBS_TIMEOUTS: &str = "jobs.timeouts";
+/// Jobs that exhausted their retry budget.
+pub const JOBS_FAILURES: &str = "jobs.failures";
+/// Jobs skipped on `--resume` because the journal already records them.
+pub const JOBS_RESUME_SKIPS: &str = "jobs.resume_skips";
+
 /// Fuzz cases executed.
 pub const FUZZ_CASES: &str = "fuzz.cases";
 /// Referee verdicts returned (pass + skip + fail).
@@ -146,9 +159,18 @@ pub fn expected_sites(domain: &str) -> Option<&'static [&'static str]> {
             EVAL_PACKED_PASSES,
             SIM_EVENTS,
         ]),
+        // Any campaign locks designs and evaluates gates; per-job scoped
+        // snapshots are folded back into the campaign collector, so these
+        // read non-zero in the trace regardless of the attack mix.
+        "campaign" => Some(&[
+            JOBS_SCHEDULED,
+            JOBS_COMPLETED,
+            LOCK_DESIGNS,
+            EVAL_GATE_EVALS,
+        ]),
         _ => None,
     }
 }
 
 /// Every domain [`expected_sites`] knows about.
-pub const DOMAINS: [&str; 4] = ["attack", "sim", "lock-gk", "fuzz"];
+pub const DOMAINS: [&str; 5] = ["attack", "sim", "lock-gk", "fuzz", "campaign"];

@@ -11,7 +11,8 @@
 //! `glk lint` runs the same battery standalone and exits nonzero when any
 //! deny-level diagnostic fires.
 //!
-//! `attack`, `sim`, `lock-gk` and `fuzz` accept the observability flags
+//! `attack`, `sim`, `lock-gk`, `fuzz` and `campaign` accept the
+//! observability flags
 //! `--trace out.jsonl` (structured JSON-lines event trace), `--metrics`
 //! (end-of-run metrics report) and `--metrics-format json|text`;
 //! `glk trace-check` validates a trace against the schema and, with
@@ -58,7 +59,9 @@ usage: glk <subcommand> …
   glk fuzz        [--seed S] [--cases N] [--time-budget SECS] [--referee NAME]…
                   [--corpus DIR] [--inject none|xnor-flip] [--shrink-budget N]
                   [--max-failures N] [--list-referees] [OBS]
-  glk trace-check <trace.jsonl> [--sites attack|sim|lock-gk|fuzz]
+  glk campaign    --spec <spec.txt> [--jobs N] [--out PREFIX] [--resume]
+                  [--journal PATH] [--halt-after N] [OBS]
+  glk trace-check <trace.jsonl> [--sites attack|sim|lock-gk|fuzz|campaign]
   glk help
 
 OBS (observability) flags, accepted where marked:
@@ -144,6 +147,7 @@ fn run() -> Result<(), String> {
         "synth" => cmd_synth(&args),
         "lib" => cmd_lib(&args),
         "fuzz" => with_obs(&args, || cmd_fuzz(&args)),
+        "campaign" => with_obs(&args, || cmd_campaign(&args)),
         "trace-check" => cmd_trace_check(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -474,6 +478,9 @@ fn cmd_attack(args: &Args) -> Result<(), String> {
         }
         SatOutcome::IterationLimit => {
             println!("gave up after {} iterations", result.iterations);
+        }
+        SatOutcome::Cancelled => {
+            println!("cancelled after {} iterations", result.iterations);
         }
     }
     Ok(())
@@ -849,6 +856,84 @@ fn cmd_fuzz(args: &Args) -> Result<(), String> {
         }
     }
     Err(format!("{} referee failure(s)", report.failures.len()))
+}
+
+/// `glk campaign --spec <spec.txt> [--jobs N] [--out PREFIX] [--resume] …`
+///
+/// Expands the campaign spec (benchmarks × lockers × attacks × seeds) and
+/// runs every cell through the supervised worker pool, journaling each
+/// retired job to `<out>.journal.jsonl` so `--resume` skips completed work
+/// after a kill. Writes `<out>.report.txt` and `<out>.report.json` and
+/// prints the text report; the report is a pure function of the spec, so
+/// `--jobs 1` and `--jobs 8` (and resumed runs) produce identical bytes.
+/// Wall-clock only goes to stderr, so stdout stays deterministic.
+fn cmd_campaign(args: &Args) -> Result<(), String> {
+    use glitchlock::jobs::{report, run_campaign, CampaignConfig, CampaignSpec};
+
+    let spec_path = args
+        .flag("spec")
+        .ok_or("campaign needs --spec <spec.txt>")?;
+    let text =
+        std::fs::read_to_string(spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let spec = CampaignSpec::parse(&text)?;
+    let out = args.flag("out").unwrap_or("campaign").to_string();
+    let journal_path = args
+        .flag("journal")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from(format!("{out}.journal.jsonl")));
+    let halt_after = match args.flag("halt-after") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("--halt-after expects a number of jobs, got {v:?}"))?,
+        ),
+    };
+    let config = CampaignConfig {
+        spec,
+        jobs: args.num("jobs", glitchlock::jobs::worker_count())?,
+        journal_path: journal_path.clone(),
+        resume: args.has("resume"),
+        halt_after,
+    };
+    let started = std::time::Instant::now();
+    let result = run_campaign(&config)?;
+    if result.skipped_resume > 0 {
+        eprintln!(
+            "resume: skipping {} journaled job(s)",
+            result.skipped_resume
+        );
+    }
+    eprintln!(
+        "campaign: {} job(s) executed, wall-clock {:.1}s",
+        result.executed,
+        started.elapsed().as_secs_f64()
+    );
+    if result.halted {
+        eprintln!(
+            "campaign: halted early; rerun with --resume to finish \
+             (journal: {})",
+            journal_path.display()
+        );
+        return Ok(());
+    }
+    let text_report = report::render_text(&config.spec, &result.records);
+    let json_report = report::render_json(&config.spec, &result.records);
+    let txt_path = format!("{out}.report.txt");
+    let json_path = format!("{out}.report.json");
+    std::fs::write(&txt_path, &text_report).map_err(|e| format!("cannot write {txt_path}: {e}"))?;
+    std::fs::write(&json_path, &json_report)
+        .map_err(|e| format!("cannot write {json_path}: {e}"))?;
+    print!("{text_report}");
+    eprintln!("campaign: wrote {txt_path} and {json_path}");
+    let failed = result
+        .records
+        .iter()
+        .filter(|r| r.status == "failed")
+        .count();
+    if failed > 0 {
+        return Err(format!("{failed} job(s) failed"));
+    }
+    Ok(())
 }
 
 fn names(nl: &Netlist, nets: &[glitchlock::netlist::NetId]) -> String {

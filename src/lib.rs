@@ -29,6 +29,11 @@
 //! * [`obs`] — dependency-free structured tracing and metrics: typed
 //!   counters/gauges/histograms, JSON-lines event sinks, end-of-run
 //!   reports, and the trace schema behind `glk … --trace/--metrics`.
+//! * [`jobs`] — the parallel campaign orchestrator: declarative campaign
+//!   specs (benchmarks × lockers × attacks × seeds), a supervised
+//!   work-stealing pool with per-job timeouts and bounded retry, a
+//!   JSON-lines checkpoint journal with `--resume`, and deterministic
+//!   Tables I–II-shaped reports (`glk campaign`).
 //!
 //! ## Quickstart
 //!
@@ -59,6 +64,7 @@ pub use glitchlock_attacks as attacks;
 pub use glitchlock_circuits as circuits;
 pub use glitchlock_core as core;
 pub use glitchlock_fuzz as fuzz;
+pub use glitchlock_jobs as jobs;
 pub use glitchlock_lint as lint;
 pub use glitchlock_netlist as netlist;
 pub use glitchlock_obs as obs;

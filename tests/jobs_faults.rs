@@ -1,0 +1,148 @@
+//! Fault injection against the campaign worker pool.
+//!
+//! * A referee job rigged with the fuzz crate's `xnor-flip` injector
+//!   fails its first attempt (the faulted reference machine disagrees
+//!   with the faithful one) and must succeed on retry — `Finished` with
+//!   exactly two attempts.
+//! * A job that hangs (ignores its cancel token) must be killed at the
+//!   wall-clock timeout and recorded `TimedOut` without crashing the
+//!   pool; every other job still finishes.
+
+use glitchlock::fuzz::{Inject, RefMachine};
+use glitchlock::jobs::{run_pool, Attempt, JobTermination, PoolConfig};
+use glitchlock::netlist::Logic;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Terminations in job order, collected through the pool's `on_done`.
+fn collect<T: Send + 'static>(
+    n_jobs: usize,
+    config: &PoolConfig,
+    run: impl Fn(usize, usize) -> Attempt<T> + Send + Sync + 'static,
+) -> Vec<JobTermination<T>> {
+    let done: Mutex<Vec<Option<JobTermination<T>>>> =
+        Mutex::new((0..n_jobs).map(|_| None).collect());
+    run_pool(
+        n_jobs,
+        config,
+        Arc::new(move |job, attempt, _token| run(job, attempt)),
+        |job, term| done.lock().unwrap()[job] = Some(term),
+    );
+    done.into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|t| t.expect("job never retired"))
+        .collect()
+}
+
+#[test]
+fn transiently_faulted_referee_succeeds_after_retry() {
+    // The referee compares the faithful reference machine against one
+    // evaluating the same netlist — on attempt 0, with the xnor-flip
+    // fault injected, so the first attempt genuinely fails. The circuit
+    // must contain an XNOR for the fault to bite (s27 has none).
+    let mut nl = glitchlock::netlist::Netlist::new("xnor-referee");
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let y = nl
+        .add_gate(glitchlock::netlist::GateKind::Xnor, &[a, b])
+        .unwrap();
+    nl.mark_output(y, "y");
+    let inputs = vec![Logic::One; nl.input_nets().len()];
+    let q0 = vec![Logic::Zero; nl.dff_cells().len()];
+
+    let config = PoolConfig {
+        workers: 2,
+        retries: 2,
+        backoff: Duration::from_millis(1),
+        ..PoolConfig::default()
+    };
+    let terms = collect(3, &config, move |_job, attempt| {
+        let inject = if attempt == 0 {
+            Inject::XnorFlip
+        } else {
+            Inject::None
+        };
+        let faithful = RefMachine::new(&nl, Inject::None);
+        let suspect = RefMachine::new(&nl, inject);
+        let mut qa = q0.clone();
+        let mut qb = q0.clone();
+        for cycle in 0..4 {
+            let a = faithful.step(&nl, &mut qa, &inputs);
+            let b = suspect.step(&nl, &mut qb, &inputs);
+            if a != b {
+                return Attempt::Retry(format!("referee disagreed at cycle {cycle}"));
+            }
+        }
+        Attempt::Done("agreed")
+    });
+
+    for (job, term) in terms.iter().enumerate() {
+        match term {
+            JobTermination::Finished { value, attempts } => {
+                assert_eq!(*value, "agreed");
+                assert_eq!(*attempts, 2, "job {job}: first attempt is faulted");
+            }
+            other => panic!("job {job}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn hung_job_is_killed_at_timeout_and_the_pool_survives() {
+    let config = PoolConfig {
+        workers: 2,
+        timeout: Some(Duration::from_millis(100)),
+        retries: 1,
+        ..PoolConfig::default()
+    };
+    // Job 1 hangs, ignoring its cancel token; the others are instant.
+    let terms = collect(4, &config, |job, _attempt| {
+        if job == 1 {
+            std::thread::sleep(Duration::from_secs(2));
+        }
+        Attempt::Done(job)
+    });
+
+    for (job, term) in terms.iter().enumerate() {
+        match (job, term) {
+            (1, JobTermination::TimedOut { attempts }) => {
+                assert_eq!(*attempts, 1, "a hung attempt must not be retried")
+            }
+            (1, other) => panic!("hung job: {other:?}"),
+            (_, JobTermination::Finished { value, attempts }) => {
+                assert_eq!((*value, *attempts), (job, 1));
+            }
+            (_, other) => panic!("job {job}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn cooperative_jobs_exit_through_the_token_before_the_hard_kill() {
+    let config = PoolConfig {
+        workers: 1,
+        timeout: Some(Duration::from_millis(50)),
+        retries: 1,
+        ..PoolConfig::default()
+    };
+    // A well-behaved long job polls its token and reports "timed-out"
+    // itself, so it retires as Finished — the hard kill never fires.
+    run_pool(
+        1,
+        &config,
+        Arc::new(|_job, _attempt, token: glitchlock::attacks::CancelToken| {
+            for _ in 0..200 {
+                if token.is_cancelled() {
+                    return Attempt::Done("cooperative-timeout");
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Attempt::Done("ran-to-completion")
+        }),
+        |_job, term| match term {
+            JobTermination::Finished { value, .. } => assert_eq!(value, "cooperative-timeout"),
+            other => panic!("{other:?}"),
+        },
+    );
+}
