@@ -113,3 +113,23 @@ cmp "$WORK/camp-res.report.txt" "$WORK/camp-par.report.txt"
 cmp "$WORK/camp-res.report.json" "$WORK/camp-par.report.json"
 test "$(tail -n +2 "$WORK/camp-res.journal.jsonl" | grep -o '"id":"[^"]*"' \
     | sort | uniq -d | wc -l)" -eq 0
+
+# SAT-backend equivalence gate: the legacy and modern CDCL backends must
+# land every campaign cell in the same verdict class. Timing-shaped
+# fields are already excluded from reports, but the two runs legitimately
+# differ in iteration counts, so compare the (id, verdict) sequences.
+"$GLK" campaign --spec "$WORK/campaign.spec" --jobs 4 --solver legacy \
+    --out "$WORK/camp-legacy"
+"$GLK" campaign --spec "$WORK/campaign.spec" --jobs 4 --solver modern \
+    --out "$WORK/camp-modern"
+grep -o '"id":"[^"]*"\|"verdict":"[^"]*"' "$WORK/camp-legacy.report.json" \
+    > "$WORK/verdicts-legacy"
+grep -o '"id":"[^"]*"\|"verdict":"[^"]*"' "$WORK/camp-modern.report.json" \
+    > "$WORK/verdicts-modern"
+cmp "$WORK/verdicts-legacy" "$WORK/verdicts-modern"
+
+# sat_solver bench smoke: trimmed tiers, 1 ms measurement windows, no
+# snapshot rewrite — proves the harness (both backends, obs counters,
+# equivalence tier) runs end to end.
+GLITCHLOCK_BENCH_MS=1 GLITCHLOCK_BENCH_NO_SNAPSHOT=1 GLITCHLOCK_BENCH_SMOKE=1 \
+    cargo bench -p glitchlock-bench --bench sat_solver

@@ -15,7 +15,7 @@ use crate::cancel::CancelToken;
 use crate::oracle::ComboOracle;
 use glitchlock_netlist::{CombView, EvalProgram, Logic, NetId, Netlist, PackedLogic, LANES};
 use glitchlock_obs::{self as obs, names};
-use glitchlock_sat::{encode_comb_into, Lit, SatResult, Solver, SolverStats, Var};
+use glitchlock_sat::{encode_comb_into, Lit, SatResult, Solver, SolverBackend, SolverStats, Var};
 use std::time::Instant;
 
 /// Renders a pattern as a `0`/`1` string for trace events (index 0 first).
@@ -87,6 +87,8 @@ pub struct SatAttack<'a> {
     /// Optional cooperative cancellation: polled before every DIP
     /// iteration (a single solver call is never interrupted).
     pub cancel: Option<CancelToken>,
+    /// Which CDCL strategy profile drives the DIP loop.
+    pub backend: SolverBackend,
 }
 
 impl<'a> SatAttack<'a> {
@@ -99,6 +101,7 @@ impl<'a> SatAttack<'a> {
             oracle,
             max_iterations: 4096,
             cancel: None,
+            backend: SolverBackend::default(),
         }
     }
 
@@ -112,11 +115,12 @@ impl<'a> SatAttack<'a> {
         let _span = obs::span("attack.sat");
         let iter_counter = obs::counter(names::SAT_ITERATIONS);
         let dip_counter = obs::counter(names::SAT_DIPS);
-        let mut session = MiterSession::new(
+        let mut session = MiterSession::with_backend(
             self.locked,
             &self.key_inputs,
             &self.ignored_inputs,
             self.oracle,
+            self.backend,
         );
         let mut dips = Vec::new();
         let mut iterations = 0;
@@ -160,8 +164,19 @@ impl<'a> SatAttack<'a> {
             dips.push(dip);
         }
 
-        // Extract a surviving key from the accumulated constraints.
-        let (outcome, outcome_name) = match session.extract_key() {
+        // Extract a surviving key from the accumulated constraints. When
+        // the last miter call was UNSAT at the root — the formula itself,
+        // not the miter-gate assumption, is contradictory — the
+        // accumulated IO constraints admit no key at all and the
+        // extraction solve is pointless; skip it. An assumption-UNSAT
+        // miter (empty-core case excluded by `failed_assumptions`) is the
+        // normal convergence: no more DIPs, surviving keys are correct.
+        let extracted = if session.miter_root_unsat() {
+            None
+        } else {
+            session.extract_key()
+        };
+        let (outcome, outcome_name) = match extracted {
             None => {
                 // The constraints themselves became unsatisfiable: the
                 // attack view cannot reproduce the oracle under any key
@@ -214,10 +229,15 @@ pub struct MiterSession<'a> {
     ports1: glitchlock_sat::EncodedPorts,
     ports2: glitchlock_sat::EncodedPorts,
     miter_gate: Var,
+    /// Stats snapshot at the previous solver call, for per-call deltas.
+    last_stats: SolverStats,
+    /// True when the last `find_dip` came back UNSAT at the root (the
+    /// formula, not the miter-gate assumption, is contradictory).
+    root_unsat: bool,
 }
 
 impl<'a> MiterSession<'a> {
-    /// Builds the two-copy miter.
+    /// Builds the two-copy miter on the default solver backend.
     ///
     /// # Panics
     ///
@@ -228,6 +248,28 @@ impl<'a> MiterSession<'a> {
         key_inputs: &[NetId],
         ignored_inputs: &[NetId],
         oracle: &'a Netlist,
+    ) -> Self {
+        MiterSession::with_backend(
+            locked,
+            key_inputs,
+            ignored_inputs,
+            oracle,
+            SolverBackend::default(),
+        )
+    }
+
+    /// Builds the two-copy miter on an explicit solver backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the locked view's non-key inputs do not align with the
+    /// oracle.
+    pub fn with_backend(
+        locked: &'a Netlist,
+        key_inputs: &[NetId],
+        ignored_inputs: &[NetId],
+        oracle: &'a Netlist,
+        backend: SolverBackend,
     ) -> Self {
         let view = CombView::new(locked);
         let locked_program = EvalProgram::compile(locked).expect("locked netlist must be acyclic");
@@ -253,7 +295,7 @@ impl<'a> MiterSession<'a> {
             "output widths must align"
         );
 
-        let mut solver = Solver::new();
+        let mut solver = Solver::with_backend(backend);
         let ports1 = encode_comb_into(&mut solver, locked, &view, &[]);
         let pinned: Vec<Option<Var>> = (0..role.len())
             .map(|i| (role[i] != Role::Key).then(|| ports1.input_vars[i]))
@@ -282,11 +324,16 @@ impl<'a> MiterSession<'a> {
             ports1,
             ports2,
             miter_gate,
+            last_stats: SolverStats::default(),
+            root_unsat: false,
         }
     }
 
     /// Searches for a distinguishing input pattern; `None` means the miter
-    /// is unsatisfiable under the accumulated constraints.
+    /// is unsatisfiable under the accumulated constraints. Check
+    /// [`MiterSession::miter_root_unsat`] to learn whether the UNSAT came
+    /// from the miter-gate assumption (normal convergence) or the formula
+    /// itself (contradictory IO constraints: no key exists).
     pub fn find_dip(&mut self) -> Option<Vec<bool>> {
         let gate = Lit::pos(self.miter_gate);
         match self.timed_solve(Some(gate), "find_dip") {
@@ -417,9 +464,17 @@ impl<'a> MiterSession<'a> {
         self.data_ix.len()
     }
 
+    /// True when the last miter solve proved the formula itself (not the
+    /// miter-gate assumption) unsatisfiable: the accumulated IO
+    /// constraints admit no key. Distinguished via the solver's
+    /// assumption unsat core.
+    pub fn miter_root_unsat(&self) -> bool {
+        self.root_unsat
+    }
+
     /// Runs the solver with telemetry: per-call wall time, cumulative
-    /// call/variable/clause counters, and (when tracing) a `solver-call`
-    /// event recording CNF growth.
+    /// call/variable/clause/search counters, and (when tracing) a
+    /// `solver-call` event recording CNF growth.
     fn timed_solve(&mut self, assumption: Option<Lit>, site: &str) -> SatResult {
         let started = Instant::now();
         let result = match assumption {
@@ -427,6 +482,12 @@ impl<'a> MiterSession<'a> {
             None => self.solver.solve(),
         };
         let dur = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let mut unsat_kind = None;
+        if assumption.is_some() && result == SatResult::Unsat {
+            let root = self.solver.failed_assumptions().is_empty();
+            self.root_unsat = root;
+            unsat_kind = Some(if root { "root" } else { "assumptions" });
+        }
         let collector = obs::current();
         collector.counter(names::SAT_SOLVER_CALLS).incr();
         collector.hist(names::SAT_SOLVER_NS).observe(dur);
@@ -434,7 +495,27 @@ impl<'a> MiterSession<'a> {
         let clauses = self.solver.num_clauses() as u64;
         collector.gauge(names::SAT_VARS).set(vars as f64);
         collector.gauge(names::SAT_CLAUSES).set(clauses as f64);
-        obs::event("solver-call", site)
+        // Per-solve search-effort deltas under the sat.* namespace.
+        let stats = self.solver.stats();
+        let prev = self.last_stats;
+        self.last_stats = stats;
+        collector
+            .counter(names::SAT_CONFLICTS)
+            .add(stats.conflicts - prev.conflicts);
+        collector
+            .counter(names::SAT_PROPAGATIONS)
+            .add(stats.propagations - prev.propagations);
+        collector
+            .counter(names::SAT_RESTARTS)
+            .add(stats.restarts - prev.restarts);
+        collector
+            .counter(names::SAT_REDUCTIONS)
+            .add(stats.reductions - prev.reductions);
+        collector.gauge(names::SAT_LEARNT).set(stats.learnt as f64);
+        collector
+            .gauge(names::SAT_MEAN_LBD_MILLI)
+            .set(stats.mean_lbd_milli() as f64);
+        let mut event = obs::event("solver-call", site)
             .str(
                 "result",
                 if result == SatResult::Sat {
@@ -445,8 +526,12 @@ impl<'a> MiterSession<'a> {
             )
             .u64("vars", vars)
             .u64("clauses", clauses)
-            .u64("dur_ns", dur)
-            .emit();
+            .u64("conflicts", stats.conflicts - prev.conflicts)
+            .u64("dur_ns", dur);
+        if let Some(kind) = unsat_kind {
+            event = event.str("unsat_kind", kind);
+        }
+        event.emit();
         result
     }
 

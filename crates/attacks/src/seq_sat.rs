@@ -16,7 +16,7 @@ use crate::cancel::CancelToken;
 use crate::oracle::ComboOracle;
 use glitchlock_netlist::{CombView, NetId, Netlist};
 use glitchlock_obs::{self as obs, names};
-use glitchlock_sat::{encode_comb_into, Lit, SatResult, Solver, Var};
+use glitchlock_sat::{encode_comb_into, Lit, SatResult, Solver, SolverBackend, Var};
 
 /// Outcome of the sequential attack.
 #[derive(Clone, Debug, PartialEq)]
@@ -82,6 +82,32 @@ pub fn seq_sat_attack_with_cancel(
     max_iterations: usize,
     cancel: Option<&CancelToken>,
 ) -> SeqSatResult {
+    seq_sat_attack_with_backend(
+        locked,
+        key_inputs,
+        oracle,
+        depth,
+        max_iterations,
+        cancel,
+        SolverBackend::default(),
+    )
+}
+
+/// [`seq_sat_attack_with_cancel`] on an explicit solver backend, so
+/// campaigns can A/B the CDCL strategy profiles.
+///
+/// # Panics
+///
+/// Same contract as [`seq_sat_attack`].
+pub fn seq_sat_attack_with_backend(
+    locked: &Netlist,
+    key_inputs: &[NetId],
+    oracle: &Netlist,
+    depth: usize,
+    max_iterations: usize,
+    cancel: Option<&CancelToken>,
+    backend: SolverBackend,
+) -> SeqSatResult {
     let view = CombView::new(locked);
     let n_po = locked.output_ports().len();
     assert_eq!(
@@ -104,7 +130,7 @@ pub fn seq_sat_attack_with_cancel(
         "data inputs must align with the oracle"
     );
 
-    let mut solver = Solver::new();
+    let mut solver = Solver::with_backend(backend);
     // Key variables for the two copies (constant across time frames).
     let key1: Vec<Var> = key_pos.iter().map(|_| solver.new_var()).collect();
     let key2: Vec<Var> = key_pos.iter().map(|_| solver.new_var()).collect();

@@ -26,12 +26,13 @@ use glitchlock_attacks::{
     removal::{bypass_net, locate_point_function},
     sat_attack::key_match_rate,
     scan::{scan_hypothesis_attack, GkResolution},
-    seq_sat::{seq_sat_attack_with_cancel, SeqSatOutcome},
+    seq_sat::{seq_sat_attack_with_backend, SeqSatOutcome},
     CancelToken, SatAttack, SatOutcome,
 };
 use glitchlock_core::locking::{AntiSat, LockScheme, MuxLock, SarLock, Tdk, XorLock};
 use glitchlock_core::GkEncryptor;
 use glitchlock_netlist::{NetId, Netlist};
+use glitchlock_sat::SolverBackend;
 use glitchlock_sta::ClockModel;
 use glitchlock_stdcell::{Library, Ps};
 use rand::rngs::StdRng;
@@ -163,6 +164,8 @@ pub struct Tuning {
     pub max_iterations: usize,
     /// Sample count for skew scans and key-verification probes.
     pub samples: usize,
+    /// CDCL backend for the SAT-based attacks.
+    pub solver: SolverBackend,
 }
 
 /// Resolves a benchmark name: the embedded ISCAS circuits by name, then
@@ -231,6 +234,7 @@ pub fn execute(job: &JobSpec, tuning: &Tuning, cancel: &CancelToken) -> JobRecor
         AttackKind::Sat => {
             let mut attack = SatAttack::new(&view, key_inputs.clone(), &oracle);
             attack.max_iterations = tuning.max_iterations;
+            attack.backend = tuning.solver;
             attack.cancel = Some(cancel.clone());
             let result = attack.run();
             record.iterations = result.iterations as u64;
@@ -277,6 +281,7 @@ pub fn execute(job: &JobSpec, tuning: &Tuning, cancel: &CancelToken) -> JobRecor
         AttackKind::AppSat => {
             let cfg = AppSat {
                 max_iterations: tuning.max_iterations,
+                backend: tuning.solver,
                 ..AppSat::default()
             };
             let result = cfg.run_with_cancel(&view, &key_inputs, &oracle, &mut rng, Some(cancel));
@@ -298,13 +303,14 @@ pub fn execute(job: &JobSpec, tuning: &Tuning, cancel: &CancelToken) -> JobRecor
             }
         }
         AttackKind::SeqSat => {
-            let result = seq_sat_attack_with_cancel(
+            let result = seq_sat_attack_with_backend(
                 &view,
                 &key_inputs,
                 &oracle,
                 3,
                 tuning.max_iterations,
                 Some(cancel),
+                tuning.solver,
             );
             record.iterations = result.iterations as u64;
             record.verdict = match result.outcome {
@@ -475,6 +481,7 @@ mod tests {
         Tuning {
             max_iterations: 64,
             samples: 256,
+            solver: SolverBackend::default(),
         }
     }
 

@@ -13,6 +13,7 @@
 //! timeout-secs 60
 //! max-iters 64
 //! samples 512
+//! solver modern
 //! ```
 //!
 //! Parsing is strict (unknown directives are errors) and re-rendering is
@@ -20,6 +21,7 @@
 //! stores it and `--resume` refuses to mix records across specs.
 
 use crate::job::{AttackKind, JobSpec, LockerKind};
+use glitchlock_sat::SolverBackend;
 
 /// FNV-1a over a string, the workspace's stock stable hash. Used for the
 /// spec fingerprint and for deriving per-job RNG seeds from job ids.
@@ -51,6 +53,8 @@ pub struct CampaignSpec {
     pub max_iterations: usize,
     /// Sample count for skew scans and key-verification probes.
     pub samples: usize,
+    /// CDCL backend driving every SAT-based attack in the campaign.
+    pub solver: SolverBackend,
 }
 
 impl Default for CampaignSpec {
@@ -64,6 +68,7 @@ impl Default for CampaignSpec {
             retries: 1,
             max_iterations: 512,
             samples: 1024,
+            solver: SolverBackend::default(),
         }
     }
 }
@@ -157,6 +162,13 @@ impl CampaignSpec {
                     };
                     spec.samples = v.parse().map_err(|_| at(format!("bad samples `{v}`")))?;
                 }
+                "solver" => {
+                    let [v] = args[..] else {
+                        return Err(at("solver takes one value (`legacy` or `modern`)".into()));
+                    };
+                    spec.solver = SolverBackend::parse(v)
+                        .ok_or_else(|| at(format!("unknown solver backend `{v}`")))?;
+                }
                 other => return Err(at(format!("unknown directive `{other}`"))),
             }
         }
@@ -190,6 +202,7 @@ impl CampaignSpec {
         let _ = writeln!(out, "retries {}", self.retries);
         let _ = writeln!(out, "max-iters {}", self.max_iterations);
         let _ = writeln!(out, "samples {}", self.samples);
+        let _ = writeln!(out, "solver {}", self.solver.tag());
         out
     }
 
@@ -272,6 +285,21 @@ samples 512\n";
         assert!(CampaignSpec::parse("bench s27\nlocker xor zero\nattack sat\n").is_err());
         assert!(CampaignSpec::parse("bench s27\nlocker warp 4\nattack sat\n").is_err());
         assert!(CampaignSpec::parse("bench s27\nlocker xor 4\nattack psychic\n").is_err());
+    }
+
+    #[test]
+    fn solver_directive_selects_the_backend() {
+        let base = "bench s27\nlocker xor 4\nattack sat\n";
+        let spec = CampaignSpec::parse(base).unwrap();
+        assert_eq!(spec.solver, SolverBackend::Modern, "modern is the default");
+        let legacy = CampaignSpec::parse(&format!("{base}solver legacy\n")).unwrap();
+        assert_eq!(legacy.solver, SolverBackend::Legacy);
+        assert_ne!(spec.hash(), legacy.hash(), "backend is part of the matrix");
+        let rendered = legacy.render();
+        assert!(rendered.contains("solver legacy\n"));
+        assert_eq!(CampaignSpec::parse(&rendered).unwrap(), legacy);
+        assert!(CampaignSpec::parse(&format!("{base}solver warp\n")).is_err());
+        assert!(CampaignSpec::parse(&format!("{base}solver\n")).is_err());
     }
 
     #[test]

@@ -19,6 +19,19 @@ pub const SAT_SOLVER_NS: &str = "sat.solver.ns";
 pub const SAT_VARS: &str = "sat.vars";
 /// CNF clause count after the last solver call (gauge).
 pub const SAT_CLAUSES: &str = "sat.clauses";
+/// CDCL conflicts analyzed across solver calls.
+pub const SAT_CONFLICTS: &str = "sat.conflicts";
+/// Literals propagated across solver calls.
+pub const SAT_PROPAGATIONS: &str = "sat.propagations";
+/// Solver restarts across solver calls.
+pub const SAT_RESTARTS: &str = "sat.restarts";
+/// Learnt clauses currently kept after the last solver call (gauge).
+pub const SAT_LEARNT: &str = "sat.learnt";
+/// Learnt-clause database reductions across solver calls.
+pub const SAT_REDUCTIONS: &str = "sat.reductions";
+/// Mean learnt-clause LBD after the last solver call, in thousandths
+/// (gauge; integer so traces stay deterministic).
+pub const SAT_MEAN_LBD_MILLI: &str = "sat.mean_lbd_milli";
 
 /// AppSAT rounds (DIP burst + probe batch).
 pub const APPSAT_ROUNDS: &str = "appsat.rounds";
@@ -133,6 +146,7 @@ pub fn expected_sites(domain: &str) -> Option<&'static [&'static str]> {
             SAT_ITERATIONS,
             SAT_DIPS,
             SAT_SOLVER_CALLS,
+            SAT_PROPAGATIONS,
             ORACLE_QUERIES,
             EVAL_GATE_EVALS,
             EVAL_SCALAR_PASSES,

@@ -1,0 +1,102 @@
+//! Solver backend selection and the incremental-solving trait.
+//!
+//! The crate ships one CDCL engine with two strategy profiles. Both are
+//! complete and sound; they differ in the heuristics that dominate
+//! wall-time on the SAT-attack miter workload:
+//!
+//! * [`SolverBackend::Legacy`] — the original engine: Luby restarts,
+//!   activity-ordered clause reduction that only fires at decision level
+//!   0, no LBD bookkeeping.
+//! * [`SolverBackend::Modern`] — glucose-style dynamic restarts driven by
+//!   fast/slow EMAs of conflict LBD with trail-depth blocking, LBD-scored
+//!   clause-DB reduction that protects glue/reason clauses, and
+//!   best-phase rephasing on top of phase saving.
+
+use crate::{Lit, SatResult, SolverStats, Var};
+
+/// Which CDCL strategy profile a [`crate::Solver`] runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SolverBackend {
+    /// The original engine: Luby restarts, activity-only reduction.
+    Legacy,
+    /// Glucose-style engine: LBD reduction, EMA restarts, rephasing.
+    #[default]
+    Modern,
+}
+
+impl SolverBackend {
+    /// Parses a backend name as used by `--solver` and campaign specs.
+    pub fn parse(s: &str) -> Option<SolverBackend> {
+        match s {
+            "legacy" => Some(SolverBackend::Legacy),
+            "modern" => Some(SolverBackend::Modern),
+            _ => None,
+        }
+    }
+
+    /// Canonical name, the inverse of [`SolverBackend::parse`].
+    pub fn tag(self) -> &'static str {
+        match self {
+            SolverBackend::Legacy => "legacy",
+            SolverBackend::Modern => "modern",
+        }
+    }
+}
+
+impl std::fmt::Display for SolverBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// The incremental SAT-solving surface the attacks program against.
+///
+/// Clauses may be added between solve calls and persist; assumptions
+/// passed to [`IncrementalSolver::solve_with`] hold for that call only.
+/// After an Unsat answer, [`IncrementalSolver::failed_assumptions`]
+/// distinguishes "the formula itself is unsatisfiable" (empty core) from
+/// "these assumptions clash with the formula" (non-empty core).
+pub trait IncrementalSolver {
+    /// Allocates a fresh variable.
+    fn new_var(&mut self) -> Var;
+
+    /// Adds a clause; returns `false` once the formula is known
+    /// unsatisfiable at level 0.
+    fn add_clause(&mut self, lits: &[Lit]) -> bool;
+
+    /// Solves under temporary unit assumptions.
+    fn solve_with(&mut self, assumptions: &[Lit]) -> SatResult;
+
+    /// Solves the formula with no assumptions.
+    fn solve(&mut self) -> SatResult {
+        self.solve_with(&[])
+    }
+
+    /// Model value of `v` after a Sat answer; `None` when unassigned or
+    /// after Unsat.
+    fn value(&self, v: Var) -> Option<bool>;
+
+    /// Subset of the last `solve_with` assumptions proven jointly
+    /// inconsistent with the formula (the unsat core over assumptions).
+    /// Empty after a Sat answer, and empty after an Unsat answer that did
+    /// not need the assumptions (the formula alone is unsatisfiable).
+    fn failed_assumptions(&self) -> &[Lit];
+
+    /// Cumulative search statistics.
+    fn stats(&self) -> SolverStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_tag_round_trip() {
+        for b in [SolverBackend::Legacy, SolverBackend::Modern] {
+            assert_eq!(SolverBackend::parse(b.tag()), Some(b));
+            assert_eq!(format!("{b}"), b.tag());
+        }
+        assert_eq!(SolverBackend::parse("minisat"), None);
+        assert_eq!(SolverBackend::default(), SolverBackend::Modern);
+    }
+}

@@ -1,0 +1,53 @@
+//! Clause storage: the clause arena entry and the watcher record used by
+//! the two-watched-literal scheme.
+
+use crate::Lit;
+
+/// Index into the solver's clause arena.
+pub(crate) type ClauseRef = u32;
+
+/// A glue clause (LBD at or below this) is never deleted by reduction:
+/// such clauses connect few decision levels and are empirically the ones
+/// worth keeping forever (Audemard & Simon 2009).
+pub(crate) const GLUE_LBD: u32 = 2;
+
+#[derive(Clone, Debug)]
+pub(crate) struct Clause {
+    pub(crate) lits: Vec<Lit>,
+    pub(crate) learnt: bool,
+    pub(crate) activity: f32,
+    /// Literal-block distance: number of distinct decision levels among
+    /// the literals when the clause was learnt (or last improved). Only
+    /// meaningful for learnt clauses; original clauses keep 0.
+    pub(crate) lbd: u32,
+    /// Set when the clause's LBD improved during conflict analysis; the
+    /// clause survives the next reduction round, then the flag clears.
+    pub(crate) protected: bool,
+    pub(crate) deleted: bool,
+}
+
+impl Clause {
+    pub(crate) fn new(lits: Vec<Lit>, learnt: bool, lbd: u32) -> Clause {
+        Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+            lbd,
+            protected: false,
+            deleted: false,
+        }
+    }
+
+    /// Glue clauses are exempt from reduction.
+    pub(crate) fn is_glue(&self) -> bool {
+        self.learnt && self.lbd != 0 && self.lbd <= GLUE_LBD
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Watcher {
+    pub(crate) cref: ClauseRef,
+    /// A literal of the clause other than the watched one; if it is already
+    /// true the clause is satisfied and needs no inspection.
+    pub(crate) blocker: Lit,
+}

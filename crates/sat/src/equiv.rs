@@ -7,7 +7,7 @@
 //! referee for the locking flows.
 
 use crate::tseitin::encode_comb_into;
-use crate::{Lit, SatResult, Solver, Var};
+use crate::{Lit, SatResult, Solver, SolverBackend, SolverStats, Var};
 use glitchlock_netlist::{CombView, Netlist};
 
 /// Outcome of a bounded equivalence check.
@@ -31,6 +31,38 @@ pub enum EquivResult {
 /// Panics if the interfaces disagree (primary input/output counts) or a
 /// netlist is cyclic.
 pub fn bounded_equiv(a: &Netlist, b: &Netlist, k: usize) -> EquivResult {
+    bounded_equiv_with(a, b, k, SolverBackend::default())
+}
+
+/// [`bounded_equiv`] on an explicit solver backend.
+///
+/// # Panics
+///
+/// Panics if the interfaces disagree (primary input/output counts) or a
+/// netlist is cyclic.
+pub fn bounded_equiv_with(
+    a: &Netlist,
+    b: &Netlist,
+    k: usize,
+    backend: SolverBackend,
+) -> EquivResult {
+    bounded_equiv_with_stats(a, b, k, backend).0
+}
+
+/// [`bounded_equiv_with`], additionally returning the solver's search
+/// statistics — the `sat_solver` benchmark uses these to report
+/// conflicts/sec on equivalence workloads.
+///
+/// # Panics
+///
+/// Panics if the interfaces disagree (primary input/output counts) or a
+/// netlist is cyclic.
+pub fn bounded_equiv_with_stats(
+    a: &Netlist,
+    b: &Netlist,
+    k: usize,
+    backend: SolverBackend,
+) -> (EquivResult, SolverStats) {
     assert_eq!(
         a.input_nets().len(),
         b.input_nets().len(),
@@ -46,7 +78,7 @@ pub fn bounded_equiv(a: &Netlist, b: &Netlist, k: usize) -> EquivResult {
     let n_pi = a.input_nets().len();
     let n_po = a.output_ports().len();
 
-    let mut solver = Solver::new();
+    let mut solver = Solver::with_backend(backend);
     // Shared primary inputs per cycle.
     let mut pi_vars: Vec<Vec<Var>> = Vec::with_capacity(k);
     for _ in 0..k {
@@ -96,7 +128,7 @@ pub fn bounded_equiv(a: &Netlist, b: &Netlist, k: usize) -> EquivResult {
         state_b = next_b;
     }
     solver.add_clause(&diff_lits);
-    match solver.solve() {
+    let result = match solver.solve() {
         SatResult::Unsat => EquivResult::Equivalent,
         SatResult::Sat => {
             let inputs = pi_vars
@@ -110,7 +142,8 @@ pub fn bounded_equiv(a: &Netlist, b: &Netlist, k: usize) -> EquivResult {
                 .collect();
             EquivResult::Counterexample { inputs }
         }
-    }
+    };
+    (result, solver.stats())
 }
 
 #[cfg(test)]
@@ -139,6 +172,26 @@ mod tests {
     fn identical_netlists_are_equivalent() {
         let a = counter(false);
         assert_eq!(bounded_equiv(&a, &a.clone(), 4), EquivResult::Equivalent);
+    }
+
+    #[test]
+    fn both_backends_agree_on_verdicts() {
+        let a = counter(false);
+        let b = counter(true);
+        for backend in [SolverBackend::Legacy, SolverBackend::Modern] {
+            assert_eq!(
+                bounded_equiv_with(&a, &a.clone(), 4, backend),
+                EquivResult::Equivalent,
+                "{backend}"
+            );
+            assert!(
+                matches!(
+                    bounded_equiv_with(&a, &b, 3, backend),
+                    EquivResult::Counterexample { .. }
+                ),
+                "{backend}"
+            );
+        }
     }
 
     #[test]

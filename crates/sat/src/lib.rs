@@ -5,10 +5,15 @@
 //! set has none, so this crate implements one from scratch:
 //!
 //! * [`Solver`] — conflict-driven clause learning with two-watched-literal
-//!   propagation, first-UIP conflict analysis, VSIDS branching with phase
-//!   saving, Luby restarts, and activity-based learned-clause reduction.
-//!   Supports incremental clause addition between solves and solving under
-//!   assumptions — both used by the attack's DIP loop.
+//!   propagation, first-UIP conflict analysis, and VSIDS branching with
+//!   phase saving. Two strategy profiles are selectable via
+//!   [`SolverBackend`]: `legacy` (Luby restarts, activity-based clause
+//!   reduction) and `modern` (glucose-style LBD clause management, EMA
+//!   restarts with trail-depth blocking, best-phase rephasing). Supports
+//!   incremental clause addition between solves and solving under
+//!   assumptions with unsat-core extraction
+//!   ([`Solver::failed_assumptions`]) — all used by the attack's DIP loop.
+//!   The incremental surface is abstracted by [`IncrementalSolver`].
 //! * [`Cnf`]/[`Lit`]/[`Var`] — clause database types.
 //! * [`tseitin`] — the Tseitin transformation from a gate-level netlist's
 //!   combinational view to CNF, one variable per net.
@@ -32,13 +37,18 @@
 
 #![deny(missing_docs)]
 
+mod backend;
+mod clause;
 mod cnf;
 pub mod dimacs;
 pub mod equiv;
 mod heap;
+mod reduce;
+mod restart;
 mod solver;
 pub mod tseitin;
 
+pub use backend::{IncrementalSolver, SolverBackend};
 pub use cnf::{Cnf, Lit, Var};
 pub use solver::{SatResult, Solver, SolverStats};
 pub use tseitin::{encode_comb, encode_comb_into, CnfSink, EncodedPorts, Encoding};

@@ -1,6 +1,16 @@
 //! The CDCL solver.
+//!
+//! One engine, two strategy profiles (see [`SolverBackend`]): the legacy
+//! profile keeps the original Luby-restart/activity-reduction behavior;
+//! the modern profile layers on glucose-style LBD clause management,
+//! EMA-driven restarts with trail-depth blocking, and best-phase
+//! rephasing. The split modules hold the moving parts: `clause` (storage),
+//! `restart` (schedules), `reduce` (DB reduction), `heap` (VSIDS order).
 
+use crate::backend::{IncrementalSolver, SolverBackend};
+use crate::clause::{Clause, ClauseRef, Watcher, GLUE_LBD};
 use crate::heap::ActivityHeap;
+use crate::restart::{RestartMode, RestartState};
 use crate::{Cnf, Lit, Var};
 
 /// Result of a [`Solver::solve`] call.
@@ -23,12 +33,27 @@ pub struct SolverStats {
     pub propagations: u64,
     /// Number of restarts performed.
     pub restarts: u64,
+    /// Number of clause-database reductions performed.
+    pub reductions: u64,
+    /// Sum of learnt-clause LBDs over all conflicts; divide by
+    /// `conflicts` for the mean LBD (see [`SolverStats::mean_lbd_milli`]).
+    pub lbd_sum: u64,
     /// Learned clauses currently kept.
     pub learnt: usize,
 }
 
+impl SolverStats {
+    /// Mean learnt-clause LBD in thousandths (integer, so reports stay
+    /// deterministic); 0 before the first conflict.
+    pub fn mean_lbd_milli(&self) -> u64 {
+        (self.lbd_sum * 1000)
+            .checked_div(self.conflicts)
+            .unwrap_or(0)
+    }
+}
+
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Assign {
+pub(crate) enum Assign {
     True,
     False,
     Unassigned,
@@ -44,38 +69,27 @@ impl Assign {
     }
 }
 
-type ClauseRef = u32;
-
-#[derive(Clone, Debug)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    activity: f32,
-    deleted: bool,
-}
-
-#[derive(Clone, Copy, Debug)]
-struct Watcher {
-    cref: ClauseRef,
-    /// A literal of the clause other than the watched one; if it is already
-    /// true the clause is satisfied and needs no inspection.
-    blocker: Lit,
-}
-
 const VAR_DECAY: f64 = 0.95;
 const CLA_DECAY: f64 = 0.999;
 const RESCALE_LIMIT: f64 = 1e100;
+/// Modern backend: first reduction after this many conflicts…
+const REDUCE_BASE: u64 = 2000;
+/// …and each later one after `REDUCE_STEP × reductions` more.
+const REDUCE_STEP: u64 = 300;
+/// Modern backend: copy the best phase over saved phases this often.
+const REPHASE_INTERVAL: u64 = 10_000;
 
 /// A conflict-driven clause-learning SAT solver.
 ///
 /// Supports incremental use: clauses may be added between `solve` calls and
 /// [`Solver::solve_with`] solves under temporary assumptions. See the crate
-/// docs for an example.
-#[derive(Clone, Debug, Default)]
+/// docs for an example. The full incremental surface is also available
+/// through the [`IncrementalSolver`] trait.
+#[derive(Clone, Debug)]
 pub struct Solver {
-    clauses: Vec<Clause>,
+    pub(crate) clauses: Vec<Clause>,
     watches: Vec<Vec<Watcher>>,
-    assigns: Vec<Assign>,
+    pub(crate) assigns: Vec<Assign>,
     polarity: Vec<bool>,
     activity: Vec<f64>,
     var_inc: f64,
@@ -84,33 +98,94 @@ pub struct Solver {
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     qhead: usize,
-    reason: Vec<Option<ClauseRef>>,
+    pub(crate) reason: Vec<Option<ClauseRef>>,
     level: Vec<u32>,
     seen: Vec<bool>,
     /// False once an empty clause has been derived at level 0.
     ok: bool,
     /// Model snapshot taken before backtracking out of a SAT answer.
     saved_model: Vec<Assign>,
-    stats: SolverStats,
-    num_learnt: usize,
+    pub(crate) stats: SolverStats,
+    pub(crate) num_learnt: usize,
     max_learnt: f64,
+    backend: SolverBackend,
+    restart: RestartState,
+    /// Assumption unsat core from the last Unsat answer (empty when the
+    /// formula alone is unsatisfiable).
+    failed: Vec<Lit>,
+    /// Phases of the deepest trail seen since the last rephase (modern).
+    best_phase: Vec<bool>,
+    best_trail: usize,
+    /// Conflict counts that trigger the next reduction / rephase (modern).
+    reduce_limit: u64,
+    rephase_limit: u64,
+    /// Live (non-deleted) clause count, kept O(1) for telemetry.
+    pub(crate) live_clauses: usize,
+    /// Stamp array indexed by decision level, for O(len) LBD computation.
+    lbd_stamp: Vec<u64>,
+    lbd_gen: u64,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
 }
 
 impl Solver {
-    /// An empty solver.
+    /// An empty solver running the default ([`SolverBackend::Modern`])
+    /// strategy profile.
     pub fn new() -> Self {
+        Solver::with_backend(SolverBackend::default())
+    }
+
+    /// An empty solver running the given strategy profile.
+    pub fn with_backend(backend: SolverBackend) -> Self {
+        let mode = match backend {
+            SolverBackend::Legacy => RestartMode::Luby,
+            SolverBackend::Modern => RestartMode::Glucose,
+        };
         Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            polarity: Vec::new(),
+            activity: Vec::new(),
             var_inc: 1.0,
             cla_inc: 1.0,
+            order: ActivityHeap::default(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            reason: Vec::new(),
+            level: Vec::new(),
+            seen: Vec::new(),
             ok: true,
+            saved_model: Vec::new(),
+            stats: SolverStats::default(),
+            num_learnt: 0,
             max_learnt: 3000.0,
-            ..Solver::default()
+            backend,
+            restart: RestartState::new(mode),
+            failed: Vec::new(),
+            best_phase: Vec::new(),
+            best_trail: 0,
+            reduce_limit: REDUCE_BASE,
+            rephase_limit: REPHASE_INTERVAL,
+            live_clauses: 0,
+            lbd_stamp: vec![0],
+            lbd_gen: 0,
         }
     }
 
-    /// Builds a solver pre-loaded with a formula.
+    /// Builds a solver pre-loaded with a formula (default backend).
     pub fn from_cnf(cnf: &Cnf) -> Self {
-        let mut s = Solver::new();
+        Solver::from_cnf_with(cnf, SolverBackend::default())
+    }
+
+    /// Builds a solver pre-loaded with a formula on a chosen backend.
+    pub fn from_cnf_with(cnf: &Cnf, backend: SolverBackend) -> Self {
+        let mut s = Solver::with_backend(backend);
         while s.num_vars() < cnf.num_vars() {
             s.new_var();
         }
@@ -120,17 +195,25 @@ impl Solver {
         s
     }
 
+    /// The strategy profile this solver runs.
+    pub fn backend(&self) -> SolverBackend {
+        self.backend
+    }
+
     /// Allocates a fresh variable.
     pub fn new_var(&mut self) -> Var {
         let v = Var(self.assigns.len() as u32);
         self.assigns.push(Assign::Unassigned);
         self.polarity.push(false);
+        self.best_phase.push(false);
         self.activity.push(0.0);
         self.reason.push(None);
         self.level.push(0);
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        // Decision levels never exceed the variable count.
+        self.lbd_stamp.push(0);
         self.order.grow_to(self.assigns.len());
         self.order.insert(v, &self.activity);
         v
@@ -144,7 +227,7 @@ impl Solver {
     /// Number of live (non-deleted) clauses, learnt ones included. Attack
     /// telemetry reads this to report CNF growth per iteration.
     pub fn num_clauses(&self) -> usize {
-        self.clauses.iter().filter(|c| !c.deleted).count()
+        self.live_clauses
     }
 
     /// Search statistics so far.
@@ -153,6 +236,15 @@ impl Solver {
             learnt: self.num_learnt,
             ..self.stats
         }
+    }
+
+    /// After an [`SatResult::Unsat`] answer from [`Solver::solve_with`]:
+    /// the subset of the assumptions proven jointly inconsistent with the
+    /// formula. Empty when the formula alone is unsatisfiable (and after
+    /// any Sat answer), so emptiness distinguishes formula-UNSAT from
+    /// assumption-UNSAT.
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.failed
     }
 
     fn lit_value(&self, l: Lit) -> Assign {
@@ -225,13 +317,13 @@ impl Solver {
                 self.ok
             }
             _ => {
-                self.attach_clause(c, false);
+                self.attach_clause(c, false, 0);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+    pub(crate) fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
         let cref = self.clauses.len() as ClauseRef;
         self.watches[(!lits[0]).code()].push(Watcher {
@@ -245,16 +337,12 @@ impl Solver {
         if learnt {
             self.num_learnt += 1;
         }
-        self.clauses.push(Clause {
-            lits,
-            learnt,
-            activity: 0.0,
-            deleted: false,
-        });
+        self.live_clauses += 1;
+        self.clauses.push(Clause::new(lits, learnt, lbd));
         cref
     }
 
-    fn enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+    pub(crate) fn enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
         debug_assert_eq!(self.lit_value(l), Assign::Unassigned);
         let v = l.var();
         self.assigns[v.index()] = Assign::from_bool(!l.is_neg());
@@ -264,7 +352,7 @@ impl Solver {
         self.trail.push(l);
     }
 
-    fn decision_level(&self) -> u32 {
+    pub(crate) fn decision_level(&self) -> u32 {
         self.trail_lim.len() as u32
     }
 
@@ -377,18 +465,52 @@ impl Solver {
         }
     }
 
+    /// Literal-block distance of a set of assigned literals: the number
+    /// of distinct non-zero decision levels among them. O(len) via a
+    /// per-level stamp array.
+    pub(crate) fn lbd_of(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_gen += 1;
+        let gen = self.lbd_gen;
+        let mut distinct = 0u32;
+        for &l in lits {
+            let lvl = self.level[l.var().index()] as usize;
+            if lvl == 0 {
+                continue;
+            }
+            if self.lbd_stamp[lvl] != gen {
+                self.lbd_stamp[lvl] = gen;
+                distinct += 1;
+            }
+        }
+        distinct
+    }
+
     /// First-UIP conflict analysis. Returns the learnt clause (asserting
-    /// literal first) and the backtrack level.
-    fn analyze(&mut self, mut confl: ClauseRef) -> (Vec<Lit>, u32) {
+    /// literal first, max-level literal second), the backtrack level, and
+    /// the learnt clause's LBD.
+    fn analyze(&mut self, mut confl: ClauseRef) -> (Vec<Lit>, u32, u32) {
         let mut learnt: Vec<Lit> = vec![Lit::pos(Var(0))]; // placeholder
         let mut counter = 0u32;
         let mut p: Option<Lit> = None;
         let mut index = self.trail.len();
         loop {
+            let lits = self.clauses[confl as usize].lits.clone();
             if self.clauses[confl as usize].learnt {
                 self.bump_clause(confl);
+                if self.backend == SolverBackend::Modern {
+                    // Dynamic LBD: a clause re-used in conflict analysis
+                    // whose LBD improved is doing well — refresh the score
+                    // and shield it from the next reduction.
+                    let fresh = self.lbd_of(&lits);
+                    let c = &mut self.clauses[confl as usize];
+                    if c.lbd != 0 && fresh < c.lbd {
+                        c.lbd = fresh.max(1);
+                        if c.lbd > GLUE_LBD {
+                            c.protected = true;
+                        }
+                    }
+                }
             }
-            let lits = self.clauses[confl as usize].lits.clone();
             let start = if p.is_some() { 1 } else { 0 };
             for &q in &lits[start..] {
                 let v = q.var();
@@ -429,6 +551,7 @@ impl Solver {
         for l in &learnt {
             self.seen[l.var().index()] = false;
         }
+        let lbd = self.lbd_of(&learnt);
         // Backtrack level: the highest level among learnt[1..].
         let bt = if learnt.len() == 1 {
             0
@@ -443,7 +566,42 @@ impl Solver {
             learnt.swap(1, max_i);
             self.level[learnt[1].var().index()]
         };
-        (learnt, bt)
+        (learnt, bt, lbd)
+    }
+
+    /// Final-conflict analysis (MiniSat's `analyzeFinal`): the assumption
+    /// `p` came up false during assumption extension; walk the
+    /// implication trail backwards to collect the subset of assumption
+    /// decisions that forced it. Returns the core, `p` included.
+    fn analyze_final(&mut self, p: Lit) -> Vec<Lit> {
+        let mut core = vec![p];
+        if self.level[p.var().index()] == 0 || self.trail_lim.is_empty() {
+            // `!p` holds at level 0: the formula alone refutes `p`.
+            return core;
+        }
+        self.seen[p.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            if !self.seen[v.index()] {
+                continue;
+            }
+            self.seen[v.index()] = false;
+            match self.reason[v.index()] {
+                // During assumption extension every decision on the trail
+                // is itself an assumption: it belongs in the core.
+                None => core.push(self.trail[i]),
+                Some(cref) => {
+                    let lits = self.clauses[cref as usize].lits.clone();
+                    // lits[0] is the implied literal (`trail[i]` itself).
+                    for &q in &lits[1..] {
+                        if self.level[q.var().index()] > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+        }
+        core
     }
 
     fn cancel_until(&mut self, level: u32) {
@@ -471,24 +629,14 @@ impl Solver {
         None
     }
 
-    fn reduce_db(&mut self) {
-        debug_assert_eq!(self.decision_level(), 0);
-        let mut learnt_refs: Vec<ClauseRef> = (0..self.clauses.len() as ClauseRef)
-            .filter(|&i| {
-                let c = &self.clauses[i as usize];
-                c.learnt && !c.deleted && c.lits.len() > 2
-            })
-            .collect();
-        learnt_refs.sort_by(|&a, &b| {
-            self.clauses[a as usize]
-                .activity
-                .partial_cmp(&self.clauses[b as usize].activity)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let to_delete = learnt_refs.len() / 2;
-        for &cref in &learnt_refs[..to_delete] {
-            self.clauses[cref as usize].deleted = true;
-            self.num_learnt -= 1;
+    /// Records the phases of the deepest trail seen since the last
+    /// rephase; periodic rephasing restores them wholesale.
+    fn snapshot_best_phase(&mut self) {
+        if self.trail.len() > self.best_trail {
+            self.best_trail = self.trail.len();
+            for &l in &self.trail {
+                self.best_phase[l.var().index()] = !l.is_neg();
+            }
         }
     }
 
@@ -498,8 +646,11 @@ impl Solver {
     }
 
     /// Solves under temporary assumptions: the formula plus the unit
-    /// assumptions. The assumptions do not persist after the call.
+    /// assumptions. The assumptions do not persist after the call. On an
+    /// Unsat answer, [`Solver::failed_assumptions`] holds the assumption
+    /// core.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.failed.clear();
         if !self.ok {
             return SatResult::Unsat;
         }
@@ -513,39 +664,20 @@ impl Solver {
         result
     }
 
-    /// The Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …
-    fn luby(mut x: u64) -> u64 {
-        loop {
-            let mut k = 1u32;
-            while (1u64 << k) - 1 < x {
-                k += 1;
-            }
-            if (1u64 << k) - 1 == x {
-                return 1u64 << (k - 1);
-            }
-            x -= (1u64 << (k - 1)) - 1;
-        }
-    }
-
     fn search(&mut self, assumptions: &[Lit]) -> SatResult {
-        let mut restart_count = 1u64;
-        let mut conflicts_until_restart = 100 * Self::luby(restart_count);
-        let mut conflicts_this_restart = 0u64;
         loop {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
-                conflicts_this_restart += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
                     return SatResult::Unsat;
                 }
-                if self.decision_level() <= assumptions.len() as u32 {
-                    // Conflict entirely under assumption decisions: the
-                    // learnt clause still helps, but if it backjumps above
-                    // an assumption that later re-propagates to false, the
-                    // pick loop below reports Unsat.
+                if self.backend == SolverBackend::Modern {
+                    self.snapshot_best_phase();
                 }
-                let (learnt, bt) = self.analyze(confl);
+                let (learnt, bt, lbd) = self.analyze(confl);
+                self.stats.lbd_sum += u64::from(lbd);
+                self.restart.on_conflict(lbd, self.trail.len());
                 self.cancel_until(bt);
                 if learnt.len() == 1 {
                     if self.lit_value(learnt[0]) == Assign::False {
@@ -556,28 +688,48 @@ impl Solver {
                         self.enqueue(learnt[0], None);
                     }
                 } else {
-                    let cref = self.attach_clause(learnt, true);
+                    let cref = self.attach_clause(learnt, true, lbd.max(1));
                     let first = self.clauses[cref as usize].lits[0];
                     self.bump_clause(cref);
                     self.enqueue(first, Some(cref));
                 }
                 self.var_inc /= VAR_DECAY;
                 self.cla_inc /= CLA_DECAY;
-                if self.num_learnt as f64 > self.max_learnt && self.decision_level() == 0 {
-                    self.reduce_db();
-                    self.max_learnt *= 1.3;
+                match self.backend {
+                    SolverBackend::Legacy => {
+                        if self.num_learnt as f64 > self.max_learnt && self.decision_level() == 0 {
+                            self.reduce_legacy();
+                            self.max_learnt *= 1.3;
+                        }
+                    }
+                    SolverBackend::Modern => {
+                        if self.stats.conflicts >= self.reduce_limit {
+                            self.reduce_modern();
+                            self.reduce_limit = self.stats.conflicts
+                                + REDUCE_BASE
+                                + REDUCE_STEP * self.stats.reductions;
+                        }
+                    }
                 }
             } else {
-                if conflicts_this_restart >= conflicts_until_restart {
-                    // Restart.
+                if self.restart.should_restart() {
                     self.stats.restarts += 1;
-                    restart_count += 1;
-                    conflicts_until_restart = 100 * Self::luby(restart_count);
-                    conflicts_this_restart = 0;
+                    self.restart.on_restart();
                     self.cancel_until(0);
-                    if self.num_learnt as f64 > self.max_learnt {
-                        self.reduce_db();
-                        self.max_learnt *= 1.3;
+                    match self.backend {
+                        SolverBackend::Legacy => {
+                            if self.num_learnt as f64 > self.max_learnt {
+                                self.reduce_legacy();
+                                self.max_learnt *= 1.3;
+                            }
+                        }
+                        SolverBackend::Modern => {
+                            if self.stats.conflicts >= self.rephase_limit {
+                                self.polarity.copy_from_slice(&self.best_phase);
+                                self.best_trail = 0;
+                                self.rephase_limit = self.stats.conflicts + REPHASE_INTERVAL;
+                            }
+                        }
                     }
                     continue;
                 }
@@ -591,7 +743,10 @@ impl Solver {
                             self.trail_lim.push(self.trail.len());
                             continue;
                         }
-                        Assign::False => return SatResult::Unsat,
+                        Assign::False => {
+                            self.failed = self.analyze_final(p);
+                            return SatResult::Unsat;
+                        }
                         Assign::Unassigned => {
                             self.trail_lim.push(self.trail.len());
                             self.enqueue(p, None);
@@ -632,9 +787,37 @@ impl Solver {
     }
 }
 
+impl IncrementalSolver for Solver {
+    fn new_var(&mut self) -> Var {
+        Solver::new_var(self)
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        Solver::add_clause(self, lits)
+    }
+
+    fn solve_with(&mut self, assumptions: &[Lit]) -> SatResult {
+        Solver::solve_with(self, assumptions)
+    }
+
+    fn value(&self, v: Var) -> Option<bool> {
+        Solver::value(self, v)
+    }
+
+    fn failed_assumptions(&self) -> &[Lit] {
+        Solver::failed_assumptions(self)
+    }
+
+    fn stats(&self) -> SolverStats {
+        Solver::stats(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const BOTH: [SolverBackend; 2] = [SolverBackend::Legacy, SolverBackend::Modern];
 
     fn lit(v: Var, pos: bool) -> Lit {
         Lit::with_sign(v, !pos)
@@ -642,13 +825,15 @@ mod tests {
 
     #[test]
     fn trivial_sat_and_unsat() {
-        let mut s = Solver::new();
-        let a = s.new_var();
-        assert!(s.add_clause(&[Lit::pos(a)]));
-        assert_eq!(s.solve(), SatResult::Sat);
-        assert_eq!(s.value(a), Some(true));
-        assert!(!s.add_clause(&[Lit::neg(a)]));
-        assert_eq!(s.solve(), SatResult::Unsat);
+        for backend in BOTH {
+            let mut s = Solver::with_backend(backend);
+            let a = s.new_var();
+            assert!(s.add_clause(&[Lit::pos(a)]));
+            assert_eq!(s.solve(), SatResult::Sat);
+            assert_eq!(s.value(a), Some(true));
+            assert!(!s.add_clause(&[Lit::neg(a)]));
+            assert_eq!(s.solve(), SatResult::Unsat);
+        }
     }
 
     #[test]
@@ -675,23 +860,25 @@ mod tests {
     #[test]
     fn pigeonhole_3_into_2_is_unsat() {
         // 3 pigeons, 2 holes: p[i][j] = pigeon i in hole j.
-        let mut s = Solver::new();
-        let p: Vec<Vec<Var>> = (0..3)
-            .map(|_| (0..2).map(|_| s.new_var()).collect())
-            .collect();
-        for row in &p {
-            s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
-        }
-        #[allow(clippy::needless_range_loop)]
-        for j in 0..2 {
-            for i1 in 0..3 {
-                for i2 in (i1 + 1)..3 {
-                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+        for backend in BOTH {
+            let mut s = Solver::with_backend(backend);
+            let p: Vec<Vec<Var>> = (0..3)
+                .map(|_| (0..2).map(|_| s.new_var()).collect())
+                .collect();
+            for row in &p {
+                s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
+            }
+            #[allow(clippy::needless_range_loop)]
+            for j in 0..2 {
+                for i1 in 0..3 {
+                    for i2 in (i1 + 1)..3 {
+                        s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                    }
                 }
             }
+            assert_eq!(s.solve(), SatResult::Unsat);
+            assert!(s.stats().conflicts > 0);
         }
-        assert_eq!(s.solve(), SatResult::Unsat);
-        assert!(s.stats().conflicts > 0);
     }
 
     #[test]
@@ -701,8 +888,11 @@ mod tests {
         let b = s.new_var();
         s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
         assert_eq!(s.solve_with(&[Lit::neg(a), Lit::neg(b)]), SatResult::Unsat);
-        // Without assumptions it is still satisfiable.
+        // The core names the assumptions, proving the formula itself is
+        // still satisfiable.
+        assert!(!s.failed_assumptions().is_empty());
         assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.failed_assumptions().is_empty());
         assert_eq!(s.solve_with(&[Lit::neg(a)]), SatResult::Sat);
         assert_eq!(s.value(b), Some(true));
     }
@@ -713,7 +903,56 @@ mod tests {
         let a = s.new_var();
         let _ = s.new_var();
         assert_eq!(s.solve_with(&[Lit::pos(a), Lit::neg(a)]), SatResult::Unsat);
+        let core = s.failed_assumptions().to_vec();
+        assert!(core.contains(&Lit::pos(a)) && core.contains(&Lit::neg(a)));
         assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn failed_assumptions_distinguish_root_unsat() {
+        for backend in BOTH {
+            let mut s = Solver::with_backend(backend);
+            let a = s.new_var();
+            let b = s.new_var();
+            // Formula: a, !a — unsatisfiable on its own.
+            s.add_clause(&[Lit::pos(a)]);
+            s.add_clause(&[Lit::neg(a)]);
+            assert_eq!(s.solve_with(&[Lit::pos(b)]), SatResult::Unsat);
+            assert!(
+                s.failed_assumptions().is_empty(),
+                "{backend}: root UNSAT must yield an empty core"
+            );
+        }
+    }
+
+    #[test]
+    fn failed_assumptions_core_is_minimal_enough_to_refute() {
+        // Chain a -> b -> c plus clause (!c | !d): assuming a and d fails,
+        // assuming the unrelated e must stay out of the core.
+        for backend in BOTH {
+            let mut s = Solver::with_backend(backend);
+            let v: Vec<Var> = (0..5).map(|_| s.new_var()).collect();
+            let (a, b, c, d, e) = (v[0], v[1], v[2], v[3], v[4]);
+            s.add_clause(&[Lit::neg(a), Lit::pos(b)]);
+            s.add_clause(&[Lit::neg(b), Lit::pos(c)]);
+            s.add_clause(&[Lit::neg(c), Lit::neg(d)]);
+            let assumptions = [Lit::pos(e), Lit::pos(a), Lit::pos(d)];
+            assert_eq!(s.solve_with(&assumptions), SatResult::Unsat);
+            let core = s.failed_assumptions().to_vec();
+            assert!(!core.is_empty(), "{backend}");
+            for l in &core {
+                assert!(assumptions.contains(l), "{backend}: {l} not an assumption");
+            }
+            assert!(
+                !core.contains(&Lit::pos(e)),
+                "{backend}: irrelevant assumption in core {core:?}"
+            );
+            // The core alone refutes the formula.
+            let core_units = core.clone();
+            assert_eq!(s.solve_with(&core_units), SatResult::Unsat);
+            // And solving without assumptions still works.
+            assert_eq!(s.solve(), SatResult::Sat);
+        }
     }
 
     #[test]
@@ -768,27 +1007,65 @@ mod tests {
                 f.add_clause(&lits);
             }
             let expect_sat = f.brute_force().is_some();
-            let mut s = Solver::from_cnf(&f);
-            let got = s.solve();
-            assert_eq!(
-                got == SatResult::Sat,
-                expect_sat,
-                "divergence from brute force in round {round}"
-            );
-            if got == SatResult::Sat {
-                let model = s.model();
-                assert!(
-                    f.eval(&model),
-                    "model must satisfy the formula (round {round})"
+            for backend in BOTH {
+                let mut s = Solver::from_cnf_with(&f, backend);
+                let got = s.solve();
+                assert_eq!(
+                    got == SatResult::Sat,
+                    expect_sat,
+                    "{backend} diverges from brute force in round {round}"
                 );
+                if got == SatResult::Sat {
+                    let model = s.model();
+                    assert!(
+                        f.eval(&model),
+                        "{backend}: model must satisfy the formula (round {round})"
+                    );
+                }
             }
         }
     }
 
     #[test]
-    fn luby_sequence_prefix() {
-        let seq: Vec<u64> = (1..=15).map(Solver::luby).collect();
-        assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    fn lbd_counts_distinct_decision_levels() {
+        let mut s = Solver::new();
+        let v: Vec<Var> = (0..5).map(|_| s.new_var()).collect();
+        // Fake an assignment landscape: levels 0, 1, 1, 2, 3.
+        for (i, lvl) in [0u32, 1, 1, 2, 3].iter().enumerate() {
+            s.level[i] = *lvl;
+        }
+        let all: Vec<Lit> = v.iter().map(|&x| Lit::pos(x)).collect();
+        // Level 0 does not count; levels {1, 2, 3} are distinct.
+        assert_eq!(s.lbd_of(&all), 3);
+        assert_eq!(s.lbd_of(&all[..3]), 1, "two lits on one level");
+        assert_eq!(s.lbd_of(&[all[0]]), 0, "level-0 only");
+        // Stamps do not leak between calls.
+        assert_eq!(s.lbd_of(&all), 3);
+    }
+
+    #[test]
+    fn phase_saving_repeats_the_last_model() {
+        // After a Sat answer the saved polarities equal the model, so a
+        // re-solve re-decides the same phases (across restarts too).
+        for backend in BOTH {
+            let mut s = Solver::with_backend(backend);
+            let v: Vec<Var> = (0..8).map(|_| s.new_var()).collect();
+            for w in v.windows(2) {
+                s.add_clause(&[Lit::neg(w[0]), Lit::pos(w[1])]);
+            }
+            s.add_clause(&[Lit::pos(v[0])]);
+            assert_eq!(s.solve(), SatResult::Sat);
+            for &x in &v {
+                assert_eq!(
+                    s.polarity[x.index()],
+                    s.value(x).unwrap(),
+                    "{backend}: phase not saved for {x:?}"
+                );
+            }
+            let first = s.model();
+            assert_eq!(s.solve(), SatResult::Sat);
+            assert_eq!(first, s.model(), "{backend}: phases drifted");
+        }
     }
 
     #[test]
@@ -800,6 +1077,32 @@ mod tests {
         s.solve();
         let st = s.stats();
         assert!(st.decisions >= 1);
+    }
+
+    #[test]
+    fn mean_lbd_is_reported_in_milli_units() {
+        let stats = SolverStats {
+            conflicts: 4,
+            lbd_sum: 10,
+            ..SolverStats::default()
+        };
+        assert_eq!(stats.mean_lbd_milli(), 2500);
+        assert_eq!(SolverStats::default().mean_lbd_milli(), 0);
+    }
+
+    #[test]
+    fn trait_object_surface_works() {
+        fn drive(s: &mut dyn IncrementalSolver) -> SatResult {
+            let a = s.new_var();
+            let b = s.new_var();
+            s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+            let r = s.solve_with(&[Lit::neg(a)]);
+            assert_eq!(s.value(b), Some(true));
+            assert!(s.stats().decisions + s.stats().propagations > 0);
+            r
+        }
+        let mut s = Solver::with_backend(SolverBackend::Legacy);
+        assert_eq!(drive(&mut s), SatResult::Sat);
     }
 }
 
@@ -841,7 +1144,8 @@ mod proptests {
     }
 
     /// Solving under assumptions agrees with brute force over the
-    /// formula plus the assumption units.
+    /// formula plus the assumption units, on both backends, and the
+    /// failed-assumption core is itself refuting.
     #[test]
     fn assumptions_agree_with_brute_force() {
         let mut rng = StdRng::seed_from_u64(0x5a7_a55);
@@ -860,20 +1164,43 @@ mod proptests {
                 g.add_clause(&[l]);
             }
             let expect_sat = g.brute_force().is_some();
-            let mut s = Solver::from_cnf(&f);
-            let got = s.solve_with(&assumptions);
-            assert_eq!(got == SatResult::Sat, expect_sat, "case {case}");
-            if got == SatResult::Sat {
-                let model = s.model();
-                assert!(
-                    g.eval(&model),
-                    "case {case}: model must satisfy formula + assumptions"
+            for backend in [SolverBackend::Legacy, SolverBackend::Modern] {
+                let mut s = Solver::from_cnf_with(&f, backend);
+                let got = s.solve_with(&assumptions);
+                assert_eq!(got == SatResult::Sat, expect_sat, "case {case} {backend}");
+                if got == SatResult::Sat {
+                    let model = s.model();
+                    assert!(
+                        g.eval(&model),
+                        "case {case} {backend}: model must satisfy formula + assumptions"
+                    );
+                } else {
+                    // The core is a subset of the assumptions and refutes
+                    // the formula on its own; an empty core means the
+                    // formula alone is unsatisfiable.
+                    let core = s.failed_assumptions().to_vec();
+                    for l in &core {
+                        assert!(assumptions.contains(l), "case {case} {backend}: {l}");
+                    }
+                    if core.is_empty() {
+                        assert!(f.brute_force().is_none(), "case {case} {backend}");
+                    } else {
+                        assert_eq!(
+                            s.solve_with(&core),
+                            SatResult::Unsat,
+                            "case {case} {backend}: core does not refute"
+                        );
+                    }
+                }
+                // Assumptions must not persist: plain solve matches plain
+                // brute force.
+                let plain_sat = f.brute_force().is_some();
+                assert_eq!(
+                    s.solve() == SatResult::Sat,
+                    plain_sat,
+                    "case {case} {backend}"
                 );
             }
-            // Assumptions must not persist: plain solve matches plain
-            // brute force.
-            let plain_sat = f.brute_force().is_some();
-            assert_eq!(s.solve() == SatResult::Sat, plain_sat, "case {case}");
         }
     }
 
@@ -895,30 +1222,37 @@ mod proptests {
     }
 
     /// Clause-database reduction must not change answers: a formula hard
-    /// enough to trigger reductions still solves correctly.
+    /// enough to trigger reductions still solves correctly on both
+    /// backends.
     #[test]
     fn clause_reduction_preserves_soundness() {
-        // Pigeonhole 7 generates > 10k conflicts, well past the initial
-        // 3000-learnt reduction threshold.
-        let mut s = Solver::new();
-        let holes = 7u32;
-        let pigeons = 8u32;
-        let var = |p: u32, h: u32| Var(p * holes + h);
-        for _ in 0..pigeons * holes {
-            s.new_var();
-        }
-        for p in 0..pigeons {
-            let clause: Vec<Lit> = (0..holes).map(|h| Lit::pos(var(p, h))).collect();
-            s.add_clause(&clause);
-        }
-        for h in 0..holes {
-            for p1 in 0..pigeons {
-                for p2 in (p1 + 1)..pigeons {
-                    s.add_clause(&[Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+        // Pigeonhole 7 generates thousands of conflicts, well past both
+        // backends' reduction thresholds.
+        for backend in [SolverBackend::Legacy, SolverBackend::Modern] {
+            let mut s = Solver::with_backend(backend);
+            let holes = 7u32;
+            let pigeons = 8u32;
+            let var = |p: u32, h: u32| Var(p * holes + h);
+            for _ in 0..pigeons * holes {
+                s.new_var();
+            }
+            for p in 0..pigeons {
+                let clause: Vec<Lit> = (0..holes).map(|h| Lit::pos(var(p, h))).collect();
+                s.add_clause(&clause);
+            }
+            for h in 0..holes {
+                for p1 in 0..pigeons {
+                    for p2 in (p1 + 1)..pigeons {
+                        s.add_clause(&[Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+                    }
                 }
             }
+            assert_eq!(s.solve(), SatResult::Unsat, "{backend}");
+            assert!(
+                s.stats().reductions >= 1,
+                "{backend}: reduction path not exercised ({} conflicts)",
+                s.stats().conflicts
+            );
         }
-        assert_eq!(s.solve(), SatResult::Unsat);
-        assert!(s.stats().conflicts > 3000, "reduction path exercised");
     }
 }

@@ -28,6 +28,7 @@ use glitchlock::core::GkEncryptor;
 use glitchlock::lint::{self, Diagnostic, Level, LintContext, LintRunner};
 use glitchlock::netlist::{bench_format, Logic, Netlist};
 use glitchlock::obs;
+use glitchlock::sat::SolverBackend;
 use glitchlock::sim::{ClockSpec, SimConfig, Simulator, Stimulus};
 use glitchlock::sta::{analyze, ClockModel};
 use glitchlock::stdcell::{Library, Ps};
@@ -45,7 +46,8 @@ usage: glk <subcommand> …
   glk lock-xor    <in.bench> <out.bench> [--bits N] [--seed S]
   glk lock-gk     <in.bench> <out-prefix> [--gks N] [--xor-bits N] [--period-ns N]
                   [--seed S] [--mix|--share] [OBS]
-  glk attack      <locked.bench> <oracle.bench> [--key-prefix P] [OBS]
+  glk attack      <locked.bench> <oracle.bench> [--key-prefix P]
+                  [--solver legacy|modern] [OBS]
   glk sim         <in.bench> [--cycles N] [--period-ns N] [--vcd out.vcd]
                   [--seed S] [OBS]
   glk verify      <locked.bench> <oracle.bench> --key 0,1,… [--cycles N]
@@ -60,7 +62,8 @@ usage: glk <subcommand> …
                   [--corpus DIR] [--inject none|xnor-flip] [--shrink-budget N]
                   [--max-failures N] [--list-referees] [OBS]
   glk campaign    --spec <spec.txt> [--jobs N] [--out PREFIX] [--resume]
-                  [--journal PATH] [--halt-after N] [OBS]
+                  [--journal PATH] [--halt-after N] [--solver legacy|modern]
+                  [OBS]
   glk trace-check <trace.jsonl> [--sites attack|sim|lock-gk|fuzz|campaign]
   glk help
 
@@ -466,7 +469,9 @@ fn cmd_attack(args: &Args) -> Result<(), String> {
         key_inputs.len(),
         names(&locked, &key_inputs)
     );
-    let result = SatAttack::new(&locked, key_inputs, &oracle).run();
+    let mut attack = SatAttack::new(&locked, key_inputs, &oracle);
+    attack.backend = solver_flag(args)?.unwrap_or_default();
+    let result = attack.run();
     match result.outcome {
         SatOutcome::KeyRecovered { key } => {
             let k: String = key.iter().map(|&b| if b { '1' } else { '0' }).collect();
@@ -875,7 +880,10 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         .ok_or("campaign needs --spec <spec.txt>")?;
     let text =
         std::fs::read_to_string(spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
-    let spec = CampaignSpec::parse(&text)?;
+    let mut spec = CampaignSpec::parse(&text)?;
+    if let Some(backend) = solver_flag(args)? {
+        spec.solver = backend;
+    }
     let out = args.flag("out").unwrap_or("campaign").to_string();
     let journal_path = args
         .flag("journal")
@@ -934,6 +942,23 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         return Err(format!("{failed} job(s) failed"));
     }
     Ok(())
+}
+
+/// Parses `--solver legacy|modern`. `None` when the flag is absent, so
+/// callers can fall back to a spec's choice or the build default.
+fn solver_flag(args: &Args) -> Result<Option<SolverBackend>, String> {
+    match args.flag("solver") {
+        None => {
+            if args.has("solver") {
+                Err("--solver expects `legacy` or `modern`".to_string())
+            } else {
+                Ok(None)
+            }
+        }
+        Some(v) => SolverBackend::parse(v)
+            .map(Some)
+            .ok_or_else(|| format!("--solver expects `legacy` or `modern`, got {v:?}")),
+    }
 }
 
 fn names(nl: &Netlist, nets: &[glitchlock::netlist::NetId]) -> String {

@@ -42,9 +42,9 @@ struct Run {
     stderr: String,
 }
 
-fn campaign(dir: &Path, out: &str, extra: &[&str]) -> Run {
+fn campaign_with_spec(dir: &Path, out: &str, spec_text: &str, extra: &[&str]) -> Run {
     let spec = dir.join("spec.txt");
-    std::fs::write(&spec, SPEC).unwrap();
+    std::fs::write(&spec, spec_text).unwrap();
     let prefix = dir.join(out);
     let output = glk()
         .arg("campaign")
@@ -66,6 +66,10 @@ fn campaign(dir: &Path, out: &str, extra: &[&str]) -> Run {
         journal: PathBuf::from(format!("{}.journal.jsonl", prefix.display())),
         stderr,
     }
+}
+
+fn campaign(dir: &Path, out: &str, extra: &[&str]) -> Run {
+    campaign_with_spec(dir, out, SPEC, extra)
 }
 
 /// Job ids journaled, in journal order (header line skipped).
@@ -92,6 +96,45 @@ fn report_is_independent_of_worker_count() {
     assert!(!serial.text.is_empty() && !serial.json.is_empty());
     assert_eq!(serial.text, wide.text, "text report depends on --jobs");
     assert_eq!(serial.json, wide.json, "json report depends on --jobs");
+}
+
+/// Scheduling independence must hold per solver backend: the default spec
+/// (modern) is covered above; this pins the `solver legacy` directive and
+/// the `--solver` CLI override to the same contract.
+#[test]
+fn report_is_independent_of_worker_count_for_each_backend() {
+    for backend in ["legacy", "modern"] {
+        let spec = format!("{SPEC}solver {backend}\n");
+        let serial = campaign_with_spec(
+            &tempdir(&format!("{backend}-serial")),
+            "run",
+            &spec,
+            &["--jobs", "1"],
+        );
+        let wide = campaign_with_spec(
+            &tempdir(&format!("{backend}-wide")),
+            "run",
+            &spec,
+            &["--jobs", "8"],
+        );
+        assert!(!serial.text.is_empty() && !serial.json.is_empty());
+        assert_eq!(serial.text, wide.text, "{backend}: text depends on --jobs");
+        assert_eq!(serial.json, wide.json, "{backend}: json depends on --jobs");
+
+        // `--solver <backend>` on a directive-free spec is the same
+        // campaign as the inline directive: byte-identical reports.
+        let flagged = campaign_with_spec(
+            &tempdir(&format!("{backend}-flag")),
+            "run",
+            SPEC,
+            &["--jobs", "8", "--solver", backend],
+        );
+        assert_eq!(
+            flagged.text, wide.text,
+            "{backend}: --solver flag diverges from the spec directive"
+        );
+        assert_eq!(flagged.json, wide.json, "{backend}: flagged json diverged");
+    }
 }
 
 #[test]
