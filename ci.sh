@@ -36,13 +36,23 @@ G13 = NOR(G2, G12)
 EOF
 
 # Lock with several configurations; lock-gk itself ends in a lint audit,
-# and the standalone gate re-checks the emitted file at deny-all.
+# and the standalone gate re-checks the emitted file at deny-all (which
+# includes the analysis-backed codes) plus an explicit deny of the
+# dataflow-engine findings — GK key bits must stay exempt by construction.
 "$GLK" lock-gk "$WORK/s27.bench" "$WORK/plain" --gks 2 --seed 1
 "$GLK" lock-gk "$WORK/s27.bench" "$WORK/mixed" --gks 2 --seed 2 --mix
 "$GLK" lock-gk "$WORK/s27.bench" "$WORK/shared" --gks 2 --seed 3 --share
 for locked in "$WORK"/*.locked.bench; do
     "$GLK" lint "$locked" --format json --deny all
+    "$GLK" lint "$locked" --format json \
+        --deny key-constant-collapsed,key-taint-dead,point-function-structure,key-partition-disjoint
 done
+
+# Dataflow-analysis gate: `glk analyze` runs on each locked design and its
+# `analysis.*` probes must all fire (dead-probe detection for the engine).
+"$GLK" analyze "$WORK/plain.locked.bench" --format json --nets \
+    --trace "$WORK/analyze.jsonl" > /dev/null
+"$GLK" trace-check "$WORK/analyze.jsonl" --sites analyze
 
 # Negative check: a malformed netlist must exit nonzero through the
 # diagnostic pipeline, not a panic.

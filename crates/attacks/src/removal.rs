@@ -87,16 +87,10 @@ pub fn signal_skew<R: Rng>(netlist: &Netlist, samples: usize, rng: &mut R) -> Sk
     }
 }
 
-/// Locates point-function flip signals: heavily skewed nets that feed an
-/// XOR/XNOR sitting directly on a primary output — the SARLock/Anti-SAT
-/// signature (the SPS heuristic).
-pub fn locate_point_function<R: Rng>(
-    netlist: &Netlist,
-    samples: usize,
-    threshold: f64,
-    rng: &mut R,
-) -> Vec<NetId> {
-    let skew = signal_skew(netlist, samples, rng);
+/// The skew-plus-structure scan shared by the two point-function
+/// locators: heavily skewed nets that feed an XOR/XNOR sitting directly
+/// on a primary output.
+fn skewed_output_xor_feeds(netlist: &Netlist, skew: &SkewReport, threshold: f64) -> Vec<NetId> {
     let po_nets: HashSet<NetId> = netlist.output_nets().into_iter().collect();
     let mut found = Vec::new();
     for (net_id, net) in netlist.nets() {
@@ -124,9 +118,60 @@ pub fn locate_point_function<R: Rng>(
             found.push(net_id);
         }
     }
+    found
+}
+
+/// Locates point-function flip signals: heavily skewed nets that feed an
+/// XOR/XNOR sitting directly on a primary output — the SARLock/Anti-SAT
+/// signature (the SPS heuristic).
+pub fn locate_point_function<R: Rng>(
+    netlist: &Netlist,
+    samples: usize,
+    threshold: f64,
+    rng: &mut R,
+) -> Vec<NetId> {
+    let skew = signal_skew(netlist, samples, rng);
+    let found = skewed_output_xor_feeds(netlist, &skew, threshold);
     obs::add(names::REMOVAL_CANDIDATES, found.len() as u64);
     obs::event("result", "locate_point_function")
         .u64("candidates", found.len() as u64)
+        .u64("samples", samples as u64)
+        .emit();
+    found
+}
+
+/// [`locate_point_function`] sharpened with the key-taint dataflow
+/// domain: a flip signal is by construction a function of the key
+/// comparator, so any skewed net whose raw key-taint set is empty is a
+/// sampling artifact and is pruned before the expensive bypass-and-verify
+/// loop. Raw sequential taint is a sound over-approximation — pruning
+/// only discards nets that provably carry no key influence at all.
+pub fn locate_point_function_tainted<R: Rng>(
+    netlist: &Netlist,
+    key_inputs: &[NetId],
+    samples: usize,
+    threshold: f64,
+    rng: &mut R,
+) -> Vec<NetId> {
+    let skew = signal_skew(netlist, samples, rng);
+    let all = skewed_output_xor_feeds(netlist, &skew, threshold);
+    let taint = glitchlock_dataflow::taint_facts(
+        netlist,
+        key_inputs,
+        glitchlock_dataflow::TaintMode::Raw,
+        true,
+    );
+    let before = all.len();
+    let found: Vec<NetId> = all
+        .into_iter()
+        .filter(|&n| !taint.net(n).is_empty())
+        .collect();
+    let pruned = (before - found.len()) as u64;
+    obs::add(names::REMOVAL_TAINT_PRUNED, pruned);
+    obs::add(names::REMOVAL_CANDIDATES, found.len() as u64);
+    obs::event("result", "locate_point_function_tainted")
+        .u64("candidates", found.len() as u64)
+        .u64("pruned", pruned)
         .u64("samples", samples as u64)
         .emit();
     found
@@ -360,6 +405,37 @@ mod tests {
             rate == 1.0
         });
         assert!(restored, "bypassing the flip net must restore the function");
+    }
+
+    #[test]
+    fn taint_prune_keeps_real_flip_signals_and_drops_untainted_skew() {
+        let nl = toy();
+        let mut rng = StdRng::seed_from_u64(31);
+        let locked = SarLock::new(4).lock(&nl, &mut rng).unwrap();
+        let plain =
+            locate_point_function(&locked.netlist, 2000, 0.1, &mut StdRng::seed_from_u64(8));
+        let tainted = locate_point_function_tainted(
+            &locked.netlist,
+            &locked.key_inputs,
+            2000,
+            0.1,
+            &mut StdRng::seed_from_u64(8),
+        );
+        assert!(!tainted.is_empty(), "the flip signal is key-tainted");
+        assert!(
+            tainted.iter().all(|n| plain.contains(n)),
+            "pruning only ever removes candidates"
+        );
+        // With an empty key set every candidate is provably untainted and
+        // the prune removes the lot.
+        let none = locate_point_function_tainted(
+            &locked.netlist,
+            &[],
+            2000,
+            0.1,
+            &mut StdRng::seed_from_u64(8),
+        );
+        assert!(none.is_empty(), "no keys, no key-tainted candidates");
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Fixed-width key-bit sets, packed 64 bits per word.
+//!
+//! The taint domain stores one of these per net; the packing mirrors the
+//! 64-lane layout of `glitchlock_netlist::PackedLogic`, so a design with
+//! 64 or fewer key bits costs one word per net.
+
+/// A set over key-bit indices `0..width`, packed into `u64` words.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct KeyBitSet {
+    words: Vec<u64>,
+    width: usize,
+}
+
+impl KeyBitSet {
+    /// The empty set over `width` bits.
+    pub fn empty(width: usize) -> Self {
+        KeyBitSet {
+            words: vec![0; width.div_ceil(64)],
+            width,
+        }
+    }
+
+    /// The singleton `{bit}` over `width` bits.
+    pub fn singleton(width: usize, bit: usize) -> Self {
+        let mut s = Self::empty(width);
+        s.insert(bit);
+        s
+    }
+
+    /// Number of tracked bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Adds `bit` to the set.
+    pub fn insert(&mut self, bit: usize) {
+        debug_assert!(bit < self.width);
+        self.words[bit / 64] |= 1u64 << (bit % 64);
+    }
+
+    /// Whether `bit` is in the set.
+    pub fn contains(&self, bit: usize) -> bool {
+        bit < self.width && self.words[bit / 64] >> (bit % 64) & 1 == 1
+    }
+
+    /// Unions `other` into `self`; returns whether `self` changed.
+    pub fn union_with(&mut self, other: &KeyBitSet) -> bool {
+        debug_assert_eq!(self.width, other.width);
+        let mut changed = false;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            let next = *w | *o;
+            changed |= next != *w;
+            *w = next;
+        }
+        changed
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of bits set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the two sets share at least one bit.
+    pub fn intersects(&self, other: &KeyBitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates the set bits in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w >> b & 1 == 1)
+                .map(move |b| wi * 64 + b)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_union_iterate_across_word_boundaries() {
+        let mut a = KeyBitSet::empty(130);
+        a.insert(0);
+        a.insert(63);
+        a.insert(64);
+        a.insert(129);
+        let mut b = KeyBitSet::empty(130);
+        b.insert(65);
+        assert!(b.union_with(&a));
+        assert!(!b.union_with(&a), "second union is a no-op");
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![0, 63, 64, 65, 129]);
+        assert_eq!(b.count(), 5);
+        assert!(b.contains(129) && !b.contains(128));
+        assert!(b.intersects(&KeyBitSet::singleton(130, 64)));
+        assert!(!b.intersects(&KeyBitSet::singleton(130, 100)));
+    }
+}

@@ -1,0 +1,185 @@
+//! Ternary constant/X propagation under partial input assignments.
+//!
+//! The lattice is `Bot < {0, 1} < X`: `Bot` means "not yet computed", a
+//! definite level means "provably this constant for every assignment of
+//! the unpinned inputs", and `X` is the top ("unknown"). Transfer is the
+//! netlist's own three-valued [`GateKind::eval`], and flip-flop Q pins
+//! are pinned to `X` unless the caller pins them — exactly the semantics
+//! of `Netlist::eval_nets(inputs, None)`, which the lint key-bit checks
+//! were originally built on.
+
+use crate::engine::{solve, Config, Direction, Domain, Solution, Values};
+use glitchlock_netlist::{CellId, GateKind, Logic, NetId, Netlist};
+use std::collections::HashMap;
+
+/// A ternary constant fact.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Ternary {
+    /// Not yet computed (lattice bottom).
+    Bot,
+    /// Provably this level under the given pins.
+    Val(Logic),
+}
+
+impl Ternary {
+    /// Collapses `Bot` to `X` for consumers that want plain logic.
+    pub fn to_logic(self) -> Logic {
+        match self {
+            Ternary::Bot => Logic::X,
+            Ternary::Val(l) => l,
+        }
+    }
+
+    /// Whether the fact is a definite constant (`0` or `1`).
+    pub fn is_const(self) -> bool {
+        matches!(self, Ternary::Val(Logic::Zero) | Ternary::Val(Logic::One))
+    }
+}
+
+/// The constant-propagation domain. `pins` fixes chosen nets (typically
+/// primary inputs, optionally flip-flop Q nets) to definite levels; every
+/// other primary input and Q pin starts at `X`.
+pub struct ConstDomain {
+    pins: HashMap<NetId, Logic>,
+}
+
+impl ConstDomain {
+    /// A domain with the given pinned nets.
+    pub fn new(pins: &[(NetId, Logic)]) -> Self {
+        ConstDomain {
+            pins: pins.iter().copied().collect(),
+        }
+    }
+}
+
+impl Domain for ConstDomain {
+    type Value = Ternary;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn bottom(&self, _nl: &Netlist) -> Ternary {
+        Ternary::Bot
+    }
+
+    fn boundary(&self, nl: &Netlist, net: NetId) -> Option<Ternary> {
+        if let Some(&level) = self.pins.get(&net) {
+            return Some(Ternary::Val(level));
+        }
+        let source = match nl.net(net).driver() {
+            Some(cell) => matches!(nl.cell(cell).kind(), GateKind::Input | GateKind::Dff),
+            None => true, // undriven nets read as X, like the evaluator
+        };
+        source.then_some(Ternary::Val(Logic::X))
+    }
+
+    fn transfer(
+        &self,
+        nl: &Netlist,
+        cell: CellId,
+        values: &Values<Ternary>,
+        out: &mut Vec<(NetId, Ternary)>,
+    ) {
+        let c = nl.cell(cell);
+        if matches!(c.kind(), GateKind::Input | GateKind::Dff) {
+            return; // boundary nets
+        }
+        let mut inputs = Vec::with_capacity(c.inputs().len());
+        for &i in c.inputs() {
+            match values.net(i) {
+                Ternary::Bot => return, // inputs not all known yet
+                Ternary::Val(l) => inputs.push(*l),
+            }
+        }
+        out.push((c.output(), Ternary::Val(c.kind().eval(&inputs))));
+    }
+
+    fn join(&self, into: &mut Ternary, from: &Ternary) -> bool {
+        let next = match (*into, *from) {
+            (a, Ternary::Bot) => a,
+            (Ternary::Bot, b) => b,
+            (Ternary::Val(a), Ternary::Val(b)) if a == b => Ternary::Val(a),
+            _ => Ternary::Val(Logic::X),
+        };
+        let changed = next != *into;
+        *into = next;
+        changed
+    }
+
+    fn widen(&self, value: &mut Ternary) {
+        *value = Ternary::Val(Logic::X);
+    }
+}
+
+/// Constant facts for `nl` with `pins` fixed; all other primary inputs
+/// and flip-flop Q pins are `X`.
+pub fn const_facts(nl: &Netlist, pins: &[(NetId, Logic)]) -> Solution<Ternary> {
+    solve(nl, &ConstDomain::new(pins), Config::default())
+}
+
+/// Constant facts with the full primary-input vector pinned in
+/// `Netlist::input_nets` order — the dataflow twin of
+/// `Netlist::eval_nets(inputs, None)`.
+pub fn const_facts_for_inputs(nl: &Netlist, inputs: &[Logic]) -> Solution<Ternary> {
+    let pins: Vec<(NetId, Logic)> = nl
+        .input_nets()
+        .iter()
+        .copied()
+        .zip(inputs.iter().copied())
+        .collect();
+    const_facts(nl, &pins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Netlist, NetId, NetId, NetId) {
+        let mut nl = Netlist::new("toy");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let z = nl.add_const(false);
+        let and = nl.add_gate(GateKind::And, &[a, z]).unwrap();
+        let or = nl.add_gate(GateKind::Or, &[and, b]).unwrap();
+        nl.mark_output(or, "y");
+        (nl, a, and, or)
+    }
+
+    #[test]
+    fn masked_cone_collapses_to_constant() {
+        let (nl, _a, and, or) = toy();
+        let sol = const_facts(&nl, &[]);
+        assert_eq!(*sol.net(and), Ternary::Val(Logic::Zero));
+        assert_eq!(*sol.net(or), Ternary::Val(Logic::X));
+        assert!(sol.net(and).is_const());
+    }
+
+    #[test]
+    fn matches_eval_nets_on_every_full_assignment() {
+        let (nl, _, _, _) = toy();
+        for pat in 0..4u32 {
+            let inputs = vec![
+                Logic::from_bool(pat & 1 == 1),
+                Logic::from_bool(pat & 2 == 2),
+            ];
+            let dense = nl.eval_nets(&inputs, None);
+            let sol = const_facts_for_inputs(&nl, &inputs);
+            for (id, _) in nl.nets() {
+                assert_eq!(sol.net(id).to_logic(), dense[id.index()], "net {id:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_q_pins_read_x() {
+        let mut nl = Netlist::new("seq");
+        let a = nl.add_input("a");
+        let q = nl.add_dff(a).unwrap();
+        let y = nl.add_gate(GateKind::And, &[a, q]).unwrap();
+        nl.mark_output(y, "y");
+        let sol = const_facts_for_inputs(&nl, &[Logic::One]);
+        assert_eq!(*sol.net(q), Ternary::Val(Logic::X));
+        assert_eq!(*sol.net(y), Ternary::Val(Logic::X));
+    }
+}

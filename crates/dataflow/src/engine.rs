@@ -1,0 +1,306 @@
+//! The generic monotone-framework worklist engine.
+//!
+//! A [`Domain`] plugs a lattice and a per-cell transfer function into the
+//! engine; [`solve`] iterates to a fixpoint over the netlist graph. The
+//! engine is direction-agnostic: forward domains re-run a cell when one of
+//! its input nets changes, backward domains re-run it when its output net
+//! changes. Sequential (flip-flop-cyclic) designs converge through the
+//! same worklist; a per-net widening threshold bounds iteration on domains
+//! whose chains would otherwise be long (see [`Domain::widen`]).
+
+use glitchlock_netlist::{CellId, GateKind, NetId, Netlist};
+use std::collections::VecDeque;
+
+/// Which way facts flow through the netlist graph.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Facts flow from cell inputs to the cell's output net.
+    Forward,
+    /// Facts flow from a cell's output net back to its input nets.
+    Backward,
+}
+
+/// Read-only view of the current per-net values, passed to transfer
+/// functions.
+pub struct Values<'a, V>(pub(crate) &'a [V]);
+
+impl<V> Values<'_, V> {
+    /// Current value of `net`.
+    pub fn net(&self, net: NetId) -> &V {
+        &self.0[net.index()]
+    }
+}
+
+/// A pluggable lattice domain.
+///
+/// Contracts the engine relies on:
+///
+/// * `join` must be a semilattice join: associative, commutative,
+///   idempotent, and it must return `true` iff the stored value changed.
+/// * `transfer` must be monotone in the values it reads.
+/// * `widen` must drive any value to one that repeated widening leaves
+///   fixed (typically the lattice top); the engine calls it once a net has
+///   changed more than [`Config::widen_after`] times, so domains with
+///   infinite (or merely long) ascending chains still terminate.
+pub trait Domain {
+    /// The lattice element stored per net.
+    type Value: Clone + PartialEq;
+
+    /// Flow direction of this domain.
+    fn direction(&self) -> Direction;
+
+    /// The lattice bottom, stored for every net before iteration.
+    fn bottom(&self, nl: &Netlist) -> Self::Value;
+
+    /// Boundary value joined into `net` before iteration starts (primary
+    /// inputs for forward domains, primary outputs for backward ones).
+    fn boundary(&self, nl: &Netlist, net: NetId) -> Option<Self::Value>;
+
+    /// Apply the cell's transfer function: read current values through
+    /// `values` and push `(net, value)` updates. Forward domains update
+    /// the cell's output net; backward domains update its input nets.
+    fn transfer(
+        &self,
+        nl: &Netlist,
+        cell: CellId,
+        values: &Values<Self::Value>,
+        out: &mut Vec<(NetId, Self::Value)>,
+    );
+
+    /// Join `from` into `into`; return whether `into` changed.
+    fn join(&self, into: &mut Self::Value, from: &Self::Value) -> bool;
+
+    /// Force `value` up (or, for cost lattices, to the saturated element)
+    /// so iteration terminates. Must reach a fixed value under repetition.
+    fn widen(&self, value: &mut Self::Value);
+
+    /// Extra nets (beyond the direction-implied ones) whose change must
+    /// re-run `cell`'s transfer. Used by domains whose transfer peeks at
+    /// non-local values, e.g. the refined taint domain reading a value
+    /// class representative.
+    fn extra_deps(&self, _nl: &Netlist, _cell: CellId) -> Vec<NetId> {
+        Vec::new()
+    }
+}
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Per-net update budget before [`Domain::widen`] kicks in. The
+    /// default (8) lets small sequential loops settle exactly and widens
+    /// anything deeper.
+    pub widen_after: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { widen_after: 8 }
+    }
+}
+
+/// The fixpoint reached by [`solve`]: one lattice value per net plus
+/// iteration statistics.
+pub struct Solution<V> {
+    values: Vec<V>,
+    /// Transfer-function applications performed.
+    pub iterations: u64,
+    /// Nets that hit the widening threshold at least once.
+    pub widened: u64,
+}
+
+impl<V> Solution<V> {
+    /// The fixpoint value of `net`.
+    pub fn net(&self, net: NetId) -> &V {
+        &self.values[net.index()]
+    }
+
+    /// All per-net values, indexed by `NetId::index`.
+    pub fn values(&self) -> &[V] {
+        &self.values
+    }
+}
+
+/// Run `dom` to a fixpoint over `nl` and return the per-net solution.
+///
+/// Deterministic: the worklist is seeded in (reverse) topological order
+/// when the netlist is acyclic modulo flip-flops, in id order otherwise,
+/// and processed FIFO, so two runs over the same netlist produce identical
+/// iteration counts.
+pub fn solve<D: Domain>(nl: &Netlist, dom: &D, cfg: Config) -> Solution<D::Value> {
+    let n_nets = nl.nets().len();
+    let mut values: Vec<D::Value> = (0..n_nets).map(|_| dom.bottom(nl)).collect();
+    for (id, _) in nl.nets() {
+        if let Some(b) = dom.boundary(nl, id) {
+            dom.join(&mut values[id.index()], &b);
+        }
+    }
+
+    // Net -> cells whose transfer must re-run when the net's value changes.
+    let mut deps: Vec<Vec<CellId>> = vec![Vec::new(); n_nets];
+    for (cid, cell) in nl.cells() {
+        if cell.kind() == GateKind::Input {
+            continue;
+        }
+        match dom.direction() {
+            Direction::Forward => {
+                for &i in cell.inputs() {
+                    deps[i.index()].push(cid);
+                }
+            }
+            Direction::Backward => deps[cell.output().index()].push(cid),
+        }
+        for extra in dom.extra_deps(nl, cid) {
+            deps[extra.index()].push(cid);
+        }
+    }
+
+    // The cached topological order covers combinational cells only;
+    // flip-flops are sources there but carry transfer functions here, so
+    // append them explicitly.
+    let mut order: Vec<CellId> = match nl.topo_order_cached() {
+        Ok(topo) => topo
+            .iter()
+            .copied()
+            .chain(nl.dff_cells().iter().copied())
+            .collect(),
+        Err(_) => nl.cells().map(|(id, _)| id).collect(),
+    };
+    if dom.direction() == Direction::Backward {
+        order.reverse();
+    }
+
+    let mut queue: VecDeque<CellId> = VecDeque::with_capacity(order.len());
+    let mut in_queue = vec![false; nl.cells().len()];
+    for cid in order {
+        if nl.cell(cid).kind() != GateKind::Input {
+            queue.push_back(cid);
+            in_queue[cid.index()] = true;
+        }
+    }
+
+    let mut update_count = vec![0u32; n_nets];
+    let mut widened_nets = vec![false; n_nets];
+    let mut iterations = 0u64;
+    let mut scratch: Vec<(NetId, D::Value)> = Vec::new();
+
+    while let Some(cid) = queue.pop_front() {
+        in_queue[cid.index()] = false;
+        iterations += 1;
+        scratch.clear();
+        dom.transfer(nl, cid, &Values(&values), &mut scratch);
+        for (net, v) in scratch.drain(..) {
+            let ix = net.index();
+            let will_widen = update_count[ix] >= cfg.widen_after;
+            let before = if will_widen {
+                Some(values[ix].clone())
+            } else {
+                None
+            };
+            if !dom.join(&mut values[ix], &v) {
+                continue;
+            }
+            update_count[ix] += 1;
+            if let Some(before) = before {
+                dom.widen(&mut values[ix]);
+                widened_nets[ix] = true;
+                if values[ix] == before {
+                    continue;
+                }
+            }
+            for &reader in &deps[ix] {
+                if !in_queue[reader.index()] {
+                    in_queue[reader.index()] = true;
+                    queue.push_back(reader);
+                }
+            }
+        }
+    }
+
+    Solution {
+        values,
+        iterations,
+        widened: widened_nets.iter().filter(|&&w| w).count() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitchlock_netlist::Netlist;
+
+    /// Forward "combinational depth" domain: every net's value is the
+    /// longest gate count from a primary input, saturating. Through a
+    /// flip-flop loop the chain is infinite, so widening must fire.
+    struct Depth;
+
+    impl Domain for Depth {
+        type Value = u32;
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn bottom(&self, _nl: &Netlist) -> u32 {
+            0
+        }
+        fn boundary(&self, _nl: &Netlist, _net: NetId) -> Option<u32> {
+            None
+        }
+        fn transfer(
+            &self,
+            nl: &Netlist,
+            cell: CellId,
+            values: &Values<u32>,
+            out: &mut Vec<(NetId, u32)>,
+        ) {
+            let c = nl.cell(cell);
+            let depth = c
+                .inputs()
+                .iter()
+                .map(|&i| *values.net(i))
+                .max()
+                .unwrap_or(0)
+                .saturating_add(1);
+            out.push((c.output(), depth));
+        }
+        fn join(&self, into: &mut u32, from: &u32) -> bool {
+            if *from > *into {
+                *into = *from;
+                true
+            } else {
+                false
+            }
+        }
+        fn widen(&self, value: &mut u32) {
+            *value = u32::MAX;
+        }
+    }
+
+    #[test]
+    fn forward_depth_on_a_chain() {
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input("a");
+        let g1 = nl.add_gate(GateKind::Inv, &[a]).unwrap();
+        let g2 = nl.add_gate(GateKind::Inv, &[g1]).unwrap();
+        nl.mark_output(g2, "y");
+        let sol = solve(&nl, &Depth, Config::default());
+        assert_eq!(*sol.net(g1), 1);
+        assert_eq!(*sol.net(g2), 2);
+        assert_eq!(sol.widened, 0);
+    }
+
+    #[test]
+    fn ff_loop_widens_instead_of_diverging() {
+        // q = DFF(d); d = INV(q): the depth lattice ascends forever
+        // without widening.
+        let mut nl = Netlist::new("loop");
+        let a = nl.add_input("a");
+        let q = nl.add_dff(a).unwrap();
+        let d = nl.add_gate(GateKind::Inv, &[q]).unwrap();
+        let ff = nl.dff_cells()[0];
+        nl.rewire_input(ff, 0, d).unwrap();
+        let y = nl.add_gate(GateKind::And, &[a, q]).unwrap();
+        nl.mark_output(y, "y");
+        let sol = solve(&nl, &Depth, Config { widen_after: 4 });
+        assert!(sol.widened >= 1, "loop must trigger widening");
+        assert_eq!(*sol.net(d), u32::MAX);
+    }
+}

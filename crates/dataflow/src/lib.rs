@@ -1,0 +1,45 @@
+//! Monotone-framework dataflow analysis over gate-level netlists.
+//!
+//! This crate is the shared static-analysis substrate for the glitchlock
+//! workspace: a generic worklist [`engine`] with pluggable lattice
+//! [`Domain`]s, plus the day-one domains the lint passes, the CLI's
+//! `analyze` subcommand, and the removal attack build on:
+//!
+//! * [`consts`] — ternary constant/X propagation under partial (key)
+//!   assignments, bit-identical to `Netlist::eval_nets` semantics.
+//! * [`taint`] — per-key-bit dependence tracking over [`KeyBitSet`]
+//!   lattices (64 bits per word, mirroring the packed evaluator's lane
+//!   layout), in a raw structural and a semantically refined flavor.
+//! * [`scoap`] — SCOAP-style controllability/observability scores that
+//!   feed the timing pass's glitch-sensitivity suggestions.
+//! * [`liveness`] — backward can-reach-a-primary-output facts, the
+//!   engine-based rebuild of the lint dead-cone sweep.
+//!
+//! Sequential (flip-flop-cyclic) designs converge through the same
+//! worklist; [`Domain::widen`] bounds iteration on domains whose chains
+//! would otherwise be long. [`AnalysisFacts`] bundles every domain for
+//! one netlist and emits the `analysis.*` observability counters.
+//!
+//! The crate sits below `glitchlock-lint` and `glitchlock-attacks` and is
+//! re-exported from the facade crate as `glitchlock::dataflow` (the
+//! netlist crate cannot re-export it without a dependency cycle).
+
+#![deny(missing_docs)]
+
+pub mod bitset;
+pub mod consts;
+pub mod engine;
+pub mod facts;
+pub mod liveness;
+pub mod scoap;
+pub mod taint;
+pub mod vn;
+
+pub use bitset::KeyBitSet;
+pub use consts::{const_facts, const_facts_for_inputs, ConstDomain, Ternary};
+pub use engine::{solve, Config, Direction, Domain, Solution, Values};
+pub use facts::AnalysisFacts;
+pub use liveness::{live_facts, LiveDomain};
+pub use scoap::{scoap_facts, CcDomain, CcPair, CoDomain, ScoapFacts, INF};
+pub use taint::{taint_facts, TaintDomain, TaintMode};
+pub use vn::{gk_identity_x, Class, Def, ValueNumbering};

@@ -95,6 +95,11 @@ pub fn registry() -> Vec<Referee> {
             run: round_trip,
         },
         Referee {
+            name: "const-prop-vs-packed",
+            about: "dataflow constant lattice vs packed engine, exhaustive at <=8 inputs",
+            run: const_prop_vs_packed,
+        },
+        Referee {
             name: "lint-clean",
             about: "structural lint cleanliness; timing battery on GK-locked designs",
             run: lint_clean,
@@ -839,6 +844,61 @@ fn denied_codes(runner: &LintRunner, ctx: &LintContext<'_>) -> Vec<&'static str>
     codes.sort_unstable();
     codes.dedup();
     codes
+}
+
+// ---------------------------------------------------------------------------
+// const-prop-vs-packed
+// ---------------------------------------------------------------------------
+
+/// Checks the dataflow constant/X lattice against the packed engine: with
+/// every primary input pinned, the fixpoint must land on exactly the value
+/// the bit-parallel evaluator computes, on every net, with flip-flop Q
+/// values free (`X`) in both engines. Views with at most 8 inputs get the
+/// full `2^n` boolean sweep; larger ones get two 64-lane words of random
+/// three-valued patterns, which also exercises the X absorption rules.
+fn const_prop_vs_packed(ctx: &RefereeCtx<'_>) -> Verdict {
+    let mut rng = StdRng::seed_from_u64(ctx.case.recipe.seed ^ 0xc0457);
+    for (view, nl) in case_views(ctx.case) {
+        let program = match EvalProgram::compile(nl) {
+            Ok(p) => p,
+            Err(e) => return Verdict::Fail(format!("{view}: packed compile failed: {e}")),
+        };
+        let n_in = nl.input_nets().len();
+        let mut buf = program.scratch();
+        let patterns: Vec<Vec<Logic>> = if n_in <= 8 {
+            (0u32..1 << n_in)
+                .map(|bits| {
+                    (0..n_in)
+                        .map(|i| Logic::from_bool(bits >> i & 1 == 1))
+                        .collect()
+                })
+                .collect()
+        } else {
+            (0..2 * LANES)
+                .map(|_| (0..n_in).map(|_| random_logic(&mut rng)).collect())
+                .collect()
+        };
+        for pats in patterns.chunks(LANES) {
+            let in_words = transpose(pats, n_in);
+            program.eval(&in_words, None, &mut buf);
+            for (lane, pat) in pats.iter().enumerate() {
+                let facts = glitchlock_dataflow::const_facts_for_inputs(nl, pat);
+                for idx in 0..nl.net_count() {
+                    let id = NetId::from_index(idx);
+                    let packed = buf.net(id).get(lane);
+                    let lattice = facts.net(id).to_logic();
+                    if lattice != packed {
+                        return Verdict::Fail(format!(
+                            "{view}: net {:?} disagrees under inputs {pat:?}: \
+                             constant lattice {lattice} vs packed {packed}",
+                            nl.net(id).name()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Verdict::Pass
 }
 
 fn lint_clean(ctx: &RefereeCtx<'_>) -> Verdict {

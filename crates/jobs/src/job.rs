@@ -23,7 +23,7 @@ use crate::journal::JobRecord;
 use crate::spec::fnv1a64;
 use glitchlock_attacks::{
     appsat::AppSat,
-    removal::{bypass_net, locate_point_function},
+    removal::{bypass_net, locate_point_function_tainted},
     sat_attack::key_match_rate,
     scan::{scan_hypothesis_attack, GkResolution},
     seq_sat::{seq_sat_attack_with_backend, SeqSatOutcome},
@@ -327,9 +327,11 @@ pub fn execute(job: &JobSpec, tuning: &Tuning, cancel: &CancelToken) -> JobRecor
         }
         AttackKind::Removal => {
             // SARLock/Anti-SAT flip signals pass for n=3 on ~11% of
-            // patterns, so the skew threshold must sit above that;
-            // bypass verification culls any false positives it lets in.
-            let candidates = locate_point_function(&view, tuning.samples, 0.15, &mut rng);
+            // patterns, so the skew threshold must sit above that; the
+            // key-taint prune discards skew artifacts outside every key
+            // cone, and bypass verification culls whatever it lets in.
+            let candidates =
+                locate_point_function_tainted(&view, &key_inputs, tuning.samples, 0.15, &mut rng);
             record.iterations = candidates.len() as u64;
             if candidates.is_empty() {
                 record.verdict = "nothing-located".to_string();

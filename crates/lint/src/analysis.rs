@@ -1,0 +1,375 @@
+//! Dataflow-backed key-reachability lints.
+//!
+//! Everything here is derived from one [`AnalysisFacts`] bundle (constant/X
+//! propagation, raw and refined key taint, value numbering) computed by the
+//! `glitchlock-dataflow` engine:
+//!
+//! * `key-constant-collapsed` — a key bit whose influence dies in provably
+//!   constant logic (its raw cone contains constant-collapsed nets and its
+//!   refined taint reaches no primary output).
+//! * `key-taint-dead` — a key bit whose refined taint reaches no primary
+//!   output at all: the locking structure launders the bit away (equal-arm
+//!   muxes, glitch-key-gate identities), so it is statically inert.
+//! * `point-function-structure` — a FALL/TTLock-style comparator: an
+//!   AND/OR-family root whose every input is a two-input XOR/XNOR mixing
+//!   exactly one key-tainted net with one key-free net. Such one-hot
+//!   comparators are the signature approximate/FALL attacks pattern-match.
+//! * `key-partition-disjoint` — the live key bits split into groups whose
+//!   refined taints never meet on any net; a SAT attacker can solve each
+//!   partition independently.
+//!
+//! Bits whose raw taint feeds a *complete* GK motif's key net are exempt
+//! from the reachability codes: a glitch key-gate is statically
+//! key-independent **by design** (its output is `INV(x)` for every constant
+//! key), so "taint never reaches a PO" is the security property working,
+//! not a defect. Laundering through anything that does not scan as a full
+//! GK (e.g. a tunable-delay-buffer mux) still fires.
+
+use crate::diagnostic::{
+    Diagnostic, Location, Severity, KEY_CONSTANT_COLLAPSED, KEY_PARTITION_DISJOINT, KEY_TAINT_DEAD,
+    POINT_FUNCTION_STRUCTURE,
+};
+use crate::locking::scan_gk_motifs;
+use crate::{LintContext, LintPass};
+use glitchlock_dataflow::AnalysisFacts;
+use glitchlock_netlist::{GateKind, NetId, Netlist};
+use std::collections::BTreeSet;
+
+/// Key-reachability lints over the dataflow engine's fixpoints.
+pub struct AnalysisPass;
+
+impl LintPass for AnalysisPass {
+    fn name(&self) -> &'static str {
+        "analysis"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &[
+            KEY_CONSTANT_COLLAPSED,
+            KEY_TAINT_DEAD,
+            POINT_FUNCTION_STRUCTURE,
+            KEY_PARTITION_DISJOINT,
+        ]
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let nl = ctx.netlist;
+        // Fixpoints assume a structurally sound netlist; the structural
+        // pass owns reporting validation defects.
+        if nl.validate().is_err() {
+            return;
+        }
+        let facts = AnalysisFacts::compute(nl, &ctx.key_prefix);
+        if facts.keys.is_empty() {
+            return;
+        }
+        let exempt = gk_exempt_bits(ctx, &facts);
+        check_key_reachability(nl, &facts, &exempt, out);
+        check_point_functions(nl, &facts, out);
+        check_partitions(&facts, &exempt, out);
+    }
+}
+
+/// Bits whose raw taint reaches a complete GK motif's key net. These are
+/// statically inert by design (see the module docs), so the reachability
+/// codes skip them.
+fn gk_exempt_bits(ctx: &LintContext<'_>, facts: &AnalysisFacts) -> BTreeSet<usize> {
+    let scan = scan_gk_motifs(ctx.netlist, ctx.library);
+    let mut exempt = BTreeSet::new();
+    for motif in &scan.motifs {
+        exempt.extend(facts.raw.net(motif.key).iter());
+    }
+    exempt
+}
+
+fn check_key_reachability(
+    nl: &Netlist,
+    facts: &AnalysisFacts,
+    exempt: &BTreeSet<usize>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (bit, &key) in facts.keys.iter().enumerate() {
+        if exempt.contains(&bit) || !facts.observable_pos(nl, bit).is_empty() {
+            continue;
+        }
+        let name = nl.net(key).name();
+        let collapsed = facts.collapsed_nets(nl, bit);
+        if !collapsed.is_empty() {
+            out.push(
+                Diagnostic::new(
+                    KEY_CONSTANT_COLLAPSED,
+                    Severity::Warning,
+                    Location::net(name),
+                    format!(
+                        "key input {name:?}'s cone constant-collapses ({} net(s), e.g. {:?}) \
+                         and its influence reaches no primary output",
+                        collapsed.len(),
+                        nl.net(collapsed[0]).name()
+                    ),
+                )
+                .with_suggestion("resynthesis folds the bit away; rewire it into live logic"),
+            );
+        } else {
+            out.push(
+                Diagnostic::new(
+                    KEY_TAINT_DEAD,
+                    Severity::Warning,
+                    Location::net(name),
+                    format!(
+                        "key input {name:?}'s taint is laundered away before every primary \
+                         output; the bit is statically inert"
+                    ),
+                )
+                .with_suggestion(
+                    "an attacker may set the bit arbitrarily; entangle it with observable logic",
+                ),
+            );
+        }
+    }
+}
+
+/// Reads one comparator leg: `net` must be driven by a two-input XOR/XNOR
+/// mixing exactly one raw-key-tainted input with one key-free input.
+/// Returns the key bits on the tainted side.
+fn comparator_leg(nl: &Netlist, facts: &AnalysisFacts, net: NetId) -> Option<Vec<usize>> {
+    let driver = nl.net(net).driver()?;
+    let cell = nl.cell(driver);
+    if !matches!(cell.kind(), GateKind::Xor | GateKind::Xnor) || cell.inputs().len() != 2 {
+        return None;
+    }
+    let (ta, tb) = (
+        facts.raw.net(cell.inputs()[0]),
+        facts.raw.net(cell.inputs()[1]),
+    );
+    match (ta.is_empty(), tb.is_empty()) {
+        (false, true) => Some(ta.iter().collect()),
+        (true, false) => Some(tb.iter().collect()),
+        _ => None,
+    }
+}
+
+fn check_point_functions(nl: &Netlist, facts: &AnalysisFacts, out: &mut Vec<Diagnostic>) {
+    for (_id, cell) in nl.cells() {
+        if !matches!(
+            cell.kind(),
+            GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor
+        ) || cell.inputs().len() < 2
+        {
+            continue;
+        }
+        let mut bits: BTreeSet<usize> = BTreeSet::new();
+        let all_legs = cell
+            .inputs()
+            .iter()
+            .all(|&i| match comparator_leg(nl, facts, i) {
+                Some(leg) => {
+                    bits.extend(leg);
+                    true
+                }
+                None => false,
+            });
+        if all_legs && bits.len() >= 2 {
+            let name = cell.name();
+            out.push(
+                Diagnostic::new(
+                    POINT_FUNCTION_STRUCTURE,
+                    Severity::Warning,
+                    Location::cell_net(name, nl.net(cell.output()).name()),
+                    format!(
+                        "{name} roots a point-function comparator over {} key bit(s): every \
+                         input XOR/XNORs one key-tainted net against one key-free net \
+                         (FALL/TTLock signature)",
+                        bits.len()
+                    ),
+                )
+                .with_suggestion(
+                    "one-hot comparators fall to approximate/FALL attacks; diversify the \
+                     locking structure",
+                ),
+            );
+        }
+    }
+}
+
+fn check_partitions(facts: &AnalysisFacts, exempt: &BTreeSet<usize>, out: &mut Vec<Diagnostic>) {
+    let width = facts.key_width();
+    let mut parent: Vec<usize> = (0..width).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut reached = vec![false; width];
+    for taint in facts.refined.values() {
+        let bits: Vec<usize> = taint.iter().filter(|b| !exempt.contains(b)).collect();
+        for &b in &bits {
+            reached[b] = true;
+        }
+        for pair in bits.windows(2) {
+            let (ra, rb) = (find(&mut parent, pair[0]), find(&mut parent, pair[1]));
+            parent[ra] = rb;
+        }
+    }
+    let live: Vec<usize> = (0..width).filter(|&b| reached[b]).collect();
+    let components: BTreeSet<usize> = live.iter().map(|&b| find(&mut parent, b)).collect();
+    if components.len() > 1 {
+        out.push(
+            Diagnostic::new(
+                KEY_PARTITION_DISJOINT,
+                Severity::Warning,
+                Location::none(),
+                format!(
+                    "the {} live key bit(s) split into {} taint-disjoint partitions; a SAT \
+                     attacker can solve each partition independently",
+                    live.len(),
+                    components.len()
+                ),
+            )
+            .with_suggestion(
+                "entangle the partitions: route them through shared logic or add \
+                 cross-partition key gates",
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic;
+    use crate::LintRunner;
+    use glitchlock_stdcell::Library;
+
+    fn lib() -> Library {
+        Library::cl013g_like().with_gk_delay_macros()
+    }
+
+    fn run(nl: &Netlist, prefix: &str) -> crate::LintReport {
+        let library = lib();
+        let ctx = LintContext::new(nl, &library).with_key_prefix(prefix);
+        LintRunner::empty()
+            .with_pass(Box::new(AnalysisPass))
+            .run(&ctx)
+    }
+
+    #[test]
+    fn collapsed_bit_fires_key_constant_collapsed() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let k = nl.add_input("k0");
+        let zero = nl.add_const(false);
+        let masked = nl.add_gate(GateKind::And, &[k, zero]).unwrap();
+        let y = nl.add_gate(GateKind::Or, &[a, masked]).unwrap();
+        nl.mark_output(y, "y");
+        let report = run(&nl, "k");
+        assert_eq!(
+            report.with_code(diagnostic::KEY_CONSTANT_COLLAPSED).len(),
+            1
+        );
+        assert!(report.with_code(diagnostic::KEY_TAINT_DEAD).is_empty());
+    }
+
+    #[test]
+    fn equal_arm_mux_fires_key_taint_dead() {
+        // A tunable-delay-buffer shape: both mux arms buffer the same data
+        // net, so the key select is semantically inert but nothing
+        // constant-collapses.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let k = nl.add_input("k0");
+        let fast = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+        let slow1 = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+        let slow = nl.add_gate(GateKind::Buf, &[slow1]).unwrap();
+        let y = nl.add_gate(GateKind::Mux2, &[fast, slow, k]).unwrap();
+        nl.mark_output(y, "y");
+        let report = run(&nl, "k");
+        assert_eq!(report.with_code(diagnostic::KEY_TAINT_DEAD).len(), 1);
+        assert!(report
+            .with_code(diagnostic::KEY_CONSTANT_COLLAPSED)
+            .is_empty());
+    }
+
+    #[test]
+    fn live_bits_stay_silent_but_disjoint_partitions_fire() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let k0 = nl.add_input("k0");
+        let k1 = nl.add_input("k1");
+        let y0 = nl.add_gate(GateKind::Xor, &[a, k0]).unwrap();
+        let y1 = nl.add_gate(GateKind::Xor, &[b, k1]).unwrap();
+        nl.mark_output(y0, "y0");
+        nl.mark_output(y1, "y1");
+        let report = run(&nl, "k");
+        assert!(report.with_code(diagnostic::KEY_TAINT_DEAD).is_empty());
+        assert_eq!(
+            report.with_code(diagnostic::KEY_PARTITION_DISJOINT).len(),
+            1
+        );
+
+        // Entangling both cones into one output removes the finding.
+        let mut joined = Netlist::new("t2");
+        let a = joined.add_input("a");
+        let k0 = joined.add_input("k0");
+        let k1 = joined.add_input("k1");
+        let x0 = joined.add_gate(GateKind::Xor, &[a, k0]).unwrap();
+        let x1 = joined.add_gate(GateKind::Xor, &[x0, k1]).unwrap();
+        joined.mark_output(x1, "y");
+        let report = run(&joined, "k");
+        assert!(report
+            .with_code(diagnostic::KEY_PARTITION_DISJOINT)
+            .is_empty());
+    }
+
+    #[test]
+    fn ttlock_comparator_fires_point_function() {
+        // AND over XNOR(in_i, k_i): the classic one-point comparator.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let k0 = nl.add_input("k0");
+        let k1 = nl.add_input("k1");
+        let c0 = nl.add_gate(GateKind::Xnor, &[a, k0]).unwrap();
+        let c1 = nl.add_gate(GateKind::Xnor, &[b, k1]).unwrap();
+        let hit = nl.add_gate(GateKind::And, &[c0, c1]).unwrap();
+        let y = nl.add_gate(GateKind::Xor, &[a, hit]).unwrap();
+        nl.mark_output(y, "y");
+        let report = run(&nl, "k");
+        assert_eq!(
+            report.with_code(diagnostic::POINT_FUNCTION_STRUCTURE).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn gk_motif_key_bits_are_exempt() {
+        use glitchlock_core::gk::{build_gk, GkDesign};
+        let library = lib();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let x = nl.add_gate(GateKind::Inv, &[a]).unwrap();
+        let key = nl.add_input("gk0_key");
+        let gk = build_gk(&mut nl, &library, x, key, &GkDesign::paper_default()).unwrap();
+        let q = nl.add_dff(gk.y).unwrap();
+        nl.mark_output(q, "y");
+        let ctx = LintContext::new(&nl, &library);
+        let report = LintRunner::empty()
+            .with_pass(Box::new(AnalysisPass))
+            .run(&ctx);
+        // The GK hides the key statically *by design*: the refined taint
+        // dies at the mux, but the motif exemption keeps the pass silent.
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn unkeyed_netlist_is_skipped() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_gate(GateKind::Inv, &[a]).unwrap();
+        nl.mark_output(y, "y");
+        let report = run(&nl, "gk");
+        assert!(report.diagnostics.is_empty());
+    }
+}

@@ -194,6 +194,16 @@ pub const UNUSED_KEY_BIT: &str = "unused-key-bit";
 pub const CONSTANT_KEY_BIT: &str = "constant-key-bit";
 /// A withheld LUT whose truth table does not cover its input space.
 pub const WITHHOLDING_COVERAGE_HOLE: &str = "withholding-coverage-hole";
+// Dataflow-analysis codes (the `glitchlock-dataflow` engine).
+/// A key bit whose fan-in influence dies in provably constant logic.
+pub const KEY_CONSTANT_COLLAPSED: &str = "key-constant-collapsed";
+/// A key bit whose refined taint reaches no primary output.
+pub const KEY_TAINT_DEAD: &str = "key-taint-dead";
+/// An AND/OR-of-XOR/XNOR comparator over key bits (TTLock/SARLock shape).
+pub const POINT_FUNCTION_STRUCTURE: &str = "point-function-structure";
+/// Key bits split into taint-disjoint partitions a SAT attacker can
+/// divide and conquer.
+pub const KEY_PARTITION_DISJOINT: &str = "key-partition-disjoint";
 // Timing-window codes.
 /// A GK whose Eq. (3)/(5) trigger window is violated or empty.
 pub const GK_WINDOW_VIOLATED: &str = "gk-window-violated";
@@ -271,6 +281,26 @@ pub const CODES: &[CodeInfo] = &[
         code: WITHHOLDING_COVERAGE_HOLE,
         default_severity: Severity::Error,
         summary: "a withheld LUT's table does not cover its input space",
+    },
+    CodeInfo {
+        code: KEY_CONSTANT_COLLAPSED,
+        default_severity: Severity::Warning,
+        summary: "a key bit's influence dies in provably constant logic",
+    },
+    CodeInfo {
+        code: KEY_TAINT_DEAD,
+        default_severity: Severity::Warning,
+        summary: "a key bit's taint never reaches a primary output",
+    },
+    CodeInfo {
+        code: POINT_FUNCTION_STRUCTURE,
+        default_severity: Severity::Warning,
+        summary: "a point-function comparator over key bits invites FALL-style removal",
+    },
+    CodeInfo {
+        code: KEY_PARTITION_DISJOINT,
+        default_severity: Severity::Warning,
+        summary: "key bits form taint-disjoint partitions solvable independently",
     },
     CodeInfo {
         code: GK_WINDOW_VIOLATED,

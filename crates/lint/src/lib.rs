@@ -13,6 +13,16 @@
 //!   Eqs. (1)–(6) against `glitchlock-sta` arrival times: glitch length,
 //!   trigger windows, the KEYGEN trigger floor, and setup/hold margins eroded
 //!   by synthesis passes.
+//! * **Dataflow-backed key lints** ([`analysis`]) — lattice fixpoints from
+//!   `glitchlock-dataflow` (constant/X propagation, per-key-bit taint):
+//!   constant-collapsed key bits, key taint that never reaches a primary
+//!   output, FALL/TTLock-style point-function comparators, and
+//!   taint-disjoint key partitions.
+//!
+//! The structural dead-cone sweep and the key-bit constancy proof are
+//! themselves built on the same dataflow engine (liveness and
+//! constant-propagation domains), so every reachability answer in the
+//! battery comes from one fixpoint framework.
 //!
 //! The entry point is a [`LintRunner`] configured with per-code
 //! [`Level`]s, fed a [`LintContext`]:
@@ -34,6 +44,7 @@
 
 #![deny(missing_docs)]
 
+pub mod analysis;
 pub mod diagnostic;
 pub mod locking;
 pub mod report;
@@ -185,6 +196,7 @@ impl LintRunner {
                 Box::new(structural::StructuralPass),
                 Box::new(locking::LockingPass),
                 Box::new(timing::TimingPass),
+                Box::new(analysis::AnalysisPass),
             ],
             levels: HashMap::new(),
             all: None,
@@ -241,8 +253,14 @@ impl LintRunner {
         self.finish(raw)
     }
 
-    /// Applies level resolution and ordering to externally produced
-    /// diagnostics (e.g. parse errors from the input front-end).
+    /// Applies level resolution, ordering, and de-duplication to externally
+    /// produced diagnostics (e.g. parse errors from the input front-end).
+    ///
+    /// Ordering is errors first, then by `(code, net, cell)` within each
+    /// severity, so text/JSON output diffs stably across runs. Duplicates
+    /// are keyed on `(code, location, message)`: two passes reporting the
+    /// same net under *different* codes both survive — only literally
+    /// identical findings collapse.
     pub fn finish(&self, raw: Vec<Diagnostic>) -> LintReport {
         let mut diagnostics: Vec<Diagnostic> = raw
             .into_iter()
@@ -258,7 +276,25 @@ impl LintRunner {
                 }
             })
             .collect();
-        diagnostics.sort_by_key(|d| std::cmp::Reverse(d.severity));
+        diagnostics.sort_by(|a, b| {
+            (
+                std::cmp::Reverse(a.severity),
+                a.code,
+                &a.location.net,
+                &a.location.cell,
+                &a.message,
+            )
+                .cmp(&(
+                    std::cmp::Reverse(b.severity),
+                    b.code,
+                    &b.location.net,
+                    &b.location.cell,
+                    &b.message,
+                ))
+        });
+        diagnostics.dedup_by(|a, b| {
+            a.code == b.code && a.location == b.location && a.message == b.message
+        });
         LintReport { diagnostics }
     }
 }

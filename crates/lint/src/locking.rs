@@ -339,7 +339,7 @@ fn feeds_timing_structure(nl: &Netlist, library: &Library, key: NetId) -> bool {
 fn check_key_bits(ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
     let nl = ctx.netlist;
     let po_nets: HashSet<NetId> = nl.output_ports().iter().map(|(n, _)| *n).collect();
-    for (ix, &key) in nl.input_nets().iter().enumerate() {
+    for &key in nl.input_nets().iter() {
         let name = nl.net(key).name().to_string();
         if !name.starts_with(&ctx.key_prefix) {
             continue;
@@ -368,10 +368,10 @@ fn check_key_bits(ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
             // Statically key-independent by design; constancy is meaningless.
             continue;
         }
-        // X-propagation proof: evaluate with only this bit set (0 then 1),
-        // everything else unknown. If every reachable observable resolves
-        // definitely and identically for both values, the bit provably
-        // cannot matter.
+        // X-propagation proof via the constant-propagation lattice: pin
+        // only this bit (0 then 1), everything else unknown. If every
+        // reachable observable resolves definitely and identically for
+        // both values, the bit provably cannot matter.
         let mut observables: Vec<NetId> = Vec::new();
         for &c in &cone {
             let cell = nl.cell(c);
@@ -386,13 +386,10 @@ fn check_key_bits(ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
         if observables.is_empty() {
             continue;
         }
-        let mut inputs = vec![Logic::X; nl.input_nets().len()];
-        inputs[ix] = Logic::Zero;
-        let v0 = nl.eval_nets(&inputs, None);
-        inputs[ix] = Logic::One;
-        let v1 = nl.eval_nets(&inputs, None);
+        let v0 = glitchlock_dataflow::const_facts(nl, &[(key, Logic::Zero)]);
+        let v1 = glitchlock_dataflow::const_facts(nl, &[(key, Logic::One)]);
         let proven_constant = observables.iter().all(|&n| {
-            let (a, b) = (v0[n.index()], v1[n.index()]);
+            let (a, b) = (v0.net(n).to_logic(), v1.net(n).to_logic());
             a != Logic::X && b != Logic::X && a == b
         });
         if proven_constant {

@@ -7,7 +7,7 @@ use crate::diagnostic::{
 };
 use crate::{LintContext, LintPass};
 use glitchlock_netlist::{CellId, GateKind, NetId, Netlist};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 
 /// Undriven/multiply-driven nets, dangling outputs, combinational loops,
 /// duplicate gates, and dead (fanout-free) cones.
@@ -258,29 +258,16 @@ fn check_duplicates(nl: &Netlist, out: &mut Vec<Diagnostic>) {
 }
 
 fn check_dead_cones(nl: &Netlist, out: &mut Vec<Diagnostic>) {
-    // Live set: BFS from primary-output drivers, traversing every cell input
-    // (including through flip-flops).
-    let mut live: HashSet<CellId> = HashSet::new();
-    let mut queue: VecDeque<CellId> = VecDeque::new();
-    for net in nl.output_nets() {
-        if let Some(driver) = nl.net(net).driver() {
-            if live.insert(driver) {
-                queue.push_back(driver);
-            }
-        }
-    }
-    while let Some(c) = queue.pop_front() {
-        for &input in nl.cell(c).inputs() {
-            if let Some(driver) = nl.net(input).driver() {
-                if live.insert(driver) {
-                    queue.push_back(driver);
-                }
-            }
-        }
-    }
+    // Liveness as a backward dataflow fixpoint: a net is needed when it is
+    // a primary output or feeds any pin (including flip-flop D pins) of a
+    // cell whose own output is needed. A cell is live exactly when its
+    // output net is needed — the same live set the old hand-rolled BFS
+    // from primary-output drivers computed, so findings are byte-for-byte
+    // identical.
+    let needed = glitchlock_dataflow::live_facts(nl);
     let po_nets: HashSet<NetId> = nl.output_ports().iter().map(|(n, _)| *n).collect();
-    for (id, cell) in nl.cells() {
-        if live.contains(&id) || cell.kind() == GateKind::Input {
+    for (_id, cell) in nl.cells() {
+        if *needed.net(cell.output()) || cell.kind() == GateKind::Input {
             continue;
         }
         // Report only cone roots: dead cells nothing reads. Their fan-in is

@@ -1,6 +1,12 @@
 //! Timing-window lints: re-verify Eqs. (1)–(6) for every GK found in the
 //! netlist against fresh STA arrival times, and audit setup/hold margins
 //! that synthesis passes (`holdfix`, `resize`) may have eroded.
+//!
+//! Window findings carry the tapped data net's SCOAP testability scores
+//! (from the `glitchlock-dataflow` controllability/observability domains)
+//! in their suggestions: a hard-to-control tap rarely toggles, so its
+//! glitch rarely launches, which changes how urgent a window violation is
+//! and where the fix (re-run feasibility vs. retap) should land.
 
 use crate::diagnostic::{
     Diagnostic, Location, Severity, GK_GLITCH_TOO_SHORT, GK_WINDOW_VIOLATED, HOLD_MARGIN_ERODED,
@@ -10,8 +16,52 @@ use crate::locking::scan_gk_motifs;
 use crate::{LintContext, LintPass};
 use glitchlock_core::feasibility::keygen_trigger_floor;
 use glitchlock_core::windows::{GkTiming, TriggerWindow};
+use glitchlock_dataflow::{scoap_facts, ScoapFacts, INF};
+use glitchlock_netlist::{NetId, Netlist};
 use glitchlock_sta::analyze;
 use std::collections::HashSet;
+
+/// Lazily computed SCOAP scores: window findings are rare, so the
+/// fixpoints only run once a finding actually needs them.
+struct ScoapHint<'a> {
+    nl: &'a Netlist,
+    facts: Option<ScoapFacts>,
+}
+
+impl<'a> ScoapHint<'a> {
+    fn new(nl: &'a Netlist) -> Self {
+        ScoapHint { nl, facts: None }
+    }
+
+    /// Renders `net`'s scores as a suggestion fragment.
+    fn describe(&mut self, net: NetId) -> String {
+        let facts = self.facts.get_or_insert_with(|| scoap_facts(self.nl));
+        let cc = *facts.cc.net(net);
+        let co = *facts.co.net(net);
+        let fmt = |v: u32| {
+            if v == INF {
+                "inf".to_string()
+            } else {
+                v.to_string()
+            }
+        };
+        let toggle = if cc.cc0 == INF || cc.cc1 == INF {
+            "the tap never toggles"
+        } else if cc.cc0.max(cc.cc1) > 20 {
+            "the tap toggles rarely"
+        } else {
+            "the tap toggles readily"
+        };
+        format!(
+            "SCOAP at tap {:?}: CC0 {} / CC1 {} / CO {} — {}",
+            self.nl.net(net).name(),
+            fmt(cc.cc0),
+            fmt(cc.cc1),
+            fmt(co),
+            toggle
+        )
+    }
+}
 
 /// Post-insertion re-verification of the paper's timing equations plus
 /// setup/hold margin auditing.
@@ -57,6 +107,7 @@ impl LintPass for TimingPass {
             }
         }
 
+        let mut scoap = ScoapHint::new(nl);
         for motif in &scan.motifs {
             let mux_name = nl.cell(motif.mux).name().to_string();
             let l_glitch = motif.d_path_min();
@@ -86,7 +137,10 @@ impl LintPass for TimingPass {
                                 seq.setup, seq.hold
                             ),
                         )
-                        .with_suggestion("lengthen the branch delay chains"),
+                        .with_suggestion(format!(
+                            "lengthen the branch delay chains ({})",
+                            scoap.describe(motif.x)
+                        )),
                     );
                     continue;
                 }
@@ -106,7 +160,10 @@ impl LintPass for TimingPass {
                                 timing.ub()
                             ),
                         )
-                        .with_suggestion("re-run feasibility; the data path grew past the window"),
+                        .with_suggestion(format!(
+                            "re-run feasibility; the data path grew past the window ({})",
+                            scoap.describe(motif.x)
+                        )),
                     );
                     continue;
                 }
@@ -285,8 +342,18 @@ mod tests {
         let design = GkDesign::paper_default();
         let nl = gk_fixture(&design);
         let report = run(&nl, ClockModel::new(Ps(1200)), design, Ps(0));
-        assert!(!report.with_code(diagnostic::GK_WINDOW_VIOLATED).is_empty());
+        let violated = report.with_code(diagnostic::GK_WINDOW_VIOLATED);
+        assert!(!violated.is_empty());
         assert!(report.with_code(diagnostic::SETUP_VIOLATED).is_empty());
+        // Window findings carry the tap's SCOAP scores in the suggestion.
+        assert!(
+            violated[0]
+                .suggestion
+                .as_deref()
+                .is_some_and(|s| s.contains("SCOAP at tap")),
+            "{:?}",
+            violated[0].suggestion
+        );
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //! * Parsers/writers for the ISCAS-89 `.bench` format ([`bench_format`]) and
 //!   a structural Verilog subset ([`verilog`]).
 //!
+//! Lattice-based abstract interpretation over this IR (constant/X
+//! propagation, key-bit taint, SCOAP testability) lives in the companion
+//! `glitchlock-dataflow` crate, re-exported from the facade crate as
+//! `glitchlock::dataflow` — it depends on this crate, so it cannot be
+//! re-exported from here without a cycle.
+//!
 //! # Example
 //!
 //! ```rust

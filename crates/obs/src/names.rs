@@ -121,6 +121,21 @@ pub const JOBS_FAILURES: &str = "jobs.failures";
 /// Jobs skipped on `--resume` because the journal already records them.
 pub const JOBS_RESUME_SKIPS: &str = "jobs.resume_skips";
 
+/// Dataflow analysis runs (one per `AnalysisFacts` computation).
+pub const ANALYSIS_RUNS: &str = "analysis.runs";
+/// Worklist transfer-function applications summed over all domains.
+pub const ANALYSIS_ITERATIONS: &str = "analysis.iterations";
+/// Nets covered by a dataflow run (per run, not per domain).
+pub const ANALYSIS_NETS: &str = "analysis.nets";
+/// Key bits tracked by the taint domains.
+pub const ANALYSIS_KEY_BITS: &str = "analysis.key_bits";
+/// Nets forced up the lattice by widening (deep sequential feedback).
+pub const ANALYSIS_WIDENED: &str = "analysis.widened";
+
+/// Removal-attack point-function candidates discarded because no key
+/// taint reaches them.
+pub const REMOVAL_TAINT_PRUNED: &str = "removal.taint_pruned";
+
 /// Fuzz cases executed.
 pub const FUZZ_CASES: &str = "fuzz.cases";
 /// Referee verdicts returned (pass + skip + fail).
@@ -173,6 +188,16 @@ pub fn expected_sites(domain: &str) -> Option<&'static [&'static str]> {
             EVAL_PACKED_PASSES,
             SIM_EVENTS,
         ]),
+        // `glk analyze` always runs every domain over at least one key
+        // bit (analyzing an unkeyed netlist is legal but not what the
+        // gate traces). `analysis.widened` stays off the list: it is
+        // legitimately zero on shallow or combinational designs.
+        "analyze" => Some(&[
+            ANALYSIS_RUNS,
+            ANALYSIS_ITERATIONS,
+            ANALYSIS_NETS,
+            ANALYSIS_KEY_BITS,
+        ]),
         // Any campaign locks designs and evaluates gates; per-job scoped
         // snapshots are folded back into the campaign collector, so these
         // read non-zero in the trace regardless of the attack mix.
@@ -187,4 +212,4 @@ pub fn expected_sites(domain: &str) -> Option<&'static [&'static str]> {
 }
 
 /// Every domain [`expected_sites`] knows about.
-pub const DOMAINS: [&str; 5] = ["attack", "sim", "lock-gk", "fuzz", "campaign"];
+pub const DOMAINS: [&str; 6] = ["attack", "sim", "lock-gk", "analyze", "fuzz", "campaign"];

@@ -11,7 +11,12 @@
 //! `glk lint` runs the same battery standalone and exits nonzero when any
 //! deny-level diagnostic fires.
 //!
-//! `attack`, `sim`, `lock-gk`, `fuzz` and `campaign` accept the
+//! `glk analyze` runs the dataflow engine (constant/X propagation, per-key-bit
+//! taint, SCOAP testability) over a netlist and prints per-key-bit
+//! reachability — which primary outputs each bit can still influence after
+//! semantic laundering — plus, with `--nets`, per-net lattice facts.
+//!
+//! `attack`, `sim`, `lock-gk`, `analyze`, `fuzz` and `campaign` accept the
 //! observability flags
 //! `--trace out.jsonl` (structured JSON-lines event trace), `--metrics`
 //! (end-of-run metrics report) and `--metrics-format json|text`;
@@ -55,6 +60,8 @@ usage: glk <subcommand> …
   glk lint        <in.bench> [--format json|text] [--deny codes|all] [--warn …]
                   [--allow …] [--period-ns N] [--glitch-ps L] [--margin-ps N]
                   [--key-prefix P]
+  glk analyze     <in.bench> [--format json|text] [--key-prefix P] [--nets]
+                  [OBS]
   glk synth       <in.bench> <out.bench> [--optimize] [--holdfix] [--resize N]
                   [--period-ns N] [--no-lint]
   glk lib         [out.lib] [--custom]
@@ -64,7 +71,7 @@ usage: glk <subcommand> …
   glk campaign    --spec <spec.txt> [--jobs N] [--out PREFIX] [--resume]
                   [--journal PATH] [--halt-after N] [--solver legacy|modern]
                   [OBS]
-  glk trace-check <trace.jsonl> [--sites attack|sim|lock-gk|fuzz|campaign]
+  glk trace-check <trace.jsonl> [--sites attack|sim|lock-gk|analyze|fuzz|campaign]
   glk help
 
 OBS (observability) flags, accepted where marked:
@@ -147,6 +154,7 @@ fn run() -> Result<(), String> {
         "sim" => with_obs(&args, || cmd_sim(&args)),
         "verify" => cmd_verify(&args),
         "lint" => cmd_lint(&args),
+        "analyze" => with_obs(&args, || cmd_analyze(&args)),
         "synth" => cmd_synth(&args),
         "lib" => cmd_lib(&args),
         "fuzz" => with_obs(&args, || cmd_fuzz(&args)),
@@ -703,6 +711,203 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
     } else {
         Err(format!("{} deny-level diagnostic(s)", report.denied()))
     }
+}
+
+/// `glk analyze <in.bench> [--format json|text] [--key-prefix P] [--nets]`
+///
+/// Runs the dataflow engine's day-one domains (constant/X propagation, raw
+/// and refined key taint, SCOAP testability) to their fixpoints and reports
+/// per-key-bit reachability: how many nets each bit structurally touches,
+/// whether its influence survives semantic laundering to any primary
+/// output, and where it constant-collapses. `--nets` adds the per-net
+/// lattice facts. Exit code is 0 regardless of findings — `glk lint`
+/// owns policy; this is the inspection tool.
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    use glitchlock::dataflow::{AnalysisFacts, INF};
+
+    let path = need(args, 0, "input .bench")?;
+    let nl = load(&path)?;
+    nl.validate()
+        .map_err(|e| format!("{path}: invalid netlist: {e}"))?;
+    let json = match args.flag("format").unwrap_or("text") {
+        "json" => true,
+        "text" => false,
+        other => return Err(format!("--format expects json or text, got {other:?}")),
+    };
+    let prefix = args.flag("key-prefix").unwrap_or("gk");
+    let facts = AnalysisFacts::compute(&nl, prefix);
+
+    let fmt_score = |v: u32| {
+        if v == INF {
+            "inf".to_string()
+        } else {
+            v.to_string()
+        }
+    };
+    struct BitRow {
+        name: String,
+        raw_reach: usize,
+        collapsed: usize,
+        observable: Vec<String>,
+        verdict: &'static str,
+    }
+    let bits: Vec<BitRow> = facts
+        .keys
+        .iter()
+        .enumerate()
+        .map(|(bit, &key)| {
+            let observable: Vec<String> = facts
+                .observable_pos(&nl, bit)
+                .iter()
+                .map(|&po| nl.net(po).name().to_string())
+                .collect();
+            let collapsed = facts.collapsed_nets(&nl, bit).len();
+            let verdict = if !observable.is_empty() {
+                "observable"
+            } else if collapsed > 0 {
+                "constant-collapsed"
+            } else {
+                "taint-dead"
+            };
+            BitRow {
+                name: nl.net(key).name().to_string(),
+                raw_reach: facts.raw_reach(bit),
+                collapsed,
+                observable,
+                verdict,
+            }
+        })
+        .collect();
+
+    if json {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"design\": {}, \"nets\": {}, \"key_bits\": {}, \"iterations\": {}, \
+             \"widened\": {}, \"bits\": [",
+            json_str(nl.name()),
+            nl.nets().len(),
+            facts.key_width(),
+            facts.iterations,
+            facts.widened
+        ));
+        for (i, b) in bits.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let pos: Vec<String> = b.observable.iter().map(|p| json_str(p)).collect();
+            out.push_str(&format!(
+                "{{\"name\": {}, \"raw_reach\": {}, \"collapsed\": {}, \
+                 \"observable_outputs\": [{}], \"verdict\": {}}}",
+                json_str(&b.name),
+                b.raw_reach,
+                b.collapsed,
+                pos.join(", "),
+                json_str(b.verdict)
+            ));
+        }
+        out.push(']');
+        if args.has("nets") {
+            out.push_str(", \"net_facts\": [");
+            let mut first = true;
+            for (id, net) in nl.nets() {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                let (cc0, cc1, co) = facts.scoap_of(id);
+                let raw: Vec<String> = facts.raw.net(id).iter().map(|b| b.to_string()).collect();
+                let refined: Vec<String> = facts
+                    .refined
+                    .net(id)
+                    .iter()
+                    .map(|b| b.to_string())
+                    .collect();
+                out.push_str(&format!(
+                    "{{\"name\": {}, \"const\": {}, \"raw_taint\": [{}], \
+                     \"refined_taint\": [{}], \"cc0\": {}, \"cc1\": {}, \"co\": {}}}",
+                    json_str(net.name()),
+                    json_str(&facts.consts.net(id).to_logic().to_string()),
+                    raw.join(", "),
+                    refined.join(", "),
+                    json_str(&fmt_score(cc0)),
+                    json_str(&fmt_score(cc1)),
+                    json_str(&fmt_score(co)),
+                ));
+            }
+            out.push(']');
+        }
+        out.push('}');
+        println!("{out}");
+    } else {
+        println!(
+            "design {} | {} net(s) | {} key bit(s) matching prefix {prefix:?}",
+            nl.name(),
+            nl.nets().len(),
+            facts.key_width()
+        );
+        println!(
+            "fixpoints: {} transfer application(s), {} widened net(s)",
+            facts.iterations, facts.widened
+        );
+        if bits.is_empty() {
+            println!("no key bits to report on");
+        }
+        for b in &bits {
+            let reach = if b.observable.is_empty() {
+                "no primary output".to_string()
+            } else {
+                format!("-> {}", b.observable.join(","))
+            };
+            println!(
+                "  {:<12} raw reach {:>4} net(s) | collapsed {:>3} | {:<18} {}",
+                b.name, b.raw_reach, b.collapsed, b.verdict, reach
+            );
+        }
+        if args.has("nets") {
+            println!("per-net facts:");
+            for (id, net) in nl.nets() {
+                let (cc0, cc1, co) = facts.scoap_of(id);
+                let taint: Vec<String> = facts
+                    .refined
+                    .net(id)
+                    .iter()
+                    .map(|b| nl.net(facts.keys[b]).name().to_string())
+                    .collect();
+                println!(
+                    "  {:<12} const {} | cc0/cc1/co {}/{}/{} | refined taint {{{}}}",
+                    net.name(),
+                    facts.consts.net(id).to_logic(),
+                    fmt_score(cc0),
+                    fmt_score(cc1),
+                    fmt_score(co),
+                    taint.join(",")
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Minimal JSON string escaping for `cmd_analyze` output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// End-of-flow audit shared by `lock-gk` and `synth`: runs the default

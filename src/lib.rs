@@ -12,6 +12,11 @@
 //! * [`sta`] — static timing analysis (arrival/required/slack, Eq. (1)).
 //! * [`sat`] — CDCL SAT solver and Tseitin CNF encoding of netlists.
 //! * [`synth`] — optimization passes and delay-chain composition.
+//! * [`dataflow`] — monotone-framework worklist engine with pluggable
+//!   lattice domains: constant/X propagation, per-key-bit taint, SCOAP
+//!   testability scores, and PO-liveness (`glk analyze`). Lives here in
+//!   the facade rather than under [`netlist`] because the engine depends
+//!   on the netlist crate, so the netlist crate cannot re-export it.
 //! * [`circuits`] — embedded ISCAS'89 circuits and IWLS2005-calibrated
 //!   synthetic benchmark profiles.
 //! * [`core`] — the paper's contribution: glitch key-gates (GK), KEYGEN,
@@ -63,6 +68,7 @@
 pub use glitchlock_attacks as attacks;
 pub use glitchlock_circuits as circuits;
 pub use glitchlock_core as core;
+pub use glitchlock_dataflow as dataflow;
 pub use glitchlock_fuzz as fuzz;
 pub use glitchlock_jobs as jobs;
 pub use glitchlock_lint as lint;

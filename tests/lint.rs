@@ -119,6 +119,38 @@ fn tight_clock_flags_window_violation() {
 }
 
 #[test]
+fn tdk_delay_select_bits_are_statically_inert() {
+    // PR 3 observed that a TDK's k2 (delay-select) bits never influence
+    // zero-delay function; the key-taint domain now proves it per bit:
+    // both TDB mux arms buffer the same value class, so the select's
+    // refined taint dies at the mux and `key-taint-dead` fires. The k1
+    // (XOR) bits stay live and must stay silent.
+    use glitchlock::core::locking::Tdk;
+    let lib = Library::cl013g_like().with_gk_delay_macros();
+    let mut rng = StdRng::seed_from_u64(3);
+    let tdk = Tdk::new(2)
+        .lock_with_library(&s27(), &lib, &mut rng)
+        .expect("s27 has enough flip-flops for 2 TDKs");
+    let ctx = LintContext::new(&tdk.locked.netlist, &lib).with_key_prefix("tdk");
+    let report = LintRunner::new().run(&ctx);
+    let dead: Vec<_> = report
+        .with_code(diagnostic::KEY_TAINT_DEAD)
+        .iter()
+        .map(|d| d.location.net.clone().expect("finding names the key net"))
+        .collect();
+    assert_eq!(
+        dead,
+        vec!["tdk0_k2".to_string(), "tdk1_k2".to_string()],
+        "{:?}",
+        report.diagnostics
+    );
+    assert!(report
+        .with_code(diagnostic::KEY_CONSTANT_COLLAPSED)
+        .is_empty());
+    assert_eq!(report.denied(), 0, "{:?}", report.diagnostics);
+}
+
+#[test]
 fn seeded_gate_swap_mutation_is_flagged() {
     // A circuit where any function swap collides with an existing gate, so
     // the fault-injection harness's mutation surfaces as a duplicate-gate

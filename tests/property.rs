@@ -311,6 +311,109 @@ fn sweep_preserves_sequential_behaviour() {
     }
 }
 
+/// Sweeps every data-input pattern with the key pinned at its correct
+/// value and demands the dataflow constant lattice land on exactly the
+/// value the packed engine computes, on every net (flip-flop state free,
+/// i.e. `X`, in both engines).
+fn assert_const_prop_matches_packed(
+    label: &str,
+    nl: &Netlist,
+    key_inputs: &[glitchlock::netlist::NetId],
+    key: &[bool],
+) {
+    use glitchlock::netlist::{EvalProgram, NetId, PackedLogic, LANES};
+    let n_in = nl.input_nets().len();
+    let data_width = n_in - key_inputs.len();
+    assert!(data_width <= 8, "{label}: sweep must stay exhaustive");
+    let program = EvalProgram::compile(nl).expect("locked netlists are compilable");
+    let mut buf = program.scratch();
+    let patterns: Vec<Vec<Logic>> = (0..1u32 << data_width)
+        .map(|bits| {
+            let mut di = 0;
+            nl.input_nets()
+                .iter()
+                .map(|net| {
+                    if let Some(ki) = key_inputs.iter().position(|k| k == net) {
+                        Logic::from_bool(key[ki])
+                    } else {
+                        let b = bits >> di & 1 == 1;
+                        di += 1;
+                        Logic::from_bool(b)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    for pats in patterns.chunks(LANES) {
+        let in_words: Vec<PackedLogic> = (0..n_in)
+            .map(|i| PackedLogic::from_lanes(&pats.iter().map(|p| p[i]).collect::<Vec<_>>()))
+            .collect();
+        program.eval(&in_words, None, &mut buf);
+        for (lane, pat) in pats.iter().enumerate() {
+            let facts = glitchlock::dataflow::const_facts_for_inputs(nl, pat);
+            for idx in 0..nl.net_count() {
+                let id = NetId::from_index(idx);
+                assert_eq!(
+                    facts.net(id).to_logic(),
+                    buf.net(id).get(lane),
+                    "{label}: net {:?} under inputs {pat:?}",
+                    nl.net(id).name()
+                );
+            }
+        }
+    }
+}
+
+/// Every locker at key width <= 8: constant propagation under the
+/// correct full key agrees with the packed evaluator on all `2^n`
+/// data-input patterns.
+#[test]
+fn const_prop_matches_packed_for_every_locker_under_correct_key() {
+    use glitchlock::core::locking::{AntiSat, LockScheme, MuxLock, SarLock, Tdk, XorLock};
+    use glitchlock::core::GkEncryptor;
+    use glitchlock::sta::ClockModel;
+    use glitchlock_circuits::s27;
+
+    let lib = Library::cl013g_like();
+    let mut rng = StdRng::seed_from_u64(0xd47a);
+    let base = s27();
+
+    let schemes: Vec<(&str, Box<dyn LockScheme>)> = vec![
+        ("xor4", Box::new(XorLock::new(4))),
+        ("mux4", Box::new(MuxLock::new(4))),
+        ("sarlock3", Box::new(SarLock::new(3))),
+        ("antisat3", Box::new(AntiSat::new(3))),
+    ];
+    for (name, scheme) in schemes {
+        let locked = scheme.lock(&base, &mut rng).unwrap();
+        assert!(
+            locked.key_width() <= 8,
+            "{name}: key too wide for the sweep"
+        );
+        let key = locked.correct_key.clone();
+        assert_const_prop_matches_packed(name, &locked.netlist, &locked.key_inputs, &key);
+    }
+
+    let tdk = Tdk::new(2)
+        .lock_with_library(&base, &lib, &mut rng)
+        .expect("s27 has enough flip-flops");
+    assert_const_prop_matches_packed(
+        "tdk2",
+        &tdk.locked.netlist,
+        &tdk.locked.key_inputs,
+        &tdk.locked.correct_key,
+    );
+
+    let gk = GkEncryptor::new(2)
+        .encrypt(&base, &lib, &ClockModel::new(Ps::from_ns(3)), &mut rng)
+        .expect("s27 locks at 3ns");
+    let gk_key = gk
+        .correct_key
+        .as_bools()
+        .expect("k1/k2 key bits are constants");
+    assert_const_prop_matches_packed("gk2", &gk.netlist, &gk.key_inputs, &gk_key);
+}
+
 /// Non-proptest sanity companion: the window midpoint law holds on the
 /// paper's own Fig. 9 numbers.
 #[test]
