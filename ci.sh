@@ -138,6 +138,19 @@ grep -o '"id":"[^"]*"\|"verdict":"[^"]*"' "$WORK/camp-modern.report.json" \
     > "$WORK/verdicts-modern"
 cmp "$WORK/verdicts-legacy" "$WORK/verdicts-modern"
 
+# Encoder equivalence gate: the flat Tseitin and AIG miter encoders are a
+# performance lever, not a semantics lever — every campaign cell must land
+# on the same verdict either way.
+"$GLK" campaign --spec "$WORK/campaign.spec" --jobs 4 --encoder flat \
+    --out "$WORK/camp-flat"
+"$GLK" campaign --spec "$WORK/campaign.spec" --jobs 4 --encoder aig \
+    --out "$WORK/camp-aig"
+grep -o '"id":"[^"]*"\|"verdict":"[^"]*"' "$WORK/camp-flat.report.json" \
+    > "$WORK/verdicts-flat"
+grep -o '"id":"[^"]*"\|"verdict":"[^"]*"' "$WORK/camp-aig.report.json" \
+    > "$WORK/verdicts-aig"
+cmp "$WORK/verdicts-flat" "$WORK/verdicts-aig"
+
 # sat_solver bench smoke: trimmed tiers, 1 ms measurement windows, no
 # snapshot rewrite — proves the harness (both backends, obs counters,
 # equivalence tier) runs end to end.

@@ -16,7 +16,8 @@
 
 use glitchlock_core::locking::TdkLocked;
 use glitchlock_netlist::{
-    CellId, CombView, EvalProgram, GateKind, Logic, NetId, Netlist, PackedLogic, LANES,
+    fanout_cone, Aig, CellId, CombView, EvalProgram, GateKind, Logic, NetId, Netlist, PackedLogic,
+    LANES,
 };
 use glitchlock_obs::{self as obs, names};
 use rand::Rng;
@@ -234,6 +235,100 @@ pub fn bypass_net(netlist: &Netlist, net: NetId, value: bool) -> Netlist {
     glitchlock_synth::sweep_sequential(&out).expect("swept netlist is valid")
 }
 
+/// The combinational-view output indices (primary outputs first, then
+/// flip-flop D pseudo-outputs) reachable from `net` without crossing a
+/// flip-flop — the outputs a bypass of `net` can possibly change.
+pub fn reachable_view_outputs(netlist: &Netlist, net: NetId) -> Vec<usize> {
+    let cone = fanout_cone(netlist, net, false);
+    let mut cone_nets: HashSet<NetId> = cone.iter().map(|&c| netlist.cell(c).output()).collect();
+    cone_nets.insert(net);
+    let n_po = netlist.output_ports().len();
+    let mut keep: Vec<usize> = netlist
+        .output_ports()
+        .iter()
+        .enumerate()
+        .filter(|(_, (n, _))| cone_nets.contains(n))
+        .map(|(j, _)| j)
+        .collect();
+    for (si, &ff) in netlist.dff_cells().iter().enumerate() {
+        if cone_nets.contains(&netlist.cell(ff).inputs()[0]) {
+            keep.push(n_po + si);
+        }
+    }
+    keep
+}
+
+/// Verifies a bypass on the extracted cone: compares only the view
+/// outputs in `keep_outputs` (as from [`reachable_view_outputs`]) between
+/// the bypassed netlist under `key` and the oracle, over random patterns.
+///
+/// A bypass can only change the outputs its net reaches, yet full-design
+/// verification also demands every *other* output match — which fails
+/// whenever key-gates elsewhere corrupt them under the all-zero key. The
+/// cone restriction answers the question the removal attack actually
+/// asks: did the bypass restore the logic it touched? Both sides are
+/// evaluated through AIG cone extraction, which is also far cheaper than
+/// a full-netlist comparison on benchmark-scale designs.
+///
+/// # Panics
+///
+/// Panics when the bypassed view's non-key inputs do not align with the
+/// oracle's view inputs, or an index in `keep_outputs` is out of range.
+pub fn cone_bypass_match_rate<R: Rng>(
+    bypassed: &Netlist,
+    key_inputs: &[NetId],
+    key: &[bool],
+    oracle: &Netlist,
+    keep_outputs: &[usize],
+    samples: usize,
+    rng: &mut R,
+) -> f64 {
+    let lv = CombView::new(bypassed);
+    let ov = CombView::new(oracle);
+    let data_positions: Vec<usize> = lv
+        .input_nets()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| !key_inputs.contains(n))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(
+        data_positions.len(),
+        ov.num_inputs(),
+        "bypassed data inputs must align with the oracle view"
+    );
+    let key_values: Vec<(usize, bool)> = lv
+        .input_nets()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, n)| {
+            key_inputs
+                .iter()
+                .position(|k| k == n)
+                .map(|pos| (i, key[pos]))
+        })
+        .collect();
+    let lcone = Aig::from_comb(bypassed, &lv).extract_cone(keep_outputs);
+    let ocone = Aig::from_comb(oracle, &ov).extract_cone(keep_outputs);
+    let mut matches = 0usize;
+    for _ in 0..samples {
+        let data: Vec<bool> = (0..ov.num_inputs()).map(|_| rng.gen()).collect();
+        let mut lin = vec![false; lv.num_inputs()];
+        for (di, &p) in data_positions.iter().enumerate() {
+            lin[p] = data[di];
+        }
+        for &(p, v) in &key_values {
+            lin[p] = v;
+        }
+        let got_in: Vec<bool> = lcone.support.iter().map(|&k| lin[k]).collect();
+        let expect_in: Vec<bool> = ocone.support.iter().map(|&k| data[k]).collect();
+        if lcone.aig.eval(&got_in) == ocone.aig.eval(&expect_in) {
+            matches += 1;
+        }
+    }
+    matches as f64 / samples as f64
+}
+
 /// A located GK-shaped structure: a 2:1 MUX whose select is a primary
 /// input and whose two data branches are an XNOR/XOR pair sharing a data
 /// net — the pattern the enhanced removal attack replaces (Sec. V-D).
@@ -436,6 +531,63 @@ mod tests {
             &mut StdRng::seed_from_u64(8),
         );
         assert!(none.is_empty(), "no keys, no key-tainted candidates");
+    }
+
+    #[test]
+    fn cone_verification_passes_where_full_verification_cannot() {
+        // Two independent output cones: a point-function flip on y1, and
+        // an XNOR key-gate on y2 that inverts it under the all-zero key.
+        // Bypassing the flip restores y1 exactly, but full-design
+        // verification still fails on y2 — the case the cone retry exists
+        // for.
+        let mut original = Netlist::new("o");
+        let a = original.add_input("a");
+        let b = original.add_input("b");
+        let c = original.add_input("c");
+        let d = original.add_input("d");
+        let y1 = original.add_gate(GateKind::And, &[a, b]).unwrap();
+        let y2 = original.add_gate(GateKind::Or, &[c, d]).unwrap();
+        original.mark_output(y1, "y1");
+        original.mark_output(y2, "y2");
+
+        let mut locked = Netlist::new("o");
+        let a = locked.add_input("a");
+        let b = locked.add_input("b");
+        let c = locked.add_input("c");
+        let d = locked.add_input("d");
+        let k = locked.add_input("k0");
+        let y1 = locked.add_gate(GateKind::And, &[a, b]).unwrap();
+        let flip = locked.add_gate(GateKind::And, &[c, d, k]).unwrap();
+        let y1f = locked.add_gate(GateKind::Xor, &[y1, flip]).unwrap();
+        let y2 = locked.add_gate(GateKind::Or, &[c, d]).unwrap();
+        let y2k = locked.add_gate(GateKind::Xnor, &[y2, k]).unwrap();
+        locked.mark_output(y1f, "y1");
+        locked.mark_output(y2k, "y2");
+
+        let mut rng = StdRng::seed_from_u64(35);
+        let bypassed = bypass_net(&locked, flip, false);
+        let keys: Vec<NetId> = bypassed.net_by_name("k0").into_iter().collect();
+        let full_rate = crate::sat_attack::key_match_rate(
+            &bypassed,
+            &keys,
+            &vec![false; keys.len()],
+            &original,
+            256,
+            &mut rng,
+        );
+        assert!(full_rate < 0.999, "the y2 key-gate must fail full verify");
+        let keep = reachable_view_outputs(&locked, flip);
+        assert_eq!(keep, vec![0], "the flip reaches only y1");
+        let cone_rate = cone_bypass_match_rate(
+            &bypassed,
+            &keys,
+            &vec![false; keys.len()],
+            &original,
+            &keep,
+            256,
+            &mut rng,
+        );
+        assert_eq!(cone_rate, 1.0, "the bypass restores its own cone exactly");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! cargo bench -p glitchlock-bench --bench sat_solver
 //! ```
 
+use glitchlock_attacks::sat_attack::MiterSession;
 use glitchlock_attacks::SatAttack;
 use glitchlock_bench::harness::{BenchmarkId, Criterion};
 use glitchlock_circuits::{generate, profile_by_name, tiny};
@@ -32,7 +33,7 @@ use glitchlock_core::locking::{AntiSat, LockScheme, Locked, MuxLock, SarLock, Xo
 use glitchlock_netlist::{CombView, Netlist};
 use glitchlock_obs::{self as obs, names, Collector};
 use glitchlock_sat::equiv::{bounded_equiv_with_stats, EquivResult};
-use glitchlock_sat::{encode_comb, Cnf, Lit, SatResult, Solver, SolverBackend, Var};
+use glitchlock_sat::{encode_comb, Cnf, EncoderKind, Lit, SatResult, Solver, SolverBackend, Var};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -304,6 +305,104 @@ fn bench_equiv() -> Vec<Row> {
     rows
 }
 
+/// One encoder's measurement of a miter build: CNF footprint plus the
+/// wall time of the full DIP loop run on that encoding.
+struct EncoderSide {
+    build_ms: f64,
+    attack_ms: f64,
+    vars: u64,
+    clauses: u64,
+    iterations: usize,
+}
+
+struct EncoderRow {
+    bench: &'static str,
+    locker: String,
+    key_bits: usize,
+    seed: u64,
+    flat: EncoderSide,
+    aig: EncoderSide,
+}
+
+impl EncoderRow {
+    /// Fractional vars+clauses reduction of the AIG miter over the flat
+    /// one. The acceptance floor for the benchmark-scale rows is 0.30.
+    fn cnf_reduction(&self) -> f64 {
+        let flat = (self.flat.vars + self.flat.clauses) as f64;
+        let aig = (self.aig.vars + self.aig.clauses) as f64;
+        1.0 - aig / flat
+    }
+}
+
+/// Builds the initial miter with one encoder and measures its CNF
+/// footprint, then runs the full oracle-guided DIP loop on it.
+fn run_encoder(locked: &Locked, oracle: &Netlist, encoder: EncoderKind) -> EncoderSide {
+    let start = Instant::now();
+    let session = MiterSession::with_config(
+        &locked.netlist,
+        &locked.key_inputs,
+        &[],
+        oracle,
+        SolverBackend::default(),
+        encoder,
+    );
+    let build_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (vars, clauses) = session.cnf_size();
+    drop(session);
+    let start = Instant::now();
+    let mut attack = SatAttack::new(&locked.netlist, locked.key_inputs.clone(), oracle);
+    attack.max_iterations = 4096;
+    attack.encoder = encoder;
+    let result = attack.run();
+    EncoderSide {
+        build_ms,
+        attack_ms: start.elapsed().as_secs_f64() * 1e3,
+        vars,
+        clauses,
+        iterations: result.iterations,
+    }
+}
+
+/// The encoder tier: the same locked bench encoded flat vs AIG. The AIG
+/// side must come in at least 30% smaller (vars + clauses) on the
+/// benchmark-scale rows — the reduction the strash + cone extraction buy.
+fn bench_encoders() -> Vec<EncoderRow> {
+    let mut configs = vec![("s1238", "xor", 8)];
+    if !smoke() {
+        configs.push(("s5378", "xor", 8));
+    }
+    let mut rows = Vec::new();
+    for (bench, locker, key_bits) in configs {
+        let (oracle, locked) = lock_bench(bench, locker, key_bits, DIP_SEED);
+        let mut sides = Vec::new();
+        for encoder in [EncoderKind::Flat, EncoderKind::Aig] {
+            let side = run_encoder(&locked, &oracle, encoder);
+            println!(
+                "sat_encoder/{bench}_{locker}{key_bits}/{encoder:<4} build {:>6.1} ms  {:>6} vars {:>6} clauses  attack {:>7.1} ms ({} DIPs)",
+                side.build_ms, side.vars, side.clauses, side.attack_ms, side.iterations
+            );
+            sides.push(side);
+        }
+        let aig = sides.pop().expect("two encoders");
+        let flat = sides.pop().expect("two encoders");
+        let row = EncoderRow {
+            bench,
+            locker: format!("{locker}{key_bits}"),
+            key_bits,
+            seed: DIP_SEED,
+            flat,
+            aig,
+        };
+        assert!(
+            row.cnf_reduction() >= 0.30,
+            "{bench}: AIG miter must be >=30% smaller than flat, got {:.1}%",
+            row.cnf_reduction() * 100.0
+        );
+        rows.push(row);
+    }
+    rows
+}
+
 /// Hand-rolled JSON emission — the workspace carries no serde.
 fn to_json(rows: &[Row]) -> String {
     let side = |s: &Side| {
@@ -343,6 +442,33 @@ fn to_json(rows: &[Row]) -> String {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
+    s.push_str("  ],\n");
+    s
+}
+
+/// Appends the encoder-tier comparison to the JSON document opened by
+/// [`to_json`].
+fn encoder_json(rows: &[EncoderRow]) -> String {
+    let side = |s: &EncoderSide| {
+        format!(
+            "{{\"build_ms\": {:.1}, \"attack_ms\": {:.1}, \"miter_vars\": {},              \"miter_clauses\": {}, \"iterations\": {}}}",
+            s.build_ms, s.attack_ms, s.vars, s.clauses, s.iterations
+        )
+    };
+    let mut s = String::from("  \"encoders\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"locker\": \"{}\", \"key_bits\": {},              \"seed\": \"{:#x}\", \"flat\": {}, \"aig\": {},              \"cnf_reduction\": {:.3}}}{}\n",
+            r.bench,
+            r.locker,
+            r.key_bits,
+            r.seed,
+            side(&r.flat),
+            side(&r.aig),
+            r.cnf_reduction(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
     s.push_str("  ]\n}\n");
     s
 }
@@ -354,6 +480,8 @@ fn main() {
     let mut rows = bench_dip_loop();
     println!();
     rows.extend(bench_equiv());
+    println!();
+    let encoder_rows = bench_encoders();
     for r in &rows {
         println!(
             "  {} {}/{}: wall {:.1}x, conflicts/sec {:.1}x (modern over legacy)",
@@ -364,7 +492,15 @@ fn main() {
             r.cps_speedup()
         );
     }
-    let json = to_json(&rows);
+    for r in &encoder_rows {
+        println!(
+            "  encoder {}/{}: AIG miter {:.1}% smaller than flat (vars+clauses)",
+            r.bench,
+            r.locker,
+            r.cnf_reduction() * 100.0
+        );
+    }
+    let json = format!("{}{}", to_json(&rows), encoder_json(&encoder_rows));
     // Snapshot next to the workspace manifest (crates/bench -> repo root).
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let path = root.join("BENCH_sat.json");

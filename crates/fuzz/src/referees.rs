@@ -15,7 +15,8 @@ use glitchlock_core::insertion::timed_trace;
 use glitchlock_core::{KeyVector, Locked};
 use glitchlock_lint::{Level, LintContext, LintRunner};
 use glitchlock_netlist::{
-    bench_format, verilog, EvalProgram, Logic, NetId, Netlist, PackedLogic, SeqState, LANES,
+    bench_format, verilog, Aig, CombView, EvalProgram, Logic, NetId, Netlist, PackedLogic,
+    SeqState, LANES,
 };
 use glitchlock_sat::equiv::{bounded_equiv, EquivResult};
 use glitchlock_sim::{ClockSpec, SimConfig, Simulator, Stimulus};
@@ -98,6 +99,12 @@ pub fn registry() -> Vec<Referee> {
             name: "const-prop-vs-packed",
             about: "dataflow constant lattice vs packed engine, exhaustive at <=8 inputs",
             run: const_prop_vs_packed,
+        },
+        Referee {
+            name: "aig-equiv",
+            about:
+                "netlist -> AIG -> netlist round trip vs packed engine, exhaustive at <=8 inputs",
+            run: aig_equiv,
         },
         Referee {
             name: "lint-clean",
@@ -765,6 +772,70 @@ fn semantically_equal(a: &Netlist, b: &Netlist, seed: u64) -> Result<(), String>
         }
     }
     Ok(())
+}
+
+/// Lowers every case view to an AIG, re-emits it as a netlist, and demands
+/// that the original (via the packed engine), the AIG evaluator, and the
+/// re-emitted netlist agree on every combinational output — exhaustively
+/// when the view has at most 8 inputs, on `2 * LANES` random boolean
+/// patterns otherwise.
+fn aig_equiv(ctx: &RefereeCtx<'_>) -> Verdict {
+    let mut rng = StdRng::seed_from_u64(ctx.case.recipe.seed ^ 0x000a_16e9);
+    for (view_name, nl) in case_views(ctx.case) {
+        if nl.topo_order().is_err() {
+            return Verdict::Skip(format!("{view_name}: cyclic netlist"));
+        }
+        let view = CombView::new(nl);
+        let aig = Aig::from_comb(nl, &view);
+        let back = aig.to_netlist("aig_round_trip");
+        let back_view = CombView::new(&back);
+        if back_view.num_inputs() != view.num_inputs()
+            || back_view.num_outputs() != view.num_outputs()
+        {
+            return Verdict::Fail(format!(
+                "{view_name}: round trip changed the interface: {}x{} vs {}x{}",
+                view.num_inputs(),
+                view.num_outputs(),
+                back_view.num_inputs(),
+                back_view.num_outputs()
+            ));
+        }
+        let n_in = view.num_inputs();
+        let patterns: Vec<Vec<Logic>> = if n_in <= 8 {
+            (0u32..1 << n_in)
+                .map(|bits| {
+                    (0..n_in)
+                        .map(|i| Logic::from_bool(bits >> i & 1 == 1))
+                        .collect()
+                })
+                .collect()
+        } else {
+            (0..2 * LANES)
+                .map(|_| (0..n_in).map(|_| Logic::from_bool(rng.gen())).collect())
+                .collect()
+        };
+        let program = match EvalProgram::compile(nl) {
+            Ok(p) => p,
+            Err(e) => return Verdict::Fail(format!("{view_name}: packed compile failed: {e}")),
+        };
+        let back_program = match EvalProgram::compile(&back) {
+            Ok(p) => p,
+            Err(e) => return Verdict::Fail(format!("{view_name}: round-trip compile failed: {e}")),
+        };
+        let want = view.eval_packed(&program, &patterns);
+        let got = back_view.eval_packed(&back_program, &patterns);
+        for (pat, (w, g)) in patterns.iter().zip(want.iter().zip(&got)) {
+            let bools: Vec<bool> = pat.iter().map(|l| *l == Logic::One).collect();
+            let direct: Vec<Logic> = aig.eval(&bools).into_iter().map(Logic::from_bool).collect();
+            if w != g || *w != direct {
+                return Verdict::Fail(format!(
+                    "{view_name}: outputs disagree under inputs {pat:?}: \
+                     packed {w:?} vs AIG {direct:?} vs round trip {g:?}"
+                ));
+            }
+        }
+    }
+    Verdict::Pass
 }
 
 fn round_trip(ctx: &RefereeCtx<'_>) -> Verdict {

@@ -127,6 +127,7 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, String> {
         max_iterations: config.spec.max_iterations,
         samples: config.spec.samples,
         solver: config.spec.solver,
+        encoder: config.spec.encoder,
     };
 
     let state = Mutex::new(Retired {

@@ -23,16 +23,18 @@ use crate::journal::JobRecord;
 use crate::spec::fnv1a64;
 use glitchlock_attacks::{
     appsat::AppSat,
-    removal::{bypass_net, locate_point_function_tainted},
+    removal::{
+        bypass_net, cone_bypass_match_rate, locate_point_function_tainted, reachable_view_outputs,
+    },
     sat_attack::key_match_rate,
     scan::{scan_hypothesis_attack, GkResolution},
-    seq_sat::{seq_sat_attack_with_backend, SeqSatOutcome},
+    seq_sat::{seq_sat_attack_with_config, SeqSatOutcome},
     CancelToken, SatAttack, SatOutcome,
 };
 use glitchlock_core::locking::{AntiSat, LockScheme, MuxLock, SarLock, Tdk, XorLock};
 use glitchlock_core::GkEncryptor;
 use glitchlock_netlist::{NetId, Netlist};
-use glitchlock_sat::SolverBackend;
+use glitchlock_sat::{EncoderKind, SolverBackend};
 use glitchlock_sta::ClockModel;
 use glitchlock_stdcell::{Library, Ps};
 use rand::rngs::StdRng;
@@ -166,6 +168,8 @@ pub struct Tuning {
     pub samples: usize,
     /// CDCL backend for the SAT-based attacks.
     pub solver: SolverBackend,
+    /// CNF encoder behind the SAT-based attacks.
+    pub encoder: EncoderKind,
 }
 
 /// Resolves a benchmark name: the embedded ISCAS circuits by name, then
@@ -235,6 +239,7 @@ pub fn execute(job: &JobSpec, tuning: &Tuning, cancel: &CancelToken) -> JobRecor
             let mut attack = SatAttack::new(&view, key_inputs.clone(), &oracle);
             attack.max_iterations = tuning.max_iterations;
             attack.backend = tuning.solver;
+            attack.encoder = tuning.encoder;
             attack.cancel = Some(cancel.clone());
             let result = attack.run();
             record.iterations = result.iterations as u64;
@@ -282,6 +287,7 @@ pub fn execute(job: &JobSpec, tuning: &Tuning, cancel: &CancelToken) -> JobRecor
             let cfg = AppSat {
                 max_iterations: tuning.max_iterations,
                 backend: tuning.solver,
+                encoder: tuning.encoder,
                 ..AppSat::default()
             };
             let result = cfg.run_with_cancel(&view, &key_inputs, &oracle, &mut rng, Some(cancel));
@@ -303,7 +309,7 @@ pub fn execute(job: &JobSpec, tuning: &Tuning, cancel: &CancelToken) -> JobRecor
             }
         }
         AttackKind::SeqSat => {
-            let result = seq_sat_attack_with_backend(
+            let result = seq_sat_attack_with_config(
                 &view,
                 &key_inputs,
                 &oracle,
@@ -311,6 +317,7 @@ pub fn execute(job: &JobSpec, tuning: &Tuning, cancel: &CancelToken) -> JobRecor
                 tuning.max_iterations,
                 Some(cancel),
                 tuning.solver,
+                tuning.encoder,
             );
             record.iterations = result.iterations as u64;
             record.verdict = match result.outcome {
@@ -368,8 +375,49 @@ pub fn execute(job: &JobSpec, tuning: &Tuning, cancel: &CancelToken) -> JobRecor
                         record.detail = format!("bypassed {net}");
                     }
                     None => {
-                        record.verdict = "located-not-removed".to_string();
-                        record.detail = format!("best match rate {best_rate:.4}");
+                        // Full-design verification also demands outputs
+                        // the candidate never reaches match the oracle —
+                        // impossible when other key-gates corrupt them.
+                        // Retry on the extracted cone of each candidate's
+                        // reachable outputs before giving up.
+                        let mut cone_best = 0.0_f64;
+                        let mut cone_removed: Option<String> = None;
+                        'cone: for &net in &candidates {
+                            let keep = reachable_view_outputs(&view, net);
+                            if keep.is_empty() {
+                                continue;
+                            }
+                            for value in [false, true] {
+                                let bypassed = bypass_net(&view, net, value);
+                                let keys = relocate_inputs(&view, &key_inputs, &bypassed);
+                                let rate = cone_bypass_match_rate(
+                                    &bypassed,
+                                    &keys,
+                                    &vec![false; keys.len()],
+                                    &oracle,
+                                    &keep,
+                                    tuning.samples,
+                                    &mut rng,
+                                );
+                                cone_best = cone_best.max(rate);
+                                if rate >= PERFECT {
+                                    cone_removed = Some(view.net(net).name().to_string());
+                                    break 'cone;
+                                }
+                            }
+                        }
+                        match cone_removed {
+                            Some(net) => {
+                                record.verdict = "cone-bypassed".to_string();
+                                record.detail =
+                                    format!("bypassed {net} on its cone; full rate {best_rate:.4}");
+                            }
+                            None => {
+                                record.verdict = "located-not-removed".to_string();
+                                record.detail =
+                                    format!("best match rate {best_rate:.4} (cone {cone_best:.4})");
+                            }
+                        }
                     }
                 }
             }
@@ -484,6 +532,7 @@ mod tests {
             max_iterations: 64,
             samples: 256,
             solver: SolverBackend::default(),
+            encoder: EncoderKind::default(),
         }
     }
 

@@ -14,6 +14,7 @@
 //! max-iters 64
 //! samples 512
 //! solver modern
+//! encoder aig
 //! ```
 //!
 //! Parsing is strict (unknown directives are errors) and re-rendering is
@@ -21,7 +22,7 @@
 //! stores it and `--resume` refuses to mix records across specs.
 
 use crate::job::{AttackKind, JobSpec, LockerKind};
-use glitchlock_sat::SolverBackend;
+use glitchlock_sat::{EncoderKind, SolverBackend};
 
 /// FNV-1a over a string, the workspace's stock stable hash. Used for the
 /// spec fingerprint and for deriving per-job RNG seeds from job ids.
@@ -55,6 +56,8 @@ pub struct CampaignSpec {
     pub samples: usize,
     /// CDCL backend driving every SAT-based attack in the campaign.
     pub solver: SolverBackend,
+    /// CNF encoder behind every SAT-based attack (`flat` or `aig`).
+    pub encoder: EncoderKind,
 }
 
 impl Default for CampaignSpec {
@@ -69,6 +72,7 @@ impl Default for CampaignSpec {
             max_iterations: 512,
             samples: 1024,
             solver: SolverBackend::default(),
+            encoder: EncoderKind::default(),
         }
     }
 }
@@ -162,6 +166,13 @@ impl CampaignSpec {
                     };
                     spec.samples = v.parse().map_err(|_| at(format!("bad samples `{v}`")))?;
                 }
+                "encoder" => {
+                    let [v] = args[..] else {
+                        return Err(at("encoder takes one value (`flat` or `aig`)".into()));
+                    };
+                    spec.encoder = EncoderKind::parse(v)
+                        .ok_or_else(|| at(format!("unknown encoder `{v}`")))?;
+                }
                 "solver" => {
                     let [v] = args[..] else {
                         return Err(at("solver takes one value (`legacy` or `modern`)".into()));
@@ -203,6 +214,7 @@ impl CampaignSpec {
         let _ = writeln!(out, "max-iters {}", self.max_iterations);
         let _ = writeln!(out, "samples {}", self.samples);
         let _ = writeln!(out, "solver {}", self.solver.tag());
+        let _ = writeln!(out, "encoder {}", self.encoder.tag());
         out
     }
 
@@ -300,6 +312,21 @@ samples 512\n";
         assert_eq!(CampaignSpec::parse(&rendered).unwrap(), legacy);
         assert!(CampaignSpec::parse(&format!("{base}solver warp\n")).is_err());
         assert!(CampaignSpec::parse(&format!("{base}solver\n")).is_err());
+    }
+
+    #[test]
+    fn encoder_directive_selects_the_encoder() {
+        let base = "bench s27\nlocker xor 4\nattack sat\n";
+        let spec = CampaignSpec::parse(base).unwrap();
+        assert_eq!(spec.encoder, EncoderKind::Aig, "aig is the default");
+        let flat = CampaignSpec::parse(&format!("{base}encoder flat\n")).unwrap();
+        assert_eq!(flat.encoder, EncoderKind::Flat);
+        assert_ne!(spec.hash(), flat.hash(), "encoder is part of the matrix");
+        let rendered = flat.render();
+        assert!(rendered.contains("encoder flat\n"));
+        assert_eq!(CampaignSpec::parse(&rendered).unwrap(), flat);
+        assert!(CampaignSpec::parse(&format!("{base}encoder warp\n")).is_err());
+        assert!(CampaignSpec::parse(&format!("{base}encoder\n")).is_err());
     }
 
     #[test]

@@ -188,6 +188,8 @@ pub const DEAD_CONE: &str = "dead-cone";
 pub const GK_ISOLATABLE: &str = "gk-isolatable";
 /// A GK motif with a removed or broken XNOR/XOR branch.
 pub const GK_BRANCH_MISSING: &str = "gk-branch-missing";
+/// A GK motif whose cone is statically key-dependent (AIG proof failed).
+pub const GK_STATIC_LEAK: &str = "gk-static-leak";
 /// A key input that drives nothing.
 pub const UNUSED_KEY_BIT: &str = "unused-key-bit";
 /// A key input with provably no influence on any observable point.
@@ -266,6 +268,11 @@ pub const CODES: &[CodeInfo] = &[
         code: GK_BRANCH_MISSING,
         default_severity: Severity::Error,
         summary: "a GK motif lost one of its XNOR/XOR branches",
+    },
+    CodeInfo {
+        code: GK_STATIC_LEAK,
+        default_severity: Severity::Warning,
+        summary: "a GK's extracted cone is statically key-dependent",
     },
     CodeInfo {
         code: UNUSED_KEY_BIT,

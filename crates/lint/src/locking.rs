@@ -3,11 +3,13 @@
 
 use crate::diagnostic::{
     Diagnostic, Location, Severity, CONSTANT_KEY_BIT, GK_BRANCH_MISSING, GK_ISOLATABLE,
-    UNUSED_KEY_BIT, WITHHOLDING_COVERAGE_HOLE,
+    GK_STATIC_LEAK, UNUSED_KEY_BIT, WITHHOLDING_COVERAGE_HOLE,
 };
 use crate::{LintContext, LintPass};
 use glitchlock_core::feasibility::keygen_trigger_floor;
-use glitchlock_netlist::{fanout_cone, CellId, GateKind, Logic, NetId, Netlist};
+use glitchlock_netlist::{
+    fanout_cone, Aig, AigLit, CellId, CombView, GateKind, Logic, NetId, Netlist,
+};
 use glitchlock_stdcell::{Library, Ps};
 use glitchlock_synth::trace_delay_chain;
 use std::collections::{HashSet, VecDeque};
@@ -270,6 +272,7 @@ impl LintPass for LockingPass {
         &[
             GK_ISOLATABLE,
             GK_BRANCH_MISSING,
+            GK_STATIC_LEAK,
             UNUSED_KEY_BIT,
             CONSTANT_KEY_BIT,
             WITHHOLDING_COVERAGE_HOLE,
@@ -301,10 +304,84 @@ impl LintPass for LockingPass {
                     ),
                 );
             }
+            if let Some(d) = check_static_transparency(nl, motif) {
+                out.push(d);
+            }
         }
         check_key_bits(ctx, out);
         check_luts(ctx, out);
     }
+}
+
+/// AIG proof of the GK contract: under a *constant* key the motif must be
+/// statically transparent — its cone computes the same function whether the
+/// key bit is 0 or 1 (the paper's `y = INV(x)` identity). The cone
+/// extractor restricts the obligation to the view outputs `y` actually
+/// reaches; both constant-key copies are rebuilt into one shared strash,
+/// where constant folding collapses a well-formed GK to identical literals.
+/// Differing literals mean the key bit leaks into the static function
+/// somewhere in the cone (e.g. the key is reused on a data path).
+///
+/// Keys that are not view inputs (KEYGEN-driven) are out of scope: there is
+/// no input to pin.
+fn check_static_transparency(nl: &Netlist, motif: &GkMotif) -> Option<Diagnostic> {
+    let view = CombView::new(nl);
+    let kpos = view.input_nets().iter().position(|&n| n == motif.key)?;
+    nl.topo_order().ok()?;
+    if nl.nets().any(|(_, net)| net.driver().is_none()) {
+        // The AIG lowering needs every net driven; the structural pass
+        // owns that diagnostic.
+        return None;
+    }
+    // View outputs reachable from y: POs plus flip-flop D pseudo-outputs.
+    let cone_cells = fanout_cone(nl, motif.y, false);
+    let mut cone_nets: HashSet<NetId> = cone_cells.iter().map(|&c| nl.cell(c).output()).collect();
+    cone_nets.insert(motif.y);
+    let keep: Vec<usize> = view
+        .output_nets()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| cone_nets.contains(n))
+        .map(|(j, _)| j)
+        .collect();
+    if keep.is_empty() {
+        return None;
+    }
+    let aig = Aig::from_comb(nl, &view);
+    let cone = aig.extract_cone(&keep);
+    let mut scratch = Aig::new();
+    let mut key0: Vec<AigLit> = Vec::with_capacity(cone.support.len());
+    let mut key1: Vec<AigLit> = Vec::with_capacity(cone.support.len());
+    for &orig in &cone.support {
+        if orig == kpos {
+            key0.push(AigLit::FALSE);
+            key1.push(AigLit::TRUE);
+        } else {
+            let shared = scratch.add_input();
+            key0.push(shared);
+            key1.push(shared);
+        }
+    }
+    if cone.aig.rebuild_into(&mut scratch, &key0) == cone.aig.rebuild_into(&mut scratch, &key1) {
+        return None;
+    }
+    let mux_name = nl.cell(motif.mux).name();
+    Some(
+        Diagnostic::new(
+            GK_STATIC_LEAK,
+            Severity::Warning,
+            Location::cell_net(mux_name, nl.net(motif.key).name()),
+            format!(
+                "the GK at {mux_name} is not statically transparent: pinning key {:?} to 0 vs 1 \
+                 rewrites its extracted cone to different functions",
+                nl.net(motif.key).name()
+            ),
+        )
+        .with_suggestion(
+            "keep the key bit off data paths outside the GK arms; a statically observable \
+             key hands the SAT attack a direct oracle",
+        ),
+    )
 }
 
 /// True when the key net feeds a timing structure — a MUX select pin or a
@@ -511,6 +588,33 @@ mod tests {
         // even though a GK is statically key-independent by design.
         assert!(report.with_code(diagnostic::CONSTANT_KEY_BIT).is_empty());
         assert!(report.with_code(diagnostic::UNUSED_KEY_BIT).is_empty());
+    }
+
+    #[test]
+    fn well_formed_gk_passes_the_static_transparency_proof() {
+        let (nl, library) = locked_attack_view();
+        let ctx = LintContext::new(&nl, &library);
+        let report = LintRunner::empty()
+            .with_pass(Box::new(LockingPass))
+            .run(&ctx);
+        assert!(report.with_code(diagnostic::GK_STATIC_LEAK).is_empty());
+    }
+
+    #[test]
+    fn key_reused_on_a_data_path_is_a_static_leak() {
+        // A second, naked XOR of the key inside y's cone makes the static
+        // function key-dependent: the AIG 0/1-pin rebuilds differ.
+        let (mut nl, library) = locked_attack_view();
+        let scan = scan_gk_motifs(&nl, &library);
+        let m = &scan.motifs[0];
+        let key = m.key;
+        let leak = nl.add_gate(GateKind::Xor, &[m.y, key]).unwrap();
+        nl.mark_output(leak, "leak");
+        let ctx = LintContext::new(&nl, &library);
+        let report = LintRunner::empty()
+            .with_pass(Box::new(LockingPass))
+            .run(&ctx);
+        assert_eq!(report.with_code(diagnostic::GK_STATIC_LEAK).len(), 1);
     }
 
     #[test]

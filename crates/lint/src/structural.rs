@@ -6,7 +6,7 @@ use crate::diagnostic::{
     MULTIPLE_DRIVERS, UNDRIVEN_NET,
 };
 use crate::{LintContext, LintPass};
-use glitchlock_netlist::{CellId, GateKind, NetId, Netlist};
+use glitchlock_netlist::{Aig, CellId, CombView, GateKind, NetId, Netlist};
 use std::collections::{HashMap, HashSet};
 
 /// Undriven/multiply-driven nets, dangling outputs, combinational loops,
@@ -35,6 +35,7 @@ impl LintPass for StructuralPass {
         check_loops(nl, out);
         check_duplicates(nl, out);
         check_dead_cones(nl, out);
+        check_constant_cones(nl, out);
     }
 }
 
@@ -290,6 +291,78 @@ fn check_dead_cones(nl: &Netlist, out: &mut Vec<Diagnostic>) {
     }
 }
 
+fn check_constant_cones(nl: &Netlist, out: &mut Vec<Diagnostic>) {
+    // The functional complement of `check_dead_cones`, on the AIG
+    // substrate: lowering through the strash constant-folds cones like
+    // `AND(a, INV(a))`, so a primary output whose literal lands on the
+    // constant node has a fan-in cone no input can influence — dead logic
+    // the structural scan cannot see because every cell in it has fanout.
+    if nl.topo_order().is_err() || nl.nets().any(|(_, net)| net.driver().is_none()) {
+        // Cyclic or undriven nets: check_loops/check_drivers already
+        // reported them, and the AIG lowering would panic.
+        return;
+    }
+    let view = CombView::new(nl);
+    let aig = Aig::from_comb(nl, &view);
+    for (j, (&lit, &net)) in aig
+        .outputs()
+        .iter()
+        .zip(view.output_nets())
+        .enumerate()
+        .take(view.num_primary_outputs())
+    {
+        if !lit.is_const() {
+            continue;
+        }
+        let Some(driver) = nl.net(net).driver() else {
+            continue;
+        };
+        let cell = nl.cell(driver);
+        // Deliberate tie-offs (constant cells, possibly buffered) are not
+        // collapses; only flag cones that actually consume inputs.
+        if cell.inputs().is_empty() || !cone_reads_an_input(nl, net) {
+            continue;
+        }
+        let value = u8::from(lit.is_complemented());
+        let port = &nl.output_ports()[j].1;
+        out.push(
+            Diagnostic::new(
+                DEAD_CONE,
+                Severity::Warning,
+                Location::cell_net(cell.name(), nl.net(net).name()),
+                format!(
+                    "{}'s fan-in cone rewrites to constant {value}: no input can influence \
+                     primary output {port:?}",
+                    cell.name()
+                ),
+            )
+            .with_suggestion("replace the cone with a constant driver or fix the logic"),
+        );
+    }
+}
+
+/// True when the structural fan-in of `net` contains a primary input or a
+/// flip-flop (i.e. the cone has at least one free variable).
+fn cone_reads_an_input(nl: &Netlist, net: NetId) -> bool {
+    let mut queue = vec![net];
+    let mut seen: HashSet<NetId> = queue.iter().copied().collect();
+    while let Some(n) = queue.pop() {
+        let Some(driver) = nl.net(n).driver() else {
+            continue;
+        };
+        let cell = nl.cell(driver);
+        if matches!(cell.kind(), GateKind::Input | GateKind::Dff) {
+            return true;
+        }
+        for &input in cell.inputs() {
+            if seen.insert(input) {
+                queue.push(input);
+            }
+        }
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +376,38 @@ mod tests {
         let ctx = LintContext::new(nl, &library);
         let runner = LintRunner::empty().with_pass(Box::new(StructuralPass));
         runner.run(&ctx)
+    }
+
+    #[test]
+    fn constant_collapsed_output_cone_is_flagged() {
+        // y = AND(a, INV(a)) — every cell has fanout (structurally live),
+        // but the AIG rewrites the cone to constant 0.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let na = nl.add_gate(GateKind::Inv, &[a]).unwrap();
+        let y = nl.add_gate(GateKind::And, &[a, na]).unwrap();
+        nl.mark_output(y, "y");
+        let report = run(&nl);
+        let hits = report.with_code(diagnostic::DEAD_CONE);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(
+            hits[0].message.contains("constant 0"),
+            "{}",
+            hits[0].message
+        );
+    }
+
+    #[test]
+    fn deliberate_tie_off_is_not_a_constant_collapse() {
+        let mut nl = Netlist::new("t");
+        let one = nl.add_const(true);
+        let y = nl.add_gate(GateKind::Buf, &[one]).unwrap();
+        nl.mark_output(y, "y");
+        let a = nl.add_input("a");
+        let z = nl.add_gate(GateKind::Inv, &[a]).unwrap();
+        nl.mark_output(z, "z");
+        let report = run(&nl);
+        assert!(report.with_code(diagnostic::DEAD_CONE).is_empty());
     }
 
     #[test]

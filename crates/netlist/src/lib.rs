@@ -12,6 +12,10 @@
 //! * [`CombView`] — the sequential→combinational unfolding used by SAT
 //!   attacks: every flip-flop's D pin becomes a pseudo primary output and its
 //!   Q pin a pseudo primary input.
+//! * [`Aig`] — an And-Inverter Graph with complemented edges and structural
+//!   hashing; netlists lower into it ([`Aig::from_comb`]), round-trip back
+//!   ([`Aig::to_netlist`]), and shrink to output cones
+//!   ([`Aig::extract_cone`]) before CNF encoding.
 //! * Parsers/writers for the ISCAS-89 `.bench` format ([`bench_format`]) and
 //!   a structural Verilog subset ([`verilog`]).
 //!
@@ -41,6 +45,7 @@
 
 #![deny(missing_docs)]
 
+pub mod aig;
 mod comb;
 mod cone;
 mod depth;
@@ -55,6 +60,7 @@ mod packed;
 pub mod bench_format;
 pub mod verilog;
 
+pub use aig::{extract_cone_netlist, Aig, AigLit, AigNode, ConeExtraction};
 pub use comb::{CombView, SeqState};
 pub use cone::{fanin_cone, fanout_cone, output_support, reachable_outputs};
 pub use depth::{depth_histogram, levelize, max_depth};

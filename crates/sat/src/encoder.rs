@@ -1,0 +1,267 @@
+//! Encoder selection: flat Tseitin over the netlist vs AIG-based encoding.
+//!
+//! The flat encoder ([`crate::encode_comb_into`]) walks the netlist
+//! directly, one variable per net and per-gate clause shapes. The AIG
+//! encoder first lowers the combinational view into a strashed
+//! And-Inverter Graph ([`Aig`]) and then emits exactly one 3-clause gate
+//! per AND node — inverters are free (complemented edges), structurally
+//! identical logic is emitted once, and cones that a miter does not need
+//! can be dropped before any clause exists. On the SAT-attack miter
+//! workload this cuts variables and clauses substantially (see
+//! `BENCH_sat.json`'s encoder rows), which is why [`EncoderKind::Aig`] is
+//! the default.
+
+use crate::tseitin::{encode_comb_into, CnfSink};
+use crate::{Lit, Var};
+use glitchlock_netlist::{Aig, AigNode, CombView, Netlist};
+
+/// Which netlist→CNF encoding strategy an attack or equivalence check
+/// uses. Selected by `--encoder` and the campaign-spec `encoder`
+/// directive (fingerprinted, like `solver`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EncoderKind {
+    /// Direct Tseitin over the gate-level netlist, one variable per net.
+    Flat,
+    /// Strash-deduplicated And-Inverter Graph, 3 clauses per AND node.
+    #[default]
+    Aig,
+}
+
+impl EncoderKind {
+    /// Parses an encoder name as used by `--encoder` and campaign specs.
+    pub fn parse(s: &str) -> Option<EncoderKind> {
+        match s {
+            "flat" => Some(EncoderKind::Flat),
+            "aig" => Some(EncoderKind::Aig),
+            _ => None,
+        }
+    }
+
+    /// Canonical name, the inverse of [`EncoderKind::parse`].
+    pub fn tag(self) -> &'static str {
+        match self {
+            EncoderKind::Flat => "flat",
+            EncoderKind::Aig => "aig",
+        }
+    }
+}
+
+impl std::fmt::Display for EncoderKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Variable bindings of one AIG encoding: one variable per AIG input (in
+/// input-ordinal order) plus the output *literals* — an output may be a
+/// complemented edge or a constant, so it is a [`Lit`] over an internal
+/// variable rather than always a fresh [`Var`].
+#[derive(Clone, Debug)]
+pub struct AigPorts {
+    /// Variable of each AIG input, by input ordinal.
+    pub input_vars: Vec<Var>,
+    /// Literal of each marked output, in output order.
+    pub output_lits: Vec<Lit>,
+}
+
+impl AigPorts {
+    /// Materializes every output as a plain variable, buffering
+    /// complemented or constant outputs with a fresh equality-constrained
+    /// variable (2 clauses each). Uncomplemented node outputs reuse their
+    /// node variable directly.
+    pub fn output_vars<S: CnfSink>(&self, sink: &mut S) -> Vec<Var> {
+        self.output_lits
+            .iter()
+            .map(|&l| {
+                if !l.is_neg() {
+                    l.var()
+                } else {
+                    let y = sink.fresh_var();
+                    sink.clause(&[Lit::neg(y), l]);
+                    sink.clause(&[Lit::pos(y), !l]);
+                    y
+                }
+            })
+            .collect()
+    }
+}
+
+/// Encodes a strashed AIG into any [`CnfSink`]: one variable per input
+/// (or the pinned variable, the miter's data-sharing mechanism), one
+/// variable and three clauses per AND node, one always-false variable for
+/// the constant node. Returns the port bindings.
+pub fn encode_aig_into<S: CnfSink>(sink: &mut S, aig: &Aig, pinned: &[Option<Var>]) -> AigPorts {
+    let mut node_var: Vec<Var> = Vec::with_capacity(aig.len());
+    for (i, node) in aig.nodes().iter().enumerate() {
+        let v = match *node {
+            AigNode::False => {
+                let v = sink.fresh_var();
+                sink.clause(&[Lit::neg(v)]);
+                v
+            }
+            AigNode::Input(k) => pinned
+                .get(k)
+                .copied()
+                .flatten()
+                .unwrap_or_else(|| sink.fresh_var()),
+            AigNode::And(a, b) => {
+                let la = Lit::with_sign(node_var[a.node()], a.is_complemented());
+                let lb = Lit::with_sign(node_var[b.node()], b.is_complemented());
+                let y = sink.fresh_var();
+                sink.clause(&[Lit::neg(y), la]);
+                sink.clause(&[Lit::neg(y), lb]);
+                sink.clause(&[Lit::pos(y), !la, !lb]);
+                y
+            }
+        };
+        debug_assert_eq!(i, node_var.len());
+        node_var.push(v);
+    }
+    let mut input_vars = vec![node_var[0]; aig.num_inputs()];
+    for (i, node) in aig.nodes().iter().enumerate() {
+        if let AigNode::Input(k) = *node {
+            input_vars[k] = node_var[i];
+        }
+    }
+    let output_lits = aig
+        .outputs()
+        .iter()
+        .map(|&o| Lit::with_sign(node_var[o.node()], o.is_complemented()))
+        .collect();
+    AigPorts {
+        input_vars,
+        output_lits,
+    }
+}
+
+/// Port variables of one combinational-view encoding, independent of the
+/// encoder that produced it.
+#[derive(Clone, Debug)]
+pub struct EncodedIo {
+    /// Variables of the view's inputs, in view order.
+    pub input_vars: Vec<Var>,
+    /// Variables of the view's outputs, in view order.
+    pub output_vars: Vec<Var>,
+}
+
+/// Encodes a fresh copy of the combinational view through the selected
+/// encoder. `pinned` pre-assigns variables for a prefix of the view
+/// inputs, exactly as in [`encode_comb_into`].
+///
+/// # Panics
+///
+/// Panics on a cyclic netlist.
+pub fn encode_comb_with<S: CnfSink>(
+    sink: &mut S,
+    netlist: &Netlist,
+    view: &CombView,
+    pinned: &[Option<Var>],
+    encoder: EncoderKind,
+) -> EncodedIo {
+    match encoder {
+        EncoderKind::Flat => {
+            let ports = encode_comb_into(sink, netlist, view, pinned);
+            EncodedIo {
+                input_vars: ports.input_vars,
+                output_vars: ports.output_vars,
+            }
+        }
+        EncoderKind::Aig => {
+            let aig = Aig::from_comb(netlist, view);
+            let ports = encode_aig_into(sink, &aig, pinned);
+            let output_vars = ports.output_vars(sink);
+            EncodedIo {
+                input_vars: ports.input_vars,
+                output_vars,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SatResult, Solver};
+    use glitchlock_netlist::{GateKind, Logic};
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new("s");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let w1 = nl.add_gate(GateKind::Xnor, &[a, b]).unwrap();
+        let w2 = nl.add_gate(GateKind::Mux2, &[w1, c, a]).unwrap();
+        let w3 = nl.add_gate(GateKind::Nor, &[w1, w2, c]).unwrap();
+        nl.mark_output(w2, "y0");
+        nl.mark_output(w3, "y1");
+        nl
+    }
+
+    #[test]
+    fn parse_and_tag_round_trip() {
+        for e in [EncoderKind::Flat, EncoderKind::Aig] {
+            assert_eq!(EncoderKind::parse(e.tag()), Some(e));
+            assert_eq!(format!("{e}"), e.tag());
+        }
+        assert_eq!(EncoderKind::parse("abc"), None);
+        assert_eq!(EncoderKind::default(), EncoderKind::Aig);
+    }
+
+    #[test]
+    fn both_encoders_agree_exhaustively() {
+        let nl = sample();
+        let view = CombView::new(&nl);
+        let n = view.num_inputs();
+        for encoder in [EncoderKind::Flat, EncoderKind::Aig] {
+            for bits in 0u32..(1 << n) {
+                let bools: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                let logic: Vec<Logic> = bools.iter().map(|&b| Logic::from_bool(b)).collect();
+                let expect = view.eval(&nl, &logic);
+                let mut solver = Solver::new();
+                let io = encode_comb_with(&mut solver, &nl, &view, &[], encoder);
+                let assumptions: Vec<Lit> = io
+                    .input_vars
+                    .iter()
+                    .zip(&bools)
+                    .map(|(&v, &b)| Lit::with_sign(v, !b))
+                    .collect();
+                assert_eq!(solver.solve_with(&assumptions), SatResult::Sat, "{encoder}");
+                for (i, &ov) in io.output_vars.iter().enumerate() {
+                    assert_eq!(
+                        solver.value(ov),
+                        expect[i].to_bool(),
+                        "{encoder} output {i} bits {bits:b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_inputs_are_respected_by_the_aig_encoder() {
+        let nl = sample();
+        let view = CombView::new(&nl);
+        let mut solver = Solver::new();
+        let shared = solver.new_var();
+        let io1 = encode_comb_with(&mut solver, &nl, &view, &[Some(shared)], EncoderKind::Aig);
+        let io2 = encode_comb_with(&mut solver, &nl, &view, &[Some(shared)], EncoderKind::Aig);
+        assert_eq!(io1.input_vars[0], shared);
+        assert_eq!(io2.input_vars[0], shared);
+        assert_ne!(io1.input_vars[1], io2.input_vars[1]);
+    }
+
+    #[test]
+    fn constant_outputs_materialize_legally() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        aig.mark_output(glitchlock_netlist::AigLit::TRUE);
+        aig.mark_output(glitchlock_netlist::AigLit::FALSE);
+        aig.mark_output(a.complement());
+        let mut solver = Solver::new();
+        let ports = encode_aig_into(&mut solver, &aig, &[]);
+        let outs = ports.output_vars(&mut solver);
+        assert_eq!(solver.solve(), SatResult::Sat);
+        assert_eq!(solver.value(outs[0]), Some(true));
+        assert_eq!(solver.value(outs[1]), Some(false));
+    }
+}

@@ -6,7 +6,7 @@
 //! and removal-attack reconstructions, and by tests as an independent
 //! referee for the locking flows.
 
-use crate::tseitin::encode_comb_into;
+use crate::encoder::{encode_comb_with, EncoderKind};
 use crate::{Lit, SatResult, Solver, SolverBackend, SolverStats, Var};
 use glitchlock_netlist::{CombView, Netlist};
 
@@ -49,6 +49,23 @@ pub fn bounded_equiv_with(
     bounded_equiv_with_stats(a, b, k, backend).0
 }
 
+/// [`bounded_equiv_with`] on an explicit CNF encoder as well — the path
+/// behind `glk equiv --encoder …`.
+///
+/// # Panics
+///
+/// Panics if the interfaces disagree (primary input/output counts) or a
+/// netlist is cyclic.
+pub fn bounded_equiv_with_encoder(
+    a: &Netlist,
+    b: &Netlist,
+    k: usize,
+    backend: SolverBackend,
+    encoder: EncoderKind,
+) -> EquivResult {
+    bounded_equiv_full(a, b, k, backend, encoder).0
+}
+
 /// [`bounded_equiv_with`], additionally returning the solver's search
 /// statistics — the `sat_solver` benchmark uses these to report
 /// conflicts/sec on equivalence workloads.
@@ -62,6 +79,22 @@ pub fn bounded_equiv_with_stats(
     b: &Netlist,
     k: usize,
     backend: SolverBackend,
+) -> (EquivResult, SolverStats) {
+    bounded_equiv_full(a, b, k, backend, EncoderKind::default())
+}
+
+/// The full-parameter unrolling shared by every `bounded_equiv*` front.
+///
+/// # Panics
+///
+/// Panics if the interfaces disagree (primary input/output counts) or a
+/// netlist is cyclic.
+pub fn bounded_equiv_full(
+    a: &Netlist,
+    b: &Netlist,
+    k: usize,
+    backend: SolverBackend,
+    encoder: EncoderKind,
 ) -> (EquivResult, SolverStats) {
     assert_eq!(
         a.input_nets().len(),
@@ -108,7 +141,7 @@ pub fn bounded_equiv_with_stats(
             let mut pinned: Vec<Option<Var>> = Vec::with_capacity(view.num_inputs());
             pinned.extend(pis.iter().copied().map(Some));
             pinned.extend(state.iter().copied().map(Some));
-            let ports = encode_comb_into(solver, nl, view, &pinned);
+            let ports = encode_comb_with(solver, nl, view, &pinned, encoder);
             let pos = ports.output_vars[..n_po].to_vec();
             let next = ports.output_vars[n_po..].to_vec();
             (pos, next)
@@ -190,6 +223,26 @@ mod tests {
                     EquivResult::Counterexample { .. }
                 ),
                 "{backend}"
+            );
+        }
+    }
+
+    #[test]
+    fn both_encoders_agree_on_verdicts() {
+        let a = counter(false);
+        let b = counter(true);
+        for encoder in [EncoderKind::Flat, EncoderKind::Aig] {
+            assert_eq!(
+                bounded_equiv_with_encoder(&a, &a.clone(), 4, SolverBackend::default(), encoder),
+                EquivResult::Equivalent,
+                "{encoder}"
+            );
+            assert!(
+                matches!(
+                    bounded_equiv_with_encoder(&a, &b, 3, SolverBackend::default(), encoder),
+                    EquivResult::Counterexample { .. }
+                ),
+                "{encoder}"
             );
         }
     }

@@ -17,6 +17,9 @@
 //! * [`Cnf`]/[`Lit`]/[`Var`] — clause database types.
 //! * [`tseitin`] — the Tseitin transformation from a gate-level netlist's
 //!   combinational view to CNF, one variable per net.
+//! * [`encoder`] — encoder selection ([`EncoderKind`]): the flat per-net
+//!   Tseitin above, or a strash-deduplicated And-Inverter-Graph encoding
+//!   (one 3-clause gate per AND node, the `--encoder aig` default).
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@ mod backend;
 mod clause;
 mod cnf;
 pub mod dimacs;
+pub mod encoder;
 pub mod equiv;
 mod heap;
 mod reduce;
@@ -50,5 +54,6 @@ pub mod tseitin;
 
 pub use backend::{IncrementalSolver, SolverBackend};
 pub use cnf::{Cnf, Lit, Var};
+pub use encoder::{encode_aig_into, encode_comb_with, AigPorts, EncodedIo, EncoderKind};
 pub use solver::{SatResult, Solver, SolverStats};
 pub use tseitin::{encode_comb, encode_comb_into, CnfSink, EncodedPorts, Encoding};

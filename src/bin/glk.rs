@@ -33,7 +33,7 @@ use glitchlock::core::GkEncryptor;
 use glitchlock::lint::{self, Diagnostic, Level, LintContext, LintRunner};
 use glitchlock::netlist::{bench_format, Logic, Netlist};
 use glitchlock::obs;
-use glitchlock::sat::SolverBackend;
+use glitchlock::sat::{EncoderKind, SolverBackend};
 use glitchlock::sim::{ClockSpec, SimConfig, Simulator, Stimulus};
 use glitchlock::sta::{analyze, ClockModel};
 use glitchlock::stdcell::{Library, Ps};
@@ -52,7 +52,7 @@ usage: glk <subcommand> …
   glk lock-gk     <in.bench> <out-prefix> [--gks N] [--xor-bits N] [--period-ns N]
                   [--seed S] [--mix|--share] [OBS]
   glk attack      <locked.bench> <oracle.bench> [--key-prefix P]
-                  [--solver legacy|modern] [OBS]
+                  [--solver legacy|modern] [--encoder flat|aig] [OBS]
   glk sim         <in.bench> [--cycles N] [--period-ns N] [--vcd out.vcd]
                   [--seed S] [OBS]
   glk verify      <locked.bench> <oracle.bench> --key 0,1,… [--cycles N]
@@ -70,7 +70,7 @@ usage: glk <subcommand> …
                   [--max-failures N] [--list-referees] [OBS]
   glk campaign    --spec <spec.txt> [--jobs N] [--out PREFIX] [--resume]
                   [--journal PATH] [--halt-after N] [--solver legacy|modern]
-                  [OBS]
+                  [--encoder flat|aig] [OBS]
   glk trace-check <trace.jsonl> [--sites attack|sim|lock-gk|analyze|fuzz|campaign]
   glk help
 
@@ -479,6 +479,7 @@ fn cmd_attack(args: &Args) -> Result<(), String> {
     );
     let mut attack = SatAttack::new(&locked, key_inputs, &oracle);
     attack.backend = solver_flag(args)?.unwrap_or_default();
+    attack.encoder = encoder_flag(args)?.unwrap_or_default();
     let result = attack.run();
     match result.outcome {
         SatOutcome::KeyRecovered { key } => {
@@ -1089,6 +1090,9 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     if let Some(backend) = solver_flag(args)? {
         spec.solver = backend;
     }
+    if let Some(encoder) = encoder_flag(args)? {
+        spec.encoder = encoder;
+    }
     let out = args.flag("out").unwrap_or("campaign").to_string();
     let journal_path = args
         .flag("journal")
@@ -1163,6 +1167,23 @@ fn solver_flag(args: &Args) -> Result<Option<SolverBackend>, String> {
         Some(v) => SolverBackend::parse(v)
             .map(Some)
             .ok_or_else(|| format!("--solver expects `legacy` or `modern`, got {v:?}")),
+    }
+}
+
+/// Parses `--encoder flat|aig`. `None` when the flag is absent, so callers
+/// can fall back to a spec's choice or the build default.
+fn encoder_flag(args: &Args) -> Result<Option<EncoderKind>, String> {
+    match args.flag("encoder") {
+        None => {
+            if args.has("encoder") {
+                Err("--encoder expects `flat` or `aig`".to_string())
+            } else {
+                Ok(None)
+            }
+        }
+        Some(v) => EncoderKind::parse(v)
+            .map(Some)
+            .ok_or_else(|| format!("--encoder expects `flat` or `aig`, got {v:?}")),
     }
 }
 

@@ -7,6 +7,9 @@
 //! depend on a single crate:
 //!
 //! * [`netlist`] — gate-level IR, `.bench`/Verilog-lite I/O, cone analysis.
+//! * [`aig`] — And-Inverter Graph with complemented edges, structural
+//!   hashing, netlist lowering/re-emission, and output-cone extraction
+//!   (the substrate behind `--encoder aig` miters).
 //! * [`stdcell`] — synthetic 0.13µm-class standard-cell library.
 //! * [`sim`] — event-driven gate-level timing simulation (glitch-accurate).
 //! * [`sta`] — static timing analysis (arrival/required/slack, Eq. (1)).
@@ -73,6 +76,7 @@ pub use glitchlock_fuzz as fuzz;
 pub use glitchlock_jobs as jobs;
 pub use glitchlock_lint as lint;
 pub use glitchlock_netlist as netlist;
+pub use glitchlock_netlist::aig;
 pub use glitchlock_obs as obs;
 pub use glitchlock_sat as sat;
 pub use glitchlock_sim as sim;

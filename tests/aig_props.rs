@@ -1,0 +1,181 @@
+//! Property tests for the AIG core: strash idempotence, lowering
+//! round-trips for every locking scheme under correct and wrong keys, and
+//! cone-extraction soundness. All cases are seeded, so failures reproduce
+//! exactly.
+
+use glitchlock::aig::Aig;
+use glitchlock::circuits::{generate, tiny};
+use glitchlock::core::locking::{AntiSat, LockScheme, MuxLock, SarLock, Tdk, XorLock};
+use glitchlock::core::GkEncryptor;
+use glitchlock::netlist::{CombView, EvalProgram, Logic, NetId, Netlist};
+use glitchlock::sta::ClockModel;
+use glitchlock::stdcell::{Library, Ps};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SEEDS: u64 = 12;
+const PATTERNS: usize = 64;
+
+#[test]
+fn strash_is_idempotent_and_semantics_preserving() {
+    for seed in 0..SEEDS {
+        let nl = generate(&tiny(seed));
+        let aig = Aig::from_netlist(&nl);
+        let once = aig.strashed();
+        assert_eq!(
+            once.strashed(),
+            once,
+            "seed {seed}: strash must be a fixpoint"
+        );
+        // Re-strashing never grows the graph and never changes semantics.
+        assert!(once.num_ands() <= aig.num_ands(), "seed {seed}");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x57a5);
+        for _ in 0..PATTERNS {
+            let ins: Vec<bool> = (0..aig.num_inputs()).map(|_| rng.gen()).collect();
+            assert_eq!(aig.eval(&ins), once.eval(&ins), "seed {seed} ins {ins:?}");
+        }
+    }
+}
+
+/// Locks `oracle` with every scheme and returns
+/// `(name, locked view, key inputs, correct key)` per scheme that applies.
+fn all_lockers(
+    oracle: &Netlist,
+    rng: &mut StdRng,
+) -> Vec<(String, Netlist, Vec<NetId>, Vec<bool>)> {
+    let mut out = Vec::new();
+    let mut push = |name: &str, locked: glitchlock::core::Locked| {
+        out.push((
+            name.to_string(),
+            locked.netlist,
+            locked.key_inputs,
+            locked.correct_key,
+        ));
+    };
+    push("xor", XorLock::new(4).lock(oracle, rng).expect("xor lock"));
+    push("mux", MuxLock::new(4).lock(oracle, rng).expect("mux lock"));
+    push(
+        "sarlock",
+        SarLock::new(3).lock(oracle, rng).expect("sarlock"),
+    );
+    push(
+        "antisat",
+        AntiSat::new(3).lock(oracle, rng).expect("antisat"),
+    );
+    push("tdk", Tdk::new(3).lock(oracle, rng).expect("tdk"));
+    let gk = GkEncryptor::new(2)
+        .encrypt(
+            oracle,
+            &Library::cl013g_like(),
+            &ClockModel::new(Ps::from_ns(3)),
+            rng,
+        )
+        .expect("gk encrypt");
+    // Statically a GK is transparent for any constant key: all-zero is as
+    // "correct" as any other on the static view.
+    let width = gk.attack_key_inputs.len();
+    out.push((
+        "gk".to_string(),
+        gk.attack_view,
+        gk.attack_key_inputs,
+        vec![false; width],
+    ));
+    out
+}
+
+#[test]
+fn aig_round_trip_matches_packed_for_every_locker_and_key() {
+    let oracle = glitchlock::circuits::s27();
+    let mut rng = StdRng::seed_from_u64(0xa19);
+    for (name, locked, key_inputs, correct_key) in all_lockers(&oracle, &mut rng) {
+        let view = CombView::new(&locked);
+        let aig = Aig::from_comb(&locked, &view);
+        let back = aig.to_netlist("rt");
+        let back_view = CombView::new(&back);
+        assert_eq!(back_view.num_inputs(), view.num_inputs(), "{name}");
+        assert_eq!(back_view.num_outputs(), view.num_outputs(), "{name}");
+        let program = EvalProgram::compile(&locked).expect("locked compiles");
+        let back_program = EvalProgram::compile(&back).expect("round trip compiles");
+
+        let key_positions: Vec<usize> = key_inputs
+            .iter()
+            .map(|k| {
+                view.input_nets()
+                    .iter()
+                    .position(|n| n == k)
+                    .expect("key input is a view input")
+            })
+            .collect();
+        let mut wrong_key = correct_key.clone();
+        wrong_key[0] = !wrong_key[0];
+
+        for (tag, key) in [("correct", &correct_key), ("wrong", &wrong_key)] {
+            let patterns: Vec<Vec<Logic>> = (0..PATTERNS)
+                .map(|_| {
+                    let mut pat: Vec<Logic> = (0..view.num_inputs())
+                        .map(|_| Logic::from_bool(rng.gen()))
+                        .collect();
+                    for (&pos, &bit) in key_positions.iter().zip(key.iter()) {
+                        pat[pos] = Logic::from_bool(bit);
+                    }
+                    pat
+                })
+                .collect();
+            let want = view.eval_packed(&program, &patterns);
+            let got = back_view.eval_packed(&back_program, &patterns);
+            for (pat, (w, g)) in patterns.iter().zip(want.iter().zip(&got)) {
+                let bools: Vec<bool> = pat.iter().map(|l| *l == Logic::One).collect();
+                let direct: Vec<Logic> =
+                    aig.eval(&bools).into_iter().map(Logic::from_bool).collect();
+                assert_eq!(w, g, "{name}/{tag} key: packed vs round trip, pat {pat:?}");
+                assert_eq!(
+                    w, &direct,
+                    "{name}/{tag} key: packed vs AIG eval, pat {pat:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cone_extraction_is_sound_on_random_circuits() {
+    for seed in 0..SEEDS {
+        let nl = generate(&tiny(seed));
+        let aig = Aig::from_netlist(&nl);
+        let n_out = aig.outputs().len();
+        if n_out == 0 {
+            continue;
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0de);
+        // A few random keep-subsets per circuit, always including a
+        // singleton and the full output list.
+        let mut keeps: Vec<Vec<usize>> = vec![vec![rng.gen_range(0..n_out)], (0..n_out).collect()];
+        for _ in 0..3 {
+            let keep: Vec<usize> = (0..n_out).filter(|_| rng.gen()).collect();
+            if !keep.is_empty() {
+                keeps.push(keep);
+            }
+        }
+        for keep in keeps {
+            let cone = aig.extract_cone(&keep);
+            assert_eq!(cone.outputs, keep, "seed {seed}");
+            assert_eq!(cone.aig.num_inputs(), cone.support.len(), "seed {seed}");
+            assert!(
+                cone.aig.num_ands() <= aig.num_ands(),
+                "seed {seed}: a cone never grows the graph"
+            );
+            for _ in 0..PATTERNS {
+                let ins: Vec<bool> = (0..aig.num_inputs()).map(|_| rng.gen()).collect();
+                let full = aig.eval(&ins);
+                let cone_ins: Vec<bool> = cone.support.iter().map(|&k| ins[k]).collect();
+                let restricted = cone.aig.eval(&cone_ins);
+                for (j, &orig) in cone.outputs.iter().enumerate() {
+                    assert_eq!(
+                        restricted[j], full[orig],
+                        "seed {seed} keep {keep:?} output {orig}"
+                    );
+                }
+            }
+        }
+    }
+}
