@@ -151,8 +151,57 @@ grep -o '"id":"[^"]*"\|"verdict":"[^"]*"' "$WORK/camp-aig.report.json" \
     > "$WORK/verdicts-aig"
 cmp "$WORK/verdicts-flat" "$WORK/verdicts-aig"
 
+# Serve gate: a real daemon, exercised by separate client processes —
+# oracle queries (single, bulk, and a determinism-checked sweep), a
+# sharded campaign whose merged journals must reproduce the local report
+# byte-for-byte, a trace-check over the serve probe domain, and a clean
+# SIGTERM shutdown.
+"$GLK" serve --allow-debug --trace "$WORK/serve.jsonl" \
+    > "$WORK/serve.out" 2> "$WORK/serve.err" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^serve: listening on //p' "$WORK/serve.out")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+test -n "$ADDR"
+"$GLK" query "$ADDR" ping
+"$GLK" query "$ADDR" load-bench s27
+"$GLK" query "$ADDR" oracle s27 0101010
+"$GLK" query "$ADDR" oracle-bulk s27 0000000 1111111 1010101
+"$GLK" query "$ADDR" sweep s27 --count 5000 --seed 9 > "$WORK/sweep1.out"
+"$GLK" query "$ADDR" sweep s27 --count 5000 --seed 9 > "$WORK/sweep2.out"
+cmp "$WORK/sweep1.out" "$WORK/sweep2.out"
+
+# Two client processes each run one shard of the campaign concurrently;
+# the merged journals must render the same bytes as the local run above.
+"$GLK" query "$ADDR" campaign --spec "$WORK/campaign.spec" \
+    --shard 0/2 --journal "$WORK/serve-s0.jsonl" > /dev/null &
+QUERY_PID=$!
+"$GLK" query "$ADDR" campaign --spec "$WORK/campaign.spec" \
+    --shard 1/2 --journal "$WORK/serve-s1.jsonl" > /dev/null
+wait $QUERY_PID
+"$GLK" campaign --spec "$WORK/campaign.spec" \
+    --merge-journals "$WORK/serve-s0.jsonl,$WORK/serve-s1.jsonl" \
+    --out "$WORK/camp-serve" > /dev/null
+cmp "$WORK/camp-serve.report.txt" "$WORK/camp-par.report.txt"
+cmp "$WORK/camp-serve.report.json" "$WORK/camp-par.report.json"
+
+# Clean SIGTERM shutdown; the daemon flushes its trace on the way out,
+# and every serve probe must have fired.
+kill -TERM $SERVE_PID
+wait $SERVE_PID
+grep -q 'serve: shut down' "$WORK/serve.err"
+"$GLK" trace-check "$WORK/serve.jsonl" --sites serve
+
 # sat_solver bench smoke: trimmed tiers, 1 ms measurement windows, no
 # snapshot rewrite — proves the harness (both backends, obs counters,
 # equivalence tier) runs end to end.
 GLITCHLOCK_BENCH_MS=1 GLITCHLOCK_BENCH_NO_SNAPSHOT=1 GLITCHLOCK_BENCH_SMOKE=1 \
     cargo bench -p glitchlock-bench --bench sat_solver
+
+# serve_load smoke: shrunk sizes, no snapshot rewrite — proves the TCP
+# load harness (sequential vs bulk vs sweep scenarios) runs end to end.
+GLITCHLOCK_BENCH_SMOKE=1 GLITCHLOCK_BENCH_NO_SNAPSHOT=1 \
+    cargo run -q --release -p glitchlock-bench --bin serve_load

@@ -1,0 +1,247 @@
+//! Load harness for the `glk serve` daemon: real TCP clients hammering a
+//! real server, comparing three ways of spending the same oracle budget.
+//!
+//! * **sequential** — one client, one pattern per `oracle` request,
+//!   blocking on each response: the naive remote-oracle loop every
+//!   framed-protocol client starts with. Pays frame + parse + round trip
+//!   per pattern and leaves 63 of 64 evaluator lanes idle.
+//! * **bulk** — K clients, each issuing `oracle-bulk` requests of B
+//!   patterns: the batcher packs patterns (across clients) into 64-lane
+//!   passes, and each round trip amortises over B patterns.
+//! * **sweep** — one `oracle-sweep` request: the server generates and
+//!   evaluates N seeded patterns and answers with a digest; this is the
+//!   protocol's throughput ceiling (socket traffic is O(1)).
+//!
+//! Writes `BENCH_serve.json` at the repository root with patterns/sec and
+//! request latency percentiles per scenario, plus the bulk:sequential
+//! speedup. Knobs:
+//!
+//! ```text
+//! GLITCHLOCK_SERVE_CLIENTS   concurrent bulk clients   (default 4)
+//! GLITCHLOCK_SERVE_REQUESTS  bulk requests per client  (default 16)
+//! GLITCHLOCK_SERVE_BULK      patterns per bulk request (default 256)
+//! GLITCHLOCK_SERVE_SEQ       sequential single queries (default 1500)
+//! GLITCHLOCK_SERVE_SWEEP     sweep pattern count       (default 200000)
+//! GLITCHLOCK_SERVE_BENCH     benchmark to load         (default s1238)
+//! GLITCHLOCK_BENCH_SMOKE     shrink everything for CI smoke runs
+//! GLITCHLOCK_BENCH_NO_SNAPSHOT  skip writing BENCH_serve.json
+//! ```
+
+use glitchlock_obs::Collector;
+use glitchlock_serve::{sweep_pattern, Client, Op, Reply, Request, ServerConfig};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn knob(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Latency percentile (ms) over a sorted sample set.
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
+    }
+    let ix = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[ix]
+}
+
+struct Scenario {
+    name: String,
+    patterns: u64,
+    wall_secs: f64,
+    latencies_ms: Vec<f64>,
+}
+
+impl Scenario {
+    fn patterns_per_sec(&self) -> f64 {
+        self.patterns as f64 / self.wall_secs
+    }
+
+    fn render(&self) -> String {
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(f64::total_cmp);
+        format!(
+            "{{\"scenario\": \"{}\", \"patterns\": {}, \"wall_secs\": {:.3}, \
+             \"patterns_per_sec\": {:.0}, \"requests\": {}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+            self.name,
+            self.patterns,
+            self.wall_secs,
+            self.patterns_per_sec(),
+            sorted.len(),
+            percentile(&sorted, 0.50),
+            percentile(&sorted, 0.99),
+        )
+    }
+}
+
+fn expect_loaded(reply: &Reply) -> usize {
+    match reply {
+        Reply::Loaded { inputs, .. } => *inputs,
+        other => panic!("expected loaded reply, got {other:?}"),
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("GLITCHLOCK_BENCH_SMOKE").is_ok();
+    let scale = if smoke { 8 } else { 1 };
+    let clients = knob("GLITCHLOCK_SERVE_CLIENTS", 4);
+    let requests = knob("GLITCHLOCK_SERVE_REQUESTS", 16).div_ceil(scale).max(2);
+    let bulk = knob("GLITCHLOCK_SERVE_BULK", 256).div_ceil(scale).max(64);
+    let seq = knob("GLITCHLOCK_SERVE_SEQ", 1500).div_ceil(scale).max(50);
+    let sweep = knob("GLITCHLOCK_SERVE_SWEEP", 200_000).div_ceil(scale);
+    let bench = std::env::var("GLITCHLOCK_SERVE_BENCH").unwrap_or_else(|_| "s1238".to_string());
+
+    let collector = Arc::new(Collector::new());
+    let handle = glitchlock_serve::start(ServerConfig::default(), Arc::clone(&collector))
+        .expect("start server");
+    let addr = handle.addr();
+    println!("serve_load: server on {addr}, bench {bench}");
+
+    let mut setup = Client::connect(addr).expect("connect");
+    let id = setup.next_id();
+    let loaded = setup
+        .call(&Request {
+            id,
+            op: Op::LoadBench {
+                name: bench.clone(),
+            },
+        })
+        .expect("load bench");
+    let width = expect_loaded(&loaded.reply);
+
+    // --- sequential: one pattern per request, blocking. ---
+    let start = Instant::now();
+    let mut latencies_ms = Vec::with_capacity(seq);
+    for i in 0..seq {
+        let pattern: String = sweep_pattern(width, i as u64, 1)
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
+        let id = setup.next_id();
+        let sent = Instant::now();
+        let response = setup
+            .call(&Request {
+                id,
+                op: Op::Oracle {
+                    design: bench.clone(),
+                    pattern,
+                },
+            })
+            .expect("oracle");
+        assert!(matches!(response.reply, Reply::Oracle { .. }));
+        latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+    }
+    let sequential = Scenario {
+        name: "sequential-single".to_string(),
+        patterns: seq as u64,
+        wall_secs: start.elapsed().as_secs_f64(),
+        latencies_ms,
+    };
+    println!("  {}", sequential.render());
+
+    // --- bulk: K clients × M requests × B patterns. ---
+    let start = Instant::now();
+    let worker_results: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let bench = bench.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut latencies_ms = Vec::with_capacity(requests);
+                    for r in 0..requests {
+                        let patterns: Vec<String> = (0..bulk)
+                            .map(|i| {
+                                let index = ((c * requests + r) * bulk + i) as u64;
+                                sweep_pattern(width, index, 2)
+                                    .iter()
+                                    .map(|&b| if b { '1' } else { '0' })
+                                    .collect()
+                            })
+                            .collect();
+                        let id = client.next_id();
+                        let sent = Instant::now();
+                        let response = client
+                            .call(&Request {
+                                id,
+                                op: Op::OracleBulk {
+                                    design: bench.clone(),
+                                    patterns,
+                                },
+                            })
+                            .expect("oracle-bulk");
+                        match response.reply {
+                            Reply::OracleBulk { outputs } => assert_eq!(outputs.len(), bulk),
+                            other => panic!("expected bulk reply, got {other:?}"),
+                        }
+                        latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                    }
+                    latencies_ms
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let bulk_scenario = Scenario {
+        name: format!("bulk-{clients}x{requests}x{bulk}"),
+        patterns: (clients * requests * bulk) as u64,
+        wall_secs: start.elapsed().as_secs_f64(),
+        latencies_ms: worker_results.into_iter().flatten().collect(),
+    };
+    println!("  {}", bulk_scenario.render());
+
+    // --- sweep: server-side generation, O(1) socket traffic. ---
+    let start = Instant::now();
+    let sent = Instant::now();
+    let id = setup.next_id();
+    let response = setup
+        .call(&Request {
+            id,
+            op: Op::OracleSweep {
+                design: bench.clone(),
+                count: sweep as u64,
+                seed: 3,
+            },
+        })
+        .expect("oracle-sweep");
+    assert!(matches!(response.reply, Reply::Sweep { .. }));
+    let sweep_scenario = Scenario {
+        name: "sweep-server-side".to_string(),
+        patterns: sweep as u64,
+        wall_secs: start.elapsed().as_secs_f64(),
+        latencies_ms: vec![sent.elapsed().as_secs_f64() * 1e3],
+    };
+    println!("  {}", sweep_scenario.render());
+
+    handle.shutdown();
+    handle.wait();
+
+    let speedup = bulk_scenario.patterns_per_sec() / sequential.patterns_per_sec();
+    println!(
+        "serve_load: bulk vs sequential speedup {speedup:.1}x \
+         (acceptance floor 4x)"
+    );
+
+    let json = format!
+        (
+        "{{\n  \"note\": \"TCP oracle service: 1 sequential single-pattern client vs {clients} bulk clients vs server-side sweep; cargo run -p glitchlock-bench --bin serve_load\",\n  \"bench\": \"{bench}\",\n  \"inputs\": {width},\n  \"results\": [\n    {},\n    {},\n    {}\n  ],\n  \"bulk_vs_sequential_speedup\": {speedup:.1}\n}}\n",
+        sequential.render(),
+        bulk_scenario.render(),
+        sweep_scenario.render(),
+    );
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_serve.json");
+    if std::env::var("GLITCHLOCK_BENCH_NO_SNAPSHOT").is_err() {
+        std::fs::write(&path, &json).expect("write BENCH_serve.json");
+        println!("wrote {}", path.display());
+    }
+    print!("\n{json}");
+    if !smoke && speedup < 4.0 {
+        eprintln!("serve_load: speedup {speedup:.1}x is below the 4x acceptance floor");
+        std::process::exit(1);
+    }
+}

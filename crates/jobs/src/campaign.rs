@@ -25,6 +25,10 @@ pub struct CampaignConfig {
     /// Testing/CI hook: request a halt after this many jobs retire in
     /// this run, leaving the rest for a later `--resume`.
     pub halt_after: Option<usize>,
+    /// Shard selector `(index, count)`: run only the jobs whose
+    /// spec-expansion index satisfies `ix % count == index`, and stamp the
+    /// journal header with the shard label. `None` runs everything.
+    pub shard: Option<(usize, usize)>,
 }
 
 /// What a campaign run produced.
@@ -44,7 +48,7 @@ pub struct CampaignResult {
 /// The deterministic subset of a job's metrics snapshot: counters and
 /// gauges, minus throughput gauges. Histograms carry wall-clock (span and
 /// solver timings) and stay journal-external entirely.
-fn deterministic_metrics(snapshot: &[(String, MetricValue)]) -> BTreeMap<String, f64> {
+pub fn deterministic_metrics(snapshot: &[(String, MetricValue)]) -> BTreeMap<String, f64> {
     let mut out = BTreeMap::new();
     for (name, value) in snapshot {
         if name.contains("per_sec") {
@@ -83,6 +87,13 @@ struct Retired {
 ///
 /// Unknown benchmarks, journal I/O failures, and resume/spec mismatches.
 pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, String> {
+    if let Some((index, count)) = config.shard {
+        if count == 0 || index >= count {
+            return Err(format!(
+                "invalid shard {index}/{count}: want 0 <= index < count"
+            ));
+        }
+    }
     for bench in &config.spec.benches {
         job::resolve_bench(bench).map(|_| ())?;
     }
@@ -94,6 +105,10 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, String> {
     let mut done: Vec<Option<JobRecord>> = vec![None; jobs.len()];
     let mut skipped_resume = 0usize;
     let journal = if config.resume && config.journal_path.exists() {
+        // A killed run can leave a half-written final line; drop it before
+        // appending, or the first new record would fuse onto the torn
+        // bytes and be lost to the next load's torn-tail tolerance.
+        journal::trim_torn_tail(&config.journal_path)?;
         let recorded = journal::load(&config.journal_path, &spec_hash)?;
         for (ix, job) in jobs.iter().enumerate() {
             if let Some(rec) = recorded.get(&job.id()) {
@@ -103,13 +118,19 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, String> {
         }
         JournalWriter::append_to(&config.journal_path)?
     } else {
-        JournalWriter::create(&config.journal_path, &spec_hash)?
+        JournalWriter::create_shard(&config.journal_path, &spec_hash, config.shard)?
     };
     outer
         .counter(names::JOBS_RESUME_SKIPS)
         .add(skipped_resume as u64);
 
-    let pending: Vec<usize> = (0..jobs.len()).filter(|&ix| done[ix].is_none()).collect();
+    let owned = |ix: usize| match config.shard {
+        Some((index, count)) => ix % count == index,
+        None => true,
+    };
+    let pending: Vec<usize> = (0..jobs.len())
+        .filter(|&ix| done[ix].is_none() && owned(ix))
+        .collect();
     let pending_jobs: Vec<JobSpec> = pending.iter().map(|&ix| jobs[ix].clone()).collect();
     outer
         .counter(names::JOBS_SCHEDULED)
@@ -258,6 +279,7 @@ mod tests {
             journal_path: dir.join("full.jsonl"),
             resume: false,
             halt_after: None,
+            shard: None,
         })
         .expect("full run");
         assert_eq!(full.records.len(), 4);
@@ -271,6 +293,7 @@ mod tests {
             journal_path: journal_path.clone(),
             resume: false,
             halt_after: Some(2),
+            shard: None,
         })
         .expect("halted run");
         assert!(halted.halted);
@@ -282,6 +305,7 @@ mod tests {
             journal_path,
             resume: true,
             halt_after: None,
+            shard: None,
         })
         .expect("resumed run");
         assert_eq!(resumed.skipped_resume, 2);
@@ -312,6 +336,7 @@ mod tests {
             journal_path: journal_path.clone(),
             resume: false,
             halt_after: None,
+            shard: None,
         })
         .expect("seed run");
         let other = CampaignSpec::parse("bench s27\nlocker xor 4\nattack sat\n").unwrap();
@@ -321,6 +346,7 @@ mod tests {
             journal_path,
             resume: true,
             halt_after: None,
+            shard: None,
         })
         .expect_err("spec mismatch");
         assert!(err.contains("refusing to resume"), "{err}");
@@ -335,6 +361,7 @@ mod tests {
             journal_path: dir.join("journal.jsonl"),
             resume: false,
             halt_after: None,
+            shard: None,
         })
         .expect_err("unknown bench");
         assert!(err.contains("unknown benchmark"), "{err}");

@@ -107,11 +107,14 @@ impl JobRecord {
     }
 }
 
-fn header_line(spec_hash: &str) -> String {
+fn header_line(spec_hash: &str, shard: Option<(usize, usize)>) -> String {
     let mut obj = BTreeMap::new();
     obj.insert("kind".to_string(), Value::Str("campaign-journal".into()));
     obj.insert("schema".to_string(), Value::Num(SCHEMA as f64));
     obj.insert("spec_hash".to_string(), Value::Str(spec_hash.to_string()));
+    if let Some((index, count)) = shard {
+        obj.insert("shard".to_string(), Value::Str(format!("{index}/{count}")));
+    }
     Value::Obj(obj).to_string()
 }
 
@@ -127,8 +130,23 @@ impl JournalWriter {
     ///
     /// Propagates I/O errors as strings.
     pub fn create(path: &Path, spec_hash: &str) -> Result<JournalWriter, String> {
+        JournalWriter::create_shard(path, spec_hash, None)
+    }
+
+    /// Creates (truncates) a shard journal: the header additionally carries
+    /// the `index/count` shard label so merged reports can name their
+    /// provenance. `shard: None` is exactly [`JournalWriter::create`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors as strings.
+    pub fn create_shard(
+        path: &Path,
+        spec_hash: &str,
+        shard: Option<(usize, usize)>,
+    ) -> Result<JournalWriter, String> {
         let mut file = File::create(path).map_err(|e| format!("create {path:?}: {e}"))?;
-        writeln!(file, "{}", header_line(spec_hash)).map_err(|e| e.to_string())?;
+        writeln!(file, "{}", header_line(spec_hash, shard)).map_err(|e| e.to_string())?;
         file.flush().map_err(|e| e.to_string())?;
         Ok(JournalWriter {
             file: Mutex::new(file),
@@ -172,6 +190,49 @@ impl JournalWriter {
 /// I/O errors, a missing/foreign header, a spec-hash mismatch, or a
 /// corrupt non-final line.
 pub fn load(path: &Path, spec_hash: &str) -> Result<BTreeMap<String, JobRecord>, String> {
+    let records = load_records(path, spec_hash)?;
+    let mut out = BTreeMap::new();
+    for rec in records {
+        out.insert(rec.id.clone(), rec);
+    }
+    Ok(out)
+}
+
+/// Truncates a torn final record line (one a kill raced mid-write), so a
+/// resume can append safely: without the trim, the first appended record
+/// would concatenate onto the torn bytes and corrupt itself. A journal
+/// ending in a complete line (even a corrupt one — that is [`load`]'s
+/// business to reject) is left untouched. Returns `true` if bytes were
+/// trimmed.
+///
+/// # Errors
+///
+/// I/O errors.
+pub fn trim_torn_tail(path: &Path) -> Result<bool, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    if text.is_empty() || text.ends_with('\n') {
+        return Ok(false);
+    }
+    let keep = text.rfind('\n').map_or(0, |nl| nl + 1);
+    let file = OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| format!("open {path:?}: {e}"))?;
+    file.set_len(keep as u64)
+        .map_err(|e| format!("truncate {path:?}: {e}"))?;
+    Ok(true)
+}
+
+/// Loads a journal's records **in file order**, with the same header,
+/// spec-hash, and torn-tail rules as [`load`]. Duplicate ids are kept
+/// as-is (later lines win in [`load`]); callers that must refuse
+/// duplicates — shard merging — check for them across the ordered list.
+///
+/// # Errors
+///
+/// I/O errors, a missing/foreign header, a spec-hash mismatch, or a
+/// corrupt non-final line.
+pub fn load_records(path: &Path, spec_hash: &str) -> Result<Vec<JobRecord>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
     let lines: Vec<&str> = text.lines().collect();
     let Some((&header, records)) = lines.split_first() else {
@@ -194,13 +255,11 @@ pub fn load(path: &Path, spec_hash: &str) -> Result<BTreeMap<String, JobRecord>,
              refusing to resume across specs"
         ));
     }
-    let mut out = BTreeMap::new();
+    let mut out = Vec::new();
     for (i, line) in records.iter().enumerate() {
         let parsed = json::parse(line).and_then(|v| JobRecord::from_json(&v));
         match parsed {
-            Ok(rec) => {
-                out.insert(rec.id.clone(), rec);
-            }
+            Ok(rec) => out.push(rec),
             Err(e) if i + 1 == records.len() => {
                 // Torn tail from a killed run: the job re-runs on resume.
                 let _ = e;
@@ -271,7 +330,7 @@ mod tests {
             &path,
             format!(
                 "{}\nnot json\n{}\n",
-                header_line("h"),
+                header_line("h", None),
                 record("a").to_json()
             ),
         )

@@ -22,6 +22,10 @@
 //! * [`report`] — text + JSON campaign reports in spec order, excluding
 //!   wall-clock so `--jobs 1`, `--jobs 8`, and kill-then-resume runs are
 //!   byte-identical.
+//! * [`merge`] — shard-journal reassembly: `--shard i/n` runs write
+//!   per-shard journals, and the merge rebuilds the canonical record list
+//!   (spec-hash enforced, duplicates and gaps refused) so a sharded
+//!   campaign's report is byte-identical to a single-process run.
 //!
 //! The determinism contract, precisely: for a fixed spec, the *report* is
 //! a pure function of the spec. Scheduling, worker count, retries, and
@@ -33,12 +37,14 @@
 pub mod campaign;
 pub mod job;
 pub mod journal;
+pub mod merge;
 pub mod pool;
 pub mod report;
 pub mod spec;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
+pub use campaign::{deterministic_metrics, run_campaign, CampaignConfig, CampaignResult};
 pub use job::{AttackKind, JobSpec, LockerKind, Tuning};
 pub use journal::{JobRecord, JournalWriter};
+pub use merge::{merge_journals, parse_shard};
 pub use pool::{parallel_map, run_pool, worker_count, Attempt, JobTermination, PoolConfig};
 pub use spec::{fnv1a64, CampaignSpec};

@@ -1,0 +1,192 @@
+//! Deterministic shard-journal merging.
+//!
+//! A sharded campaign (`--shard i/n`) writes one spec-hash-headed journal
+//! per shard. Merging reassembles the canonical record list: every journal
+//! must carry the same spec hash, every job id must belong to the spec's
+//! expansion, no id may appear twice (within one journal or across
+//! journals), and the merged list comes back in spec-expansion order — so
+//! the rendered report is byte-identical to a single-process run of the
+//! same spec. Missing jobs are an error: a merge is a completeness claim,
+//! not a best-effort union.
+
+use crate::journal::{self, JobRecord};
+use crate::spec::CampaignSpec;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Parses a `--shard i/n` selector.
+///
+/// # Errors
+///
+/// Rejects anything but `index/count` with `index < count` and `count > 0`.
+pub fn parse_shard(text: &str) -> Result<(usize, usize), String> {
+    let (index, count) = text
+        .split_once('/')
+        .ok_or_else(|| format!("bad shard `{text}`: want `index/count`, e.g. `0/2`"))?;
+    let index: usize = index
+        .parse()
+        .map_err(|_| format!("bad shard index `{index}`"))?;
+    let count: usize = count
+        .parse()
+        .map_err(|_| format!("bad shard count `{count}`"))?;
+    if count == 0 || index >= count {
+        return Err(format!(
+            "invalid shard {index}/{count}: want 0 <= index < count"
+        ));
+    }
+    Ok((index, count))
+}
+
+/// Merges shard journals into the spec's canonical record list.
+///
+/// Every journal is loaded with the full header/spec-hash/torn-tail
+/// validation of [`journal::load_records`]; records are then mapped onto
+/// the spec's job expansion and returned in expansion order.
+///
+/// # Errors
+///
+/// Any journal load failure, a job id outside the spec's expansion, a job
+/// id recorded twice (same journal or two journals), or an expansion job
+/// no journal recorded.
+pub fn merge_journals<P: AsRef<Path>>(
+    spec: &CampaignSpec,
+    paths: &[P],
+) -> Result<Vec<JobRecord>, String> {
+    let spec_hash = spec.hash();
+    let jobs = spec.expand();
+    let position: BTreeMap<String, usize> = jobs
+        .iter()
+        .enumerate()
+        .map(|(ix, job)| (job.id(), ix))
+        .collect();
+
+    let mut done: Vec<Option<JobRecord>> = vec![None; jobs.len()];
+    let mut origin: Vec<String> = vec![String::new(); jobs.len()];
+    for path in paths {
+        let path = path.as_ref();
+        let records = journal::load_records(path, &spec_hash)?;
+        for rec in records {
+            let Some(&ix) = position.get(&rec.id) else {
+                return Err(format!(
+                    "journal {path:?} records `{}`, which is not in the spec's expansion",
+                    rec.id
+                ));
+            };
+            if done[ix].is_some() {
+                return Err(format!(
+                    "duplicate record for `{}`: journaled by {} and {path:?}",
+                    rec.id, origin[ix]
+                ));
+            }
+            origin[ix] = format!("{path:?}");
+            done[ix] = Some(rec);
+        }
+    }
+
+    let missing: Vec<String> = jobs
+        .iter()
+        .enumerate()
+        .filter(|(ix, _)| done[*ix].is_none())
+        .map(|(_, job)| job.id())
+        .collect();
+    if !missing.is_empty() {
+        return Err(format!(
+            "merge is incomplete: {} of {} jobs unrecorded (first missing: {})",
+            missing.len(),
+            jobs.len(),
+            missing[0]
+        ));
+    }
+    Ok(done.into_iter().flatten().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignConfig};
+    use std::path::PathBuf;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("glk-merge-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn small_spec() -> CampaignSpec {
+        CampaignSpec::parse(
+            "bench s27\nlocker xor 3\nlocker sarlock 3\nattack sat\nseeds 1 2\n\
+             max-iters 64\nsamples 256\n",
+        )
+        .unwrap()
+    }
+
+    fn run_shard(dir: &Path, spec: &CampaignSpec, shard: Option<(usize, usize)>) -> PathBuf {
+        let name = match shard {
+            Some((i, n)) => format!("shard-{i}-of-{n}.jsonl"),
+            None => "full.jsonl".to_string(),
+        };
+        let path = dir.join(name);
+        run_campaign(&CampaignConfig {
+            spec: spec.clone(),
+            jobs: 1,
+            journal_path: path.clone(),
+            resume: false,
+            halt_after: None,
+            shard,
+        })
+        .expect("campaign runs");
+        path
+    }
+
+    #[test]
+    fn parse_shard_accepts_valid_and_rejects_junk() {
+        assert_eq!(parse_shard("0/2").unwrap(), (0, 2));
+        assert_eq!(parse_shard("3/4").unwrap(), (3, 4));
+        for bad in ["2/2", "0/0", "1", "a/b", "-1/2", "1/2/3"] {
+            assert!(parse_shard(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn two_shards_merge_to_the_single_process_records() {
+        let dir = temp_dir("roundtrip");
+        let spec = small_spec();
+        let full = run_shard(&dir, &spec, None);
+        let s0 = run_shard(&dir, &spec, Some((0, 2)));
+        let s1 = run_shard(&dir, &spec, Some((1, 2)));
+
+        let merged = merge_journals(&spec, &[s0, s1]).expect("merges");
+        let reference = journal::load_records(&full, &spec.hash()).expect("loads");
+        let strip = |recs: &[JobRecord]| -> Vec<JobRecord> {
+            recs.iter()
+                .map(|r| JobRecord {
+                    wall_ms: 0,
+                    ..r.clone()
+                })
+                .collect()
+        };
+        assert_eq!(strip(&merged), strip(&reference));
+    }
+
+    #[test]
+    fn merge_refuses_duplicates_incompleteness_and_foreign_ids() {
+        let dir = temp_dir("refuse");
+        let spec = small_spec();
+        let s0 = run_shard(&dir, &spec, Some((0, 2)));
+        let s1 = run_shard(&dir, &spec, Some((1, 2)));
+
+        let dup = merge_journals(&spec, &[s0.clone(), s0.clone(), s1.clone()])
+            .expect_err("duplicate ids refused");
+        assert!(dup.contains("duplicate record"), "{dup}");
+
+        let partial =
+            merge_journals(&spec, std::slice::from_ref(&s0)).expect_err("incomplete merge refused");
+        assert!(partial.contains("incomplete"), "{partial}");
+
+        // A journal from a different spec fails the hash gate.
+        let other = CampaignSpec::parse("bench s27\nlocker xor 4\nattack sat\n").unwrap();
+        let foreign = run_shard(&dir, &other, None);
+        let err = merge_journals(&spec, &[s0, s1, foreign]).expect_err("foreign spec refused");
+        assert!(err.contains("refusing to resume across specs"), "{err}");
+    }
+}

@@ -121,6 +121,43 @@ pub const JOBS_FAILURES: &str = "jobs.failures";
 /// Jobs skipped on `--resume` because the journal already records them.
 pub const JOBS_RESUME_SKIPS: &str = "jobs.resume_skips";
 
+/// Client connections accepted by the `glk serve` daemon.
+pub const SERVE_CONNECTIONS: &str = "serve.connections";
+/// Requests parsed off connections (every op, including rejected ones).
+pub const SERVE_REQUESTS: &str = "serve.requests";
+/// Responses written back to clients (busy and error replies included).
+pub const SERVE_RESPONSES: &str = "serve.responses";
+/// Explicit `busy` responses (in-flight window or batcher queue full).
+pub const SERVE_BUSY: &str = "serve.busy";
+/// Typed error responses (bad frames, bad JSON, unknown designs, …).
+pub const SERVE_ERRORS: &str = "serve.errors";
+/// Connections dropped mid-request (torn frame, reset, write failure).
+pub const SERVE_DISCONNECTS: &str = "serve.disconnects";
+/// Designs loaded into the oracle table.
+pub const SERVE_DESIGNS: &str = "serve.designs";
+/// Oracle patterns answered through the batcher (single + bulk + sweep).
+pub const SERVE_ORACLE_PATTERNS: &str = "serve.oracle.patterns";
+/// Batcher flushes (each one or more 64-lane packed passes).
+pub const SERVE_ORACLE_BATCHES: &str = "serve.oracle.batches";
+/// Work items coalesced into a flush beyond the first — lanes filled by
+/// *other* connections' queries riding the same packed pass.
+pub const SERVE_ORACLE_COALESCED: &str = "serve.oracle.coalesced";
+/// Lock/attack/campaign jobs accepted by the daemon.
+pub const SERVE_JOBS: &str = "serve.jobs";
+/// Jobs hard-killed at the server's job timeout.
+pub const SERVE_JOB_TIMEOUTS: &str = "serve.jobs.timeouts";
+
+/// Per-request-type counter name (`serve.req.<op>`), one per protocol op.
+pub fn serve_req(op: &str) -> String {
+    format!("serve.req.{op}")
+}
+
+/// Per-client counter name (`serve.client.<n>.requests`), keyed by the
+/// daemon's connection sequence number.
+pub fn serve_client_requests(client: u64) -> String {
+    format!("serve.client.{client}.requests")
+}
+
 /// Dataflow analysis runs (one per `AnalysisFacts` computation).
 pub const ANALYSIS_RUNS: &str = "analysis.runs";
 /// Worklist transfer-function applications summed over all domains.
@@ -207,9 +244,23 @@ pub fn expected_sites(domain: &str) -> Option<&'static [&'static str]> {
             LOCK_DESIGNS,
             EVAL_GATE_EVALS,
         ]),
+        // Any healthy daemon session accepts a connection, answers
+        // requests, loads a design, and pushes oracle patterns through the
+        // batcher. Busy/error/timeout counters are legitimately zero on a
+        // clean session and stay off the list.
+        "serve" => Some(&[
+            SERVE_CONNECTIONS,
+            SERVE_REQUESTS,
+            SERVE_RESPONSES,
+            SERVE_DESIGNS,
+            SERVE_ORACLE_PATTERNS,
+            SERVE_ORACLE_BATCHES,
+        ]),
         _ => None,
     }
 }
 
 /// Every domain [`expected_sites`] knows about.
-pub const DOMAINS: [&str; 6] = ["attack", "sim", "lock-gk", "analyze", "fuzz", "campaign"];
+pub const DOMAINS: [&str; 7] = [
+    "attack", "sim", "lock-gk", "analyze", "fuzz", "campaign", "serve",
+];

@@ -1,0 +1,121 @@
+//! A small blocking client for the serve protocol.
+//!
+//! Two usage styles:
+//!
+//! * [`Client::call`] — send one request, block for its response. The
+//!   response is matched by id, so it is safe even if the server answers
+//!   a *different* outstanding request first (the stray response is
+//!   parked and handed out when its own id is asked for).
+//! * [`Client::send`] + [`Client::recv`] — pipelining: queue several
+//!   requests, then collect responses in whatever order they arrive.
+
+use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
+use crate::proto::{Request, Response};
+use std::collections::BTreeMap;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    stream: TcpStream,
+    /// Responses that arrived while waiting for a different id.
+    parked: BTreeMap<u64, Response>,
+    next_id: u64,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects (with TCP_NODELAY) to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            parked: BTreeMap::new(),
+            next_id: 1,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Sets a read timeout for [`Client::recv`] waits (`None` blocks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), String> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Allocates a fresh request id (unique within this connection).
+    pub fn next_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Sends one framed request without waiting.
+    ///
+    /// # Errors
+    ///
+    /// Framing/socket errors.
+    pub fn send(&mut self, request: &Request) -> Result<(), String> {
+        write_frame(&mut self.stream, &request.encode()).map_err(|e| e.to_string())
+    }
+
+    /// Receives the next response, in arrival order (parked responses
+    /// first).
+    ///
+    /// # Errors
+    ///
+    /// Framing/socket errors, a closed connection, or an undecodable
+    /// response.
+    pub fn recv(&mut self) -> Result<Response, String> {
+        if let Some((&id, _)) = self.parked.iter().next() {
+            return Ok(self.parked.remove(&id).expect("parked response"));
+        }
+        self.read_one()
+    }
+
+    /// Receives the response with a specific id, parking any others that
+    /// arrive first.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::recv`].
+    pub fn recv_id(&mut self, id: u64) -> Result<Response, String> {
+        loop {
+            if let Some(response) = self.parked.remove(&id) {
+                return Ok(response);
+            }
+            let response = self.read_one()?;
+            if response.id == id {
+                return Ok(response);
+            }
+            self.parked.insert(response.id, response);
+        }
+    }
+
+    /// Sends `op`-bearing `request` and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::send`] / [`Client::recv_id`].
+    pub fn call(&mut self, request: &Request) -> Result<Response, String> {
+        self.send(request)?;
+        self.recv_id(request.id)
+    }
+
+    fn read_one(&mut self) -> Result<Response, String> {
+        match read_frame(&mut self.stream, self.max_frame) {
+            Ok(payload) => Response::decode(&payload),
+            Err(FrameError::Closed) => Err("server closed the connection".to_string()),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+}

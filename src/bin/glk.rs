@@ -69,9 +69,23 @@ usage: glk <subcommand> …
                   [--corpus DIR] [--inject none|xnor-flip] [--shrink-budget N]
                   [--max-failures N] [--list-referees] [OBS]
   glk campaign    --spec <spec.txt> [--jobs N] [--out PREFIX] [--resume]
-                  [--journal PATH] [--halt-after N] [--solver legacy|modern]
+                  [--journal PATH] [--halt-after N] [--shard I/N]
+                  [--merge-journals a.jsonl,b.jsonl,…] [--solver legacy|modern]
                   [--encoder flat|aig] [OBS]
-  glk trace-check <trace.jsonl> [--sites attack|sim|lock-gk|analyze|fuzz|campaign]
+  glk serve       [--addr HOST:PORT] [--max-inflight N] [--max-jobs N]
+                  [--job-timeout-secs N] [--flush-micros N] [--allow-debug]
+                  [OBS]
+  glk query       <addr> ping|metrics|shutdown
+  glk query       <addr> load-bench <name> | load-netlist <name> <in.bench>
+  glk query       <addr> oracle <design> <bits> | oracle-bulk <design> <bits>…
+  glk query       <addr> sweep <design> [--count N] [--seed S]
+  glk query       <addr> attack <bench> --locker L --width N --attack A
+                  [--seed S] [--max-iters N] [--samples N]
+                  [--solver legacy|modern] [--encoder flat|aig]
+  glk query       <addr> campaign --spec <spec.txt> [--shard I/N]
+                  [--journal PATH]
+  glk query       <addr> sleep [--ms N]   (servers started with --allow-debug)
+  glk trace-check <trace.jsonl> [--sites attack|sim|lock-gk|analyze|fuzz|campaign|serve]
   glk help
 
 OBS (observability) flags, accepted where marked:
@@ -159,6 +173,8 @@ fn run() -> Result<(), String> {
         "lib" => cmd_lib(&args),
         "fuzz" => with_obs(&args, || cmd_fuzz(&args)),
         "campaign" => with_obs(&args, || cmd_campaign(&args)),
+        "serve" => with_obs(&args, || cmd_serve(&args)),
+        "query" => cmd_query(&args),
         "trace-check" => cmd_trace_check(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -1079,7 +1095,9 @@ fn cmd_fuzz(args: &Args) -> Result<(), String> {
 /// `--jobs 1` and `--jobs 8` (and resumed runs) produce identical bytes.
 /// Wall-clock only goes to stderr, so stdout stays deterministic.
 fn cmd_campaign(args: &Args) -> Result<(), String> {
-    use glitchlock::jobs::{report, run_campaign, CampaignConfig, CampaignSpec};
+    use glitchlock::jobs::{
+        merge_journals, parse_shard, run_campaign, CampaignConfig, CampaignSpec,
+    };
 
     let spec_path = args
         .flag("spec")
@@ -1094,6 +1112,33 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         spec.encoder = encoder;
     }
     let out = args.flag("out").unwrap_or("campaign").to_string();
+
+    // Merge mode: reassemble shard journals into the canonical report,
+    // no jobs run.
+    if args.has("merge-journals") {
+        let list = args
+            .flag("merge-journals")
+            .ok_or("--merge-journals expects a comma-separated journal list")?;
+        let paths: Vec<std::path::PathBuf> =
+            list.split(',').map(std::path::PathBuf::from).collect();
+        let records = merge_journals(&spec, &paths)?;
+        eprintln!(
+            "campaign: merged {} record(s) from {} journal(s)",
+            records.len(),
+            paths.len()
+        );
+        return write_campaign_reports(&spec, &records, &out);
+    }
+
+    let shard = match args.flag("shard") {
+        Some(v) => Some(parse_shard(v)?),
+        None => {
+            if args.has("shard") {
+                return Err("--shard expects `index/count`, e.g. `0/2`".to_string());
+            }
+            None
+        }
+    };
     let journal_path = args
         .flag("journal")
         .map(std::path::PathBuf::from)
@@ -1111,6 +1156,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         journal_path: journal_path.clone(),
         resume: args.has("resume"),
         halt_after,
+        shard,
     };
     let started = std::time::Instant::now();
     let result = run_campaign(&config)?;
@@ -1133,8 +1179,30 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         );
         return Ok(());
     }
-    let text_report = report::render_text(&config.spec, &result.records);
-    let json_report = report::render_json(&config.spec, &result.records);
+    if let Some((index, count)) = shard {
+        // A shard owns only its slice of the matrix, so there is no
+        // report to render — the journal is the artifact to merge.
+        eprintln!(
+            "campaign: shard {index}/{count} complete; journal: {}",
+            journal_path.display()
+        );
+        return Ok(());
+    }
+    write_campaign_reports(&config.spec, &result.records, &out)
+}
+
+/// Writes `<out>.report.txt` / `<out>.report.json`, prints the text
+/// report, and fails if any record failed — shared by full runs and
+/// `--merge-journals`.
+fn write_campaign_reports(
+    spec: &glitchlock::jobs::CampaignSpec,
+    records: &[glitchlock::jobs::JobRecord],
+    out: &str,
+) -> Result<(), String> {
+    use glitchlock::jobs::report;
+
+    let text_report = report::render_text(spec, records);
+    let json_report = report::render_json(spec, records);
     let txt_path = format!("{out}.report.txt");
     let json_path = format!("{out}.report.json");
     std::fs::write(&txt_path, &text_report).map_err(|e| format!("cannot write {txt_path}: {e}"))?;
@@ -1142,15 +1210,188 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         .map_err(|e| format!("cannot write {json_path}: {e}"))?;
     print!("{text_report}");
     eprintln!("campaign: wrote {txt_path} and {json_path}");
-    let failed = result
-        .records
-        .iter()
-        .filter(|r| r.status == "failed")
-        .count();
+    let failed = records.iter().filter(|r| r.status == "failed").count();
     if failed > 0 {
         return Err(format!("{failed} job(s) failed"));
     }
     Ok(())
+}
+
+/// `glk serve`: the oracle/campaign daemon. Binds (localhost by default,
+/// port 0 picks a free port), prints `serve: listening on ADDR` on stdout
+/// so wrappers can scrape the address, then runs until SIGTERM or a
+/// client `shutdown` op. All server threads feed the global collector, so
+/// `--trace`/`--metrics` capture the whole daemon.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use glitchlock::serve::{self, ServerConfig};
+    use std::io::Write as _;
+
+    let mut config = ServerConfig {
+        addr: args.flag("addr").unwrap_or("127.0.0.1:0").to_string(),
+        allow_debug: args.has("allow-debug"),
+        ..ServerConfig::default()
+    };
+    config.max_inflight = args.num("max-inflight", config.max_inflight)?;
+    config.max_jobs = args.num("max-jobs", config.max_jobs)?;
+    config.job_timeout = std::time::Duration::from_millis(args.num("job-timeout-ms", 60_000u64)?);
+    if let Some(secs) = args.flag("job-timeout-secs") {
+        let secs: u64 = secs
+            .parse()
+            .map_err(|_| format!("--job-timeout-secs expects a number, got {secs:?}"))?;
+        config.job_timeout = std::time::Duration::from_secs(secs);
+    }
+    config.batcher.flush_micros = args.num("flush-micros", config.batcher.flush_micros)?;
+
+    let handle = serve::start(config, obs::global().clone())?;
+    println!("serve: listening on {}", handle.addr());
+    let _ = std::io::stdout().flush();
+    install_sigterm_flag();
+    while !handle.is_stopping() && !sigterm_received() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    handle.shutdown();
+    handle.wait();
+    eprintln!("serve: shut down");
+    Ok(())
+}
+
+/// Set by the SIGTERM handler; polled by the serve loop.
+static SIGTERM: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigterm_flag() {
+    extern "C" fn on_term(_sig: i32) {
+        SIGTERM.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    // std already links libc; declaring `signal` avoids a crate dependency.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM_NUM: i32 = 15;
+    unsafe {
+        signal(SIGTERM_NUM, on_term as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_flag() {}
+
+fn sigterm_received() -> bool {
+    SIGTERM.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+/// `glk query`: a one-shot client for a running `glk serve`. Prints the
+/// response as one canonical JSON line on stdout; error/busy replies exit
+/// nonzero. `campaign --journal PATH` additionally writes the returned
+/// records as a (shard) journal for later `--merge-journals`.
+fn cmd_query(args: &Args) -> Result<(), String> {
+    use glitchlock::jobs::{parse_shard, CampaignSpec, JournalWriter};
+    use glitchlock::serve::{AttackJob, Client, Op, Reply, Request};
+
+    let addr = need(args, 0, "server address (host:port)")?;
+    let op_name = need(args, 1, "query op")?;
+    let mut client = Client::connect(&addr)?;
+    let op = match op_name.as_str() {
+        "ping" => Op::Ping,
+        "metrics" => Op::Metrics,
+        "shutdown" => Op::Shutdown,
+        "load-bench" => Op::LoadBench {
+            name: need(args, 2, "benchmark name")?,
+        },
+        "load-netlist" => {
+            let name = need(args, 2, "design name")?;
+            let path = need(args, 3, "bench file")?;
+            let bench =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Op::LoadNetlist { name, bench }
+        }
+        "oracle" => Op::Oracle {
+            design: need(args, 2, "design name")?,
+            pattern: need(args, 3, "pattern bits")?,
+        },
+        "oracle-bulk" => {
+            let design = need(args, 2, "design name")?;
+            let patterns: Vec<String> = args.positional[3..].to_vec();
+            if patterns.is_empty() {
+                return Err("oracle-bulk needs at least one pattern".to_string());
+            }
+            Op::OracleBulk { design, patterns }
+        }
+        "sweep" => Op::OracleSweep {
+            design: need(args, 2, "design name")?,
+            count: args.num("count", 1024u64)?,
+            seed: args.num("seed", 1u64)?,
+        },
+        "attack" => Op::Attack(AttackJob {
+            bench: need(args, 2, "benchmark name")?,
+            locker: args
+                .flag("locker")
+                .ok_or("attack needs --locker <tag>")?
+                .to_string(),
+            width: args.num("width", 0usize)?,
+            attack: args
+                .flag("attack")
+                .ok_or("attack needs --attack <tag>")?
+                .to_string(),
+            seed: args.num("seed", 1u64)?,
+            max_iters: args.num("max-iters", 512usize)?,
+            samples: args.num("samples", 1024usize)?,
+            solver: args.flag("solver").map(str::to_string),
+            encoder: args.flag("encoder").map(str::to_string),
+        }),
+        "campaign" => {
+            let spec_path = args
+                .flag("spec")
+                .ok_or("campaign needs --spec <spec.txt>")?;
+            let spec = std::fs::read_to_string(spec_path)
+                .map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+            let shard = match args.flag("shard") {
+                Some(v) => Some(parse_shard(v)?),
+                None => None,
+            };
+            Op::Campaign { spec, shard }
+        }
+        "sleep" => Op::Sleep {
+            ms: args.num("ms", 100u64)?,
+        },
+        other => return Err(format!("unknown query op {other:?} (try `glk help`)")),
+    };
+    let id = client.next_id();
+    let request = Request { id, op };
+    let response = client.call(&request)?;
+    println!("{}", response.to_json());
+    match &response.reply {
+        Reply::Error { code, message } => Err(format!("server error [{}]: {message}", code.tag())),
+        Reply::Busy { reason } => Err(format!("server busy: {reason}")),
+        Reply::Campaign { spec_hash, records } => {
+            if let Some(path) = args.flag("journal") {
+                // Re-derive the shard label so the journal header matches
+                // what a local `glk campaign --shard` run would write.
+                let shard = match args.flag("shard") {
+                    Some(v) => Some(parse_shard(v)?),
+                    None => None,
+                };
+                let spec_path = args.flag("spec").ok_or("campaign needs --spec")?;
+                let spec_text = std::fs::read_to_string(spec_path)
+                    .map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+                let parsed = CampaignSpec::parse(&spec_text)?;
+                if parsed.hash() != *spec_hash {
+                    return Err(format!(
+                        "server answered for spec {spec_hash}, local spec is {}",
+                        parsed.hash()
+                    ));
+                }
+                let writer =
+                    JournalWriter::create_shard(std::path::Path::new(path), spec_hash, shard)?;
+                for record in records {
+                    writer.append(record)?;
+                }
+                eprintln!("query: wrote {} record(s) to {path}", records.len());
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
 }
 
 /// Parses `--solver legacy|modern`. `None` when the flag is absent, so

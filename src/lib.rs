@@ -79,6 +79,7 @@ pub use glitchlock_netlist as netlist;
 pub use glitchlock_netlist::aig;
 pub use glitchlock_obs as obs;
 pub use glitchlock_sat as sat;
+pub use glitchlock_serve as serve;
 pub use glitchlock_sim as sim;
 pub use glitchlock_sta as sta;
 pub use glitchlock_stdcell as stdcell;

@@ -1,0 +1,296 @@
+//! Fault injection against the serve daemon and sharded campaigns.
+//!
+//! * A client that dies mid-frame (header sent, payload never finished)
+//!   must not take the server with it: the disconnect is counted and the
+//!   next client is served normally.
+//! * A handler that genuinely hangs (the debug `sleep` op ignores its
+//!   cancel token by design) must hit the hard-kill timeout: the request
+//!   answers `job-timeout`, the timeout is counted, and the job slot is
+//!   reclaimed.
+//! * Backpressure is explicit: with one job slot, a second concurrent job
+//!   answers `busy` instead of queueing invisibly.
+//! * A shard that crashes mid-campaign leaves a torn journal tail; a
+//!   `--resume` of that shard completes exactly the missing jobs and the
+//!   shard still merges cleanly.
+
+use glitchlock::jobs::{
+    journal, merge_journals, run_campaign, CampaignConfig, CampaignSpec, JobRecord,
+};
+use glitchlock::obs::Collector;
+use glitchlock::serve::{start, write_frame, Client, ErrorCode, Op, Reply, Request, ServerConfig};
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn ping_ok(addr: std::net::SocketAddr) {
+    let mut client = Client::connect(addr).expect("connect");
+    let id = client.next_id();
+    let response = client.call(&Request { id, op: Op::Ping }).expect("ping");
+    assert_eq!(response.reply, Reply::Pong);
+}
+
+fn metric(client: &mut Client, name: &str) -> f64 {
+    let id = client.next_id();
+    let response = client
+        .call(&Request {
+            id,
+            op: Op::Metrics,
+        })
+        .expect("metrics");
+    match response.reply {
+        Reply::Metrics { metrics } => metrics.get(name).copied().unwrap_or(0.0),
+        other => panic!("expected metrics, got {other:?}"),
+    }
+}
+
+#[test]
+fn client_death_mid_frame_is_counted_and_the_server_lives_on() {
+    let server = start(ServerConfig::default(), Arc::new(Collector::new())).expect("start");
+    let addr = server.addr();
+
+    // Die with a dangling header: claim 100 bytes, send 10, hang up.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(&100u32.to_be_bytes()).expect("header");
+        stream.write_all(&[0u8; 10]).expect("partial payload");
+    }
+    // Die mid-header.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(&[0u8; 2]).expect("half a header");
+    }
+    // Die between frames after a successful exchange — a clean close.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write_frame(
+            &mut stream,
+            &Request {
+                id: 1,
+                op: Op::Ping,
+            }
+            .encode(),
+        )
+        .expect("send");
+    }
+
+    // The server still answers, and it saw the two torn deaths.
+    ping_ok(addr);
+    let mut client = Client::connect(addr).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if metric(&mut client, "serve.disconnects") >= 2.0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "torn disconnects were never counted"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(metric(&mut client, "serve.connections") >= 4.0);
+}
+
+#[test]
+fn hung_handler_hits_the_hard_kill_and_the_slot_is_reclaimed() {
+    let config = ServerConfig {
+        max_jobs: 1,
+        job_timeout: Duration::from_millis(100),
+        allow_debug: true,
+        ..ServerConfig::default()
+    };
+    let server = start(config, Arc::new(Collector::new())).expect("start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // `sleep` ignores its cancel token on purpose: a genuinely hung
+    // handler. It must be abandoned at timeout + grace, not awaited.
+    let started = Instant::now();
+    let id = client.next_id();
+    let response = client
+        .call(&Request {
+            id,
+            op: Op::Sleep { ms: 10_000 },
+        })
+        .expect("sleep");
+    let elapsed = started.elapsed();
+    assert!(
+        matches!(
+            response.reply,
+            Reply::Error {
+                code: ErrorCode::JobTimeout,
+                ..
+            }
+        ),
+        "expected job-timeout, got {:?}",
+        response.reply
+    );
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "hard kill took {elapsed:?}; the supervisor must not await a hung job"
+    );
+
+    assert_eq!(metric(&mut client, "serve.jobs.timeouts"), 1.0);
+
+    // The abandoned job released its slot: the next job runs normally.
+    let id = client.next_id();
+    let response = client
+        .call(&Request {
+            id,
+            op: Op::Sleep { ms: 1 },
+        })
+        .expect("sleep");
+    assert_eq!(response.reply, Reply::Slept);
+    ping_ok(server.addr());
+}
+
+#[test]
+fn full_job_slots_answer_busy_instead_of_queueing() {
+    let config = ServerConfig {
+        max_jobs: 1,
+        allow_debug: true,
+        ..ServerConfig::default()
+    };
+    let server = start(config, Arc::new(Collector::new())).expect("start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Occupy the only slot, then ask for another job while it holds.
+    let holder = client.next_id();
+    client
+        .send(&Request {
+            id: holder,
+            op: Op::Sleep { ms: 600 },
+        })
+        .expect("send");
+    // Let the server claim the slot before the competing request.
+    std::thread::sleep(Duration::from_millis(150));
+    let id = client.next_id();
+    let response = client
+        .call(&Request {
+            id,
+            op: Op::Sleep { ms: 1 },
+        })
+        .expect("call");
+    match response.reply {
+        Reply::Busy { reason } => assert_eq!(reason, "job slots full"),
+        other => panic!("expected busy, got {other:?}"),
+    }
+    // The holder still completes.
+    let response = client.recv_id(holder).expect("holder");
+    assert_eq!(response.reply, Reply::Slept);
+    assert_eq!(metric(&mut client, "serve.busy"), 1.0);
+}
+
+#[test]
+fn debug_ops_are_refused_without_opt_in() {
+    let server = start(ServerConfig::default(), Arc::new(Collector::new())).expect("start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let id = client.next_id();
+    let response = client
+        .call(&Request {
+            id,
+            op: Op::Sleep { ms: 1 },
+        })
+        .expect("call");
+    assert!(matches!(
+        response.reply,
+        Reply::Error {
+            code: ErrorCode::DebugDisabled,
+            ..
+        }
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Shard crash + resume.
+// ---------------------------------------------------------------------
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("glk-serve-faults-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spec() -> CampaignSpec {
+    CampaignSpec::parse(
+        "bench s27\nlocker xor 3\nlocker sarlock 3\nattack sat\nseeds 1 2\n\
+         max-iters 64\nsamples 256\n",
+    )
+    .unwrap()
+}
+
+fn shard_config(path: &Path, spec: &CampaignSpec, shard: (usize, usize)) -> CampaignConfig {
+    CampaignConfig {
+        spec: spec.clone(),
+        jobs: 1,
+        journal_path: path.to_path_buf(),
+        resume: false,
+        halt_after: None,
+        shard: Some(shard),
+    }
+}
+
+#[test]
+fn crashed_shard_with_torn_tail_resumes_and_still_merges() {
+    let dir = temp_dir("torn-shard");
+    let spec = spec();
+    let s0 = dir.join("shard0.jsonl");
+    let s1 = dir.join("shard1.jsonl");
+
+    // Shard 1 completes normally.
+    run_campaign(&shard_config(&s1, &spec, (1, 2))).expect("shard 1");
+
+    // Shard 0 "crashes": halt after one job, then a torn half-line as the
+    // kill races a write.
+    let halted = run_campaign(&CampaignConfig {
+        halt_after: Some(1),
+        ..shard_config(&s0, &spec, (0, 2))
+    })
+    .expect("halted shard 0");
+    assert!(halted.halted);
+    {
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&s0)
+            .expect("open journal");
+        write!(file, "{{\"id\":\"s27/xor3/sat/s2\",\"stat").expect("torn tail");
+    }
+
+    // A merge at this point refuses the incomplete shard.
+    let err = merge_journals(&spec, &[s0.clone(), s1.clone()]).expect_err("incomplete");
+    assert!(err.contains("incomplete"), "{err}");
+
+    // Resume finishes only the missing jobs (the torn line's job re-runs).
+    let resumed = run_campaign(&CampaignConfig {
+        resume: true,
+        ..shard_config(&s0, &spec, (0, 2))
+    })
+    .expect("resumed shard 0");
+    assert_eq!(resumed.skipped_resume, 1, "the journaled job is skipped");
+    assert!(!resumed.halted);
+
+    // The resumed shard merges; the merged records match a fresh
+    // single-process run modulo journal-only wall-clock.
+    let merged = merge_journals(&spec, &[s0, s1]).expect("merges");
+    let full = dir.join("full.jsonl");
+    run_campaign(&CampaignConfig {
+        spec: spec.clone(),
+        jobs: 1,
+        journal_path: full.clone(),
+        resume: false,
+        halt_after: None,
+        shard: None,
+    })
+    .expect("full campaign");
+    let reference = journal::load_records(&full, &spec.hash()).expect("loads");
+    let strip = |records: &[JobRecord]| -> Vec<JobRecord> {
+        records
+            .iter()
+            .map(|r| JobRecord {
+                wall_ms: 0,
+                ..r.clone()
+            })
+            .collect()
+    };
+    assert_eq!(strip(&merged), strip(&reference));
+}

@@ -1,0 +1,107 @@
+//! The sharded-campaign acceptance property: running a campaign as two
+//! shards and merging the journals produces a report byte-for-byte
+//! identical to the single-process run — at the library level and through
+//! the real `glk campaign` CLI.
+
+use glitchlock::jobs::{merge_journals, report, run_campaign, CampaignConfig, CampaignSpec};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const SPEC: &str = "bench s27\nlocker xor 3\nlocker sarlock 3\nattack sat\nseeds 1 2\n\
+                    max-iters 64\nsamples 256\n";
+
+fn glk() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_glk"))
+}
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("glk-shard-merge-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config(spec: &CampaignSpec, journal: &Path, shard: Option<(usize, usize)>) -> CampaignConfig {
+    CampaignConfig {
+        spec: spec.clone(),
+        jobs: 1,
+        journal_path: journal.to_path_buf(),
+        resume: false,
+        halt_after: None,
+        shard,
+    }
+}
+
+#[test]
+fn merged_shards_render_the_single_process_report_byte_for_byte() {
+    let dir = tempdir("lib");
+    let spec = CampaignSpec::parse(SPEC).expect("spec parses");
+
+    // Reference: the whole spec in one process.
+    let full = run_campaign(&config(&spec, &dir.join("full.jsonl"), None)).expect("full run");
+    let reference_text = report::render_text(&spec, &full.records);
+    let reference_json = report::render_json(&spec, &full.records);
+
+    // The same spec as two shards (any order), merged from the journals.
+    let s0 = dir.join("shard0.jsonl");
+    let s1 = dir.join("shard1.jsonl");
+    run_campaign(&config(&spec, &s1, Some((1, 2)))).expect("shard 1");
+    run_campaign(&config(&spec, &s0, Some((0, 2)))).expect("shard 0");
+    let merged = merge_journals(&spec, &[s0, s1]).expect("merges");
+
+    assert_eq!(report::render_text(&spec, &merged), reference_text);
+    assert_eq!(report::render_json(&spec, &merged), reference_json);
+}
+
+#[test]
+fn glk_campaign_shard_and_merge_cli_round_trip_is_byte_identical() {
+    let dir = tempdir("cli");
+    let spec_path = dir.join("spec.txt");
+    std::fs::write(&spec_path, SPEC).unwrap();
+
+    let run = |args: &[&str]| {
+        let out = glk()
+            .current_dir(&dir)
+            .arg("campaign")
+            .args(["--spec", "spec.txt"])
+            .args(args)
+            .output()
+            .expect("glk campaign runs");
+        assert!(
+            out.status.success(),
+            "glk campaign {args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+
+    // Single-process reference report.
+    run(&["--jobs", "1", "--out", "single"]);
+    // Two shard runs, then the merge.
+    run(&["--jobs", "1", "--shard", "0/2", "--journal", "s0.jsonl"]);
+    run(&["--jobs", "1", "--shard", "1/2", "--journal", "s1.jsonl"]);
+    run(&["--merge-journals", "s0.jsonl,s1.jsonl", "--out", "merged"]);
+
+    for kind in ["report.txt", "report.json"] {
+        let single = std::fs::read(dir.join(format!("single.{kind}"))).expect("single report");
+        let merged = std::fs::read(dir.join(format!("merged.{kind}"))).expect("merged report");
+        assert_eq!(
+            single, merged,
+            "{kind}: merged shards must be byte-identical to the single run"
+        );
+        assert!(!single.is_empty());
+    }
+}
+
+#[test]
+fn merge_refuses_a_shard_journal_from_a_different_spec() {
+    let dir = tempdir("foreign");
+    let spec = CampaignSpec::parse(SPEC).expect("spec parses");
+    let other = CampaignSpec::parse("bench s27\nlocker xor 4\nattack sat\n").expect("parses");
+
+    let ours = dir.join("ours.jsonl");
+    let theirs = dir.join("theirs.jsonl");
+    run_campaign(&config(&spec, &ours, Some((0, 2)))).expect("our shard");
+    run_campaign(&config(&other, &theirs, None)).expect("their run");
+
+    let err = merge_journals(&spec, &[ours, theirs]).expect_err("foreign journal refused");
+    assert!(err.contains("refusing to resume across specs"), "{err}");
+}
