@@ -195,6 +195,25 @@ wait $SERVE_PID
 grep -q 'serve: shut down' "$WORK/serve.err"
 "$GLK" trace-check "$WORK/serve.jsonl" --sites serve
 
+# Count gate: projected model counting. `glk count` is deterministic in
+# its inputs — two runs must be byte-identical — and on the GK attack
+# view it must print the paper's quantitative signature: zero DIP space,
+# one key class, every input corrupted under the sampled key. The traced
+# run must fire every count probe, and the count-vs-exhaustive referee
+# smoke checks the hash-count estimator against brute force on random
+# small circuits.
+"$GLK" count "$WORK/plain.attack.bench" "$WORK/s27.bench" --key-prefix gk \
+    > "$WORK/count1.out"
+"$GLK" count "$WORK/plain.attack.bench" "$WORK/s27.bench" --key-prefix gk \
+    > "$WORK/count2.out"
+cmp "$WORK/count1.out" "$WORK/count2.out"
+grep -Eq 'dip +exact +0 ' "$WORK/count1.out"
+grep -Eq 'key-classes +1$' "$WORK/count1.out"
+"$GLK" count "$WORK/plain.attack.bench" "$WORK/s27.bench" --key-prefix gk \
+    --trace "$WORK/count.jsonl" > /dev/null
+"$GLK" trace-check "$WORK/count.jsonl" --sites count
+"$GLK" fuzz --seed 11 --cases 60 --referee count-vs-exhaustive
+
 # sat_solver bench smoke: trimmed tiers, 1 ms measurement windows, no
 # snapshot rewrite — proves the harness (both backends, obs counters,
 # equivalence tier) runs end to end.
@@ -205,3 +224,9 @@ GLITCHLOCK_BENCH_MS=1 GLITCHLOCK_BENCH_NO_SNAPSHOT=1 GLITCHLOCK_BENCH_SMOKE=1 \
 # load harness (sequential vs bulk vs sweep scenarios) runs end to end.
 GLITCHLOCK_BENCH_SMOKE=1 GLITCHLOCK_BENCH_NO_SNAPSHOT=1 \
     cargo run -q --release -p glitchlock-bench --bin serve_load
+
+# count_scores smoke: one repetition, no snapshot rewrite — proves the
+# exhaustive-vs-hash-count harness (including its sweep-vs-base-enumeration
+# cross-check assertions) runs end to end.
+GLITCHLOCK_BENCH_SMOKE=1 GLITCHLOCK_BENCH_NO_SNAPSHOT=1 \
+    cargo run -q --release -p glitchlock-bench --bin count_scores

@@ -1,0 +1,182 @@
+//! Count-engine benchmark: the exhaustive packed sweep vs the
+//! ApproxMC-style hash count, run on identical locked designs.
+//!
+//! Each s27 lock cell (the conformance-matrix lockers) is scored twice
+//! through `glitchlock_count::corruption_scores`:
+//!
+//! * **exhaustive** — `exact_bits` set above the design width, estimator
+//!   disabled: times the packed 64-lane sweep alone.
+//! * **hash-count** — `exact_bits 0`, estimator enabled: times the
+//!   XOR-constrained incremental-SAT sessions alone (base enumerations
+//!   below the pivot still fill exact fields, which this harness
+//!   cross-checks against the sweep).
+//!
+//! Writes `BENCH_count.json` at the repository root with per-cell wall
+//! times, solver-call and packed-pass counts, and the three scores.
+//! Knobs:
+//!
+//! ```text
+//! GLITCHLOCK_COUNT_REPS         timing repetitions, best-of (default 3)
+//! GLITCHLOCK_BENCH_SMOKE        single repetition for CI smoke runs
+//! GLITCHLOCK_BENCH_NO_SNAPSHOT  skip writing BENCH_count.json
+//! ```
+
+use glitchlock_core::locking::{AntiSat, LockScheme, SarLock, XorLock};
+use glitchlock_core::GkEncryptor;
+use glitchlock_count::{corruption_scores, CorruptionScores, Score, ScoreConfig};
+use glitchlock_netlist::{NetId, Netlist};
+use glitchlock_obs::{names, scoped, Collector};
+use glitchlock_sta::ClockModel;
+use glitchlock_stdcell::{Library, Ps};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Root seed for locking RNGs and all count-side hash draws.
+const SEED: u64 = 1;
+
+fn lock_cell(tag: &str, oracle: &Netlist) -> (Netlist, Vec<NetId>) {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    match tag {
+        "xor4" => {
+            let l = XorLock::new(4).lock(oracle, &mut rng).expect("xor lock");
+            (l.netlist, l.key_inputs)
+        }
+        "sarlock3" => {
+            let l = SarLock::new(3).lock(oracle, &mut rng).expect("sarlock");
+            (l.netlist, l.key_inputs)
+        }
+        "antisat3" => {
+            let l = AntiSat::new(3).lock(oracle, &mut rng).expect("antisat");
+            (l.netlist, l.key_inputs)
+        }
+        "gk2" => {
+            let l = GkEncryptor::new(2)
+                .encrypt(
+                    oracle,
+                    &Library::cl013g_like(),
+                    &ClockModel::new(Ps::from_ns(3)),
+                    &mut rng,
+                )
+                .expect("gk lock");
+            (l.attack_view, l.attack_key_inputs)
+        }
+        other => panic!("unknown cell {other}"),
+    }
+}
+
+/// Best-of-`reps` wall time for one engine configuration, plus the scores
+/// and the obs counters from the final repetition.
+fn time_engine(
+    locked: &Netlist,
+    keys: &[NetId],
+    oracle: &Netlist,
+    cfg: &ScoreConfig,
+    reps: usize,
+) -> (f64, CorruptionScores, u64, u64) {
+    let mut best_ms = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let collector = Arc::new(Collector::new());
+        let start = Instant::now();
+        let scores = scoped(&collector, || {
+            corruption_scores(locked, keys, oracle, cfg).expect("scores")
+        });
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        let calls = collector.counter(names::COUNT_SOLVER_CALLS).get();
+        let passes = collector.counter(names::EVAL_PACKED_PASSES).get();
+        last = Some((scores, calls, passes));
+    }
+    let (scores, calls, passes) = last.expect("at least one repetition");
+    (best_ms, scores, calls, passes)
+}
+
+fn fmt_score(s: &Score) -> String {
+    match (s.exact, s.estimate) {
+        (Some(e), _) => format!("{e}"),
+        (None, Some(est)) => format!("{est:.1}"),
+        (None, None) => "null".to_string(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("GLITCHLOCK_BENCH_SMOKE").is_ok();
+    let reps = if smoke {
+        1
+    } else {
+        std::env::var("GLITCHLOCK_COUNT_REPS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3)
+    };
+    let oracle = glitchlock_circuits::s27();
+    println!("count_scores: s27, {reps} repetition(s) per engine");
+
+    let mut rows = Vec::new();
+    for tag in ["xor4", "sarlock3", "antisat3", "gk2"] {
+        let (locked, keys) = lock_cell(tag, &oracle);
+        let exhaustive_cfg = ScoreConfig {
+            exact_bits: 26,
+            max_bits: 0,
+            seed: SEED,
+            ..ScoreConfig::default()
+        };
+        let hash_cfg = ScoreConfig {
+            exact_bits: 0,
+            max_bits: 26,
+            seed: SEED,
+            ..ScoreConfig::default()
+        };
+        let (sweep_ms, sweep, _, passes) =
+            time_engine(&locked, &keys, &oracle, &exhaustive_cfg, reps);
+        let (hash_ms, hash, calls, _) = time_engine(&locked, &keys, &oracle, &hash_cfg, reps);
+
+        // Where a hash-count session finished its base enumeration below
+        // the pivot it reports an exact count; those must agree with the
+        // sweep bit-for-bit — the engines share no code path.
+        for (name, s, h) in [
+            ("err", &sweep.err, &hash.err),
+            ("dip", &sweep.dip, &hash.dip),
+            ("wrong-keys", &sweep.wrong_keys, &hash.wrong_keys),
+        ] {
+            if let (Some(exact), Some(base)) = (s.exact, h.exact) {
+                assert_eq!(exact, base, "{tag}/{name}: sweep vs base enumeration");
+            }
+        }
+
+        let row = format!(
+            "{{\"cell\": \"{tag}\", \"data_bits\": {}, \"key_bits\": {}, \
+             \"exhaustive_ms\": {sweep_ms:.3}, \"hash_ms\": {hash_ms:.3}, \
+             \"packed_passes\": {passes}, \"solver_calls\": {calls}, \
+             \"err\": {}, \"dip\": {}, \"wrong_keys\": {}, \"key_classes\": {}}}",
+            sweep.data_bits,
+            sweep.key_bits,
+            fmt_score(&sweep.err),
+            fmt_score(&sweep.dip),
+            fmt_score(&sweep.wrong_keys),
+            sweep
+                .key_classes
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+        );
+        println!("  {row}");
+        rows.push(row);
+    }
+
+    let json = format!(
+        "{{\n  \"note\": \"projected model counting: exhaustive packed sweep vs \
+         XOR hash-count on s27 lock cells; cargo run --release -p glitchlock-bench \
+         --bin count_scores\",\n  \"bench\": \"s27\",\n  \"reps\": {reps},\n  \
+         \"results\": [\n    {}\n  ]\n}}\n",
+        rows.join(",\n    "),
+    );
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_count.json");
+    if std::env::var("GLITCHLOCK_BENCH_NO_SNAPSHOT").is_err() {
+        std::fs::write(&path, &json).expect("write BENCH_count.json");
+        println!("wrote {}", path.display());
+    }
+    print!("\n{json}");
+}

@@ -1,0 +1,321 @@
+//! Exact ground-truth scores by packed 64-lane brute force.
+//!
+//! For every key value the full data space is swept through a compiled
+//! [`EvalProgram`], 64 patterns per pass, building one output-signature
+//! byte string per key. From those signatures all four exact quantities
+//! fall out in one pass over the key space:
+//!
+//! * inputs corrupted by the sampled key (signature row ≠ oracle row),
+//! * DIP inputs (some key's row ≠ the first key's row),
+//! * wrong keys (whole signature ≠ oracle signature),
+//! * key equivalence classes (distinct signatures).
+//!
+//! Feasible up to [`MAX_EXACT_BITS`] total data+key bits; the estimator
+//! in [`crate::estimator`] exists for everything beyond, and this module
+//! is the oracle it is validated against.
+
+use crate::view::KeyedView;
+use glitchlock_netlist::{CombView, EvalProgram, Logic, Netlist, PackedLogic, LANES};
+use glitchlock_obs::{self as obs, names};
+use std::collections::BTreeSet;
+
+/// Hard feasibility cap on `data_bits + key_bits` (the sweep costs
+/// `2^(data+key)/64` packed passes and one signature byte per pattern and
+/// output).
+pub const MAX_EXACT_BITS: usize = 26;
+
+/// The four exact counts of one locked design.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExactScores {
+    /// Data-space width `n` (counts over inputs live in `2^n`).
+    pub data_bits: usize,
+    /// Key-space width `κ` (counts over keys live in `2^κ`).
+    pub key_bits: usize,
+    /// Inputs where the view under the sampled key differs from the
+    /// oracle.
+    pub err_count: u64,
+    /// Inputs on which at least two keys make the view disagree
+    /// (distinguishing input patterns).
+    pub dip_count: u64,
+    /// Keys whose view differs from the oracle on some input.
+    pub wrong_keys: u64,
+    /// Distinct key-induced functions (key equivalence classes).
+    pub key_classes: u64,
+}
+
+fn logic_byte(l: Logic) -> u8 {
+    match l {
+        Logic::Zero => 0,
+        Logic::One => 1,
+        Logic::X => 2,
+    }
+}
+
+/// Sweeps all `2^n` data patterns through `view`, returning one signature
+/// byte per (pattern, output): data bit `j` drives view-input position
+/// `data_ix[j]`, `key[i]` is held at position `key_ix[i]`.
+fn sweep(
+    view: &CombView,
+    prog: &EvalProgram,
+    data_ix: &[usize],
+    key_ix: &[usize],
+    key: &[bool],
+) -> Vec<u8> {
+    let n = data_ix.len();
+    let total = 1u64 << n;
+    let mut buf = prog.scratch();
+    let mut sig = Vec::with_capacity(total as usize * view.num_outputs());
+    let mut words = vec![PackedLogic::ZERO; view.num_inputs()];
+    for (i, &pos) in key_ix.iter().enumerate() {
+        words[pos] = PackedLogic::splat(Logic::from_bool(key[i]));
+    }
+    for base in (0..total).step_by(LANES) {
+        let lanes = (total - base).min(LANES as u64) as usize;
+        for (j, &pos) in data_ix.iter().enumerate() {
+            let mut w = PackedLogic::ZERO;
+            for lane in 0..lanes {
+                w.set(lane, Logic::from_bool((base + lane as u64) >> j & 1 == 1));
+            }
+            words[pos] = w;
+        }
+        let rows = view.eval_packed_words(prog, &words, &mut buf);
+        for lane in 0..lanes {
+            for w in &rows {
+                sig.push(logic_byte(w.get(lane)));
+            }
+        }
+    }
+    sig
+}
+
+/// Computes all four exact scores of `kv` against `oracle`, with
+/// `sampled_key` as the wrong-key-error subject.
+///
+/// # Errors
+///
+/// Interface mismatches (data width vs oracle inputs, output counts, key
+/// width) and designs beyond [`MAX_EXACT_BITS`].
+pub fn exact_scores(
+    kv: &KeyedView<'_>,
+    oracle: &Netlist,
+    sampled_key: &[bool],
+) -> Result<ExactScores, String> {
+    let n = kv.data_bits();
+    let kappa = kv.key_bits();
+    if n + kappa > MAX_EXACT_BITS {
+        return Err(format!(
+            "{} data + {} key bits exceeds the exhaustive cap of {MAX_EXACT_BITS}",
+            n, kappa
+        ));
+    }
+    if sampled_key.len() != kappa {
+        return Err(format!(
+            "sampled key has {} bits, design has {kappa}",
+            sampled_key.len()
+        ));
+    }
+    let oview = CombView::new(oracle);
+    if oview.num_inputs() != n {
+        return Err(format!(
+            "oracle has {} view inputs, locked design carries {n} data bits",
+            oview.num_inputs()
+        ));
+    }
+    let outs = kv.view.num_outputs();
+    if oview.num_outputs() != outs {
+        return Err(format!(
+            "output counts differ: locked view {outs}, oracle {}",
+            oview.num_outputs()
+        ));
+    }
+
+    let vprog = EvalProgram::compile(kv.netlist).map_err(|e| e.to_string())?;
+    let oprog = EvalProgram::compile(oracle).map_err(|e| e.to_string())?;
+    let oracle_ix: Vec<usize> = (0..n).collect();
+    let osig = sweep(&oview, &oprog, &oracle_ix, &[], &[]);
+
+    let sampled_index: u64 = sampled_key
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| (b as u64) << i)
+        .sum();
+    let total = 1u64 << n;
+    let mut dip = vec![false; total as usize];
+    let mut ref_sig: Vec<u8> = Vec::new();
+    let mut classes: BTreeSet<Vec<u8>> = BTreeSet::new();
+    let mut wrong_keys = 0u64;
+    let mut err_count = 0u64;
+
+    let row_differs =
+        |a: &[u8], b: &[u8], x: usize| a[x * outs..(x + 1) * outs] != b[x * outs..(x + 1) * outs];
+    for k in 0..(1u64 << kappa) {
+        let key: Vec<bool> = (0..kappa).map(|i| k >> i & 1 == 1).collect();
+        let sig = sweep(&kv.view, &vprog, &kv.data_ix, &kv.key_ix, &key);
+        if sig != osig {
+            wrong_keys += 1;
+        }
+        if k == sampled_index {
+            err_count = (0..total as usize)
+                .filter(|&x| row_differs(&sig, &osig, x))
+                .count() as u64;
+        }
+        if ref_sig.is_empty() {
+            ref_sig = sig.clone();
+        } else {
+            for (x, flag) in dip.iter_mut().enumerate() {
+                if !*flag && row_differs(&sig, &ref_sig, x) {
+                    *flag = true;
+                }
+            }
+        }
+        classes.insert(sig);
+    }
+    // One sweep per key value plus the oracle's own.
+    obs::add(names::COUNT_EXHAUSTIVE_SWEEPS, (1u64 << kappa) + 1);
+
+    Ok(ExactScores {
+        data_bits: n,
+        key_bits: kappa,
+        err_count,
+        dip_count: dip.iter().filter(|&&f| f).count() as u64,
+        wrong_keys,
+        key_classes: classes.len() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glitchlock_netlist::GateKind;
+
+    /// Oracle: y = a AND b.
+    fn oracle_and() -> Netlist {
+        let mut nl = Netlist::new("o");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        nl.mark_output(y, "y");
+        nl
+    }
+
+    /// XOR-locked: y = (a AND b) XOR k — every input corrupted when k=1.
+    fn xor_locked() -> (Netlist, Vec<glitchlock_netlist::NetId>) {
+        let mut nl = Netlist::new("l");
+        let a = nl.add_input("a");
+        let k = nl.add_input("key0");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let y = nl.add_gate(GateKind::Xor, &[g, k]).unwrap();
+        nl.mark_output(y, "y");
+        (nl, vec![k])
+    }
+
+    #[test]
+    fn xor_lock_corrupts_the_full_input_space() {
+        let oracle = oracle_and();
+        let (locked, keys) = xor_locked();
+        let kv = KeyedView::new(&locked, &keys);
+        let s = exact_scores(&kv, &oracle, &[true]).unwrap();
+        assert_eq!(
+            s,
+            ExactScores {
+                data_bits: 2,
+                key_bits: 1,
+                err_count: 4, // the count = 2^n boundary case
+                dip_count: 4,
+                wrong_keys: 1,
+                key_classes: 2,
+            }
+        );
+        // The correct key corrupts nothing.
+        let s = exact_scores(&kv, &oracle, &[false]).unwrap();
+        assert_eq!(s.err_count, 0);
+        assert_eq!(s.wrong_keys, 1);
+    }
+
+    #[test]
+    fn point_function_corrupts_exactly_one_pattern() {
+        // y = (a AND b) XOR (k AND a AND b): wrong key flips only a=b=1.
+        let oracle = oracle_and();
+        let mut nl = Netlist::new("l");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let k = nl.add_input("key0");
+        let g = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let flip = nl.add_gate(GateKind::And, &[k, g]).unwrap();
+        let y = nl.add_gate(GateKind::Xor, &[g, flip]).unwrap();
+        nl.mark_output(y, "y");
+        let kv = KeyedView::new(&nl, &[k]);
+        let s = exact_scores(&kv, &oracle, &[true]).unwrap();
+        assert_eq!(s.err_count, 1);
+        assert_eq!(s.dip_count, 1);
+        assert_eq!(s.wrong_keys, 1);
+        assert_eq!(s.key_classes, 2);
+    }
+
+    #[test]
+    fn dead_key_is_fully_transparent() {
+        // y = (a AND b) XOR (k AND 0): the count = 0 boundary case.
+        let oracle = oracle_and();
+        let mut nl = Netlist::new("l");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let k = nl.add_input("key0");
+        let zero = nl.add_const(false);
+        let g = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let dead = nl.add_gate(GateKind::And, &[k, zero]).unwrap();
+        let y = nl.add_gate(GateKind::Xor, &[g, dead]).unwrap();
+        nl.mark_output(y, "y");
+        let kv = KeyedView::new(&nl, &[k]);
+        let s = exact_scores(&kv, &oracle, &[true]).unwrap();
+        assert_eq!(s.err_count, 0);
+        assert_eq!(s.dip_count, 0);
+        assert_eq!(s.wrong_keys, 0);
+        assert_eq!(s.key_classes, 1);
+    }
+
+    #[test]
+    fn sequential_views_sweep_ff_state_as_data() {
+        // One FF: D = a XOR k, Q exposed. View inputs: a, k, Q; view
+        // outputs: y (= Q), D. Wrong key corrupts D on every (a, q).
+        let mut oracle = Netlist::new("o");
+        let a = oracle.add_input("a");
+        let d = oracle.add_net("d");
+        let q = oracle.add_dff(d).unwrap();
+        let buf = oracle.add_gate(GateKind::Buf, &[a]).unwrap();
+        let ff = oracle.dff_cells()[0];
+        oracle.rewire_input(ff, 0, buf).unwrap();
+        oracle.mark_output(q, "y");
+
+        let mut nl = Netlist::new("l");
+        let a2 = nl.add_input("a");
+        let k = nl.add_input("key0");
+        let d2 = nl.add_net("d");
+        let q2 = nl.add_dff(d2).unwrap();
+        let x = nl.add_gate(GateKind::Xor, &[a2, k]).unwrap();
+        let ff2 = nl.dff_cells()[0];
+        nl.rewire_input(ff2, 0, x).unwrap();
+        nl.mark_output(q2, "y");
+
+        let kv = KeyedView::new(&nl, &[k]);
+        let s = exact_scores(&kv, &oracle, &[true]).unwrap();
+        assert_eq!(s.data_bits, 2, "PI a + FF Q");
+        // D differs on all 4 (a, q) patterns under k=1; Q passes through.
+        assert_eq!(s.err_count, 4);
+        assert_eq!(s.dip_count, 4);
+        assert_eq!(s.wrong_keys, 1);
+        assert_eq!(s.key_classes, 2);
+    }
+
+    #[test]
+    fn interface_mismatches_are_errors() {
+        let (locked, keys) = xor_locked();
+        let kv = KeyedView::new(&locked, &keys);
+        let mut tiny = Netlist::new("tiny");
+        let a = tiny.add_input("a");
+        tiny.mark_output(a, "y");
+        assert!(exact_scores(&kv, &tiny, &[true]).is_err());
+        let oracle = oracle_and();
+        assert!(exact_scores(&kv, &oracle, &[]).is_err());
+    }
+}

@@ -107,6 +107,11 @@ pub fn registry() -> Vec<Referee> {
             run: aig_equiv,
         },
         Referee {
+            name: "count-vs-exhaustive",
+            about: "ApproxMC-style hash-count estimator vs exhaustive sweep on small lockings",
+            run: count_vs_exhaustive,
+        },
+        Referee {
             name: "lint-clean",
             about: "structural lint cleanliness; timing battery on GK-locked designs",
             run: lint_clean,
@@ -880,6 +885,75 @@ fn round_trip(ctx: &RefereeCtx<'_>) -> Verdict {
         }
         if let Err(e) = semantically_equal(nl, &q1, ctx.case.recipe.seed ^ 0x7e) {
             return Verdict::Fail(format!("{view}: verilog round trip changed behaviour: {e}"));
+        }
+    }
+    Verdict::Pass
+}
+
+// ---------------------------------------------------------------------------
+// count-vs-exhaustive
+// ---------------------------------------------------------------------------
+
+/// The hash-count estimator against the exhaustive packed sweep on small
+/// locked cases. Zero counts and counts that fit under the pivot must
+/// match *exactly* (UNSAT detection and base enumeration are
+/// deterministic); hashed counts get a doubled (1+ε) envelope so the
+/// referee only fires on genuine divergence, not the δ-probability tail
+/// the estimator is allowed to hit.
+fn count_vs_exhaustive(ctx: &RefereeCtx<'_>) -> Verdict {
+    use glitchlock_count::{corruption_scores, ScoreConfig, ScoreMethod};
+
+    let (view, keys): (&Netlist, &[NetId]) = match &ctx.case.lock {
+        LockOutcome::Static(l) => (&l.netlist, &l.key_inputs),
+        LockOutcome::Gk(g) => (&g.attack_view, &g.attack_key_inputs),
+        LockOutcome::Unlocked | LockOutcome::Skipped { .. } => {
+            return Verdict::Skip("no locked view to count".into())
+        }
+    };
+    let oracle = &ctx.case.netlist;
+    let data_bits = oracle.input_nets().len() + oracle.dff_cells().len();
+    if data_bits > 8 {
+        return Verdict::Skip(format!("{data_bits} data bits exceed the referee cap of 8"));
+    }
+    let cfg = ScoreConfig {
+        exact_bits: 16,
+        max_bits: 16,
+        seed: ctx.case.recipe.seed,
+        ..ScoreConfig::default()
+    };
+    let scores = match corruption_scores(view, keys, oracle, &cfg) {
+        Ok(s) => s,
+        Err(e) => return Verdict::Skip(format!("counting not applicable: {e}")),
+    };
+    if scores.method != ScoreMethod::Both {
+        return Verdict::Skip(format!(
+            "{} total bits exceed the exhaustive cutoff",
+            scores.data_bits + scores.key_bits
+        ));
+    }
+    let pivot = 26u64;
+    for (label, score) in [
+        ("err", &scores.err),
+        ("dip", &scores.dip),
+        ("wrong-keys", &scores.wrong_keys),
+    ] {
+        let (Some(exact), Some(estimate)) = (score.exact, score.estimate) else {
+            return Verdict::Fail(format!("{label}: both engines ran but a value is missing"));
+        };
+        if exact <= pivot {
+            if estimate != exact as f64 {
+                return Verdict::Fail(format!(
+                    "{label}: exhaustive {exact} but estimator {estimate} (under the pivot both are exact)"
+                ));
+            }
+        } else {
+            let slack = 2.0 * (1.0 + cfg.epsilon);
+            let exact = exact as f64;
+            if estimate < exact / slack || estimate > exact * slack {
+                return Verdict::Fail(format!(
+                    "{label}: exhaustive {exact} vs estimate {estimate} outside the {slack}x envelope"
+                ));
+            }
         }
     }
     Verdict::Pass

@@ -469,8 +469,8 @@ pub fn execute(job: &JobSpec, tuning: &Tuning, cancel: &CancelToken) -> JobRecor
 }
 
 /// Locks `oracle` per the job's scheme. Returns the attacker's view and
-/// its key inputs.
-fn lock(
+/// its key inputs. Shared with the render-time corruptibility pass.
+pub(crate) fn lock(
     job: &JobSpec,
     oracle: &Netlist,
     rng: &mut StdRng,

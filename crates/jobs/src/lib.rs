@@ -19,6 +19,10 @@
 //! * [`journal`] — the JSON-lines checkpoint: one flushed line per retired
 //!   job, letting `--resume` skip completed work after a kill and refuse
 //!   foreign specs.
+//! * [`corruption`] — render-time corruptibility rows: when the spec has
+//!   a `count` directive, every bench × locker cell gets the three
+//!   `glitchlock-count` scores (err/dip/wrong-keys), seeded from the spec
+//!   fingerprint so they never touch the journal.
 //! * [`report`] — text + JSON campaign reports in spec order, excluding
 //!   wall-clock so `--jobs 1`, `--jobs 8`, and kill-then-resume runs are
 //!   byte-identical.
@@ -35,6 +39,7 @@
 #![deny(missing_docs)]
 
 pub mod campaign;
+pub mod corruption;
 pub mod job;
 pub mod journal;
 pub mod merge;
@@ -47,4 +52,4 @@ pub use job::{AttackKind, JobSpec, LockerKind, Tuning};
 pub use journal::{JobRecord, JournalWriter};
 pub use merge::{merge_journals, parse_shard};
 pub use pool::{parallel_map, run_pool, worker_count, Attempt, JobTermination, PoolConfig};
-pub use spec::{fnv1a64, CampaignSpec};
+pub use spec::{fnv1a64, CampaignSpec, CountDirective};

@@ -91,6 +91,10 @@ pub fn render_text(spec: &CampaignSpec, records: &[JobRecord]) -> String {
         "per-attack verdicts",
         verdict_breakdown(records, |r| id_segments(&r.id).1),
     );
+    if spec.count.is_some() {
+        let _ = writeln!(out);
+        crate::corruption::write_text(&mut out, &crate::corruption::corruption_rows(spec));
+    }
     out
 }
 
@@ -123,6 +127,13 @@ pub fn render_json(spec: &CampaignSpec, records: &[JobRecord]) -> String {
         })
         .collect();
     root.insert("jobs".to_string(), Value::Arr(jobs));
+    if spec.count.is_some() {
+        let rows = crate::corruption::corruption_rows(spec);
+        root.insert(
+            "corruptibility".to_string(),
+            crate::corruption::rows_json(&rows),
+        );
+    }
     format!("{}\n", Value::Obj(root))
 }
 

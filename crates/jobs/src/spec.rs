@@ -15,6 +15,7 @@
 //! samples 512
 //! solver modern
 //! encoder aig
+//! count 0.8 0.2 24 20
 //! ```
 //!
 //! Parsing is strict (unknown directives are errors) and re-rendering is
@@ -33,6 +34,21 @@ pub fn fnv1a64(text: &str) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// Tuning for the optional corruptibility-counting pass: the `count
+/// <epsilon> <delta> <max-bits> <exact-bits>` directive. Fingerprint
+/// relevant, like `solver`/`encoder`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CountDirective {
+    /// Estimator multiplicative tolerance.
+    pub epsilon: f64,
+    /// Estimator failure probability.
+    pub delta: f64,
+    /// Skip designs wider than this many data+key bits.
+    pub max_bits: usize,
+    /// Run the exhaustive ground-truth sweep at or below this width.
+    pub exact_bits: usize,
 }
 
 /// A parsed campaign spec: the job matrix plus shared tuning.
@@ -58,6 +74,9 @@ pub struct CampaignSpec {
     pub solver: SolverBackend,
     /// CNF encoder behind every SAT-based attack (`flat` or `aig`).
     pub encoder: EncoderKind,
+    /// When set, the report gains corruptibility columns (err/dip/W)
+    /// computed by `glitchlock_count` at render time.
+    pub count: Option<CountDirective>,
 }
 
 impl Default for CampaignSpec {
@@ -73,6 +92,7 @@ impl Default for CampaignSpec {
             samples: 1024,
             solver: SolverBackend::default(),
             encoder: EncoderKind::default(),
+            count: None,
         }
     }
 }
@@ -180,6 +200,39 @@ impl CampaignSpec {
                     spec.solver = SolverBackend::parse(v)
                         .ok_or_else(|| at(format!("unknown solver backend `{v}`")))?;
                 }
+                "count" => {
+                    let [eps, delta, max_bits, exact_bits] = args[..] else {
+                        return Err(at(
+                            "count takes `<epsilon> <delta> <max-bits> <exact-bits>`".into(),
+                        ));
+                    };
+                    let epsilon: f64 = eps
+                        .parse()
+                        .map_err(|_| at(format!("bad count epsilon `{eps}`")))?;
+                    let delta: f64 = delta
+                        .parse()
+                        .map_err(|_| at(format!("bad count delta `{delta}`")))?;
+                    if epsilon.is_nan()
+                        || epsilon <= 0.0
+                        || delta.is_nan()
+                        || delta <= 0.0
+                        || delta >= 1.0
+                    {
+                        return Err(at("count needs epsilon > 0 and 0 < delta < 1".into()));
+                    }
+                    let max_bits: usize = max_bits
+                        .parse()
+                        .map_err(|_| at(format!("bad count max-bits `{max_bits}`")))?;
+                    let exact_bits: usize = exact_bits
+                        .parse()
+                        .map_err(|_| at(format!("bad count exact-bits `{exact_bits}`")))?;
+                    spec.count = Some(CountDirective {
+                        epsilon,
+                        delta,
+                        max_bits,
+                        exact_bits,
+                    });
+                }
                 other => return Err(at(format!("unknown directive `{other}`"))),
             }
         }
@@ -215,6 +268,13 @@ impl CampaignSpec {
         let _ = writeln!(out, "samples {}", self.samples);
         let _ = writeln!(out, "solver {}", self.solver.tag());
         let _ = writeln!(out, "encoder {}", self.encoder.tag());
+        if let Some(c) = &self.count {
+            let _ = writeln!(
+                out,
+                "count {} {} {} {}",
+                c.epsilon, c.delta, c.max_bits, c.exact_bits
+            );
+        }
         out
     }
 
@@ -327,6 +387,31 @@ samples 512\n";
         assert_eq!(CampaignSpec::parse(&rendered).unwrap(), flat);
         assert!(CampaignSpec::parse(&format!("{base}encoder warp\n")).is_err());
         assert!(CampaignSpec::parse(&format!("{base}encoder\n")).is_err());
+    }
+
+    #[test]
+    fn count_directive_enables_corruptibility() {
+        let base = "bench s27\nlocker xor 4\nattack sat\n";
+        let spec = CampaignSpec::parse(base).unwrap();
+        assert_eq!(spec.count, None, "counting is opt-in");
+        let counted = CampaignSpec::parse(&format!("{base}count 0.8 0.2 24 20\n")).unwrap();
+        assert_eq!(
+            counted.count,
+            Some(CountDirective {
+                epsilon: 0.8,
+                delta: 0.2,
+                max_bits: 24,
+                exact_bits: 20,
+            })
+        );
+        assert_ne!(spec.hash(), counted.hash(), "count is part of the matrix");
+        let rendered = counted.render();
+        assert!(rendered.contains("count 0.8 0.2 24 20\n"));
+        assert_eq!(CampaignSpec::parse(&rendered).unwrap(), counted);
+        assert!(CampaignSpec::parse(&format!("{base}count 0.8 0.2 24\n")).is_err());
+        assert!(CampaignSpec::parse(&format!("{base}count 0 0.2 24 20\n")).is_err());
+        assert!(CampaignSpec::parse(&format!("{base}count 0.8 1.5 24 20\n")).is_err());
+        assert!(CampaignSpec::parse(&format!("{base}count 0.8 0.2 x 20\n")).is_err());
     }
 
     #[test]

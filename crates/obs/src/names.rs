@@ -173,6 +173,17 @@ pub const ANALYSIS_WIDENED: &str = "analysis.widened";
 /// taint reaches them.
 pub const REMOVAL_TAINT_PRUNED: &str = "removal.taint_pruned";
 
+/// Corruption-score computations (one per locked design scored).
+pub const COUNT_RUNS: &str = "count.runs";
+/// Individual scores produced (err / dip / wrong-keys, skipped excluded).
+pub const COUNT_SCORES: &str = "count.scores";
+/// SAT solver invocations spent in hash-count cell enumeration.
+pub const COUNT_SOLVER_CALLS: &str = "count.solver.calls";
+/// Random XOR parity rows drawn and encoded onto miter CNFs.
+pub const COUNT_XOR_ROWS: &str = "count.xor_rows";
+/// Exhaustive ground-truth sweeps (one per key value swept).
+pub const COUNT_EXHAUSTIVE_SWEEPS: &str = "count.exhaustive.sweeps";
+
 /// Fuzz cases executed.
 pub const FUZZ_CASES: &str = "fuzz.cases";
 /// Referee verdicts returned (pass + skip + fail).
@@ -256,11 +267,24 @@ pub fn expected_sites(domain: &str) -> Option<&'static [&'static str]> {
             SERVE_ORACLE_PATTERNS,
             SERVE_ORACLE_BATCHES,
         ]),
+        // `glk count` always runs both the exhaustive sweep and the
+        // estimator on its (small) gate designs. `count.xor_rows` stays
+        // off the list: every projected space of the traced design may
+        // legitimately fit under the pivot, in which case base
+        // enumeration is exact and no hash round ever runs.
+        "count" => Some(&[
+            COUNT_RUNS,
+            COUNT_SCORES,
+            COUNT_SOLVER_CALLS,
+            COUNT_EXHAUSTIVE_SWEEPS,
+            EVAL_GATE_EVALS,
+            EVAL_PACKED_PASSES,
+        ]),
         _ => None,
     }
 }
 
 /// Every domain [`expected_sites`] knows about.
-pub const DOMAINS: [&str; 7] = [
-    "attack", "sim", "lock-gk", "analyze", "fuzz", "campaign", "serve",
+pub const DOMAINS: [&str; 8] = [
+    "attack", "sim", "lock-gk", "analyze", "fuzz", "campaign", "serve", "count",
 ];

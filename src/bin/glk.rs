@@ -53,6 +53,10 @@ usage: glk <subcommand> …
                   [--seed S] [--mix|--share] [OBS]
   glk attack      <locked.bench> <oracle.bench> [--key-prefix P]
                   [--solver legacy|modern] [--encoder flat|aig] [OBS]
+  glk count       <locked.bench> <oracle.bench> [--key-prefix P]
+                  [--epsilon E] [--delta D] [--project keys|inputs]
+                  [--seed S] [--exact-bits N] [--max-bits N]
+                  [--solver legacy|modern] [--encoder flat|aig] [OBS]
   glk sim         <in.bench> [--cycles N] [--period-ns N] [--vcd out.vcd]
                   [--seed S] [OBS]
   glk verify      <locked.bench> <oracle.bench> --key 0,1,… [--cycles N]
@@ -85,7 +89,7 @@ usage: glk <subcommand> …
   glk query       <addr> campaign --spec <spec.txt> [--shard I/N]
                   [--journal PATH]
   glk query       <addr> sleep [--ms N]   (servers started with --allow-debug)
-  glk trace-check <trace.jsonl> [--sites attack|sim|lock-gk|analyze|fuzz|campaign|serve]
+  glk trace-check <trace.jsonl> [--sites attack|sim|lock-gk|analyze|fuzz|campaign|serve|count]
   glk help
 
 OBS (observability) flags, accepted where marked:
@@ -165,6 +169,7 @@ fn run() -> Result<(), String> {
         "lock-xor" => cmd_lock_xor(&args),
         "lock-gk" => with_obs(&args, || cmd_lock_gk(&args)),
         "attack" => with_obs(&args, || cmd_attack(&args)),
+        "count" => with_obs(&args, || cmd_count(&args)),
         "sim" => with_obs(&args, || cmd_sim(&args)),
         "verify" => cmd_verify(&args),
         "lint" => cmd_lint(&args),
@@ -511,6 +516,86 @@ fn cmd_attack(args: &Args) -> Result<(), String> {
         }
         SatOutcome::Cancelled => {
             println!("cancelled after {} iterations", result.iterations);
+        }
+    }
+    Ok(())
+}
+
+/// `glk count <locked.bench> <oracle.bench>`: the three quantitative
+/// locking-security scores (wrong-key error rate, DIP-space size,
+/// wrong-key count) via the exhaustive sweep and/or the ApproxMC-style
+/// hash-count estimator. `--project keys` prints only the key-space
+/// score; `--project inputs` only the input-space scores.
+fn cmd_count(args: &Args) -> Result<(), String> {
+    use glitchlock::count::{corruption_scores, Score, ScoreConfig};
+
+    let locked = load(&need(args, 0, "locked .bench")?)?;
+    let oracle = load(&need(args, 1, "oracle .bench")?)?;
+    let prefix = args.flag("key-prefix").unwrap_or("key");
+    let key_inputs: Vec<_> = locked
+        .input_nets()
+        .iter()
+        .copied()
+        .filter(|&n| {
+            let name = locked.net(n).name();
+            name.starts_with(prefix) || name.starts_with("gk")
+        })
+        .collect();
+    if key_inputs.is_empty() {
+        return Err(format!("no key inputs matched prefix {prefix:?} or 'gk'"));
+    }
+    let project = match args.flag("project") {
+        None => None,
+        Some("keys") => Some(true),
+        Some("inputs") => Some(false),
+        Some(other) => return Err(format!("--project expects keys or inputs, got {other:?}")),
+    };
+    let defaults = ScoreConfig::default();
+    let cfg = ScoreConfig {
+        epsilon: args.num("epsilon", defaults.epsilon)?,
+        delta: args.num("delta", defaults.delta)?,
+        exact_bits: args.num("exact-bits", defaults.exact_bits)?,
+        max_bits: args.num("max-bits", defaults.max_bits)?,
+        solver: solver_flag(args)?.unwrap_or_default(),
+        encoder: encoder_flag(args)?.unwrap_or_default(),
+        seed: args.num("seed", defaults.seed)?,
+    };
+    let scores = corruption_scores(&locked, &key_inputs, &oracle, &cfg)?;
+    println!(
+        "count: {} data bit(s), {} key bit(s), method {}",
+        scores.data_bits,
+        scores.key_bits,
+        scores.method.tag()
+    );
+    let key: String = scores
+        .sampled_key
+        .iter()
+        .map(|&b| if b { '1' } else { '0' })
+        .collect();
+    let show = |label: &str, s: &Score| {
+        let exact = s
+            .exact
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        let est = s
+            .estimate
+            .map(|e| format!("{e:.1}"))
+            .unwrap_or_else(|| "-".to_string());
+        let frac = s
+            .fraction()
+            .map(|f| format!("{f:.4}"))
+            .unwrap_or_else(|| "-".to_string());
+        println!("  {label:<12} exact {exact:>10}  estimate {est:>12}  fraction {frac}");
+    };
+    if project != Some(true) {
+        println!("  sampled key  {key}");
+        show("err", &scores.err);
+        show("dip", &scores.dip);
+    }
+    if project != Some(false) {
+        show("wrong-keys", &scores.wrong_keys);
+        if let Some(classes) = scores.key_classes {
+            println!("  key-classes  {classes}");
         }
     }
     Ok(())

@@ -34,6 +34,11 @@
 //!   and lock generation, a registry of referee oracles cross-checking
 //!   every engine pair, delta-debugging shrinking, and a persistent
 //!   regression corpus (`glk fuzz`).
+//! * [`count`] — projected model counting for quantitative security
+//!   scores: an exhaustive packed-sweep oracle plus an ApproxMC-style
+//!   XOR hash-count estimator over the shared miter CNF, reporting
+//!   wrong-key error rate, DIP-space size, and key equivalence-class
+//!   estimates (`glk count`).
 //! * [`obs`] — dependency-free structured tracing and metrics: typed
 //!   counters/gauges/histograms, JSON-lines event sinks, end-of-run
 //!   reports, and the trace schema behind `glk … --trace/--metrics`.
@@ -71,6 +76,7 @@
 pub use glitchlock_attacks as attacks;
 pub use glitchlock_circuits as circuits;
 pub use glitchlock_core as core;
+pub use glitchlock_count as count;
 pub use glitchlock_dataflow as dataflow;
 pub use glitchlock_fuzz as fuzz;
 pub use glitchlock_jobs as jobs;

@@ -137,6 +137,74 @@ fn report_is_independent_of_worker_count_for_each_backend() {
     }
 }
 
+/// The corruptibility columns ride the same contract: rows are computed
+/// at render time from the spec alone, so worker counts, halts, resumes,
+/// and shard merges cannot move an estimate by a single byte.
+#[test]
+fn counted_reports_are_deterministic_across_schedules_and_shards() {
+    let spec = format!("{SPEC}count 0.8 0.2 20 6\n");
+
+    let serial = campaign_with_spec(&tempdir("cnt-serial"), "run", &spec, &["--jobs", "1"]);
+    assert!(
+        serial.text.contains("corruptibility"),
+        "count directive adds the section:\n{}",
+        serial.text
+    );
+    assert!(
+        serial.json.contains("\"corruptibility\""),
+        "json gains the corruptibility key"
+    );
+    // gk1 on s27: the paper's quantitative signature — dip exact 0, one
+    // key class — appears in the rendered table.
+    assert!(serial.text.contains("gk1"), "{}", serial.text);
+
+    for jobs in ["4", "8"] {
+        let wide = campaign_with_spec(
+            &tempdir(&format!("cnt-jobs{jobs}")),
+            "run",
+            &spec,
+            &["--jobs", jobs],
+        );
+        assert_eq!(serial.text, wide.text, "--jobs {jobs}: text diverged");
+        assert_eq!(serial.json, wide.json, "--jobs {jobs}: json diverged");
+    }
+
+    // Kill-then-resume.
+    let dir = tempdir("cnt-resume");
+    let halted = campaign_with_spec(&dir, "run", &spec, &["--jobs", "4", "--halt-after", "5"]);
+    assert!(halted.text.is_empty(), "halted run wrote a report");
+    let resumed = campaign_with_spec(&dir, "run", &spec, &["--jobs", "4", "--resume"]);
+    assert_eq!(serial.text, resumed.text, "resumed text diverged");
+    assert_eq!(serial.json, resumed.json, "resumed json diverged");
+
+    // Two shards, merged.
+    let dir = tempdir("cnt-shard");
+    let spec_path = dir.join("spec.txt");
+    std::fs::write(&spec_path, &spec).unwrap();
+    let run = |extra: &[&str]| {
+        let output = glk()
+            .arg("campaign")
+            .arg("--spec")
+            .arg(&spec_path)
+            .current_dir(&dir)
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(
+            output.status.success(),
+            "{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    };
+    run(&["--jobs", "1", "--shard", "0/2", "--journal", "s0.jsonl"]);
+    run(&["--jobs", "1", "--shard", "1/2", "--journal", "s1.jsonl"]);
+    run(&["--merge-journals", "s0.jsonl,s1.jsonl", "--out", "merged"]);
+    let merged_text = std::fs::read_to_string(dir.join("merged.report.txt")).unwrap();
+    let merged_json = std::fs::read_to_string(dir.join("merged.report.json")).unwrap();
+    assert_eq!(serial.text, merged_text, "merged text diverged");
+    assert_eq!(serial.json, merged_json, "merged json diverged");
+}
+
 #[test]
 fn halted_then_resumed_run_matches_the_uninterrupted_run() {
     let full = campaign(&tempdir("full"), "run", &["--jobs", "4"]);

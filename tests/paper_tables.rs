@@ -26,7 +26,9 @@ use std::process::Command;
 /// The conformance matrix: 5 benchmarks × 4 lockers × 2 attacks × 1 seed.
 /// `s1238` and `s5378` are Table I profiles, one to two orders of
 /// magnitude above the other three — they keep the matrix honest at
-/// benchmark scale.
+/// benchmark scale. The `count` directive adds corruptibility rows:
+/// s27 cells run both counting engines (7 data bits), the larger benches
+/// render as skipped rows with their widths.
 const SPEC: &str = "\
 bench s27
 bench s298
@@ -42,6 +44,7 @@ attack removal
 seeds 1
 max-iters 64
 samples 512
+count 0.8 0.2 16 12
 ";
 
 fn glk() -> Command {
@@ -177,6 +180,62 @@ fn flat_and_aig_encoders_reach_identical_verdicts() {
         let (aig_verdict, _) = &aig[id];
         assert_eq!(verdict, aig_verdict, "{id}: flat vs aig verdict");
     }
+}
+
+#[test]
+fn corruptibility_rows_cover_the_matrix_with_the_gk_signature() {
+    let dir = tempdir("corrupt");
+    let (text, json_report) = run_conformance(&dir);
+    assert!(text.contains("corruptibility"), "{text}");
+    let v = json::parse(json_report.trim()).unwrap();
+    let rows = match v.get("corruptibility") {
+        Some(json::Value::Arr(rows)) => rows,
+        other => panic!("corruptibility is not an array: {other:?}"),
+    };
+    assert_eq!(rows.len(), 20, "5 benches × 4 lockers");
+    let row = |bench: &str, locker: &str| {
+        rows.iter()
+            .find(|r| {
+                r.get("bench").and_then(json::Value::as_str) == Some(bench)
+                    && r.get("locker").and_then(json::Value::as_str) == Some(locker)
+            })
+            .unwrap_or_else(|| panic!("no row for {bench}/{locker}"))
+    };
+    // s27/gk2: the paper's quantitative signature — zero DIP space, one
+    // key class, every input corrupted for every key.
+    let gk = row("s27", "gk2");
+    assert_eq!(gk.get("method").and_then(json::Value::as_str), Some("both"));
+    let exact = |key: &str| {
+        gk.get(key)
+            .and_then(|s| s.get("exact"))
+            .and_then(json::Value::as_num)
+    };
+    assert_eq!(exact("dip"), Some(0.0), "{gk:?}");
+    assert_eq!(exact("err"), Some(128.0));
+    assert_eq!(exact("wrong_keys"), Some(4.0));
+    assert_eq!(
+        gk.get("key_classes").and_then(json::Value::as_num),
+        Some(1.0)
+    );
+    // s27/xor4 corrupts, with a non-trivial key-class structure.
+    let xor = row("s27", "xor4");
+    assert_eq!(
+        xor.get("method").and_then(json::Value::as_str),
+        Some("both")
+    );
+    let wrong = xor
+        .get("wrong_keys")
+        .and_then(|s| s.get("exact"))
+        .and_then(json::Value::as_num)
+        .unwrap();
+    assert!(wrong > 0.0);
+    // The benchmark-scale circuits exceed the directive's cutoffs and
+    // are skipped, not silently mis-counted.
+    let big = row("s5378", "xor4");
+    assert_eq!(
+        big.get("method").and_then(json::Value::as_str),
+        Some("skipped")
+    );
 }
 
 #[test]
